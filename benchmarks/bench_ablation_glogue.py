@@ -1,0 +1,47 @@
+"""Ablation — high-order GLogue statistics vs low-order only (Sec 4.3).
+
+The paper notes RelGo "remains functional with only low-order statistics,
+but the efficiency of the generated plan may decrease due to less accurate
+cost estimation".  This bench runs RelGo with GLogue on and off over the
+cyclic QC suite and the star-heavy IC queries where sub-pattern frequencies
+matter most.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import MEMORY_BUDGET_ROWS, save_report
+from repro.bench.reporting import average_speedup, format_table
+from repro.bench.runner import run_grid
+from repro.systems import standard_systems
+from repro.workloads.ldbc import ic_queries, qc_queries
+
+QUERY_NAMES = ["IC5-1", "IC6-1", "IC7", "QC1", "QC2"]
+
+
+def _run(catalog):
+    suite = {**ic_queries(), **qc_queries()}
+    queries = {name: suite[name] for name in QUERY_NAMES}
+    systems = standard_systems(
+        catalog, "snb", names=["relgo", "relgo_loworder"],
+        memory_budget_rows=MEMORY_BUDGET_ROWS,
+    )
+    return run_grid(systems, queries, repetitions=3)
+
+
+def test_ablation_glogue(benchmark, ldbc30):
+    measurements = benchmark.pedantic(lambda: _run(ldbc30), rounds=1, iterations=1)
+    table = format_table(
+        measurements,
+        systems=["relgo", "relgo_loworder"],
+        queries=QUERY_NAMES,
+        component="execution",
+        title="Ablation — RelGo with GLogue vs low-order statistics only",
+    )
+    speedup = average_speedup(
+        measurements, "relgo", "relgo_loworder", component="execution"
+    )
+    text = table + f"\nhigh-order vs low-order stats: {speedup:.2f}x"
+    save_report("ablation_glogue", text)
+    # Low-order must still produce correct plans; quality may tie or win
+    # occasionally but must not be catastrophically better.
+    assert speedup > 0.5

@@ -1,0 +1,81 @@
+"""Fig 4b — optimization time: Calcite (graph-agnostic exhaustive Volcano)
+vs RelGo, on the LDBC IC queries.
+
+The paper: RelGo optimizes almost all queries within 10-100 ms and is up to
+four orders of magnitude faster than Calcite; Calcite regularly hits the
+10-minute timeout (scaled down here to OPTIMIZER_TIMEOUT_S).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import OPTIMIZER_TIMEOUT_S, save_report
+from repro.bench.reporting import format_table
+from repro.bench.runner import Measurement
+from repro.errors import OptimizationTimeout
+from repro.systems import make_system
+from repro.workloads.ldbc import ic_queries
+
+
+def _measure_opt_times(catalog) -> list[Measurement]:
+    relgo = make_system("relgo", catalog, "snb")
+    calcite = make_system(
+        "calcite", catalog, "snb", optimizer_timeout=OPTIMIZER_TIMEOUT_S
+    )
+    measurements = []
+    for name, sql in ic_queries().items():
+        for system in (relgo, calcite):
+            query = system.bind(sql)
+            try:
+                optimized = system.optimize(query)
+                measurements.append(
+                    Measurement(
+                        system=system.name,
+                        query=name,
+                        status="ok",
+                        optimization_time=optimized.optimization_time,
+                    )
+                )
+            except OptimizationTimeout as exc:
+                measurements.append(
+                    Measurement(
+                        system=system.name,
+                        query=name,
+                        status="OT",
+                        optimization_time=exc.elapsed,
+                    )
+                )
+    return measurements
+
+
+def test_fig4b_optimization_time(benchmark, ldbc10):
+    measurements = benchmark.pedantic(
+        lambda: _measure_opt_times(ldbc10), rounds=1, iterations=1
+    )
+    table = format_table(
+        measurements,
+        systems=["relgo", "calcite"],
+        queries=list(ic_queries()),
+        component="optimization",
+        title=(
+            "Fig 4b — optimization time (ms), RelGo vs Calcite "
+            f"(timeout {OPTIMIZER_TIMEOUT_S:.0f}s => OT)"
+        ),
+    )
+    save_report("fig4b_optimization_time", table)
+    relgo_times = [
+        m.optimization_time for m in measurements if m.system == "relgo"
+    ]
+    calcite = {
+        m.query: m for m in measurements if m.system == "calcite"
+    }
+    # RelGo never times out and optimizes every query quickly.
+    assert all(m.status == "ok" for m in measurements if m.system == "relgo")
+    assert max(relgo_times) < 1.0
+    # Calcite is at least an order of magnitude slower somewhere (or OT).
+    worst_ratio = 0.0
+    for m in measurements:
+        if m.system == "relgo" and calcite[m.query].optimization_time > 0:
+            worst_ratio = max(
+                worst_ratio, calcite[m.query].optimization_time / m.optimization_time
+            )
+    assert worst_ratio > 10 or any(c.status == "OT" for c in calcite.values())

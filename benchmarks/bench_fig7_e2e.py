@@ -1,0 +1,66 @@
+"""Fig 7 — end-to-end time (optimization + execution): RelGo vs GRainDB.
+
+Fig 7a: IC1-3, IC2, IC4, IC7 on LDBC30.  Fig 7b: JOB1..4 on IMDB.
+Paper: RelGo wins end-to-end (avg 7.5x on LDBC30, 3.8x on IMDB) even though
+its optimization is slightly costlier; plan quality dominates.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import MEMORY_BUDGET_ROWS, save_report
+from repro.bench.reporting import average_speedup, format_table
+from repro.bench.runner import run_grid
+from repro.systems import standard_systems
+from repro.workloads.job import job_queries
+from repro.workloads.ldbc import ic_queries
+
+LDBC_SUBSET = ["IC1-3", "IC2", "IC4", "IC7"]
+JOB_SUBSET = ["JOB1", "JOB2", "JOB3", "JOB4"]
+
+
+def _run(catalog, graph, queries, repetitions=3):
+    systems = standard_systems(
+        catalog, graph, names=["relgo", "graindb"],
+        memory_budget_rows=MEMORY_BUDGET_ROWS,
+    )
+    return run_grid(systems, queries, repetitions=repetitions)
+
+
+def test_fig7a_ldbc_e2e(benchmark, ldbc30):
+    queries = {k: v for k, v in ic_queries().items() if k in LDBC_SUBSET}
+    measurements = benchmark.pedantic(
+        lambda: _run(ldbc30, "snb", queries), rounds=1, iterations=1
+    )
+    report = []
+    for component in ("optimization", "execution", "total"):
+        report.append(
+            format_table(
+                measurements,
+                systems=["relgo", "graindb"],
+                queries=LDBC_SUBSET,
+                component=component,
+                title=f"Fig 7a — E2E on LDBC30 ({component})",
+            )
+        )
+    speedup = average_speedup(measurements, "relgo", "graindb")
+    report.append(f"RelGo avg E2E speedup vs GRainDB: {speedup:.2f}x (paper: 7.5x)")
+    save_report("fig7a_e2e_ldbc", "\n\n".join(report))
+    assert speedup > 1.0
+
+
+def test_fig7b_job_e2e(benchmark, imdb):
+    queries = job_queries(JOB_SUBSET)
+    measurements = benchmark.pedantic(
+        lambda: _run(imdb, "imdb", queries), rounds=1, iterations=1
+    )
+    table = format_table(
+        measurements,
+        systems=["relgo", "graindb"],
+        queries=JOB_SUBSET,
+        component="total",
+        title="Fig 7b — E2E on IMDB (total)",
+    )
+    speedup = average_speedup(measurements, "relgo", "graindb")
+    text = table + f"\nRelGo avg E2E speedup vs GRainDB: {speedup:.2f}x (paper: 3.8x)"
+    save_report("fig7b_e2e_job", text)
+    assert speedup > 1.0

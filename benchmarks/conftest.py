@@ -1,0 +1,67 @@
+"""Shared benchmark fixtures: the scaled-down datasets of Sec 5.1.
+
+The paper's LDBC10 / LDBC30 / LDBC100 and the IMDB dump are shrunk to
+laptop-Python scale (DESIGN.md documents the substitution); relative system
+behaviour — who wins, by what factor, where OOM/OT appear — is what the
+benches reproduce, not absolute milliseconds.
+
+Figure outputs are both printed and written to ``results/<figure>.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.graph.index import build_graph_index
+from repro.workloads.job import JobParams, generate_imdb
+from repro.workloads.ldbc import LdbcParams, generate_ldbc
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+# The executor's stand-in for the paper's 256 GB RAM limit.
+MEMORY_BUDGET_ROWS = 2_000_000
+# The stand-in for the paper's 10-minute optimizer timeout (Calcite OT).
+OPTIMIZER_TIMEOUT_S = 5.0
+
+
+def _with_index(catalog, mapping):
+    catalog.register_graph_index(build_graph_index(mapping))
+    return catalog
+
+
+@pytest.fixture(scope="session")
+def ldbc10():
+    """The LDBC10 stand-in (small)."""
+    catalog, mapping = generate_ldbc(LdbcParams.scaled(0.6, seed=7))
+    return _with_index(catalog, mapping)
+
+
+@pytest.fixture(scope="session")
+def ldbc30():
+    """The LDBC30 stand-in (medium)."""
+    catalog, mapping = generate_ldbc(LdbcParams.scaled(1.2, seed=7))
+    return _with_index(catalog, mapping)
+
+
+@pytest.fixture(scope="session")
+def ldbc100():
+    """The LDBC100 stand-in (large)."""
+    catalog, mapping = generate_ldbc(LdbcParams.scaled(2.2, seed=7))
+    return _with_index(catalog, mapping)
+
+
+@pytest.fixture(scope="session")
+def imdb():
+    """The IMDB stand-in for the JOB benchmark."""
+    catalog, mapping = generate_imdb(JobParams.scaled(1.0, seed=11))
+    return _with_index(catalog, mapping)
+
+
+def save_report(figure: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{figure}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)

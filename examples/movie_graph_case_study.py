@@ -1,0 +1,48 @@
+"""The JOB17 case study (paper Fig 12) on the synthetic IMDB graph.
+
+Optimizes the same SQL/PGQ query with RelGo, GRainDB and the Umbra-like
+optimizer, prints all three physical plans, and shows the timing gap — the
+paper's illustration of why graph-aware plans keep the graph index usable.
+
+Run:  python examples/movie_graph_case_study.py
+"""
+
+import time
+
+from repro.core.plan_proto import plan_to_json
+from repro.graph.index import build_graph_index
+from repro.systems import make_system
+from repro.workloads.job import JobParams, generate_imdb, job_queries
+
+
+def main() -> None:
+    print("generating a synthetic IMDB (JOB shape)...")
+    catalog, mapping = generate_imdb(JobParams.scaled(1.0))
+    catalog.register_graph_index(build_graph_index(mapping))
+    sql = job_queries(["JOB17"])["JOB17"]
+    print(sql)
+    print()
+    results = {}
+    for name in ("relgo", "graindb", "umbra"):
+        system = make_system(name, catalog, "imdb")
+        optimized = system.optimize(sql)
+        started = time.perf_counter()
+        result = system.framework.execute(optimized)
+        elapsed = (time.perf_counter() - started) * 1000
+        results[name] = result.sorted_rows()
+        print(f"=== {name} ({elapsed:.1f} ms execution) " + "=" * 20)
+        print(optimized.explain())
+        print()
+    assert results["relgo"] == results["graindb"] == results["umbra"]
+    print("all three systems agree on the answer:", results["relgo"])
+
+    # The optimized plan is platform-independent (the paper serializes it
+    # with protobuf; this reproduction uses JSON) — show a snippet.
+    system = make_system("relgo", catalog, "imdb")
+    dump = plan_to_json(system.optimize(sql).physical)
+    print("\nserialized plan (first 400 chars):")
+    print(dump[:400], "...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package and no network, so PEP 517
+editable installs (which need ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-use-pep517`` take the legacy ``setup.py develop``
+path, which works with plain setuptools.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

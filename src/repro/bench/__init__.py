@@ -1,0 +1,6 @@
+"""Benchmark harness: run system × query grids, format paper-style reports."""
+
+from repro.bench.runner import Measurement, run_grid
+from repro.bench.reporting import format_table, geometric_mean, speedup_table
+
+__all__ = ["Measurement", "run_grid", "format_table", "speedup_table", "geometric_mean"]

@@ -1,0 +1,133 @@
+"""Paper-style report formatting for the benchmark harness.
+
+``format_table`` renders a query × system grid of times (ms) with OOM / OT
+entries preserved; ``speedup_table`` renders the Fig 11 presentation —
+per-query speedup of every system against a baseline, plus the average
+speedup the paper headlines (computed as a geometric mean, which is the
+right mean for ratios).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.runner import Measurement, by_cell
+
+
+def format_table(
+    measurements: list[Measurement],
+    systems: list[str],
+    queries: list[str],
+    component: str = "total",
+    title: str = "",
+) -> str:
+    cells = by_cell(measurements)
+    width = max([len(q) for q in queries] + [7])
+    header = f"{'query':<{width}}" + "".join(f"{s:>14}" for s in systems)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(header))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for query in queries:
+        row = [f"{query:<{width}}"]
+        for system in systems:
+            m = cells.get((system, query))
+            row.append(f"{m.display_time(component) if m else '-':>14}")
+        lines.append("".join(row))
+    lines.append("-" * len(header))
+    lines.append(f"(times in ms; component = {component})")
+    return "\n".join(lines)
+
+
+def geometric_mean(values: list[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedups_vs_baseline(
+    measurements: list[Measurement],
+    baseline: str,
+    component: str = "total",
+) -> dict[tuple[str, str], float | None]:
+    """(system, query) -> speedup over the baseline; None when either failed."""
+    cells = by_cell(measurements)
+    out: dict[tuple[str, str], float | None] = {}
+    queries = sorted({m.query for m in measurements})
+    systems = sorted({m.system for m in measurements})
+    for query in queries:
+        base = cells.get((baseline, query))
+        for system in systems:
+            m = cells.get((system, query))
+            if (
+                base is None
+                or m is None
+                or base.status != "ok"
+                or m.status != "ok"
+            ):
+                out[(system, query)] = None
+                continue
+            mine = m.total_time if component == "total" else m.execution_time
+            theirs = base.total_time if component == "total" else base.execution_time
+            out[(system, query)] = theirs / mine if mine > 0 else None
+    return out
+
+
+def speedup_table(
+    measurements: list[Measurement],
+    systems: list[str],
+    queries: list[str],
+    baseline: str = "duckdb",
+    component: str = "total",
+    title: str = "",
+) -> str:
+    """The Fig 11 rendering: speedup vs the baseline per query + averages."""
+    ratios = speedups_vs_baseline(measurements, baseline, component)
+    cells = by_cell(measurements)
+    width = max([len(q) for q in queries] + [7])
+    header = f"{'query':<{width}}" + "".join(f"{s:>12}" for s in systems)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(header))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for query in queries:
+        row = [f"{query:<{width}}"]
+        for system in systems:
+            ratio = ratios.get((system, query))
+            if ratio is None:
+                m = cells.get((system, query))
+                row.append(f"{(m.status if m else '-'):>12}")
+            else:
+                row.append(f"{ratio:>11.2f}x")
+        lines.append("".join(row))
+    lines.append("-" * len(header))
+    avg_row = [f"{'avg':<{width}}"]
+    for system in systems:
+        values = [
+            ratios[(system, q)]
+            for q in queries
+            if ratios.get((system, q)) is not None
+        ]
+        avg_row.append(f"{geometric_mean(values):>11.2f}x" if values else f"{'-':>12}")
+    lines.append("".join(avg_row))
+    lines.append(f"(speedup vs {baseline}, geometric mean; higher is better)")
+    return "\n".join(lines)
+
+
+def average_speedup(
+    measurements: list[Measurement],
+    system: str,
+    baseline: str,
+    component: str = "total",
+) -> float:
+    """Geometric-mean speedup of ``system`` over ``baseline``."""
+    ratios = speedups_vs_baseline(measurements, baseline, component)
+    values = [
+        v for (s, _), v in ratios.items() if s == system and v is not None
+    ]
+    return geometric_mean(values)

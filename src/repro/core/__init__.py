@@ -1,0 +1,22 @@
+"""The paper's primary contribution: the converged SPJM optimization framework.
+
+* :mod:`repro.core.spjm` — the SPJM query skeleton (Eq. 1).
+* :mod:`repro.core.transform` — the lossless graph-agnostic transformation
+  (Lemma 1) from the matching operator to relational joins.
+* :mod:`repro.core.rules` — FilterIntoMatchRule and TrimAndFuseRule.
+* :mod:`repro.core.scan_graph_table` — the SCAN_GRAPH_TABLE bridge operator.
+* :mod:`repro.core.framework` — RelGo: the end-to-end converged optimizer.
+* :mod:`repro.core.sqlpgq` — SQL/PGQ parser and binder (GRAPH_TABLE syntax,
+  CREATE PROPERTY GRAPH).
+"""
+
+from repro.core.framework import RelGoConfig, RelGoFramework
+from repro.core.spjm import GraphTableClause, MatchColumn, SPJMQuery
+
+__all__ = [
+    "RelGoFramework",
+    "RelGoConfig",
+    "SPJMQuery",
+    "GraphTableClause",
+    "MatchColumn",
+]

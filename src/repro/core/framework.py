@@ -1,0 +1,359 @@
+"""RelGo: the converged relational-graph optimization framework (Sec 4).
+
+``RelGoFramework`` owns one property graph (RGMapping + optional graph
+index + GLogue statistics) over a catalog, and optimizes SPJM queries
+end-to-end::
+
+    SPJM query
+      └─ heuristic rules (FilterIntoMatchRule, TrimAndFuseRule)      [4.2.3]
+      └─ graph optimization of M(P) -> decomposition tree            [4.2.1]
+      └─ SCAN_GRAPH_TABLE wraps the graph plan as a relational leaf  [4.2.2]
+      └─ relational optimization (DP join ordering) + lowering
+         (predefined joins when the graph index is available)
+
+Setting ``graph_aware=False`` switches the same entry point to the
+graph-agnostic pipeline of Sec 4.1 (Lemma 1 translation + purely relational
+optimization), which is how the DuckDB / GRainDB / Umbra / Calcite baselines
+are realized — one framework, different configs, identical execution engine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import CatalogError, PlanError
+from repro.graph.cost import CardinalityEstimator
+from repro.graph.glogue import GLogue
+from repro.graph.index import GraphIndex, build_graph_index
+from repro.graph.optimizer import (
+    GraphOptimizer,
+    GraphOptimizerConfig,
+    GraphPlan,
+    LoweringConfig,
+)
+from repro.relational.catalog import Catalog
+from repro.relational.executor import QueryResult, execute_plan
+from repro.relational.expr import col, substitute_columns
+from repro.relational.logical import AggregateSpec, LogicalNode
+from repro.relational.lowering import PhysicalPlanner
+from repro.relational.optimizer import (
+    QueryBlock,
+    RelationalOptimizer,
+    RelationalOptimizerConfig,
+)
+from repro.relational.physical import PhysicalOperator
+from repro.core.rules import RuleReport, apply_filter_into_match, apply_trim_and_fuse
+from repro.core.scan_graph_table import LogicalScanGraphTable
+from repro.core.spjm import SPJMQuery
+from repro.core.transform import translate_match
+
+
+@dataclass
+class RelGoConfig:
+    """All the paper's system variants are points in this config space.
+
+    ========================  =============================================
+    paper system              config
+    ========================  =============================================
+    RelGo                     defaults
+    RelGoNoRule               ``enable_rules=False``
+    RelGoNoEI                 ``enable_expand_intersect=False``
+    RelGoHash                 ``use_graph_index=False``
+    DuckDB (graph-agnostic)   ``graph_aware=False, use_graph_index=False``
+    GRainDB                   ``graph_aware=False`` (index on)
+    Umbra plans               ``graph_aware=False, histograms=True``
+    Calcite (Fig 4b)          ``graph_aware=False,
+                              join_enumeration="exhaustive"``
+    ========================  =============================================
+    """
+
+    graph_aware: bool = True
+    use_graph_index: bool = True
+    enable_rules: bool = True
+    enable_expand_intersect: bool = True
+    use_glogue: bool = True
+    histograms: bool = False
+    join_enumeration: str = "dp"
+    optimizer_timeout: float | None = None
+    glogue_max_k: int = 3
+    glogue_sample_ratio: float = 0.1
+    memory_budget_rows: int | None = None
+
+
+@dataclass
+class OptimizedQuery:
+    """An optimized SPJM query ready for execution."""
+
+    physical: PhysicalOperator
+    logical: LogicalNode
+    optimization_time: float
+    graph_plan: GraphPlan | None = None
+    rule_report: RuleReport | None = None
+    relational_report: Any = None
+
+    def explain(self) -> str:
+        return self.physical.explain()
+
+
+class RelGoFramework:
+    """The converged optimizer bound to one catalog + property graph."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        graph_name: str | None = None,
+        config: RelGoConfig | None = None,
+    ):
+        self.catalog = catalog
+        self.config = config or RelGoConfig()
+        self.mapping = (
+            catalog.graph(graph_name) if graph_name else catalog.default_graph()
+        )
+        self.graph_name = self.mapping.name
+        self._glogue: GLogue | None = None
+        self._estimator: CardinalityEstimator | None = None
+
+    # ------------------------------------------------------------------ #
+    # preparation (offline statistics / index, excluded from opt time)
+    # ------------------------------------------------------------------ #
+
+    def ensure_index(self) -> GraphIndex:
+        index = self.catalog.graph_index(self.graph_name)
+        if index is None:
+            index = build_graph_index(self.mapping)
+            self.catalog.register_graph_index(index)
+        return index
+
+    @property
+    def glogue(self) -> GLogue:
+        if self._glogue is None:
+            self._glogue = GLogue(
+                self.mapping,
+                self.ensure_index(),
+                max_k=self.config.glogue_max_k,
+                sample_ratio=self.config.glogue_sample_ratio,
+            )
+        return self._glogue
+
+    @property
+    def estimator(self) -> CardinalityEstimator:
+        if self._estimator is None:
+            self._estimator = CardinalityEstimator(
+                self.glogue, self.catalog, use_glogue=self.config.use_glogue
+            )
+        return self._estimator
+
+    def prepare(self) -> None:
+        """Build the graph index and warm statistics (an offline step)."""
+        self.ensure_index()
+        self.catalog.analyze()
+        _ = self.glogue
+
+    # ------------------------------------------------------------------ #
+    # optimization
+    # ------------------------------------------------------------------ #
+
+    def optimize(self, query: SPJMQuery) -> OptimizedQuery:
+        started = time.perf_counter()
+        if query.graph_table is None:
+            optimized = self._optimize_relational_only(query)
+        elif self.config.graph_aware:
+            optimized = self._optimize_converged(query)
+        else:
+            optimized = self._optimize_agnostic(query)
+        optimized.optimization_time = time.perf_counter() - started
+        return optimized
+
+    def execute(self, optimized: OptimizedQuery) -> QueryResult:
+        return execute_plan(
+            optimized.physical, memory_budget_rows=self.config.memory_budget_rows
+        )
+
+    def run(self, query: SPJMQuery) -> tuple[QueryResult, OptimizedQuery]:
+        optimized = self.optimize(query)
+        return self.execute(optimized), optimized
+
+    # ------------------------------------------------------------------ #
+    # converged pipeline (Sec 4.2)
+    # ------------------------------------------------------------------ #
+
+    def _optimize_converged(self, query: SPJMQuery) -> OptimizedQuery:
+        clause = query.graph_table
+        assert clause is not None
+        if clause.graph_name != self.graph_name:
+            raise CatalogError(
+                f"query targets graph {clause.graph_name!r}, framework is bound "
+                f"to {self.graph_name!r}"
+            )
+        rule_report = RuleReport()
+        if self.config.enable_rules:
+            query, push_report = apply_filter_into_match(query)
+            query, trim_report = apply_trim_and_fuse(query)
+            rule_report = RuleReport(
+                pushed_constraints=push_report.pushed_constraints,
+                trimmed_columns=trim_report.trimmed_columns,
+                trimmed_edge_vars=trim_report.trimmed_edge_vars,
+                needed_edge_vars=trim_report.needed_edge_vars,
+            )
+        clause = query.graph_table
+        assert clause is not None
+        graph_optimizer = GraphOptimizer(
+            self.mapping,
+            self.estimator,
+            GraphOptimizerConfig(use_graph_index=self.config.use_graph_index),
+        )
+        graph_plan = graph_optimizer.optimize(clause.pattern)
+        index = self.ensure_index() if self.config.use_graph_index else None
+        lowering = LoweringConfig(
+            use_graph_index=self.config.use_graph_index,
+            enable_expand_intersect=self.config.enable_expand_intersect,
+            needed_edge_vars=(
+                rule_report.needed_edge_vars
+                if self.config.enable_rules
+                else frozenset(clause.pattern.edges)
+            ),
+            fuse=self.config.enable_rules,
+            semantics=clause.semantics,
+        )
+        sgt = LogicalScanGraphTable(clause, self.mapping, index, graph_plan, lowering)
+        block = self._relational_block(query, extra_leaves=[sgt])
+        plan, report = self._relational_optimizer().optimize(block)
+        physical = self._lower(plan)
+        return OptimizedQuery(
+            physical=physical,
+            logical=plan,
+            optimization_time=0.0,
+            graph_plan=graph_plan,
+            rule_report=rule_report,
+            relational_report=report,
+        )
+
+    # ------------------------------------------------------------------ #
+    # graph-agnostic pipeline (Sec 4.1)
+    # ------------------------------------------------------------------ #
+
+    def _optimize_agnostic(self, query: SPJMQuery) -> OptimizedQuery:
+        clause = query.graph_table
+        assert clause is not None
+        translation = translate_match(clause, self.mapping, self.catalog)
+        substitution = translation.column_exprs
+        predicates = translation.join_predicates + [
+            substitute_columns(p, substitution) for p in query.predicates
+        ]
+        projections = None
+        if query.projections is not None:
+            projections = [
+                (substitute_columns(e, substitution), a)
+                for e, a in query.projections
+            ]
+        elif not query.aggregates and not query.group_by:
+            # SELECT * over the graph table: the output is the COLUMNS clause
+            # (plus any joined relations' columns), matching what the
+            # converged SCAN_GRAPH_TABLE path produces.
+            projections = [
+                (substitution[f"{clause.alias}.{c.alias}"], f"{clause.alias}.{c.alias}")
+                for c in clause.columns
+            ]
+            for table_name, alias in query.relations:
+                for column in self.catalog.table(table_name).schema.column_names:
+                    name = f"{alias}.{column}"
+                    projections.append((substitute_columns(col(name), {}), name))
+        group_by = [
+            (substitute_columns(e, substitution), a) for e, a in query.group_by
+        ]
+        aggregates = [
+            AggregateSpec(
+                s.func,
+                substitute_columns(s.arg, substitution) if s.arg is not None else None,
+                s.alias,
+            )
+            for s in query.aggregates
+        ]
+        order_by = [
+            (substitute_columns(e, substitution), asc) for e, asc in query.order_by
+        ]
+        leaves: list[LogicalNode] = list(translation.scans)
+        leaves.extend(self._relation_scans(query))
+        block = QueryBlock(
+            relations=leaves,
+            predicates=predicates,
+            projections=projections,
+            group_by=group_by,
+            aggregates=aggregates,
+            order_by=order_by,
+            limit=query.limit,
+            distinct=query.distinct,
+        )
+        plan, report = self._relational_optimizer().optimize(block)
+        physical = self._lower(plan)
+        return OptimizedQuery(
+            physical=physical,
+            logical=plan,
+            optimization_time=0.0,
+            relational_report=report,
+        )
+
+    def _optimize_relational_only(self, query: SPJMQuery) -> OptimizedQuery:
+        block = self._relational_block(query, extra_leaves=[])
+        plan, report = self._relational_optimizer().optimize(block)
+        return OptimizedQuery(
+            physical=self._lower(plan),
+            logical=plan,
+            optimization_time=0.0,
+            relational_report=report,
+        )
+
+    # ------------------------------------------------------------------ #
+    # shared plumbing
+    # ------------------------------------------------------------------ #
+
+    def _relation_scans(self, query: SPJMQuery) -> list[LogicalNode]:
+        from repro.relational.logical import LogicalScan
+
+        out: list[LogicalNode] = []
+        for table_name, alias in query.relations:
+            schema = self.catalog.table(table_name).schema
+            out.append(LogicalScan(table_name, alias, schema.column_names))
+        return out
+
+    def _relational_block(
+        self, query: SPJMQuery, extra_leaves: list[LogicalNode]
+    ) -> QueryBlock:
+        leaves = list(extra_leaves)
+        leaves.extend(self._relation_scans(query))
+        if not leaves:
+            raise PlanError("query has neither a graph table nor relations")
+        return QueryBlock(
+            relations=leaves,
+            predicates=list(query.predicates),
+            projections=query.projections,
+            group_by=list(query.group_by),
+            aggregates=list(query.aggregates),
+            order_by=list(query.order_by),
+            limit=query.limit,
+            distinct=query.distinct,
+        )
+
+    def _relational_optimizer(self) -> RelationalOptimizer:
+        return RelationalOptimizer(
+            self.catalog,
+            RelationalOptimizerConfig(
+                join_enumeration=self.config.join_enumeration,
+                histograms=self.config.histograms,
+                timeout=self.config.optimizer_timeout,
+            ),
+        )
+
+    def _lower(self, plan: LogicalNode) -> PhysicalOperator:
+        use_index = (
+            self.config.use_graph_index
+            and self.catalog.graph_index(self.graph_name) is not None
+        )
+        planner = PhysicalPlanner(
+            self.catalog,
+            use_graph_index=use_index,
+            graph_name=self.graph_name if use_index else None,
+        )
+        return planner.lower(plan)

@@ -1,0 +1,83 @@
+"""Platform-independent plan serialization.
+
+The paper's frontend emits optimized plans as protobuf messages so that any
+backend can execute them (Sec 4.3).  This reproduction keeps the property —
+a plan serializes to a JSON document of operator nodes — without the
+protobuf wire format (a substitution documented in DESIGN.md).
+
+Both relational :class:`~repro.relational.physical.PhysicalOperator` trees
+and graph :class:`~repro.graph.physical.GraphOperator` trees serialize; a
+SCAN_GRAPH_TABLE node nests its graph sub-plan.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+
+def plan_to_dict(op: Any) -> dict:
+    """Serialize an operator tree to plain dicts."""
+    node: dict[str, Any] = {"operator": _operator_name(op)}
+    label = _label(op)
+    if label and label != node["operator"]:
+        node["detail"] = label
+    columns = getattr(op, "output_columns", None)
+    if columns is not None:
+        node["columns"] = list(columns)
+    output_vars = getattr(op, "output_vars", None)
+    if output_vars is not None:
+        node["variables"] = [
+            {"name": v.name, "kind": v.kind, "label": v.label} for v in output_vars
+        ]
+    children = [plan_to_dict(c) for c in op.children()]
+    graph_op = getattr(op, "graph_op", None)
+    if graph_op is not None:
+        children.append(plan_to_dict(graph_op))
+    if children:
+        node["children"] = children
+    return node
+
+
+def plan_to_json(op: Any, indent: int = 2) -> str:
+    return json.dumps(plan_to_dict(op), indent=indent)
+
+
+def plan_signature(op: Any) -> tuple:
+    """A compact nested-tuple shape of the plan, for test assertions."""
+    children = tuple(plan_signature(c) for c in op.children())
+    graph_op = getattr(op, "graph_op", None)
+    if graph_op is not None:
+        children = children + (plan_signature(graph_op),)
+    return (_operator_name(op),) + children
+
+
+def operator_counts(op: Any) -> dict[str, int]:
+    """How many operators of each type the plan contains."""
+    counts: dict[str, int] = {}
+
+    def visit(node: Any) -> None:
+        name = _operator_name(node)
+        counts[name] = counts.get(name, 0) + 1
+        for child in node.children():
+            visit(child)
+        graph_op = getattr(node, "graph_op", None)
+        if graph_op is not None:
+            visit(graph_op)
+
+    visit(op)
+    return counts
+
+
+def _operator_name(op: Any) -> str:
+    return type(op).__name__
+
+
+def _label(op: Any) -> str:
+    label_fn = getattr(op, "_label", None)
+    if label_fn is None:
+        return ""
+    try:
+        return label_fn()
+    except Exception:  # pragma: no cover - labels are cosmetic
+        return ""

@@ -1,0 +1,140 @@
+"""Heuristic cross-domain rules (Sec 4.2.3).
+
+**FilterIntoMatchRule** — a relational selection over GRAPH_TABLE output
+columns that all derive from *one* pattern element's attributes is pushed
+into the pattern as a constraint: ``σ_{d'}(π̂ M(P)) ≡ σ_{Ψ'}(π̂ M((P, {d})))``.
+The rule fires before graph optimization so the cost model can re-estimate
+cardinalities with the constraint in place (the paper applies it greedily).
+
+**TrimAndFuseRule** — the field trimmer walks every consumer of the
+GRAPH_TABLE's columns (projections, predicates, aggregates, ordering) and
+drops COLUMNS entries nothing reads; edge variables left without any
+surviving column are *trimmed*, which licenses fusing their
+EXPAND_EDGE + GET_VERTEX pair into a single EXPAND during lowering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.expr import (
+    Expr,
+    referenced_columns,
+    rename_columns,
+    split_conjuncts,
+)
+from repro.core.spjm import MatchColumn, SPJMQuery
+
+
+@dataclass
+class RuleReport:
+    """What the rules did — surfaced in plan dumps and asserted by tests."""
+
+    pushed_constraints: int = 0
+    trimmed_columns: list[str] = field(default_factory=list)
+    trimmed_edge_vars: list[str] = field(default_factory=list)
+    needed_edge_vars: frozenset[str] = frozenset()
+
+
+def apply_filter_into_match(query: SPJMQuery) -> tuple[SPJMQuery, RuleReport]:
+    """Push eligible outer conjuncts into pattern constraints."""
+    report = RuleReport()
+    clause = query.graph_table
+    if clause is None:
+        return query, report
+    query = query.copy()
+    clause = query.graph_table
+    assert clause is not None
+    column_map = clause.column_map()
+    kept: list[Expr] = []
+    pattern = clause.pattern
+    for conjunct in [c for p in query.predicates for c in split_conjuncts(p)]:
+        target = _single_var_rewrite(conjunct, column_map)
+        if target is None:
+            kept.append(conjunct)
+            continue
+        var, rewritten = target
+        if var in pattern.vertices:
+            pattern = pattern.with_vertex_constraint(var, rewritten)
+        else:
+            pattern = pattern.with_edge_constraint(var, rewritten)
+        report.pushed_constraints += 1
+    clause.pattern = pattern
+    query.predicates = kept
+    return query, report
+
+
+def _single_var_rewrite(
+    conjunct: Expr, column_map: dict[str, MatchColumn]
+) -> tuple[str, Expr] | None:
+    """If every column of ``conjunct`` is an attribute of one pattern
+    variable, return (var, conjunct rewritten over bare attribute names)."""
+    variables: set[str] = set()
+    rename: dict[str, str] = {}
+    for name in referenced_columns(conjunct):
+        mc = column_map.get(name)
+        if mc is None or mc.special is not None:
+            # References a relational column, another GRAPH_TABLE output
+            # kind (id/label), or something unknown: not pushable.
+            return None
+        variables.add(mc.var)
+        rename[name] = mc.attr or ""
+    if len(variables) != 1:
+        return None
+    return variables.pop(), rename_columns(conjunct, rename)
+
+
+def apply_trim_and_fuse(query: SPJMQuery) -> tuple[SPJMQuery, RuleReport]:
+    """Drop unread COLUMNS entries; compute the surviving edge variables."""
+    report = RuleReport()
+    clause = query.graph_table
+    if clause is None:
+        return query, report
+    query = query.copy()
+    clause = query.graph_table
+    assert clause is not None
+    if query.projections is None and not query.aggregates and not query.group_by:
+        # SELECT * over the graph table: every column is the output.
+        report.needed_edge_vars = frozenset(
+            c.var for c in clause.columns if c.var in clause.pattern.edges
+        )
+        for name in clause.pattern.edges:
+            if name not in report.needed_edge_vars:
+                report.trimmed_edge_vars.append(name)
+        return query, report
+    used: set[str] = set()
+    for p in query.predicates:
+        used |= referenced_columns(p)
+    if query.projections:
+        for e, _ in query.projections:
+            used |= referenced_columns(e)
+    for e, _ in query.group_by:
+        used |= referenced_columns(e)
+    for spec in query.aggregates:
+        if spec.arg is not None:
+            used |= referenced_columns(spec.arg)
+    for e, _ in query.order_by:
+        used |= referenced_columns(e)
+    surviving: list[MatchColumn] = []
+    for column in clause.columns:
+        qualified = f"{clause.alias}.{column.alias}"
+        if qualified in used:
+            surviving.append(column)
+        else:
+            report.trimmed_columns.append(column.alias)
+    # A query whose outputs are all trimmed still needs one column so the
+    # match cardinality survives into the relational result.
+    if not surviving and clause.columns:
+        surviving = [clause.columns[0]]
+        report.trimmed_columns.remove(clause.columns[0].alias)
+    clause.columns = surviving
+    needed_edges = {
+        c.var for c in surviving if c.var in clause.pattern.edges
+    }
+    # Edges with constraints are evaluated inside EXPAND without keeping the
+    # column, so they do not block trimming.
+    for name in clause.pattern.edges:
+        if name not in needed_edges:
+            report.trimmed_edge_vars.append(name)
+    report.needed_edge_vars = frozenset(needed_edges)
+    return query, report

@@ -1,0 +1,274 @@
+"""Automatic SPJ → SPJM conversion (the paper's Sec 7 future-work item).
+
+The paper closes by proposing that RelGo "directly process existing SPJ
+queries as inputs, enabling the automatic conversion from SPJ to SPJM
+queries while being aware of the presence of graph indices" (citing
+Boudaoud et al. for relational→property-graph mappings).  This module
+implements that conversion for the common case:
+
+1. scan the conjunctive predicate bag for **EVJoin shapes** (Eq. 3): an
+   alias over an edge relation joined on *both* of its foreign keys to
+   aliases over the matching vertex relations;
+2. fold the largest connected set of such triples into a pattern graph —
+   vertex aliases become pattern vertices, edge aliases pattern edges;
+3. rewrite every outer reference to a folded alias's column into a
+   GRAPH_TABLE output column, leaving per-alias filters in the outer WHERE
+   so the existing FilterIntoMatchRule pushes them into the match (and
+   re-costs it) exactly as for hand-written SPJM queries.
+
+Relations and predicates that do not participate stay relational.  The
+result is an :class:`~repro.core.spjm.SPJMQuery` the converged optimizer
+handles like any other; when nothing folds, the query is returned unchanged
+(and is still executable — it is simply a pure SPJ query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.spjm import GraphTableClause, MatchColumn, SPJMQuery
+from repro.graph.pattern import PatternEdge, PatternGraph, PatternVertex
+from repro.graph.rgmapping import RGMapping
+from repro.relational.catalog import Catalog
+from repro.relational.expr import (
+    Expr,
+    is_equi_join_condition,
+    referenced_columns,
+    rename_columns,
+    split_conjuncts,
+)
+from repro.relational.logical import AggregateSpec
+
+
+@dataclass
+class ConversionReport:
+    """What the converter folded."""
+
+    folded_vertex_aliases: list[str] = field(default_factory=list)
+    folded_edge_aliases: list[str] = field(default_factory=list)
+    folded_conjuncts: int = 0
+
+    @property
+    def converted(self) -> bool:
+        return bool(self.folded_edge_aliases)
+
+
+@dataclass
+class _EdgeCandidate:
+    edge_alias: str
+    edge_label: str
+    src_alias: str
+    dst_alias: str
+    conjunct_ids: tuple[int, int]
+
+
+def convert_spj_to_spjm(
+    query: SPJMQuery,
+    mapping: RGMapping,
+    graph_table_alias: str = "_g",
+) -> tuple[SPJMQuery, ConversionReport]:
+    """Fold EVJoin structures of a pure SPJ query into a matching operator.
+
+    Args:
+        query: an SPJM query *without* a graph table (pure SPJ); queries
+            that already have one are returned unchanged.
+        mapping: the RGMapping whose vertex/edge relations are recognized.
+        graph_table_alias: alias for the synthesized GRAPH_TABLE.
+    """
+    report = ConversionReport()
+    if query.graph_table is not None or not query.relations:
+        return query, report
+    alias_tables = {alias: table for table, alias in query.relations}
+    conjuncts = [c for p in query.predicates for c in split_conjuncts(p)]
+    candidates = _find_edge_candidates(conjuncts, alias_tables, mapping)
+    if not candidates:
+        return query, report
+    component = _largest_component(candidates)
+    if not component:
+        return query, report
+    return _fold(query, mapping, component, conjuncts, alias_tables,
+                 graph_table_alias, report)
+
+
+def _find_edge_candidates(
+    conjuncts: list[Expr],
+    alias_tables: dict[str, str],
+    mapping: RGMapping,
+) -> list[_EdgeCandidate]:
+    """All (edge alias, src alias, dst alias) triples joined per Eq. 3."""
+    vertex_tables = {vm.table_name: label for label, vm in mapping.vertices.items()}
+    edge_tables = {em.table_name: label for label, em in mapping.edges.items()}
+    # (edge_alias, endpoint) -> (vertex_alias, conjunct index)
+    halves: dict[tuple[str, str], tuple[str, int]] = {}
+    for i, conjunct in enumerate(conjuncts):
+        pair = is_equi_join_condition(conjunct)
+        if pair is None:
+            continue
+        for left, right in (pair, pair[::-1]):
+            la, lc = _split(left)
+            ra, rc = _split(right)
+            if la is None or ra is None:
+                continue
+            ltable = alias_tables.get(la)
+            rtable = alias_tables.get(ra)
+            if ltable not in edge_tables or rtable not in vertex_tables:
+                continue
+            em = mapping.edge(edge_tables[ltable])
+            for endpoint, fk, vlabel in (
+                ("src", em.source_key, em.source_label),
+                ("dst", em.target_key, em.target_label),
+            ):
+                vm = mapping.vertex(vlabel)
+                if lc == fk and rtable == vm.table_name and rc == vm.key:
+                    halves[(la, endpoint)] = (ra, i)
+    out = []
+    seen_edges = set()
+    for (edge_alias, endpoint), (v_alias, idx) in halves.items():
+        if endpoint != "src" or edge_alias in seen_edges:
+            continue
+        dst = halves.get((edge_alias, "dst"))
+        if dst is None:
+            continue
+        seen_edges.add(edge_alias)
+        em_label = None
+        table = alias_tables[edge_alias]
+        for label, em in mapping.edges.items():
+            if em.table_name == table:
+                em_label = label
+                break
+        assert em_label is not None
+        out.append(
+            _EdgeCandidate(edge_alias, em_label, v_alias, dst[0], (idx, dst[1]))
+        )
+    return out
+
+
+def _split(column: str) -> tuple[str | None, str]:
+    if "." not in column:
+        return None, column
+    alias, name = column.split(".", 1)
+    return alias, name
+
+
+def _largest_component(candidates: list[_EdgeCandidate]) -> list[_EdgeCandidate]:
+    """Connected component (over shared vertex aliases) with the most edges."""
+    adjacency: dict[str, set[int]] = {}
+    for i, c in enumerate(candidates):
+        adjacency.setdefault(c.src_alias, set()).add(i)
+        adjacency.setdefault(c.dst_alias, set()).add(i)
+    unvisited = set(range(len(candidates)))
+    best: list[int] = []
+    while unvisited:
+        seed = next(iter(unvisited))
+        component = {seed}
+        frontier = [seed]
+        unvisited.discard(seed)
+        while frontier:
+            edge_i = frontier.pop()
+            c = candidates[edge_i]
+            for v in (c.src_alias, c.dst_alias):
+                for other in adjacency[v]:
+                    if other in unvisited:
+                        unvisited.discard(other)
+                        component.add(other)
+                        frontier.append(other)
+        if len(component) > len(best):
+            best = sorted(component)
+    return [candidates[i] for i in best]
+
+
+def _fold(
+    query: SPJMQuery,
+    mapping: RGMapping,
+    component: list[_EdgeCandidate],
+    conjuncts: list[Expr],
+    alias_tables: dict[str, str],
+    gt_alias: str,
+    report: ConversionReport,
+) -> tuple[SPJMQuery, ConversionReport]:
+    folded_edge_aliases = {c.edge_alias for c in component}
+    folded_vertex_aliases = {
+        a for c in component for a in (c.src_alias, c.dst_alias)
+    }
+    folded = folded_edge_aliases | folded_vertex_aliases
+    consumed = {i for c in component for i in c.conjunct_ids}
+    # Build the pattern: one vertex per vertex alias, one edge per candidate.
+    vertex_labels = {}
+    for alias in folded_vertex_aliases:
+        table = alias_tables[alias]
+        for label, vm in mapping.vertices.items():
+            if vm.table_name == table:
+                vertex_labels[alias] = label
+                break
+    vertices = [
+        PatternVertex(alias, vertex_labels[alias])
+        for alias in sorted(folded_vertex_aliases)
+    ]
+    edges = [
+        PatternEdge(c.edge_alias, c.edge_label, c.src_alias, c.dst_alias)
+        for c in component
+    ]
+    pattern = PatternGraph(vertices, edges)
+    # Every folded column referenced anywhere else becomes a COLUMNS entry.
+    used_columns: set[str] = set()
+    for i, conjunct in enumerate(conjuncts):
+        if i in consumed:
+            continue
+        used_columns |= referenced_columns(conjunct)
+    for exprs in (
+        [e for e, _ in (query.projections or [])],
+        [e for e, _ in query.group_by],
+        [s.arg for s in query.aggregates if s.arg is not None],
+        [e for e, _ in query.order_by],
+    ):
+        for e in exprs:
+            used_columns |= referenced_columns(e)
+    columns: list[MatchColumn] = []
+    rename: dict[str, str] = {}
+    for name in sorted(used_columns):
+        alias, column = _split(name)
+        if alias not in folded:
+            continue
+        out_name = f"{alias}_{column}"
+        columns.append(MatchColumn(alias, column, out_name))
+        rename[name] = f"{gt_alias}.{out_name}"
+    if not columns:
+        # Nothing projected from the match: keep one witness column so the
+        # match cardinality still reaches the relational result.
+        first = sorted(folded_vertex_aliases)[0]
+        key = mapping.vertex(vertex_labels[first]).key
+        columns.append(MatchColumn(first, key, f"{first}_{key}"))
+    clause = GraphTableClause(
+        graph_name=mapping.name,
+        pattern=pattern,
+        columns=columns,
+        alias=gt_alias,
+    )
+    new_predicates = [
+        rename_columns(c, rename)
+        for i, c in enumerate(conjuncts)
+        if i not in consumed
+    ]
+    fix = lambda e: rename_columns(e, rename)  # noqa: E731
+    converted = SPJMQuery(
+        graph_table=clause,
+        relations=[(t, a) for t, a in query.relations if a not in folded],
+        predicates=new_predicates,
+        projections=(
+            [(fix(e), a) for e, a in query.projections]
+            if query.projections is not None
+            else None
+        ),
+        group_by=[(fix(e), a) for e, a in query.group_by],
+        aggregates=[
+            AggregateSpec(s.func, fix(s.arg) if s.arg is not None else None, s.alias)
+            for s in query.aggregates
+        ],
+        order_by=[(fix(e), asc) for e, asc in query.order_by],
+        limit=query.limit,
+        distinct=query.distinct,
+    )
+    report.folded_vertex_aliases = sorted(folded_vertex_aliases)
+    report.folded_edge_aliases = sorted(folded_edge_aliases)
+    report.folded_conjuncts = len(consumed)
+    return converted, report

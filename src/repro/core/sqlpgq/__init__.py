@@ -1,0 +1,27 @@
+"""SQL/PGQ frontend: parse GRAPH_TABLE queries and CREATE PROPERTY GRAPH.
+
+The supported dialect is the subset the paper's examples and workloads use:
+
+* ``CREATE PROPERTY GRAPH g VERTEX TABLES (...) EDGE TABLES (...)`` with
+  ``SOURCE KEY (fk) REFERENCES T (pk)`` / ``DESTINATION KEY ...`` clauses;
+* ``SELECT ... FROM GRAPH_TABLE (g MATCH <paths> [WHERE <pred>]
+  COLUMNS (...)) alias [JOIN t ON ...]* [WHERE ...] [GROUP BY ...]
+  [ORDER BY ...] [LIMIT n]``;
+* scalar expressions with comparisons, boolean operators, arithmetic,
+  ``LIKE``, ``STARTS WITH``, ``IN``, ``BETWEEN``, ``IS [NOT] NULL``;
+* aggregates MIN/MAX/COUNT/SUM/AVG.
+
+``parse_statement`` produces an AST; ``bind`` resolves it against a catalog
+into an executable :class:`repro.core.spjm.SPJMQuery` (or applies the DDL).
+"""
+
+from repro.core.sqlpgq.binder import bind_query, execute_ddl
+from repro.core.sqlpgq.parser import parse_statement
+
+__all__ = ["parse_statement", "bind_query", "execute_ddl"]
+
+
+def parse_and_bind(sql: str, catalog):
+    """Convenience: parse one SELECT statement and bind it to a catalog."""
+    ast = parse_statement(sql)
+    return bind_query(ast, catalog)

@@ -1,0 +1,108 @@
+"""AST node definitions for the SQL/PGQ subset.
+
+Scalar expressions reuse :mod:`repro.relational.expr` directly (the parser
+emits them); this module only adds the query-structure nodes the binder
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.expr import Expr
+
+
+@dataclass
+class AstPatternVertex:
+    var: str | None
+    label: str | None
+
+
+@dataclass
+class AstPatternEdge:
+    var: str | None
+    label: str | None
+    # "out": (a)-[e]->(b); "in": (a)<-[e]-(b)
+    direction: str
+
+
+@dataclass
+class AstPath:
+    """Alternating vertices and edges: v0 e0 v1 e1 v2 ..."""
+
+    vertices: list[AstPatternVertex]
+    edges: list[AstPatternEdge]
+
+
+@dataclass
+class AstColumnSpec:
+    """COLUMNS entry: var.attr | ID(var) | LABEL(var), AS alias."""
+
+    var: str
+    attr: str | None
+    alias: str
+    special: str | None = None
+
+
+@dataclass
+class AstGraphTable:
+    graph_name: str
+    paths: list[AstPath]
+    where: Expr | None
+    columns: list[AstColumnSpec]
+    alias: str
+
+
+@dataclass
+class AstTableRef:
+    table: str
+    alias: str
+
+
+@dataclass
+class AstSelectItem:
+    expr: Expr | None
+    alias: str
+    # Aggregates: func in MIN/MAX/COUNT/SUM/AVG, arg None means COUNT(*).
+    agg_func: str | None = None
+
+
+@dataclass
+class AstSelect:
+    items: list[AstSelectItem]
+    distinct: bool
+    graph_table: AstGraphTable | None
+    tables: list[AstTableRef]
+    join_conditions: list[Expr]
+    where: Expr | None
+    group_by: list[Expr]
+    order_by: list[tuple[Expr, bool]]
+    limit: int | None
+
+
+@dataclass
+class AstVertexTable:
+    table: str
+    key: str | None
+    label: str | None
+    properties: list[str] | None
+
+
+@dataclass
+class AstEdgeTable:
+    table: str
+    source_key: str
+    source_table: str
+    source_ref: str
+    target_key: str
+    target_table: str
+    target_ref: str
+    label: str | None
+    properties: list[str] | None
+
+
+@dataclass
+class AstCreateGraph:
+    name: str
+    vertex_tables: list[AstVertexTable] = field(default_factory=list)
+    edge_tables: list[AstEdgeTable] = field(default_factory=list)

@@ -1,0 +1,311 @@
+"""Binder: resolve parsed SQL/PGQ against a catalog.
+
+``execute_ddl`` applies ``CREATE PROPERTY GRAPH`` — building the RGMapping
+and registering it (the paper's Fig 2(a) flow).
+
+``bind_query`` turns an ``AstSelect`` into an executable
+:class:`repro.core.spjm.SPJMQuery`:
+
+* MATCH paths are merged into one connected :class:`PatternGraph`; vertex
+  and edge labels may be omitted when they are inferrable from the
+  RGMapping's endpoint declarations;
+* the in-clause WHERE becomes pattern constraints (each conjunct must
+  reference a single pattern variable — that's what the clause means in
+  SQL/PGQ: a predicate over the match, evaluated during matching);
+* COLUMNS become :class:`MatchColumn` projections; SELECT/WHERE/JOIN parts
+  bind to the graph table's output alias and the relational tables.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BindError, UnsupportedFeatureError
+from repro.graph.pattern import PatternEdge, PatternGraph, PatternVertex
+from repro.graph.rgmapping import RGMapping
+from repro.relational.catalog import Catalog
+from repro.relational.expr import (
+    ColumnRef,
+    Expr,
+    referenced_columns,
+    rename_columns,
+    split_conjuncts,
+)
+from repro.relational.logical import AggregateSpec
+from repro.core.spjm import GraphTableClause, MatchColumn, SPJMQuery
+from repro.core.sqlpgq.ast import (
+    AstCreateGraph,
+    AstGraphTable,
+    AstSelect,
+)
+
+
+# ---------------------------------------------------------------------- #
+# DDL
+# ---------------------------------------------------------------------- #
+
+
+def execute_ddl(statement: AstCreateGraph, catalog: Catalog) -> RGMapping:
+    """Apply CREATE PROPERTY GRAPH, registering the mapping in the catalog."""
+    mapping = RGMapping(statement.name, catalog)
+    for vt in statement.vertex_tables:
+        mapping.add_vertex(
+            vt.table, label=vt.label, key=vt.key, properties=vt.properties
+        )
+    for et in statement.edge_tables:
+        source_label = _label_for_table(mapping, et.source_table)
+        target_label = _label_for_table(mapping, et.target_table)
+        vm_src = mapping.vertex(source_label)
+        vm_dst = mapping.vertex(target_label)
+        if et.source_ref != vm_src.key or et.target_ref != vm_dst.key:
+            raise BindError(
+                f"edge table {et.table!r} must reference the vertex keys "
+                f"({vm_src.key!r}, {vm_dst.key!r})"
+            )
+        mapping.add_edge(
+            et.table,
+            source=(source_label, et.source_key),
+            target=(target_label, et.target_key),
+            label=et.label,
+            properties=et.properties,
+        )
+    catalog.register_graph(mapping)
+    return mapping
+
+
+def _label_for_table(mapping: RGMapping, table: str) -> str:
+    for label, vm in mapping.vertices.items():
+        if vm.table_name == table or label == table:
+            return label
+    raise BindError(f"edge endpoint table {table!r} is not a vertex table")
+
+
+# ---------------------------------------------------------------------- #
+# queries
+# ---------------------------------------------------------------------- #
+
+
+def bind_query(statement: AstSelect, catalog: Catalog) -> SPJMQuery:
+    clause = None
+    if statement.graph_table is not None:
+        clause = _bind_graph_table(statement.graph_table, catalog)
+    relations = [(t.table, t.alias) for t in statement.tables]
+    for table, alias in relations:
+        catalog.table(table)  # raises CatalogError if missing
+    # Bare references to GRAPH_TABLE output columns are qualified with the
+    # clause alias (SELECT p2_name -> SELECT g.p2_name).
+    qualify: dict[str, str] = {}
+    if clause is not None:
+        for column in clause.columns:
+            qualify[column.alias] = f"{clause.alias}.{column.alias}"
+
+    def fix(expr: Expr) -> Expr:
+        return rename_columns(expr, qualify) if qualify else expr
+
+    statement = AstSelect(
+        items=[
+            type(i)(fix(i.expr) if i.expr is not None else None, i.alias, i.agg_func)
+            for i in statement.items
+        ],
+        distinct=statement.distinct,
+        graph_table=statement.graph_table,
+        tables=statement.tables,
+        join_conditions=[fix(e) for e in statement.join_conditions],
+        where=fix(statement.where) if statement.where is not None else None,
+        group_by=[fix(e) for e in statement.group_by],
+        # ORDER BY binds to output aliases when possible; keys naming
+        # GRAPH_TABLE columns that the SELECT list does not expose are
+        # qualified so the planner can sort before projection.
+        order_by=[
+            (
+                rename_columns(
+                    e,
+                    {
+                        k: v
+                        for k, v in qualify.items()
+                        if k not in {i.alias for i in statement.items}
+                    },
+                )
+                if qualify
+                else e,
+                asc,
+            )
+            for e, asc in statement.order_by
+        ],
+        limit=statement.limit,
+    )
+    predicates: list[Expr] = list(statement.join_conditions)
+    if statement.where is not None:
+        predicates.extend(split_conjuncts(statement.where))
+    projections: list[tuple[Expr, str]] | None = None
+    aggregates: list[AggregateSpec] = []
+    group_by: list[tuple[Expr, str]] = []
+    plain_items = [i for i in statement.items if i.agg_func is None]
+    agg_items = [i for i in statement.items if i.agg_func is not None]
+    if agg_items:
+        for item in agg_items:
+            aggregates.append(AggregateSpec(item.agg_func or "", item.expr, item.alias))
+        group_sources = statement.group_by or [
+            i.expr for i in plain_items if i.expr is not None
+        ]
+        for expr in group_sources:
+            alias = _implicit_alias(expr, plain_items)
+            group_by.append((expr, alias))
+    else:
+        projections = [(i.expr, i.alias) for i in plain_items if i.expr is not None]
+    return SPJMQuery(
+        graph_table=clause,
+        relations=relations,
+        predicates=predicates,
+        projections=projections,
+        group_by=group_by,
+        aggregates=aggregates,
+        order_by=statement.order_by,
+        limit=statement.limit,
+        distinct=statement.distinct,
+    )
+
+
+def _implicit_alias(expr: Expr, plain_items) -> str:
+    for item in plain_items:
+        if item.expr is not None and str(item.expr) == str(expr):
+            return item.alias
+    if isinstance(expr, ColumnRef):
+        return expr.name.split(".")[-1]
+    return str(expr)
+
+
+def _bind_graph_table(ast: AstGraphTable, catalog: Catalog) -> GraphTableClause:
+    mapping = catalog.graph(ast.graph_name)
+    vertex_labels: dict[str, str | None] = {}
+    vertex_order: list[str] = []
+    edges: list[dict] = []
+    anon = 0
+
+    def vertex_name(var: str | None) -> str:
+        nonlocal anon
+        if var is None:
+            anon += 1
+            return f"_anon{anon}"
+        return var
+
+    for path in ast.paths:
+        names = []
+        for av in path.vertices:
+            name = vertex_name(av.var)
+            if name not in vertex_labels:
+                vertex_labels[name] = av.label
+                vertex_order.append(name)
+            elif av.label is not None:
+                if vertex_labels[name] not in (None, av.label):
+                    raise BindError(
+                        f"vertex {name!r} declared with conflicting labels "
+                        f"{vertex_labels[name]!r} and {av.label!r}"
+                    )
+                vertex_labels[name] = av.label
+            names.append(name)
+        for i, ae in enumerate(path.edges):
+            left, right = names[i], names[i + 1]
+            src, dst = (left, right) if ae.direction == "out" else (right, left)
+            edges.append(
+                {
+                    "name": ae.var if ae.var is not None else f"_e{len(edges) + 1}",
+                    "label": ae.label,
+                    "src": src,
+                    "dst": dst,
+                }
+            )
+    _infer_labels(mapping, vertex_labels, edges)
+    pattern_vertices = [
+        PatternVertex(name, vertex_labels[name] or "") for name in vertex_order
+    ]
+    pattern_edges = [
+        PatternEdge(e["name"], e["label"], e["src"], e["dst"]) for e in edges
+    ]
+    pattern = PatternGraph(pattern_vertices, pattern_edges)
+    if not pattern.is_connected():
+        raise UnsupportedFeatureError("MATCH patterns must be connected (Sec 2.2)")
+    # In-clause WHERE -> per-variable constraints.
+    if ast.where is not None:
+        for conjunct in split_conjuncts(ast.where):
+            pattern = _push_constraint(pattern, conjunct)
+    columns = [
+        MatchColumn(c.var, c.attr, c.alias, special=c.special) for c in ast.columns
+    ]
+    for column in columns:
+        if column.var not in pattern.vertices and column.var not in pattern.edges:
+            raise BindError(f"COLUMNS references unknown variable {column.var!r}")
+    return GraphTableClause(
+        graph_name=ast.graph_name,
+        pattern=pattern,
+        columns=columns,
+        alias=ast.alias,
+    )
+
+
+def _infer_labels(
+    mapping: RGMapping,
+    vertex_labels: dict[str, str | None],
+    edges: list[dict],
+) -> None:
+    """Fixpoint label inference from edge endpoint declarations."""
+    for _ in range(len(edges) + len(vertex_labels) + 1):
+        progressed = False
+        for e in edges:
+            if e["label"] is not None:
+                em = mapping.edge(e["label"])
+                for endpoint, expected in (("src", em.source_label), ("dst", em.target_label)):
+                    name = e[endpoint]
+                    if vertex_labels[name] is None:
+                        vertex_labels[name] = expected
+                        progressed = True
+            else:
+                src_label = vertex_labels[e["src"]]
+                dst_label = vertex_labels[e["dst"]]
+                if src_label is not None and dst_label is not None:
+                    candidates = mapping.edge_labels_between(src_label, dst_label)
+                    if len(candidates) == 1:
+                        e["label"] = candidates[0]
+                        progressed = True
+                    elif not candidates:
+                        raise BindError(
+                            f"no edge label connects {src_label!r} to {dst_label!r}"
+                        )
+                    else:
+                        raise BindError(
+                            f"ambiguous edge between {src_label!r} and "
+                            f"{dst_label!r}: {candidates}; specify a label"
+                        )
+        if not progressed:
+            break
+    for name, label in vertex_labels.items():
+        if label is None:
+            raise BindError(f"cannot infer a label for pattern vertex {name!r}")
+        mapping.vertex(label)  # validate it exists
+    for e in edges:
+        if e["label"] is None:
+            raise BindError(f"cannot infer a label for pattern edge {e['name']!r}")
+
+
+def _push_constraint(pattern: PatternGraph, conjunct: Expr) -> PatternGraph:
+    """Attach one in-clause WHERE conjunct to its (single) variable."""
+    variables = set()
+    rename: dict[str, str] = {}
+    for name in referenced_columns(conjunct):
+        if "." not in name:
+            raise BindError(
+                f"in-clause WHERE must use qualified names, got {name!r}"
+            )
+        var, attr = name.split(".", 1)
+        variables.add(var)
+        rename[name] = attr
+    if len(variables) != 1:
+        raise UnsupportedFeatureError(
+            "in-clause WHERE conjuncts must reference exactly one pattern "
+            f"variable, got {sorted(variables)} in {conjunct}"
+        )
+    var = variables.pop()
+    rewritten = rename_columns(conjunct, rename)
+    if var in pattern.vertices:
+        return pattern.with_vertex_constraint(var, rewritten)
+    if var in pattern.edges:
+        return pattern.with_edge_constraint(var, rewritten)
+    raise BindError(f"WHERE references unknown pattern variable {var!r}")

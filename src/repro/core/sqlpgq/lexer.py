@@ -1,0 +1,112 @@
+"""Tokenizer for the SQL/PGQ subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT",
+    "AS", "ON", "JOIN", "AND", "OR", "NOT", "LIKE", "IN", "BETWEEN", "IS",
+    "NULL", "ASC", "DESC", "GRAPH_TABLE", "MATCH", "COLUMNS", "CREATE",
+    "PROPERTY", "GRAPH", "VERTEX", "EDGE", "TABLES", "KEY", "SOURCE",
+    "DESTINATION", "REFERENCES", "REFERENCE", "LABEL", "PROPERTIES",
+    "MIN", "MAX", "COUNT", "SUM", "AVG", "TRUE", "FALSE", "STARTS", "WITH",
+    "ID",
+}
+
+SYMBOLS = [
+    "<=", ">=", "<>", "->", "<-", "(", ")", "[", "]", ",", ".", "=", "<",
+    ">", "+", "-", "*", "/", "%", ";", ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "KEYWORD" | "IDENT" | "NUMBER" | "STRING" | "SYMBOL" | "EOF"
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "KEYWORD" and self.value in names
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.kind == "SYMBOL" and self.value in symbols
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            line_start = i + 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        column = i - line_start + 1
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while j < n:
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            else:
+                raise ParseError("unterminated string literal", line, column)
+            tokens.append(Token("STRING", "".join(buf), line, column))
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A trailing dot (qualified name) is not part of a number.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], line, column))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, line, column))
+            else:
+                tokens.append(Token("IDENT", word, line, column))
+            i = j
+            continue
+        matched = None
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                matched = symbol
+                break
+        if matched is None:
+            raise ParseError(f"unexpected character {ch!r}", line, column)
+        tokens.append(Token("SYMBOL", matched, line, column))
+        i += len(matched)
+    tokens.append(Token("EOF", "", line, n - line_start + 1))
+    return tokens

@@ -1,0 +1,512 @@
+"""Recursive-descent parser for the SQL/PGQ subset."""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.relational.expr import (
+    Arith,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    and_,
+)
+from repro.core.sqlpgq.ast import (
+    AstColumnSpec,
+    AstCreateGraph,
+    AstEdgeTable,
+    AstGraphTable,
+    AstPath,
+    AstPatternEdge,
+    AstPatternVertex,
+    AstSelect,
+    AstSelectItem,
+    AstTableRef,
+    AstVertexTable,
+)
+from repro.core.sqlpgq.lexer import Token, tokenize
+
+AGG_FUNCS = ("MIN", "MAX", "COUNT", "SUM", "AVG")
+
+
+class Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # ------------------------------------------------------------------ #
+    # token plumbing
+    # ------------------------------------------------------------------ #
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(
+            f"{message} (found {token.kind} {token.value!r})",
+            token.line,
+            token.column,
+        )
+
+    def expect_keyword(self, *names: str) -> Token:
+        if not self.peek().is_keyword(*names):
+            raise self.error(f"expected {' or '.join(names)}")
+        return self.advance()
+
+    def expect_symbol(self, symbol: str) -> Token:
+        if not self.peek().is_symbol(symbol):
+            raise self.error(f"expected {symbol!r}")
+        return self.advance()
+
+    # Keywords that commonly double as column/table names; accepted wherever
+    # an identifier is expected ("soft" keywords).
+    SOFT_IDENT_KEYWORDS = (
+        "ID", "LABEL", "KEY", "SOURCE", "DESTINATION", "VERTEX", "EDGE",
+        "GRAPH", "PROPERTY", "COUNT", "MIN", "MAX", "SUM", "AVG",
+    )
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind == "IDENT":
+            return self.advance().value
+        if token.is_keyword(*self.SOFT_IDENT_KEYWORDS):
+            return self.advance().value.lower()
+        raise self.error("expected identifier")
+
+    def accept_keyword(self, *names: str) -> bool:
+        if self.peek().is_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self.peek().is_symbol(symbol):
+            self.advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # statements
+    # ------------------------------------------------------------------ #
+
+    def parse_statement(self):
+        if self.peek().is_keyword("CREATE"):
+            statement = self.parse_create_graph()
+        else:
+            statement = self.parse_select()
+        self.accept_symbol(";")
+        if self.peek().kind != "EOF":
+            raise self.error("trailing input after statement")
+        return statement
+
+    # -- CREATE PROPERTY GRAPH ------------------------------------------ #
+
+    def parse_create_graph(self) -> AstCreateGraph:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("PROPERTY")
+        self.expect_keyword("GRAPH")
+        name = self.expect_ident()
+        graph = AstCreateGraph(name)
+        self.expect_keyword("VERTEX")
+        self.expect_keyword("TABLES")
+        self.expect_symbol("(")
+        while True:
+            graph.vertex_tables.append(self.parse_vertex_table())
+            if not self.accept_symbol(","):
+                break
+        self.expect_symbol(")")
+        if self.accept_keyword("EDGE"):
+            self.expect_keyword("TABLES")
+            self.expect_symbol("(")
+            while True:
+                graph.edge_tables.append(self.parse_edge_table())
+                if not self.accept_symbol(","):
+                    break
+            self.expect_symbol(")")
+        return graph
+
+    def parse_vertex_table(self) -> AstVertexTable:
+        table = self.expect_ident()
+        key = None
+        label = None
+        properties = None
+        while True:
+            if self.accept_keyword("KEY"):
+                self.expect_symbol("(")
+                key = self.expect_ident()
+                self.expect_symbol(")")
+            elif self.accept_keyword("LABEL"):
+                label = self.expect_ident()
+            elif self.accept_keyword("PROPERTIES"):
+                properties = self.parse_name_list()
+            else:
+                break
+        return AstVertexTable(table, key, label, properties)
+
+    def parse_edge_table(self) -> AstEdgeTable:
+        table = self.expect_ident()
+        label = None
+        properties = None
+        source = target = None
+        while True:
+            if self.accept_keyword("SOURCE"):
+                source = self.parse_endpoint()
+            elif self.accept_keyword("DESTINATION"):
+                target = self.parse_endpoint()
+            elif self.accept_keyword("LABEL"):
+                label = self.expect_ident()
+            elif self.accept_keyword("PROPERTIES"):
+                properties = self.parse_name_list()
+            else:
+                break
+        if source is None or target is None:
+            raise self.error(f"edge table {table!r} needs SOURCE and DESTINATION")
+        return AstEdgeTable(
+            table,
+            source[0], source[1], source[2],
+            target[0], target[1], target[2],
+            label,
+            properties,
+        )
+
+    def parse_endpoint(self) -> tuple[str, str, str]:
+        """KEY (fk) REFERENCES table (pk) -> (fk, table, pk)."""
+        self.expect_keyword("KEY")
+        self.expect_symbol("(")
+        fk = self.expect_ident()
+        self.expect_symbol(")")
+        self.expect_keyword("REFERENCES", "REFERENCE")
+        table = self.expect_ident()
+        self.expect_symbol("(")
+        pk = self.expect_ident()
+        self.expect_symbol(")")
+        return fk, table, pk
+
+    def parse_name_list(self) -> list[str]:
+        self.expect_symbol("(")
+        names = [self.expect_ident()]
+        while self.accept_symbol(","):
+            names.append(self.expect_ident())
+        self.expect_symbol(")")
+        return names
+
+    # -- SELECT ----------------------------------------------------------#
+
+    def parse_select(self) -> AstSelect:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        items = [self.parse_select_item()]
+        while self.accept_symbol(","):
+            items.append(self.parse_select_item())
+        self.expect_keyword("FROM")
+        graph_table = None
+        tables: list[AstTableRef] = []
+        join_conditions: list[Expr] = []
+        if self.peek().is_keyword("GRAPH_TABLE"):
+            graph_table = self.parse_graph_table()
+        else:
+            tables.append(self.parse_table_ref())
+        while True:
+            if self.accept_symbol(","):
+                tables.append(self.parse_table_ref())
+            elif self.accept_keyword("JOIN"):
+                tables.append(self.parse_table_ref())
+                self.expect_keyword("ON")
+                join_conditions.append(self.parse_expr())
+            else:
+                break
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        group_by: list[Expr] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expr())
+            while self.accept_symbol(","):
+                group_by.append(self.parse_expr())
+        order_by: list[tuple[Expr, bool]] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                expr = self.parse_expr()
+                ascending = True
+                if self.accept_keyword("DESC"):
+                    ascending = False
+                else:
+                    self.accept_keyword("ASC")
+                order_by.append((expr, ascending))
+                if not self.accept_symbol(","):
+                    break
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            token = self.advance()
+            if token.kind != "NUMBER":
+                raise self.error("expected LIMIT count")
+            limit = int(token.value)
+        return AstSelect(
+            items, distinct, graph_table, tables, join_conditions,
+            where, group_by, order_by, limit,
+        )
+
+    def parse_select_item(self) -> AstSelectItem:
+        token = self.peek()
+        if token.is_keyword(*AGG_FUNCS):
+            func = self.advance().value
+            self.expect_symbol("(")
+            arg: Expr | None
+            if func == "COUNT" and self.accept_symbol("*"):
+                arg = None
+            else:
+                arg = self.parse_expr()
+            self.expect_symbol(")")
+            alias = self.parse_optional_alias() or f"{func.lower()}_"
+            return AstSelectItem(arg, alias, agg_func=func)
+        expr = self.parse_expr()
+        alias = self.parse_optional_alias()
+        if alias is None:
+            alias = expr.name.split(".")[-1] if isinstance(expr, ColumnRef) else str(expr)
+        return AstSelectItem(expr, alias)
+
+    def parse_optional_alias(self) -> str | None:
+        if self.accept_keyword("AS"):
+            return self.expect_ident()
+        if self.peek().kind == "IDENT" and not self.peek(1).is_symbol("."):
+            # Bare alias (not a qualified reference starting a new clause).
+            return self.advance().value
+        return None
+
+    def parse_table_ref(self) -> AstTableRef:
+        table = self.expect_ident()
+        alias = self.parse_optional_alias() or table
+        return AstTableRef(table, alias)
+
+    # -- GRAPH_TABLE ------------------------------------------------------#
+
+    def parse_graph_table(self) -> AstGraphTable:
+        self.expect_keyword("GRAPH_TABLE")
+        self.expect_symbol("(")
+        graph_name = self.expect_ident()
+        self.expect_keyword("MATCH")
+        paths = [self.parse_path()]
+        while self.accept_symbol(","):
+            paths.append(self.parse_path())
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        self.expect_keyword("COLUMNS")
+        self.expect_symbol("(")
+        columns = [self.parse_column_spec()]
+        while self.accept_symbol(","):
+            columns.append(self.parse_column_spec())
+        self.expect_symbol(")")
+        self.expect_symbol(")")
+        alias = "g"
+        if self.peek().kind == "IDENT":
+            alias = self.advance().value
+        return AstGraphTable(graph_name, paths, where, columns, alias)
+
+    def parse_path(self) -> AstPath:
+        vertices = [self.parse_pattern_vertex()]
+        edges: list[AstPatternEdge] = []
+        while self.peek().is_symbol("-", "<-"):
+            edges.append(self.parse_pattern_edge())
+            vertices.append(self.parse_pattern_vertex())
+        return AstPath(vertices, edges)
+
+    def parse_pattern_vertex(self) -> AstPatternVertex:
+        self.expect_symbol("(")
+        var = None
+        label = None
+        if self.peek().kind == "IDENT":
+            var = self.advance().value
+        if self.accept_symbol(":"):
+            label = self.expect_ident()
+        self.expect_symbol(")")
+        return AstPatternVertex(var, label)
+
+    def parse_pattern_edge(self) -> AstPatternEdge:
+        if self.accept_symbol("<-"):
+            # (a)<-[e:L]-(b)
+            self.expect_symbol("[")
+            var, label = self.parse_edge_body()
+            self.expect_symbol("]")
+            self.expect_symbol("-")
+            return AstPatternEdge(var, label, "in")
+        self.expect_symbol("-")
+        self.expect_symbol("[")
+        var, label = self.parse_edge_body()
+        self.expect_symbol("]")
+        self.expect_symbol("->")
+        return AstPatternEdge(var, label, "out")
+
+    def parse_edge_body(self) -> tuple[str | None, str | None]:
+        var = None
+        label = None
+        if self.peek().kind == "IDENT":
+            var = self.advance().value
+        if self.accept_symbol(":"):
+            label = self.expect_ident()
+        return var, label
+
+    def parse_column_spec(self) -> AstColumnSpec:
+        if self.peek().is_keyword("ID", "LABEL") and self.peek(1).is_symbol("("):
+            func = self.advance().value.lower()
+            self.expect_symbol("(")
+            var = self.expect_ident()
+            self.expect_symbol(")")
+            self.expect_keyword("AS")
+            alias = self.expect_ident()
+            return AstColumnSpec(var, None, alias, special=func)
+        var = self.expect_ident()
+        self.expect_symbol(".")
+        attr = self.expect_ident()
+        alias = attr
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        return AstColumnSpec(var, attr, alias)
+
+    # -- expressions -------------------------------------------------------#
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        args = [left]
+        while self.accept_keyword("OR"):
+            args.append(self.parse_and())
+        if len(args) == 1:
+            return left
+        return BoolOp("OR", tuple(args))
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        args = [left]
+        while self.accept_keyword("AND"):
+            args.append(self.parse_not())
+        if len(args) == 1:
+            return left
+        return and_(*args)
+
+    def parse_not(self) -> Expr:
+        if self.accept_keyword("NOT"):
+            return Not(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_additive()
+        token = self.peek()
+        if token.is_symbol("=", "<>", "<", "<=", ">", ">="):
+            op = self.advance().value
+            right = self.parse_additive()
+            return Comparison(op, left, right)
+        if token.is_keyword("LIKE"):
+            self.advance()
+            pattern = self.advance()
+            if pattern.kind != "STRING":
+                raise self.error("LIKE expects a string pattern")
+            return Like(left, pattern.value)
+        if token.is_keyword("STARTS"):
+            self.advance()
+            self.expect_keyword("WITH")
+            prefix = self.advance()
+            if prefix.kind != "STRING":
+                raise self.error("STARTS WITH expects a string")
+            return Like(left, prefix.value + "%")
+        if token.is_keyword("IN"):
+            self.advance()
+            self.expect_symbol("(")
+            values = [self.parse_literal_value()]
+            while self.accept_symbol(","):
+                values.append(self.parse_literal_value())
+            self.expect_symbol(")")
+            return InList(left, tuple(values))
+        if token.is_keyword("BETWEEN"):
+            self.advance()
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return and_(Comparison(">=", left, low), Comparison("<=", left, high))
+        if token.is_keyword("IS"):
+            self.advance()
+            negated = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return IsNull(left, negated=negated)
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.peek().is_symbol("+", "-"):
+            op = self.advance().value
+            right = self.parse_multiplicative()
+            left = Arith(op, left, right)
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_primary()
+        while self.peek().is_symbol("*", "/", "%"):
+            op = self.advance().value
+            right = self.parse_primary()
+            left = Arith(op, left, right)
+        return left
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.is_symbol("("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_symbol(")")
+            return expr
+        if token.kind == "NUMBER":
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.kind == "STRING":
+            self.advance()
+            return Literal(token.value)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if token.is_symbol("-"):
+            self.advance()
+            inner = self.parse_primary()
+            if isinstance(inner, Literal) and isinstance(inner.value, (int, float)):
+                return Literal(-inner.value)
+            return Arith("-", Literal(0), inner)
+        if token.kind == "IDENT" or token.is_keyword(*self.SOFT_IDENT_KEYWORDS):
+            name = self.expect_ident()
+            while self.accept_symbol("."):
+                name += "." + self.expect_ident()
+            return ColumnRef(name)
+        raise self.error("expected expression")
+
+    def parse_literal_value(self):
+        token = self.advance()
+        if token.kind == "NUMBER":
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.kind == "STRING":
+            return token.value
+        if token.is_keyword("TRUE"):
+            return True
+        if token.is_keyword("FALSE"):
+            return False
+        raise self.error("expected literal value")
+
+
+def parse_statement(sql: str):
+    """Parse one statement (SELECT or CREATE PROPERTY GRAPH)."""
+    return Parser(sql).parse_statement()

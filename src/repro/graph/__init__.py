@@ -1,0 +1,24 @@
+"""The property-graph substrate.
+
+Everything graph-side lives here: the RGMapping from relations to a property
+graph (Sec 2.1 of the paper), the GRainDB-style graph index (Sec 3.2.1), the
+pattern-graph model and matching semantics (Sec 2.2), the reference matcher,
+the graph physical operators (EXPAND / EXPAND_INTERSECT, Sec 3.2.2), the
+GLogue statistics catalog and the GLogS-style decomposition optimizer
+(Sec 4.2.1), and the search-space enumerators behind Theorem 1 / Fig 4a.
+"""
+
+from repro.graph.rgmapping import EdgeMapping, RGMapping, VertexMapping
+from repro.graph.index import GraphIndex, build_graph_index
+from repro.graph.pattern import PatternEdge, PatternGraph, PatternVertex
+
+__all__ = [
+    "RGMapping",
+    "VertexMapping",
+    "EdgeMapping",
+    "GraphIndex",
+    "build_graph_index",
+    "PatternGraph",
+    "PatternVertex",
+    "PatternEdge",
+]

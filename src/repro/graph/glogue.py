@@ -1,0 +1,193 @@
+"""GLogue: the high-order statistics catalog (adapted from GLogS, Sec 4.2.1).
+
+GLogue stores cardinalities ``|M(P')|`` of small structural patterns (up to
+``max_k`` vertices, default 3 as in the paper).  Three tiers:
+
+* **exact, free** — single-vertex and single-edge counts are table sizes;
+  per-(vertex label, edge label, direction) average degrees come from the
+  VE-index CSR.
+* **exact, cheap** — all two-edge patterns (wedges/stars): computed from CSR
+  degree arrays in one pass, ``Σ_v d_a(v)·d_b(v)``, without enumerating a
+  single match.
+* **sampled** — larger / cyclic small patterns (triangles): counted by the
+  reference matcher restricted to a *sparsified sample* of start vertices,
+  scaled by the inverse sampling ratio.  This mirrors GLogS's sparsification;
+  the sample is deterministic under ``seed``.
+
+Entries are keyed by the structural canonical code, so isomorphic
+sub-patterns share one entry regardless of variable names.  Constraint
+selectivities are *not* baked in — the cost model multiplies them on top
+(that separation is what lets FilterIntoMatchRule re-cost patterns after a
+filter is pushed in).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.index import IN, OUT, GraphIndex
+from repro.graph.matching import match_pattern, traversal_start
+from repro.graph.pattern import PatternGraph
+from repro.graph.rgmapping import RGMapping
+
+
+class GLogue:
+    """Pattern-cardinality catalog over one property graph."""
+
+    def __init__(
+        self,
+        mapping: RGMapping,
+        index: GraphIndex,
+        max_k: int = 3,
+        sample_ratio: float = 0.05,
+        min_sample: int = 64,
+        seed: int = 42,
+    ):
+        self.mapping = mapping
+        self.index = index
+        self.max_k = max_k
+        self.sample_ratio = sample_ratio
+        self.min_sample = min_sample
+        self.seed = seed
+        self._cache: dict[tuple, float] = {}
+        self._degree_cache: dict[tuple[str, str, str], float] = {}
+
+    # ------------------------------------------------------------------ #
+    # low-order statistics
+    # ------------------------------------------------------------------ #
+
+    def vertex_count(self, label: str) -> int:
+        return self.mapping.vertex_table(label).num_rows
+
+    def edge_count(self, edge_label: str) -> int:
+        return self.mapping.edge_table(edge_label).num_rows
+
+    def average_degree(self, vertex_label: str, edge_label: str, direction: str) -> float:
+        """Average number of ``edge_label`` edges per ``vertex_label`` vertex
+        in ``direction`` — the ``d̄`` of the paper's EXPAND cost."""
+        key = (vertex_label, edge_label, direction)
+        if key not in self._degree_cache:
+            if self.index.has_adjacency(vertex_label, edge_label, direction):
+                value = self.index.average_degree(vertex_label, edge_label, direction)
+            else:
+                value = 0.0
+            self._degree_cache[key] = value
+        return self._degree_cache[key]
+
+    # ------------------------------------------------------------------ #
+    # pattern cardinalities
+    # ------------------------------------------------------------------ #
+
+    def pattern_count(self, pattern: PatternGraph) -> float:
+        """Estimated ``|M(P')|`` for a structural pattern with ≤ max_k
+        vertices; raises for larger patterns (the cost model decomposes
+        those recursively)."""
+        structural = pattern.without_predicates()
+        key = structural.canonical_code()
+        if key in self._cache:
+            return self._cache[key]
+        value = self._compute(structural)
+        self._cache[key] = value
+        return value
+
+    def covers(self, pattern: PatternGraph) -> bool:
+        return pattern.num_vertices <= self.max_k
+
+    def _compute(self, pattern: PatternGraph) -> float:
+        n, m = pattern.num_vertices, pattern.num_edges
+        if n == 1 and m == 0:
+            label = next(iter(pattern.vertices.values())).label
+            return float(self.vertex_count(label))
+        if m == 1 and n <= 2:
+            edge = next(iter(pattern.edges.values()))
+            if not self._edge_endpoints_consistent(pattern, edge.name):
+                return 0.0
+            return float(self.edge_count(edge.label))
+        if m == 2 and n == 3:
+            exact = self._two_path_count(pattern)
+            if exact is not None:
+                return exact
+        return self._sampled_count(pattern)
+
+    def _edge_endpoints_consistent(self, pattern: PatternGraph, edge_name: str) -> bool:
+        edge = pattern.edges[edge_name]
+        em = self.mapping.edge(edge.label)
+        return (
+            em.source_label == pattern.vertices[edge.src].label
+            and em.target_label == pattern.vertices[edge.dst].label
+        )
+
+    def _two_path_count(self, pattern: PatternGraph) -> float | None:
+        """Exact count of a 2-edge pattern via shared-middle degree products."""
+        # Find the vertex incident to both edges.
+        middle = None
+        for name in pattern.vertices:
+            if len(pattern.incident_edges(name)) == 2:
+                middle = name
+                break
+        if middle is None:
+            return None
+        edges = pattern.incident_edges(middle)
+        if len(edges) != 2:
+            return None
+        e1, e2 = edges
+        for e in (e1, e2):
+            if not self._edge_endpoints_consistent(pattern, e.name):
+                return 0.0
+        label = pattern.vertices[middle].label
+        d1 = e1.direction_from(middle)
+        d2 = e2.direction_from(middle)
+        if not (
+            self.index.has_adjacency(label, e1.label, d1)
+            and self.index.has_adjacency(label, e2.label, d2)
+        ):
+            return 0.0
+        adj1 = self.index.adjacency(label, e1.label, d1)
+        adj2 = self.index.adjacency(label, e2.label, d2)
+        total = 0
+        o1, o2 = adj1.offsets, adj2.offsets
+        for v in range(len(o1) - 1):
+            total += (o1[v + 1] - o1[v]) * (o2[v + 1] - o2[v])
+        return float(total)
+
+    def _sampled_count(self, pattern: PatternGraph) -> float:
+        """Sparsified-sample estimate: match from a vertex sample, scale up."""
+        start = traversal_start(pattern)
+        label = pattern.vertices[start].label
+        table = self.mapping.vertex_table(label)
+        n = table.num_rows
+        if n == 0:
+            return 0.0
+        sample_size = max(self.min_sample, int(n * self.sample_ratio))
+        if sample_size >= n:
+            matches = match_pattern(self.mapping, self.index, pattern)
+            return float(len(matches))
+        rng = random.Random(self.seed ^ hash(pattern.canonical_code()) & 0xFFFFFFFF)
+        sample = rng.sample(range(n), sample_size)
+        matches = match_pattern(
+            self.mapping, self.index, pattern, start_rowids=sample
+        )
+        return len(matches) * (n / sample_size)
+
+    # ------------------------------------------------------------------ #
+    # derived statistics
+    # ------------------------------------------------------------------ #
+
+    def closing_probability(
+        self, src_label: str, edge_label: str, dst_label: str
+    ) -> float:
+        """Probability that a random (src, dst) vertex pair is connected by an
+        ``edge_label`` edge — the selectivity of closing an extra star leg."""
+        nv_src = self.vertex_count(src_label)
+        nv_dst = self.vertex_count(dst_label)
+        if nv_src == 0 or nv_dst == 0:
+            return 0.0
+        return min(1.0, self.edge_count(edge_label) / (nv_src * nv_dst))
+
+    def stats_summary(self) -> dict[str, float]:
+        """A compact description used by reports and tests."""
+        return {
+            "cached_patterns": float(len(self._cache)),
+            "max_k": float(self.max_k),
+            "sample_ratio": self.sample_ratio,
+        }

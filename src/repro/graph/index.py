@@ -1,0 +1,165 @@
+"""The graph index: EV-index and VE-index (Sec 3.2.1 of the paper).
+
+Following GRainDB's *predefined join*, the index materializes adjacency
+relationships between relations without materializing a graph:
+
+* **EV-index** — for each edge relation, two extra integer columns
+  (``src_rowids`` / ``dst_rowids``) holding the rowid of the corresponding
+  tuple in the source / target vertex relation.  Routing an edge tuple to a
+  joinable vertex tuple is a single list index, no hash lookup.
+* **VE-index** — for each vertex relation and incident edge label and
+  direction, a CSR structure (``offsets`` + ``edge_rowids``) listing the
+  adjacent edge tuples of every vertex tuple.  Combined with the EV-index
+  this yields each vertex's adjacent edges *and* neighbors, which is what
+  the EXPAND_EDGE / GET_VERTEX / EXPAND_INTERSECT physical operators walk.
+
+Directions: ``"out"`` adjacency lists the edges whose *source* is the
+vertex; ``"in"`` lists edges whose *target* is the vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError, SchemaError
+from repro.graph.rgmapping import RGMapping
+
+OUT = "out"
+IN = "in"
+
+
+@dataclass
+class EdgeIndex:
+    """EV-index of one edge relation: endpoint rowids per edge tuple."""
+
+    edge_label: str
+    src_rowids: list[int]
+    dst_rowids: list[int]
+
+    def endpoint_rowids(self, direction: str) -> list[int]:
+        """Rowids of the *far* endpooint when traversing in ``direction``.
+
+        Traversing ``out`` (vertex is the source) lands on targets;
+        traversing ``in`` lands on sources.
+        """
+        return self.dst_rowids if direction == OUT else self.src_rowids
+
+    def near_rowids(self, direction: str) -> list[int]:
+        return self.src_rowids if direction == OUT else self.dst_rowids
+
+
+@dataclass
+class Adjacency:
+    """VE-index of one (vertex label, edge label, direction): CSR arrays.
+
+    Edges adjacent to vertex rowid ``v`` are
+    ``edge_rowids[offsets[v]:offsets[v + 1]]``.
+    """
+
+    vertex_label: str
+    edge_label: str
+    direction: str
+    offsets: list[int]
+    edge_rowids: list[int]
+
+    def edges_of(self, vertex_rowid: int) -> list[int]:
+        return self.edge_rowids[self.offsets[vertex_rowid] : self.offsets[vertex_rowid + 1]]
+
+    def degree(self, vertex_rowid: int) -> int:
+        return self.offsets[vertex_rowid + 1] - self.offsets[vertex_rowid]
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_rowids)
+
+
+@dataclass
+class GraphIndex:
+    """All EV/VE indexes of one property graph."""
+
+    graph_name: str
+    ev: dict[str, EdgeIndex] = field(default_factory=dict)
+    ve: dict[tuple[str, str, str], Adjacency] = field(default_factory=dict)
+
+    def edge_index(self, edge_label: str) -> EdgeIndex:
+        try:
+            return self.ev[edge_label]
+        except KeyError:
+            raise CatalogError(f"no EV-index for edge label {edge_label!r}") from None
+
+    def adjacency(self, vertex_label: str, edge_label: str, direction: str) -> Adjacency:
+        try:
+            return self.ve[(vertex_label, edge_label, direction)]
+        except KeyError:
+            raise CatalogError(
+                f"no VE-index for ({vertex_label!r}, {edge_label!r}, {direction!r})"
+            ) from None
+
+    def has_adjacency(self, vertex_label: str, edge_label: str, direction: str) -> bool:
+        return (vertex_label, edge_label, direction) in self.ve
+
+    def average_degree(self, vertex_label: str, edge_label: str, direction: str) -> float:
+        adj = self.adjacency(vertex_label, edge_label, direction)
+        vertices = len(adj.offsets) - 1
+        if vertices == 0:
+            return 0.0
+        return adj.num_edges / vertices
+
+
+def build_graph_index(mapping: RGMapping) -> GraphIndex:
+    """Construct the EV- and VE-indexes for every edge mapping.
+
+    This is the paper's "construct the graph indexes during the RGMapping
+    process": each edge tuple's foreign keys are resolved to endpoint rowids
+    through the vertex tables' primary-key indexes (raising on dangling
+    references, since ``λˢ``/``λᵗ`` must be total), then CSR adjacency is
+    built by the classic count-and-fill pass.
+    """
+    index = GraphIndex(graph_name=mapping.name)
+    for edge_label, em in sorted(mapping.edges.items()):
+        edge_table = mapping.catalog.table(em.table_name)
+        src_table = mapping.catalog.table(mapping.vertex(em.source_label).table_name)
+        dst_table = mapping.catalog.table(mapping.vertex(em.target_label).table_name)
+        src_rowids: list[int] = []
+        dst_rowids: list[int] = []
+        src_fk = edge_table.column(em.source_key)
+        dst_fk = edge_table.column(em.target_key)
+        for rowid in range(edge_table.num_rows):
+            src = src_table.pk_lookup(src_fk[rowid])
+            dst = dst_table.pk_lookup(dst_fk[rowid])
+            if src is None or dst is None:
+                raise SchemaError(
+                    f"edge {edge_label!r} tuple {rowid} has a dangling endpoint; "
+                    f"λ-functions must be total"
+                )
+            src_rowids.append(src)
+            dst_rowids.append(dst)
+        index.ev[edge_label] = EdgeIndex(edge_label, src_rowids, dst_rowids)
+        index.ve[(em.source_label, edge_label, OUT)] = _build_csr(
+            src_rowids, src_table.num_rows, edge_label, em.source_label, OUT
+        )
+        index.ve[(em.target_label, edge_label, IN)] = _build_csr(
+            dst_rowids, dst_table.num_rows, edge_label, em.target_label, IN
+        )
+    return index
+
+
+def _build_csr(
+    endpoint_rowids: list[int],
+    num_vertices: int,
+    edge_label: str,
+    vertex_label: str,
+    direction: str,
+) -> Adjacency:
+    counts = [0] * num_vertices
+    for v in endpoint_rowids:
+        counts[v] += 1
+    offsets = [0] * (num_vertices + 1)
+    for i, c in enumerate(counts):
+        offsets[i + 1] = offsets[i] + c
+    cursor = offsets[:-1].copy()
+    edge_rowids = [0] * len(endpoint_rowids)
+    for edge_rowid, v in enumerate(endpoint_rowids):
+        edge_rowids[cursor[v]] = edge_rowid
+        cursor[v] += 1
+    return Adjacency(vertex_label, edge_label, direction, offsets, edge_rowids)

@@ -1,0 +1,454 @@
+"""The graph-aware optimizer: decomposition-tree search and plan lowering.
+
+Search (Sec 3.1.2 / 4.2.1)
+--------------------------
+The optimizer explores decomposition trees whose nodes are **induced,
+connected sub-patterns** of the query pattern ``P`` and whose leaves are
+Minimum Matching Components (single vertices and complete stars):
+
+* **Star step** — remove a vertex ``u`` whose removal keeps the sub-pattern
+  connected; the right child is the complete star ``P(u; N(u))``, realized
+  physically by EXPAND (one leg) or EXPAND_INTERSECT (≥ 2 legs).
+* **Binary join** — split into two overlapping induced connected
+  sub-patterns joined on their common vertices (Case I, HASH_JOIN).
+
+Memoization is keyed by the sub-pattern's vertex set (induced sub-patterns
+of a fixed ``P`` are uniquely determined by it), so the search is a shortest
+path through exactly the GLogue-shaped space the paper describes.
+
+Lowering (Sec 3.2.2)
+--------------------
+``lower_plan`` turns the winning decomposition tree into physical graph
+operators.  Flags reproduce the paper's ablations:
+
+* ``use_graph_index=False`` — every step becomes EVJoin-based hash joins
+  (the RelGoHash variant / no-index execution);
+* ``enable_expand_intersect=False`` — complete stars are implemented as
+  "traditional multiple joins" (the RelGoNoEI variant of Fig 9);
+* ``needed_edge_vars`` — the TrimAndFuseRule outcome: edge variables absent
+  from the set are trimmed and EXPAND_EDGE + GET_VERTEX fuse into EXPAND.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.graph.cost import CardinalityEstimator, CostModel, StarStep
+from repro.graph.index import GraphIndex
+from repro.graph.pattern import PatternEdge, PatternGraph
+from repro.graph.physical import (
+    AllDistinct,
+    EdgeTripleScan,
+    Expand,
+    ExpandEdge,
+    ExpandIntersect,
+    GetVertex,
+    GraphOperator,
+    PatternHashJoin,
+    ScanVertex,
+    StarLeg,
+)
+from repro.graph.rgmapping import RGMapping
+
+
+@dataclass
+class GraphPlan:
+    """One node of the chosen decomposition tree (a logical graph plan)."""
+
+    pattern: PatternGraph
+    kind: str  # "scan" | "expand" | "join"
+    cardinality: float
+    cost: float
+    child: "GraphPlan | None" = None  # expand: the P'_l sub-plan
+    step: StarStep | None = None  # expand: the star being closed
+    left: "GraphPlan | None" = None  # join children
+    right: "GraphPlan | None" = None
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        if self.kind == "scan":
+            v = next(iter(self.pattern.vertices.values()))
+            return f"{pad}MATCH_SCAN {v.name}:{v.label} (card≈{self.cardinality:.1f})"
+        if self.kind == "expand":
+            assert self.step is not None and self.child is not None
+            legs = ", ".join(
+                f"{leaf}-[{e.label}]" for leaf, e in self.step.legs
+            )
+            op = "EXPAND" if len(self.step.legs) == 1 else "EXPAND_INTERSECT"
+            lines = [
+                f"{pad}{op} -> {self.step.center} via ({legs}) "
+                f"(card≈{self.cardinality:.1f})"
+            ]
+            lines.append(self.child.explain(indent + 1))
+            return "\n".join(lines)
+        assert self.left is not None and self.right is not None
+        lines = [f"{pad}PATTERN_JOIN (card≈{self.cardinality:.1f})"]
+        lines.append(self.left.explain(indent + 1))
+        lines.append(self.right.explain(indent + 1))
+        return "\n".join(lines)
+
+    def operators(self) -> list[str]:
+        """Flat list of operator kinds, for plan-shape assertions in tests."""
+        if self.kind == "scan":
+            return ["scan"]
+        if self.kind == "expand":
+            assert self.child is not None and self.step is not None
+            op = "expand" if len(self.step.legs) == 1 else "intersect"
+            return self.child.operators() + [op]
+        assert self.left is not None and self.right is not None
+        return self.left.operators() + self.right.operators() + ["join"]
+
+
+@dataclass
+class GraphOptimizerConfig:
+    """Knobs reproducing the paper's system variants."""
+
+    use_graph_index: bool = True
+    enable_expand_intersect: bool = True
+    enable_binary_joins: bool = True
+    # Patterns with at most this many vertices search binary joins; larger
+    # ones rely on star steps only (keeps the search polynomial in practice).
+    binary_join_limit: int = 8
+
+
+class GraphOptimizer:
+    """Cost-based decomposition search over one pattern."""
+
+    def __init__(
+        self,
+        mapping: RGMapping,
+        estimator: CardinalityEstimator,
+        config: GraphOptimizerConfig | None = None,
+    ):
+        self.mapping = mapping
+        self.estimator = estimator
+        self.config = config or GraphOptimizerConfig()
+        self.cost_model = CostModel(
+            estimator, use_graph_index=self.config.use_graph_index
+        )
+
+    def optimize(self, pattern: PatternGraph) -> GraphPlan:
+        if not pattern.is_connected():
+            raise PlanError("can only optimize connected patterns")
+        memo: dict[frozenset[str], GraphPlan] = {}
+        return self._best(pattern, frozenset(pattern.vertices), pattern, memo)
+
+    # ------------------------------------------------------------------ #
+    # search
+    # ------------------------------------------------------------------ #
+
+    def _best(
+        self,
+        full: PatternGraph,
+        vertex_set: frozenset[str],
+        sub: PatternGraph,
+        memo: dict[frozenset[str], GraphPlan],
+    ) -> GraphPlan:
+        if vertex_set in memo:
+            return memo[vertex_set]
+        if len(vertex_set) == 1:
+            card, cost = self.cost_model.scan_cost(sub)
+            plan = GraphPlan(sub, "scan", card, cost)
+            memo[vertex_set] = plan
+            return plan
+        best: GraphPlan | None = None
+        for plan in self._candidates(full, vertex_set, sub, memo):
+            if best is None or plan.cost < best.cost:
+                best = plan
+        if best is None:  # pragma: no cover - connected patterns always split
+            raise PlanError(f"no decomposition found for {sub!r}")
+        memo[vertex_set] = best
+        return best
+
+    def _candidates(self, full, vertex_set, sub, memo):
+        # Star steps: peel each vertex whose removal keeps connectivity.
+        for name in sorted(vertex_set):
+            rest_set = vertex_set - {name}
+            rest = full.induced_subpattern(rest_set)
+            if not rest.num_vertices or not rest.is_connected():
+                continue
+            child = self._best(full, rest_set, rest, memo)
+            legs = tuple((e.other(name), e) for e in sub.incident_edges(name))
+            if not legs:
+                continue
+            step = StarStep(name, legs)
+            card, join_cost = self.cost_model.expand_cost(
+                rest, child.cardinality, step, sub
+            )
+            yield GraphPlan(
+                sub,
+                "expand",
+                card,
+                child.cost + join_cost,
+                child=child,
+                step=step,
+            )
+        # Binary joins (Case I).
+        if (
+            self.config.enable_binary_joins
+            and 4 <= len(vertex_set) <= self.config.binary_join_limit
+        ):
+            yield from self._binary_joins(full, vertex_set, sub, memo)
+
+    def _binary_joins(self, full, vertex_set, sub, memo):
+        for left_set in connected_proper_subsets(sub, vertex_set):
+            remainder = vertex_set - left_set
+            if not remainder:
+                continue
+            border = {
+                v
+                for v in left_set
+                if any(n in remainder for n in sub.neighbors(v))
+            }
+            if not border:
+                continue
+            right_set = frozenset(remainder | border)
+            if right_set == vertex_set or len(right_set) < 2:
+                continue
+            right_sub = full.induced_subpattern(right_set)
+            if not right_sub.is_connected():
+                continue
+            # Orientation dedup: keep the split where the left side holds
+            # the lexicographically smallest vertex.
+            if min(vertex_set) not in left_set:
+                continue
+            left_sub = full.induced_subpattern(left_set)
+            left_plan = self._best(full, frozenset(left_set), left_sub, memo)
+            right_plan = self._best(full, right_set, right_sub, memo)
+            card, join_cost = self.cost_model.join_cost(
+                left_plan.cardinality, right_plan.cardinality, sub
+            )
+            yield GraphPlan(
+                sub,
+                "join",
+                card,
+                left_plan.cost + right_plan.cost + join_cost,
+                left=left_plan,
+                right=right_plan,
+            )
+
+
+def connected_proper_subsets(
+    pattern: PatternGraph, vertex_set: frozenset[str]
+) -> list[frozenset[str]]:
+    """All connected, proper, non-empty induced vertex subsets (|S| ≥ 2)."""
+    names = sorted(vertex_set)
+    found: set[frozenset[str]] = set()
+    # Grow connected sets BFS-style from each seed (standard enumeration).
+    frontier: list[frozenset[str]] = [frozenset({n}) for n in names]
+    seen: set[frozenset[str]] = set(frontier)
+    while frontier:
+        current = frontier.pop()
+        if 2 <= len(current) < len(vertex_set):
+            found.add(current)
+        if len(current) >= len(vertex_set) - 1:
+            continue
+        expandable = {
+            nbr
+            for v in current
+            for nbr in pattern.neighbors(v)
+            if nbr in vertex_set and nbr not in current
+        }
+        for nbr in expandable:
+            nxt = current | {nbr}
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return sorted(found, key=lambda s: (len(s), sorted(s)))
+
+
+# ---------------------------------------------------------------------- #
+# lowering
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class LoweringConfig:
+    """Physical-implementation switches (paper ablations)."""
+
+    use_graph_index: bool = True
+    enable_expand_intersect: bool = True
+    # Edge variables that must survive into the output; everything else is
+    # trimmed and the corresponding EXPAND_EDGE/GET_VERTEX pair is fused.
+    needed_edge_vars: frozenset[str] = frozenset()
+    # When False, EXPAND_EDGE + GET_VERTEX are kept as separate operators
+    # and all edge columns are carried (the RelGoNoRule behaviour).
+    fuse: bool = True
+    semantics: str = "homomorphism"
+
+
+def lower_plan(
+    plan: GraphPlan,
+    mapping: RGMapping,
+    index: GraphIndex | None,
+    config: LoweringConfig,
+) -> GraphOperator:
+    """Lower a decomposition tree into executable graph operators."""
+    if config.use_graph_index and index is None:
+        raise PlanError("lowering with use_graph_index=True requires an index")
+    op = _lower(plan, mapping, index, config)
+    if config.semantics == "isomorphism":
+        op = AllDistinct(op, kind="v")
+    elif config.semantics == "edge_distinct":
+        op = AllDistinct(op, kind="e")
+    return op
+
+
+def _keep_edge(edge: PatternEdge, config: LoweringConfig) -> bool:
+    if not config.fuse:
+        return True
+    return edge.name in config.needed_edge_vars
+
+
+def _lower(
+    plan: GraphPlan,
+    mapping: RGMapping,
+    index: GraphIndex | None,
+    config: LoweringConfig,
+) -> GraphOperator:
+    if plan.kind == "scan":
+        vertex = next(iter(plan.pattern.vertices.values()))
+        return ScanVertex(mapping, vertex.name, vertex.label, vertex.predicate)
+    if plan.kind == "join":
+        assert plan.left is not None and plan.right is not None
+        return PatternHashJoin(
+            _lower(plan.left, mapping, index, config),
+            _lower(plan.right, mapping, index, config),
+        )
+    assert plan.kind == "expand" and plan.child is not None and plan.step is not None
+    child_op = _lower(plan.child, mapping, index, config)
+    step = plan.step
+    center = plan.pattern.vertices[step.center]
+    if not config.use_graph_index:
+        return _lower_star_hash(child_op, mapping, plan, config, index=None)
+    assert index is not None
+    if len(step.legs) == 1:
+        leaf, edge = step.legs[0]
+        direction = edge.direction_from(leaf)
+        if _keep_edge(edge, config):
+            expanded = ExpandEdge(
+                child_op,
+                index,
+                mapping,
+                from_var=leaf,
+                edge_var=edge.name,
+                edge_label=edge.label,
+                direction=direction,
+                edge_predicate=edge.predicate,
+            )
+            return GetVertex(
+                expanded,
+                index,
+                mapping,
+                edge_var=edge.name,
+                to_var=center.name,
+                to_label=center.label,
+                direction=direction,
+                vertex_predicate=center.predicate,
+            )
+        return Expand(
+            child_op,
+            index,
+            mapping,
+            from_var=leaf,
+            to_var=center.name,
+            to_label=center.label,
+            edge_label=edge.label,
+            direction=direction,
+            edge_predicate=edge.predicate,
+            vertex_predicate=center.predicate,
+        )
+    if config.enable_expand_intersect:
+        legs = [
+            StarLeg(
+                from_var=leaf,
+                edge_label=edge.label,
+                direction=edge.direction_from(leaf),
+                edge_var=edge.name if _keep_edge(edge, config) else None,
+                edge_predicate=edge.predicate,
+            )
+            for leaf, edge in step.legs
+        ]
+        return ExpandIntersect(
+            child_op,
+            index,
+            mapping,
+            legs=legs,
+            to_var=center.name,
+            to_label=center.label,
+            vertex_predicate=center.predicate,
+        )
+    # RelGoNoEI: M(P') = M(P'_l) ⋈ M(P(u; V_s)) with the complete star
+    # computed as a traditional multiple join of its edge relations — the
+    # star materialization is what explodes on dense stars (Fig 9's OOM).
+    return _lower_star_standalone(child_op, mapping, plan, config, index)
+
+
+def _lower_star_standalone(
+    child_op: GraphOperator,
+    mapping: RGMapping,
+    plan: GraphPlan,
+    config: LoweringConfig,
+    index: GraphIndex | None,
+) -> GraphOperator:
+    """NoEI lowering: materialize M(star) by joining its edge relations on
+    the center variable, then hash join with the left child (Case I)."""
+    assert plan.step is not None
+    step = plan.step
+    center = plan.pattern.vertices[step.center]
+    star_op: GraphOperator | None = None
+    for i, (leaf, edge) in enumerate(step.legs):
+        center_is_src = edge.src == center.name
+        triples = EdgeTripleScan(
+            mapping,
+            edge.label,
+            src_var=edge.src,
+            dst_var=edge.dst,
+            edge_var=edge.name if _keep_edge(edge, config) else None,
+            index=index,
+            edge_predicate=edge.predicate,
+            # The center's constraint filters every leg cheaply; leaf
+            # constraints were already applied when the leaves were matched.
+            src_predicate=center.predicate if center_is_src and i == 0 else None,
+            dst_predicate=center.predicate if not center_is_src and i == 0 else None,
+        )
+        star_op = triples if star_op is None else PatternHashJoin(star_op, triples)
+    assert star_op is not None
+    return PatternHashJoin(child_op, star_op)
+
+
+def _lower_star_hash(
+    child_op: GraphOperator,
+    mapping: RGMapping,
+    plan: GraphPlan,
+    config: LoweringConfig,
+    index: GraphIndex | None,
+) -> GraphOperator:
+    """Implement a star step as successive joins with edge-triple scans.
+
+    The first leg *introduces* the center vertex; each further leg joins the
+    full edge relation on both endpoints — the "traditional multiple join"
+    whose intermediates blow up on dense stars (Fig 9's OOM).
+    """
+    assert plan.step is not None
+    step = plan.step
+    center = plan.pattern.vertices[step.center]
+    current = child_op
+    for leaf, edge in step.legs:
+        src_var, dst_var = edge.src, edge.dst
+        src_pred = center.predicate if edge.src == center.name else None
+        dst_pred = center.predicate if edge.dst == center.name else None
+        triples = EdgeTripleScan(
+            mapping,
+            edge.label,
+            src_var=src_var,
+            dst_var=dst_var,
+            edge_var=edge.name if _keep_edge(edge, config) else None,
+            index=index,
+            edge_predicate=edge.predicate,
+            src_predicate=src_pred,
+            dst_predicate=dst_pred,
+        )
+        current = PatternHashJoin(current, triples)
+    return current

@@ -1,0 +1,326 @@
+"""Pattern graphs: the ``P`` in the matching operator ``M(P)``.
+
+A pattern graph is a small directed, labeled multigraph whose vertices and
+edges may carry **constraints** (predicates over element attributes — the
+``(P, Ψ)`` extension of Sec 4.2.3 that FilterIntoMatchRule produces).
+
+Beyond the data model, this module provides the structural operations the
+graph-aware optimizer is built on:
+
+* induced sub-patterns and connectivity (decomposition-tree nodes must be
+  *induced connected* sub-patterns of ``P``, Sec 3.1.2);
+* complete-star extraction (the MMC right children);
+* a **canonical code** stable under variable renaming, used to memoize the
+  decomposition search and to key GLogue entries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+
+from repro.errors import PlanError
+from repro.relational.expr import Expr, and_
+
+
+@dataclass(frozen=True)
+class PatternVertex:
+    """A pattern vertex: variable ``name``, vertex ``label``, optional constraint."""
+
+    name: str
+    label: str
+    predicate: Expr | None = None
+
+    def pred_key(self) -> str:
+        return "" if self.predicate is None else str(self.predicate)
+
+
+@dataclass(frozen=True)
+class PatternEdge:
+    """A directed pattern edge from variable ``src`` to ``dst``."""
+
+    name: str
+    label: str
+    src: str
+    dst: str
+    predicate: Expr | None = None
+
+    def other(self, vertex: str) -> str:
+        if vertex == self.src:
+            return self.dst
+        if vertex == self.dst:
+            return self.src
+        raise PlanError(f"vertex {vertex!r} is not an endpoint of edge {self.name!r}")
+
+    def direction_from(self, vertex: str) -> str:
+        """Traversal direction when leaving ``vertex`` along this edge."""
+        if vertex == self.src:
+            return "out"
+        if vertex == self.dst:
+            return "in"
+        raise PlanError(f"vertex {vertex!r} is not an endpoint of edge {self.name!r}")
+
+    def pred_key(self) -> str:
+        return "" if self.predicate is None else str(self.predicate)
+
+
+class PatternGraph:
+    """An immutable-by-convention pattern graph."""
+
+    def __init__(self, vertices: list[PatternVertex], edges: list[PatternEdge]):
+        self.vertices: dict[str, PatternVertex] = {}
+        for v in vertices:
+            if v.name in self.vertices:
+                raise PlanError(f"duplicate pattern vertex {v.name!r}")
+            self.vertices[v.name] = v
+        self.edges: dict[str, PatternEdge] = {}
+        for e in edges:
+            if e.name in self.edges:
+                raise PlanError(f"duplicate pattern edge {e.name!r}")
+            if e.src not in self.vertices or e.dst not in self.vertices:
+                raise PlanError(f"edge {e.name!r} references unknown vertices")
+            self.edges[e.name] = e
+        self._incident: dict[str, list[PatternEdge]] = {v: [] for v in self.vertices}
+        for e in self.edges.values():
+            self._incident[e.src].append(e)
+            if e.dst != e.src:
+                self._incident[e.dst].append(e)
+        self._canonical: tuple | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def builder() -> "PatternBuilder":
+        return PatternBuilder()
+
+    @staticmethod
+    def single_vertex(vertex: PatternVertex) -> "PatternGraph":
+        return PatternGraph([vertex], [])
+
+    # ------------------------------------------------------------------ #
+    # basic structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def vertex_names(self) -> list[str]:
+        return sorted(self.vertices)
+
+    def incident_edges(self, vertex: str) -> list[PatternEdge]:
+        """Edges touching ``vertex`` (both directions)."""
+        return self._incident[vertex]
+
+    def neighbors(self, vertex: str) -> set[str]:
+        return {e.other(vertex) for e in self._incident[vertex]}
+
+    def edges_between(self, a: str, b: str) -> list[PatternEdge]:
+        """All edges with endpoints {a, b}, either direction."""
+        return [e for e in self._incident[a] if e.other(a) == b]
+
+    def degree(self, vertex: str) -> int:
+        return len(self._incident[vertex])
+
+    def is_connected(self) -> bool:
+        if not self.vertices:
+            return False
+        start = next(iter(self.vertices))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            v = frontier.pop()
+            for nbr in self.neighbors(v):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    frontier.append(nbr)
+        return len(seen) == len(self.vertices)
+
+    # ------------------------------------------------------------------ #
+    # sub-patterns
+    # ------------------------------------------------------------------ #
+
+    def induced_subpattern(self, vertex_names: set[str] | frozenset[str]) -> "PatternGraph":
+        """The sub-pattern induced by ``vertex_names`` (all internal edges kept)."""
+        vertices = [self.vertices[n] for n in sorted(vertex_names)]
+        edges = [
+            e
+            for e in self.edges.values()
+            if e.src in vertex_names and e.dst in vertex_names
+        ]
+        return PatternGraph(vertices, edges)
+
+    def remove_vertex(self, vertex: str) -> "PatternGraph":
+        return self.induced_subpattern(set(self.vertices) - {vertex})
+
+    def star_of(self, center: str, leaves: set[str] | None = None) -> "PatternGraph":
+        """The complete star ``P(center; leaves)`` inside this pattern.
+
+        Leaves default to all neighbors of ``center``.  The star contains the
+        center, the leaves, and every edge between the center and a leaf
+        (NOT edges among leaves — a star has none by construction).
+        """
+        if leaves is None:
+            leaves = self.neighbors(center)
+        names = {center} | leaves
+        vertices = [self.vertices[n] for n in sorted(names)]
+        edges = [
+            e
+            for e in self._incident[center]
+            if e.other(center) in leaves
+        ]
+        return PatternGraph(vertices, edges)
+
+    def is_complete_star_within(self, center: str, host: "PatternGraph") -> bool:
+        """Whether ``star_of(center)`` taken in ``host`` has all leaves here."""
+        return host.neighbors(center) <= set(self.vertices)
+
+    def with_vertex_constraint(self, vertex: str, predicate: Expr) -> "PatternGraph":
+        """A copy with ``predicate`` AND-ed onto the vertex's constraint."""
+        old = self.vertices[vertex]
+        combined = predicate if old.predicate is None else and_(old.predicate, predicate)
+        vertices = [
+            replace(v, predicate=combined) if v.name == vertex else v
+            for v in self.vertices.values()
+        ]
+        return PatternGraph(vertices, list(self.edges.values()))
+
+    def without_predicates(self) -> "PatternGraph":
+        """The structural skeleton: same shape and labels, no constraints.
+
+        GLogue keys its cardinality entries on structural patterns only;
+        constraint selectivities are folded in by the cost model.
+        """
+        vertices = [replace(v, predicate=None) for v in self.vertices.values()]
+        edges = [replace(e, predicate=None) for e in self.edges.values()]
+        return PatternGraph(vertices, edges)
+
+    def with_edge_constraint(self, edge: str, predicate: Expr) -> "PatternGraph":
+        old = self.edges[edge]
+        combined = predicate if old.predicate is None else and_(old.predicate, predicate)
+        edges = [
+            replace(e, predicate=combined) if e.name == edge else e
+            for e in self.edges.values()
+        ]
+        return PatternGraph(list(self.vertices.values()), edges)
+
+    # ------------------------------------------------------------------ #
+    # canonical code
+    # ------------------------------------------------------------------ #
+
+    def canonical_code(self) -> tuple:
+        """A hashable code equal for patterns identical up to renaming.
+
+        Computed by 1-WL style color refinement followed by exhaustive
+        permutation within residual color classes (patterns are small — the
+        paper's MMC-constrained optimizer never sees more than ~10 vertices,
+        and refinement usually leaves singleton classes).
+        """
+        if self._canonical is not None:
+            return self._canonical
+        names = sorted(self.vertices)
+        colors: dict[str, tuple] = {
+            n: (self.vertices[n].label, self.vertices[n].pred_key()) for n in names
+        }
+        for _ in range(len(names)):
+            signature: dict[str, tuple] = {}
+            for n in names:
+                incident = sorted(
+                    (
+                        e.label,
+                        e.direction_from(n),
+                        colors[e.other(n)],
+                        e.pred_key(),
+                    )
+                    for e in self._incident[n]
+                )
+                signature[n] = (colors[n], tuple(incident))
+            # Re-index signatures to compact colors.
+            distinct = sorted(set(signature.values()))
+            remap = {sig: i for i, sig in enumerate(distinct)}
+            new_colors = {n: (remap[signature[n]], colors[n]) for n in names}
+            if len(set(new_colors.values())) == len(set(colors.values())):
+                colors = new_colors
+                break
+            colors = new_colors
+        # Group by final color; permute within groups for the minimal code.
+        groups: dict[tuple, list[str]] = {}
+        for n in names:
+            groups.setdefault(colors[n], []).append(n)
+        ordered_groups = [groups[c] for c in sorted(groups)]
+        best: tuple | None = None
+        for perm in _group_permutations(ordered_groups):
+            index = {n: i for i, n in enumerate(perm)}
+            vertex_part = tuple(
+                (self.vertices[n].label, self.vertices[n].pred_key()) for n in perm
+            )
+            edge_part = tuple(
+                sorted(
+                    (index[e.src], index[e.dst], e.label, e.pred_key())
+                    for e in self.edges.values()
+                )
+            )
+            code = (vertex_part, edge_part)
+            if best is None or code < best:
+                best = code
+        assert best is not None
+        self._canonical = best
+        return best
+
+    def isomorphic_to(self, other: "PatternGraph") -> bool:
+        return self.canonical_code() == other.canonical_code()
+
+    def __repr__(self) -> str:
+        vs = ", ".join(f"{v.name}:{v.label}" for v in self.vertices.values())
+        es = ", ".join(
+            f"{e.src}-[{e.label}]->{e.dst}" for e in self.edges.values()
+        )
+        return f"Pattern({vs} | {es})"
+
+
+def _group_permutations(groups: list[list[str]]):
+    """All orderings that permute names only within their color group."""
+    per_group = [list(itertools.permutations(g)) for g in groups]
+    for combo in itertools.product(*per_group):
+        yield [n for group in combo for n in group]
+
+
+class PatternBuilder:
+    """Fluent builder: ``PatternGraph.builder().vertex(...).edge(...).build()``."""
+
+    def __init__(self) -> None:
+        self._vertices: list[PatternVertex] = []
+        self._edges: list[PatternEdge] = []
+        self._auto_edge = 0
+
+    def vertex(
+        self, name: str, label: str, predicate: Expr | None = None
+    ) -> "PatternBuilder":
+        self._vertices.append(PatternVertex(name, label, predicate))
+        return self
+
+    def edge(
+        self,
+        src: str,
+        dst: str,
+        label: str,
+        name: str | None = None,
+        predicate: Expr | None = None,
+    ) -> "PatternBuilder":
+        if name is None:
+            self._auto_edge += 1
+            name = f"_e{self._auto_edge}"
+        self._edges.append(PatternEdge(name, label, src, dst, predicate))
+        return self
+
+    def build(self) -> PatternGraph:
+        pattern = PatternGraph(self._vertices, self._edges)
+        if pattern.num_vertices and not pattern.is_connected():
+            raise PlanError("pattern graphs must be connected (Sec 2.2)")
+        return pattern

@@ -1,0 +1,767 @@
+"""Graph physical operators (Sec 3.2.2 of the paper).
+
+These operators compute graph relations: rows of rowids, one column per
+pattern variable (vertex or edge).  The column metadata is a
+:class:`GraphVar` carrying the variable name, kind and label — the label is
+static, so rows store bare rowids.
+
+Operators:
+
+* :class:`ScanVertex` — the plan entry point, matching a single-vertex
+  pattern by scanning its vertex relation.
+* :class:`ExpandEdge` + :class:`GetVertex` — Case II with a graph index:
+  VE-index lookup for adjacent edges, then EV-index lookup for the far
+  endpoint.
+* :class:`Expand` — the fused operator TrimAndFuseRule produces: neighbors
+  directly, edge column trimmed (multiplicity preserved — one output row per
+  adjacent *edge*).
+* :class:`ExpandIntersect` — Case III: close a complete star by intersecting
+  the neighbor sets of all bound leaf vertices (wco-style).
+* :class:`PatternHashJoin` — Case I: natural join of two graph relations on
+  their common variables.
+* :class:`EdgeTripleScan` — materializes ``(src, dst, edge)`` rowid triples
+  of one edge relation; with the graph index it reads the EV columns, without
+  it it performs the EVJoin of Eq. 3 as runtime hash joins (the no-index
+  execution mode, e.g. RelGoHash).
+* :class:`VertexFilter` / :class:`EdgeFilter` — attribute predicates over an
+  already-bound variable (used when FilterIntoMatchRule is disabled).
+* :class:`AllDistinct` — the paper's all-distinct operator for isomorphism /
+  edge-distinct semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as iter_product
+
+from repro.errors import PlanError
+from repro.graph.index import GraphIndex
+from repro.graph.matching import rowid_predicate
+from repro.graph.rgmapping import RGMapping
+from repro.relational.executor import ExecutionContext
+from repro.relational.expr import Expr
+
+
+@dataclass(frozen=True)
+class GraphVar:
+    """One graph-relation column: pattern variable name, kind ('v'/'e'), label."""
+
+    name: str
+    kind: str
+    label: str
+
+
+class GraphOperator:
+    """Base class; subclasses set ``output_vars`` in ``__init__``."""
+
+    output_vars: list[GraphVar]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        raise NotImplementedError
+
+    def children(self) -> list["GraphOperator"]:
+        return []
+
+    def var_index(self, name: str) -> int:
+        for i, var in enumerate(self.output_vars):
+            if var.name == name:
+                return i
+        raise PlanError(f"variable {name!r} not in {[v.name for v in self.output_vars]}")
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [pad + self._label()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+
+class ScanVertex(GraphOperator):
+    """SCAN: match a single-vertex pattern by scanning its vertex relation."""
+
+    def __init__(
+        self,
+        mapping: RGMapping,
+        var: str,
+        label: str,
+        predicate: Expr | None = None,
+    ):
+        self.mapping = mapping
+        self.var = var
+        self.label = label
+        self.predicate = predicate
+        self.output_vars = [GraphVar(var, "v", label)]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        table = self.mapping.vertex_table(self.label)
+        n = table.num_rows
+        if self.predicate is None:
+            out = [(i,) for i in range(n)]
+        else:
+            check = rowid_predicate(table, self.predicate)
+            out = [(i,) for i in range(n) if check(i)]
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        pred = f" ({self.predicate})" if self.predicate is not None else ""
+        return f"SCAN {self.var}:{self.label}{pred}"
+
+
+class ExpandEdge(GraphOperator):
+    """EXPAND_EDGE: append the adjacent-edge column via the VE-index."""
+
+    def __init__(
+        self,
+        child: GraphOperator,
+        index: GraphIndex,
+        mapping: RGMapping,
+        from_var: str,
+        edge_var: str,
+        edge_label: str,
+        direction: str,
+        edge_predicate: Expr | None = None,
+    ):
+        self.child = child
+        self.index = index
+        self.mapping = mapping
+        self.from_var = from_var
+        self.edge_var = edge_var
+        self.edge_label = edge_label
+        self.direction = direction
+        self.edge_predicate = edge_predicate
+        self.output_vars = list(child.output_vars) + [GraphVar(edge_var, "e", edge_label)]
+
+    def children(self) -> list[GraphOperator]:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        rows = self.child.execute(ctx)
+        from_idx = self.child.var_index(self.from_var)
+        from_label = self.child.output_vars[from_idx].label
+        adjacency = self.index.adjacency(from_label, self.edge_label, self.direction)
+        offsets, edge_rowids = adjacency.offsets, adjacency.edge_rowids
+        epred = None
+        if self.edge_predicate is not None:
+            epred = rowid_predicate(
+                self.mapping.edge_table(self.edge_label), self.edge_predicate
+            )
+        out: list[tuple] = []
+        next_check = 16384
+        for row in rows:
+            v = row[from_idx]
+            for pos in range(offsets[v], offsets[v + 1]):
+                e = edge_rowids[pos]
+                if epred is not None and not epred(e):
+                    continue
+                out.append(row + (e,))
+            if len(out) >= next_check:
+                ctx.check_size(len(out))
+                next_check = len(out) + 16384
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        return f"EXPAND_EDGE {self.from_var} -[{self.edge_label} {self.direction}]-> {self.edge_var}"
+
+
+class GetVertex(GraphOperator):
+    """GET_VERTEX: append the far endpoint of a bound edge via the EV-index."""
+
+    def __init__(
+        self,
+        child: GraphOperator,
+        index: GraphIndex,
+        mapping: RGMapping,
+        edge_var: str,
+        to_var: str,
+        to_label: str,
+        direction: str,
+        vertex_predicate: Expr | None = None,
+    ):
+        self.child = child
+        self.index = index
+        self.mapping = mapping
+        self.edge_var = edge_var
+        self.to_var = to_var
+        self.to_label = to_label
+        self.direction = direction
+        self.vertex_predicate = vertex_predicate
+        self.output_vars = list(child.output_vars) + [GraphVar(to_var, "v", to_label)]
+
+    def children(self) -> list[GraphOperator]:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        rows = self.child.execute(ctx)
+        edge_idx = self.child.var_index(self.edge_var)
+        edge_label = self.child.output_vars[edge_idx].label
+        far = self.index.edge_index(edge_label).endpoint_rowids(self.direction)
+        vpred = None
+        if self.vertex_predicate is not None:
+            vpred = rowid_predicate(
+                self.mapping.vertex_table(self.to_label), self.vertex_predicate
+            )
+        if vpred is None:
+            out = [row + (far[row[edge_idx]],) for row in rows]
+            ctx.charge(len(out), self._label())
+            return out
+        out: list[tuple] = []
+        for row in rows:
+            target = far[row[edge_idx]]
+            if not vpred(target):
+                continue
+            out.append(row + (target,))
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        return f"GET_VERTEX {self.edge_var} -> {self.to_var}:{self.to_label}"
+
+
+class Expand(GraphOperator):
+    """EXPAND: the fused EXPAND_EDGE + GET_VERTEX (TrimAndFuseRule output).
+
+    Emits one row per adjacent edge, but only the neighbor column — edge
+    multiplicity (parallel edges) is preserved without materializing the
+    edge variable.
+    """
+
+    def __init__(
+        self,
+        child: GraphOperator,
+        index: GraphIndex,
+        mapping: RGMapping,
+        from_var: str,
+        to_var: str,
+        to_label: str,
+        edge_label: str,
+        direction: str,
+        edge_predicate: Expr | None = None,
+        vertex_predicate: Expr | None = None,
+        closing: bool = False,
+    ):
+        self.child = child
+        self.index = index
+        self.mapping = mapping
+        self.from_var = from_var
+        self.to_var = to_var
+        self.to_label = to_label
+        self.edge_label = edge_label
+        self.direction = direction
+        self.edge_predicate = edge_predicate
+        self.vertex_predicate = vertex_predicate
+        # ``closing`` marks an expansion whose target is already bound: the
+        # operator then checks equality instead of appending a column.
+        self.closing = closing
+        if closing:
+            self.output_vars = list(child.output_vars)
+        else:
+            self.output_vars = list(child.output_vars) + [GraphVar(to_var, "v", to_label)]
+
+    def children(self) -> list[GraphOperator]:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        rows = self.child.execute(ctx)
+        from_idx = self.child.var_index(self.from_var)
+        from_label = self.child.output_vars[from_idx].label
+        adjacency = self.index.adjacency(from_label, self.edge_label, self.direction)
+        offsets, edge_rowids = adjacency.offsets, adjacency.edge_rowids
+        far = self.index.edge_index(self.edge_label).endpoint_rowids(self.direction)
+        epred = None
+        if self.edge_predicate is not None:
+            epred = rowid_predicate(
+                self.mapping.edge_table(self.edge_label), self.edge_predicate
+            )
+        vpred = None
+        if self.vertex_predicate is not None:
+            vpred = rowid_predicate(
+                self.mapping.vertex_table(self.to_label), self.vertex_predicate
+            )
+        out: list[tuple] = []
+        next_check = 16384
+        to_idx = self.child.var_index(self.to_var) if self.closing else -1
+        if not self.closing and epred is None and vpred is None:
+            # Fast path: emit one row per adjacent edge via comprehensions.
+            for row in rows:
+                v = row[from_idx]
+                out.extend(
+                    [row + (far[e],) for e in edge_rowids[offsets[v] : offsets[v + 1]]]
+                )
+                if len(out) >= next_check:
+                    ctx.check_size(len(out))
+                    next_check = len(out) + 16384
+            ctx.charge(len(out), self._label())
+            return out
+        for row in rows:
+            v = row[from_idx]
+            bound = row[to_idx] if self.closing else None
+            for pos in range(offsets[v], offsets[v + 1]):
+                e = edge_rowids[pos]
+                if epred is not None and not epred(e):
+                    continue
+                target = far[e]
+                if self.closing:
+                    if target == bound:
+                        out.append(row)
+                    continue
+                if vpred is not None and not vpred(target):
+                    continue
+                out.append(row + (target,))
+            if len(out) >= next_check:
+                ctx.check_size(len(out))
+                next_check = len(out) + 16384
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        kind = "EXPAND(closing)" if self.closing else "EXPAND"
+        return f"{kind} {self.from_var} -[{self.edge_label} {self.direction}]-> {self.to_var}"
+
+
+@dataclass(frozen=True)
+class StarLeg:
+    """One leg of a complete star: bound leaf -> (new) root.
+
+    ``direction`` is the traversal direction *leaving the bound leaf*.
+    ``edge_var`` is None when the edge column is trimmed.
+    """
+
+    from_var: str
+    edge_label: str
+    direction: str
+    edge_var: str | None = None
+    edge_predicate: Expr | None = None
+
+
+class ExpandIntersect(GraphOperator):
+    """EXPAND_INTERSECT: close a complete star by neighbor intersection.
+
+    For each input row, each leg contributes a map
+    ``neighbor rowid -> [edge rowids]`` from its leaf's adjacency; the root
+    candidates are the intersection of the key sets.  Legs are processed in
+    ascending adjacency-size order so the smallest set drives the probe.
+    Homomorphism semantics: parallel edges multiply — either as explicit
+    edge-variable combinations (``with edge vars``) or as row multiplicity
+    (edge columns trimmed).
+    """
+
+    def __init__(
+        self,
+        child: GraphOperator,
+        index: GraphIndex,
+        mapping: RGMapping,
+        legs: list[StarLeg],
+        to_var: str,
+        to_label: str,
+        vertex_predicate: Expr | None = None,
+    ):
+        if len(legs) < 2:
+            raise PlanError("EXPAND_INTERSECT needs at least two legs; use EXPAND")
+        self.child = child
+        self.index = index
+        self.mapping = mapping
+        self.legs = legs
+        self.to_var = to_var
+        self.to_label = to_label
+        self.vertex_predicate = vertex_predicate
+        self.output_vars = list(child.output_vars)
+        for leg in legs:
+            if leg.edge_var is not None:
+                self.output_vars.append(GraphVar(leg.edge_var, "e", leg.edge_label))
+        self.output_vars.append(GraphVar(to_var, "v", to_label))
+
+    def children(self) -> list[GraphOperator]:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        rows = self.child.execute(ctx)
+        leg_state = []
+        for leg in self.legs:
+            from_idx = self.child.var_index(leg.from_var)
+            from_label = self.child.output_vars[from_idx].label
+            adjacency = self.index.adjacency(from_label, leg.edge_label, leg.direction)
+            far = self.index.edge_index(leg.edge_label).endpoint_rowids(leg.direction)
+            epred = None
+            if leg.edge_predicate is not None:
+                epred = rowid_predicate(
+                    self.mapping.edge_table(leg.edge_label), leg.edge_predicate
+                )
+            leg_state.append((leg, from_idx, adjacency, far, epred))
+        vpred = None
+        if self.vertex_predicate is not None:
+            vpred = rowid_predicate(
+                self.mapping.vertex_table(self.to_label), self.vertex_predicate
+            )
+        emit_edges = [leg.edge_var is not None for leg in self.legs]
+        any_edges = any(emit_edges)
+        out: list[tuple] = []
+        next_check = 16384
+        # Neighbor maps are cached per (leg, vertex): input rows revisit the
+        # same bound vertices constantly, and map building dominates EI cost.
+        caches: list[dict[int, dict[int, list[int]]]] = [{} for _ in leg_state]
+        if (
+            len(leg_state) == 2
+            and not any_edges
+            and vpred is None
+            and all(s[4] is None for s in leg_state)
+        ):
+            # Two-leg fast path (triangle/square closing without edge vars):
+            # intersect two cached neighbor maps per row, no sorting.
+            (leg_a, idx_a, adj_a, far_a, _), (leg_b, idx_b, adj_b, far_b, _) = leg_state
+            cache_a, cache_b = caches
+            for row in rows:
+                va, vb = row[idx_a], row[idx_b]
+                nbrs_a = cache_a.get(va)
+                if nbrs_a is None:
+                    nbrs_a = {}
+                    for e in adj_a.edge_rowids[adj_a.offsets[va] : adj_a.offsets[va + 1]]:
+                        nbrs_a.setdefault(far_a[e], []).append(e)
+                    cache_a[va] = nbrs_a
+                nbrs_b = cache_b.get(vb)
+                if nbrs_b is None:
+                    nbrs_b = {}
+                    for e in adj_b.edge_rowids[adj_b.offsets[vb] : adj_b.offsets[vb + 1]]:
+                        nbrs_b.setdefault(far_b[e], []).append(e)
+                    cache_b[vb] = nbrs_b
+                if len(nbrs_b) < len(nbrs_a):
+                    nbrs_a, nbrs_b = nbrs_b, nbrs_a
+                for nbr, edges_a in nbrs_a.items():
+                    edges_b = nbrs_b.get(nbr)
+                    if edges_b is None:
+                        continue
+                    multiplicity = len(edges_a) * len(edges_b)
+                    extended = row + (nbr,)
+                    if multiplicity == 1:
+                        out.append(extended)
+                    else:
+                        out.extend([extended] * multiplicity)
+                if len(out) >= next_check:
+                    ctx.check_size(len(out))
+                    next_check = len(out) + 16384
+            ctx.charge(len(out), self._label())
+            return out
+        for row in rows:
+            # Build neighbor -> [edges] per leg; smallest first.
+            per_leg: list[dict[int, list[int]]] = []
+            for i, (leg, from_idx, adjacency, far, epred) in enumerate(leg_state):
+                v = row[from_idx]
+                nbrs = caches[i].get(v)
+                if nbrs is None:
+                    nbrs = {}
+                    for pos in range(adjacency.offsets[v], adjacency.offsets[v + 1]):
+                        e = adjacency.edge_rowids[pos]
+                        if epred is not None and not epred(e):
+                            continue
+                        nbrs.setdefault(far[e], []).append(e)
+                    caches[i][v] = nbrs
+                per_leg.append(nbrs)
+            order = sorted(range(len(per_leg)), key=lambda i: len(per_leg[i]))
+            smallest = per_leg[order[0]]
+            common: list[int] = []
+            for nbr in smallest:
+                if all(nbr in per_leg[i] for i in order[1:]):
+                    common.append(nbr)
+            for nbr in common:
+                if vpred is not None and not vpred(nbr):
+                    continue
+                if any_edges:
+                    combos = iter_product(
+                        *(per_leg[i][nbr] for i in range(len(per_leg)))
+                    )
+                    for combo in combos:
+                        emitted = tuple(
+                            e for e, keep in zip(combo, emit_edges) if keep
+                        )
+                        out.append(row + emitted + (nbr,))
+                else:
+                    multiplicity = 1
+                    for i in range(len(per_leg)):
+                        multiplicity *= len(per_leg[i][nbr])
+                    extended = row + (nbr,)
+                    out.extend([extended] * multiplicity)
+            if len(out) >= next_check:
+                ctx.check_size(len(out))
+                next_check = len(out) + 16384
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        legs = ", ".join(f"{leg.from_var}-[{leg.edge_label}]" for leg in self.legs)
+        return f"EXPAND_INTERSECT ({legs}) -> {self.to_var}:{self.to_label}"
+
+
+class EdgeTripleScan(GraphOperator):
+    """Scan one edge relation as (src, dst, edge) rowid triples.
+
+    With the graph index this reads the precomputed EV columns; without it,
+    it executes the EVJoin of Eq. 3 as two runtime hash joins (building
+    pk -> rowid maps over the endpoint tables), which is exactly what a
+    relational engine without predefined joins must do.
+    """
+
+    def __init__(
+        self,
+        mapping: RGMapping,
+        edge_label: str,
+        src_var: str,
+        dst_var: str,
+        edge_var: str | None,
+        index: GraphIndex | None = None,
+        edge_predicate: Expr | None = None,
+        src_predicate: Expr | None = None,
+        dst_predicate: Expr | None = None,
+    ):
+        self.mapping = mapping
+        self.edge_label = edge_label
+        self.src_var = src_var
+        self.dst_var = dst_var
+        self.edge_var = edge_var
+        self.index = index
+        self.edge_predicate = edge_predicate
+        self.src_predicate = src_predicate
+        self.dst_predicate = dst_predicate
+        em = mapping.edge(edge_label)
+        self.output_vars = [
+            GraphVar(src_var, "v", em.source_label),
+            GraphVar(dst_var, "v", em.target_label),
+        ]
+        if edge_var is not None:
+            self.output_vars.append(GraphVar(edge_var, "e", edge_label))
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        em = self.mapping.edge(self.edge_label)
+        edge_table = self.mapping.edge_table(self.edge_label)
+        if self.index is not None:
+            ev = self.index.edge_index(self.edge_label)
+            src_rowids, dst_rowids = ev.src_rowids, ev.dst_rowids
+        else:
+            # Runtime EVJoin: probe the endpoint tables' primary-key hash
+            # indexes (built once per table, like any engine's PK index).
+            src_map = self.mapping.vertex_table(em.source_label).pk_index()
+            dst_map = self.mapping.vertex_table(em.target_label).pk_index()
+            src_fk = edge_table.column(em.source_key)
+            dst_fk = edge_table.column(em.target_key)
+            src_rowids = list(map(src_map.__getitem__, src_fk))
+            dst_rowids = list(map(dst_map.__getitem__, dst_fk))
+        epred = (
+            rowid_predicate(edge_table, self.edge_predicate)
+            if self.edge_predicate is not None
+            else None
+        )
+        spred = (
+            rowid_predicate(
+                self.mapping.vertex_table(em.source_label), self.src_predicate
+            )
+            if self.src_predicate is not None
+            else None
+        )
+        dpred = (
+            rowid_predicate(
+                self.mapping.vertex_table(em.target_label), self.dst_predicate
+            )
+            if self.dst_predicate is not None
+            else None
+        )
+        with_edge = self.edge_var is not None
+        if epred is None and spred is None and dpred is None:
+            # No filters: assemble the triples at C speed.
+            if with_edge:
+                pairs = zip(src_rowids, dst_rowids, range(edge_table.num_rows))
+            else:
+                pairs = zip(src_rowids, dst_rowids)
+            out = list(pairs)
+            ctx.charge(len(out), self._label())
+            return out
+        out: list[tuple] = []
+        for e in range(edge_table.num_rows):
+            if epred is not None and not epred(e):
+                continue
+            s, d = src_rowids[e], dst_rowids[e]
+            if spred is not None and not spred(s):
+                continue
+            if dpred is not None and not dpred(d):
+                continue
+            out.append((s, d, e) if with_edge else (s, d))
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        mode = "EV-index" if self.index is not None else "EVJoin"
+        return (
+            f"EDGE_SCAN {self.src_var} -[{self.edge_label}]-> {self.dst_var} ({mode})"
+        )
+
+
+class PatternHashJoin(GraphOperator):
+    """Natural join of two graph relations on their common variables."""
+
+    def __init__(self, left: GraphOperator, right: GraphOperator):
+        self.left = left
+        self.right = right
+        left_names = [v.name for v in left.output_vars]
+        right_names = [v.name for v in right.output_vars]
+        self.join_vars = [n for n in left_names if n in right_names]
+        if not self.join_vars:
+            raise PlanError("pattern join requires common variables (Eq. 2)")
+        self.right_keep = [
+            i for i, v in enumerate(right.output_vars) if v.name not in left_names
+        ]
+        self.output_vars = list(left.output_vars) + [
+            right.output_vars[i] for i in self.right_keep
+        ]
+
+    def children(self) -> list[GraphOperator]:
+        return [self.left, self.right]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        left_rows = self.left.execute(ctx)
+        right_rows = self.right.execute(ctx)
+        l_idx = [self.left.var_index(n) for n in self.join_vars]
+        r_idx = [self.right.var_index(n) for n in self.join_vars]
+        keep = self.right_keep
+        scalar = len(r_idx) == 1
+        out: list[tuple] = []
+        next_check = 16384
+        empty: list = []
+        if len(right_rows) <= len(left_rows):
+            # Build on the right (smaller); output stays left ++ right_keep.
+            build: dict = {}
+            if scalar:
+                ri = r_idx[0]
+                for row in right_rows:
+                    build.setdefault(row[ri], []).append(
+                        tuple(row[i] for i in keep)
+                    )
+                li = l_idx[0]
+                key_of = lambda row: row[li]  # noqa: E731
+            else:
+                for row in right_rows:
+                    key = tuple(row[i] for i in r_idx)
+                    build.setdefault(key, []).append(tuple(row[i] for i in keep))
+                key_of = lambda row: tuple(row[i] for i in l_idx)  # noqa: E731
+            for row in left_rows:
+                for extra in build.get(key_of(row), empty):
+                    out.append(row + extra)
+                    if len(out) >= next_check:
+                        ctx.check_size(len(out))
+                        next_check = len(out) + 16384
+        else:
+            # Build on the left (smaller), probe with the right; the output
+            # column order is unchanged.
+            build = {}
+            if scalar:
+                li = l_idx[0]
+                for row in left_rows:
+                    build.setdefault(row[li], []).append(row)
+                ri = r_idx[0]
+                rkey_of = lambda row: row[ri]  # noqa: E731
+            else:
+                for row in left_rows:
+                    key = tuple(row[i] for i in l_idx)
+                    build.setdefault(key, []).append(row)
+                rkey_of = lambda row: tuple(row[i] for i in r_idx)  # noqa: E731
+            for row in right_rows:
+                matches = build.get(rkey_of(row), empty)
+                if not matches:
+                    continue
+                extra = tuple(row[i] for i in keep)
+                for lrow in matches:
+                    out.append(lrow + extra)
+                    if len(out) >= next_check:
+                        ctx.check_size(len(out))
+                        next_check = len(out) + 16384
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        return f"PATTERN_HASH_JOIN on ({', '.join(self.join_vars)})"
+
+
+class VertexFilter(GraphOperator):
+    """Attribute predicate over a bound vertex variable."""
+
+    def __init__(self, child: GraphOperator, mapping: RGMapping, var: str, predicate: Expr):
+        self.child = child
+        self.mapping = mapping
+        self.var = var
+        self.predicate = predicate
+        self.output_vars = list(child.output_vars)
+
+    def children(self) -> list[GraphOperator]:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        rows = self.child.execute(ctx)
+        idx = self.child.var_index(self.var)
+        label = self.child.output_vars[idx].label
+        check = rowid_predicate(self.mapping.vertex_table(label), self.predicate)
+        out = [row for row in rows if check(row[idx])]
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        return f"VERTEX_FILTER {self.var} ({self.predicate})"
+
+
+class EdgeFilter(GraphOperator):
+    """Attribute predicate over a bound edge variable."""
+
+    def __init__(self, child: GraphOperator, mapping: RGMapping, var: str, predicate: Expr):
+        self.child = child
+        self.mapping = mapping
+        self.var = var
+        self.predicate = predicate
+        self.output_vars = list(child.output_vars)
+
+    def children(self) -> list[GraphOperator]:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        rows = self.child.execute(ctx)
+        idx = self.child.var_index(self.var)
+        label = self.child.output_vars[idx].label
+        check = rowid_predicate(self.mapping.edge_table(label), self.predicate)
+        out = [row for row in rows if check(row[idx])]
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        return f"EDGE_FILTER {self.var} ({self.predicate})"
+
+
+class AllDistinct(GraphOperator):
+    """The all-distinct operator: keep rows whose vertex (or edge) bindings
+    are pairwise distinct — upgrades homomorphism to isomorphism semantics."""
+
+    def __init__(self, child: GraphOperator, kind: str = "v"):
+        self.child = child
+        self.kind = kind
+        self.output_vars = list(child.output_vars)
+        self._indices = [
+            (i, var.label)
+            for i, var in enumerate(child.output_vars)
+            if var.kind == kind
+        ]
+
+    def children(self) -> list[GraphOperator]:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        rows = self.child.execute(ctx)
+        indices = self._indices
+        n = len(indices)
+        out = []
+        for row in rows:
+            elements = {(label, row[i]) for i, label in indices}
+            if len(elements) == n:
+                out.append(row)
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        return f"ALL_DISTINCT ({self.kind})"

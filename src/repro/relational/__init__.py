@@ -1,0 +1,18 @@
+"""The relational engine substrate.
+
+This subpackage is the reproduction's stand-in for DuckDB: a small columnar,
+single-threaded relational engine with a catalog, a scalar expression
+language, logical and physical plan algebras, a cost-based optimizer, and a
+row-at-a-time executor with a memory budget.
+
+All compared systems in the paper share one execution engine and differ only
+in how plans are produced (and whether the graph index is available to the
+physical layer); this package provides that shared engine.
+"""
+
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+__all__ = ["Catalog", "Column", "TableSchema", "Table", "DataType"]

@@ -1,0 +1,535 @@
+"""Scalar expression AST and compilation.
+
+Expressions appear in selections (``σ``), join conditions, projections and —
+after FilterIntoMatchRule fires — as constraints attached to pattern vertices
+and edges.  The AST is deliberately small and immutable; evaluation compiles
+an expression into a Python closure over a *layout* (a mapping from column
+name to position in the row tuple), so per-row evaluation is a chain of plain
+function calls with no name lookups.
+
+Helpers at the bottom (``split_conjuncts``, ``referenced_columns``,
+``rename_columns``) are what the optimizer rules are built out of.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import PlanError
+
+Row = tuple
+Evaluator = Callable[[Row], Any]
+
+
+# ---------------------------------------------------------------------- #
+# AST
+# ---------------------------------------------------------------------- #
+
+
+class Expr:
+    """Base class of all scalar expressions (immutable)."""
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return and_(self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return BoolOp("OR", (self, other))
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A reference to a column by (possibly qualified) name, e.g. ``p.name``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant value (int, float, str, bool, or None for NULL)."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+_COMPARISON_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """``left op right`` with SQL comparison semantics (NULL-safe)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISON_OPS:
+            raise PlanError(f"unknown comparison operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    """N-ary AND / OR."""
+
+    op: str  # "AND" | "OR"
+    args: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in ("AND", "OR"):
+            raise PlanError(f"unknown boolean operator {self.op!r}")
+        if len(self.args) < 2:
+            raise PlanError("BoolOp needs at least two arguments")
+
+    def __str__(self) -> str:
+        sep = f" {self.op} "
+        return "(" + sep.join(str(a) for a in self.args) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    arg: Expr
+
+    def __str__(self) -> str:
+        return f"(NOT {self.arg})"
+
+
+_ARITH_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b if b != 0 else None,
+    "%": lambda a, b: a % b if b != 0 else None,
+}
+
+
+@dataclass(frozen=True)
+class Arith(Expr):
+    """``left op right`` arithmetic; NULL-propagating, division by zero -> NULL."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITH_OPS:
+            raise PlanError(f"unknown arithmetic operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """SQL ``LIKE`` with ``%`` and ``_`` wildcards (and STARTS WITH sugar)."""
+
+    arg: Expr
+    pattern: str
+
+    def __str__(self) -> str:
+        return f"({self.arg} LIKE '{self.pattern}')"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``arg IN (v1, v2, ...)`` over literal values."""
+
+    arg: Expr
+    values: tuple[Any, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.values)
+        return f"({self.arg} IN ({inner}))"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    arg: Expr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        return f"({self.arg} IS {'NOT ' if self.negated else ''}NULL)"
+
+
+# ---------------------------------------------------------------------- #
+# construction helpers
+# ---------------------------------------------------------------------- #
+
+
+def col(name: str) -> ColumnRef:
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    return Literal(value)
+
+
+def eq(left: Expr | str, right: Expr | Any) -> Comparison:
+    return _cmp("=", left, right)
+
+
+def ne(left: Expr | str, right: Expr | Any) -> Comparison:
+    return _cmp("<>", left, right)
+
+
+def lt(left: Expr | str, right: Expr | Any) -> Comparison:
+    return _cmp("<", left, right)
+
+
+def le(left: Expr | str, right: Expr | Any) -> Comparison:
+    return _cmp("<=", left, right)
+
+
+def gt(left: Expr | str, right: Expr | Any) -> Comparison:
+    return _cmp(">", left, right)
+
+
+def ge(left: Expr | str, right: Expr | Any) -> Comparison:
+    return _cmp(">=", left, right)
+
+
+def _coerce(value: Expr | Any) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, str):
+        # Bare strings in the builder API are column names only when they
+        # look like identifiers with an optional qualifier; everything else
+        # must be wrapped in lit() explicitly.  To keep the builder
+        # unambiguous we treat plain strings as column references.
+        return ColumnRef(value)
+    return Literal(value)
+
+
+def _cmp(op: str, left: Expr | str, right: Expr | Any) -> Comparison:
+    left_expr = _coerce(left)
+    right_expr = right if isinstance(right, Expr) else Literal(right)
+    return Comparison(op, left_expr, right_expr)
+
+
+def and_(*args: Expr) -> Expr:
+    """Conjunction; flattens nested ANDs and drops duplicates, preserving order."""
+    flat: list[Expr] = []
+    seen: set[str] = set()
+    for arg in args:
+        parts = arg.args if isinstance(arg, BoolOp) and arg.op == "AND" else (arg,)
+        for part in parts:
+            key = str(part)
+            if key not in seen:
+                seen.add(key)
+                flat.append(part)
+    if not flat:
+        raise PlanError("and_() needs at least one argument")
+    if len(flat) == 1:
+        return flat[0]
+    return BoolOp("AND", tuple(flat))
+
+
+def starts_with(arg: Expr | str, prefix: str) -> Like:
+    return Like(_coerce(arg), prefix + "%")
+
+
+# ---------------------------------------------------------------------- #
+# compilation
+# ---------------------------------------------------------------------- #
+
+
+def _like_matcher(pattern: str) -> Callable[[str], bool]:
+    """Translate a LIKE pattern into a compiled-regex matcher.
+
+    Fast paths for the three overwhelmingly common shapes (prefix, suffix,
+    infix) avoid regex entirely.
+    """
+    if "_" not in pattern:
+        body = pattern.strip("%")
+        if "%" not in body:
+            if pattern.endswith("%") and not pattern.startswith("%"):
+                return lambda s: s.startswith(body)
+            if pattern.startswith("%") and not pattern.endswith("%"):
+                return lambda s: s.endswith(body)
+            if pattern.startswith("%") and pattern.endswith("%"):
+                return lambda s: body in s
+            return lambda s: s == body
+    regex = re.compile(
+        "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$",
+        re.DOTALL,
+    )
+    return lambda s: regex.match(s) is not None
+
+
+def compile_expr(expr: Expr, layout: Mapping[str, int]) -> Evaluator:
+    """Compile ``expr`` into a closure evaluating it against a row tuple.
+
+    Args:
+        expr: the expression to compile.
+        layout: maps each column name referenced by ``expr`` to its index in
+            the row tuples the closure will receive.
+
+    Raises:
+        PlanError: when the expression references a column absent from the
+            layout — this indicates a planner bug, not bad user input, since
+            binding happens earlier.
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, ColumnRef):
+        if expr.name in layout:
+            idx = layout[expr.name]
+        else:
+            # Unqualified references resolve when exactly one layout column
+            # has that tail (SQL's usual disambiguation rule).
+            matches = {
+                i
+                for name, i in layout.items()
+                if name.rsplit(".", 1)[-1] == expr.name
+            }
+            if len(matches) != 1:
+                raise PlanError(
+                    f"column {expr.name!r} not in layout {sorted(layout)}"
+                )
+            idx = matches.pop()
+        return lambda row: row[idx]
+    if isinstance(expr, Comparison):
+        fn = _COMPARISON_OPS[expr.op]
+        left = compile_expr(expr.left, layout)
+        right = compile_expr(expr.right, layout)
+
+        def _compare(row: Row) -> Any:
+            lv = left(row)
+            rv = right(row)
+            if lv is None or rv is None:
+                return None
+            return fn(lv, rv)
+
+        return _compare
+    if isinstance(expr, BoolOp):
+        parts = [compile_expr(a, layout) for a in expr.args]
+        if expr.op == "AND":
+
+            def _and(row: Row) -> Any:
+                saw_null = False
+                for part in parts:
+                    value = part(row)
+                    if value is None:
+                        saw_null = True
+                    elif not value:
+                        return False
+                return None if saw_null else True
+
+            return _and
+
+        def _or(row: Row) -> Any:
+            saw_null = False
+            for part in parts:
+                value = part(row)
+                if value is None:
+                    saw_null = True
+                elif value:
+                    return True
+            return None if saw_null else False
+
+        return _or
+    if isinstance(expr, Not):
+        arg = compile_expr(expr.arg, layout)
+
+        def _not(row: Row) -> Any:
+            value = arg(row)
+            return None if value is None else (not value)
+
+        return _not
+    if isinstance(expr, Arith):
+        fn = _ARITH_OPS[expr.op]
+        left = compile_expr(expr.left, layout)
+        right = compile_expr(expr.right, layout)
+
+        def _arith(row: Row) -> Any:
+            lv = left(row)
+            rv = right(row)
+            if lv is None or rv is None:
+                return None
+            return fn(lv, rv)
+
+        return _arith
+    if isinstance(expr, Like):
+        arg = compile_expr(expr.arg, layout)
+        match = _like_matcher(expr.pattern)
+
+        def _like(row: Row) -> Any:
+            value = arg(row)
+            if value is None:
+                return None
+            return match(value)
+
+        return _like
+    if isinstance(expr, InList):
+        arg = compile_expr(expr.arg, layout)
+        values = frozenset(expr.values)
+
+        def _in(row: Row) -> Any:
+            value = arg(row)
+            if value is None:
+                return None
+            return value in values
+
+        return _in
+    if isinstance(expr, IsNull):
+        arg = compile_expr(expr.arg, layout)
+        if expr.negated:
+            return lambda row: arg(row) is not None
+        return lambda row: arg(row) is None
+    raise PlanError(f"cannot compile expression {expr!r}")
+
+
+def compile_predicate(expr: Expr, layout: Mapping[str, int]) -> Callable[[Row], bool]:
+    """Like :func:`compile_expr` but collapses NULL to False (WHERE semantics)."""
+    evaluator = compile_expr(expr, layout)
+
+    def _predicate(row: Row) -> bool:
+        value = evaluator(row)
+        return bool(value) if value is not None else False
+
+    return _predicate
+
+
+# ---------------------------------------------------------------------- #
+# analysis / rewriting helpers
+# ---------------------------------------------------------------------- #
+
+
+def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a predicate into its top-level AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BoolOp) and expr.op == "AND":
+        out: list[Expr] = []
+        for arg in expr.args:
+            out.extend(split_conjuncts(arg))
+        return out
+    return [expr]
+
+
+def conjoin(conjuncts: Sequence[Expr]) -> Expr | None:
+    """Inverse of :func:`split_conjuncts`; None for an empty list."""
+    if not conjuncts:
+        return None
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return and_(*conjuncts)
+
+
+def referenced_columns(expr: Expr) -> set[str]:
+    """All column names mentioned anywhere in the expression."""
+    out: set[str] = set()
+    _collect_columns(expr, out)
+    return out
+
+
+def _collect_columns(expr: Expr, out: set[str]) -> None:
+    if isinstance(expr, ColumnRef):
+        out.add(expr.name)
+    elif isinstance(expr, (Comparison, Arith)):
+        _collect_columns(expr.left, out)
+        _collect_columns(expr.right, out)
+    elif isinstance(expr, BoolOp):
+        for arg in expr.args:
+            _collect_columns(arg, out)
+    elif isinstance(expr, Not):
+        _collect_columns(expr.arg, out)
+    elif isinstance(expr, (Like, InList, IsNull)):
+        _collect_columns(expr.arg, out)
+
+
+def rename_columns(expr: Expr, mapping: Mapping[str, str]) -> Expr:
+    """Return a copy of ``expr`` with column names substituted via ``mapping``.
+
+    Names absent from the mapping are kept as-is.
+    """
+    if isinstance(expr, ColumnRef):
+        return ColumnRef(mapping.get(expr.name, expr.name))
+    if isinstance(expr, Literal):
+        return expr
+    if isinstance(expr, Comparison):
+        return Comparison(
+            expr.op, rename_columns(expr.left, mapping), rename_columns(expr.right, mapping)
+        )
+    if isinstance(expr, Arith):
+        return Arith(
+            expr.op, rename_columns(expr.left, mapping), rename_columns(expr.right, mapping)
+        )
+    if isinstance(expr, BoolOp):
+        return BoolOp(expr.op, tuple(rename_columns(a, mapping) for a in expr.args))
+    if isinstance(expr, Not):
+        return Not(rename_columns(expr.arg, mapping))
+    if isinstance(expr, Like):
+        return Like(rename_columns(expr.arg, mapping), expr.pattern)
+    if isinstance(expr, InList):
+        return InList(rename_columns(expr.arg, mapping), expr.values)
+    if isinstance(expr, IsNull):
+        return IsNull(rename_columns(expr.arg, mapping), expr.negated)
+    raise PlanError(f"cannot rename columns in {expr!r}")
+
+
+def substitute_columns(expr: Expr, mapping: Mapping[str, Expr]) -> Expr:
+    """Replace column references by whole expressions (e.g. a constant label).
+
+    Used by the graph-agnostic transformation to splice GRAPH_TABLE output
+    columns into the outer query's predicates and projections.
+    """
+    if isinstance(expr, ColumnRef):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, Literal):
+        return expr
+    if isinstance(expr, Comparison):
+        return Comparison(
+            expr.op,
+            substitute_columns(expr.left, mapping),
+            substitute_columns(expr.right, mapping),
+        )
+    if isinstance(expr, Arith):
+        return Arith(
+            expr.op,
+            substitute_columns(expr.left, mapping),
+            substitute_columns(expr.right, mapping),
+        )
+    if isinstance(expr, BoolOp):
+        return BoolOp(expr.op, tuple(substitute_columns(a, mapping) for a in expr.args))
+    if isinstance(expr, Not):
+        return Not(substitute_columns(expr.arg, mapping))
+    if isinstance(expr, Like):
+        return Like(substitute_columns(expr.arg, mapping), expr.pattern)
+    if isinstance(expr, InList):
+        return InList(substitute_columns(expr.arg, mapping), expr.values)
+    if isinstance(expr, IsNull):
+        return IsNull(substitute_columns(expr.arg, mapping), expr.negated)
+    raise PlanError(f"cannot substitute columns in {expr!r}")
+
+
+def is_equi_join_condition(expr: Expr) -> tuple[str, str] | None:
+    """If ``expr`` is ``colA = colB``, return the pair of column names."""
+    if (
+        isinstance(expr, Comparison)
+        and expr.op == "="
+        and isinstance(expr.left, ColumnRef)
+        and isinstance(expr.right, ColumnRef)
+    ):
+        return (expr.left.name, expr.right.name)
+    return None

@@ -1,0 +1,218 @@
+"""Logical plan algebra for SPJ queries (plus sort/limit/aggregate).
+
+Logical nodes are cheap, immutable-ish descriptions; the optimizer rewrites
+them (pushdown, join reordering) and the planner lowers them to physical
+operators.  Every node exposes ``output_columns`` — qualified names like
+``p.name`` — which is the contract joins and expressions are resolved
+against.
+
+The converged framework adds one more logical node,
+:class:`repro.core.scan_graph_table.LogicalScanGraphTable`, which subclasses
+:class:`LogicalNode` and behaves like a scan from the relational optimizer's
+point of view (Sec 4.2.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.relational.expr import Expr
+
+
+class LogicalNode:
+    """Base class for logical plan nodes."""
+
+    @property
+    def output_columns(self) -> list[str]:
+        raise NotImplementedError
+
+    def children(self) -> list["LogicalNode"]:
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [pad + self._label()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class LogicalScan(LogicalNode):
+    """Scan of a base table under an alias.
+
+    ``predicate`` is a pushed-down filter evaluated during the scan;
+    ``projected`` restricts the emitted columns (projection pruning).
+    Output columns are qualified as ``alias.column``.
+    """
+
+    table_name: str
+    alias: str
+    table_columns: list[str]
+    predicate: Expr | None = None
+    projected: list[str] | None = None  # unqualified column names to keep
+
+    @property
+    def output_columns(self) -> list[str]:
+        names = self.projected if self.projected is not None else self.table_columns
+        return [f"{self.alias}.{c}" for c in names]
+
+    def children(self) -> list[LogicalNode]:
+        return []
+
+    def _label(self) -> str:
+        pred = f" filter={self.predicate}" if self.predicate is not None else ""
+        proj = f" cols={self.projected}" if self.projected is not None else ""
+        return f"Scan {self.table_name} as {self.alias}{pred}{proj}"
+
+
+@dataclass
+class LogicalFilter(LogicalNode):
+    child: LogicalNode
+    predicate: Expr
+
+    @property
+    def output_columns(self) -> list[str]:
+        return self.child.output_columns
+
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+    def _label(self) -> str:
+        return f"Filter {self.predicate}"
+
+
+@dataclass
+class LogicalProject(LogicalNode):
+    """Projection: each output column is (expression, alias)."""
+
+    child: LogicalNode
+    exprs: list[tuple[Expr, str]]
+
+    @property
+    def output_columns(self) -> list[str]:
+        return [alias for _, alias in self.exprs]
+
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+    def _label(self) -> str:
+        cols = ", ".join(f"{e} AS {a}" for e, a in self.exprs)
+        return f"Project {cols}"
+
+
+@dataclass
+class LogicalJoin(LogicalNode):
+    """Inner join; ``condition`` may be None for a cross product."""
+
+    left: LogicalNode
+    right: LogicalNode
+    condition: Expr | None
+
+    @property
+    def output_columns(self) -> list[str]:
+        return self.left.output_columns + self.right.output_columns
+
+    def children(self) -> list[LogicalNode]:
+        return [self.left, self.right]
+
+    def _label(self) -> str:
+        cond = self.condition if self.condition is not None else "TRUE (cross)"
+        return f"Join on {cond}"
+
+
+@dataclass
+class AggregateSpec:
+    """One aggregate: ``func(arg) AS alias`` with func in MIN/MAX/COUNT/SUM/AVG.
+
+    ``arg`` is None only for COUNT(*).
+    """
+
+    func: str
+    arg: Expr | None
+    alias: str
+
+    def __post_init__(self) -> None:
+        if self.func not in ("MIN", "MAX", "COUNT", "SUM", "AVG"):
+            raise PlanError(f"unknown aggregate {self.func!r}")
+        if self.arg is None and self.func != "COUNT":
+            raise PlanError(f"{self.func} requires an argument")
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        return f"{self.func}({inner}) AS {self.alias}"
+
+
+@dataclass
+class LogicalAggregate(LogicalNode):
+    child: LogicalNode
+    group_by: list[tuple[Expr, str]] = field(default_factory=list)
+    aggregates: list[AggregateSpec] = field(default_factory=list)
+
+    @property
+    def output_columns(self) -> list[str]:
+        return [alias for _, alias in self.group_by] + [a.alias for a in self.aggregates]
+
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+    def _label(self) -> str:
+        groups = ", ".join(a for _, a in self.group_by)
+        aggs = ", ".join(str(a) for a in self.aggregates)
+        return f"Aggregate group=[{groups}] aggs=[{aggs}]"
+
+
+@dataclass
+class LogicalSort(LogicalNode):
+    child: LogicalNode
+    keys: list[tuple[Expr, bool]]  # (expression, ascending)
+
+    @property
+    def output_columns(self) -> list[str]:
+        return self.child.output_columns
+
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+    def _label(self) -> str:
+        keys = ", ".join(f"{e} {'ASC' if asc else 'DESC'}" for e, asc in self.keys)
+        return f"Sort {keys}"
+
+
+@dataclass
+class LogicalLimit(LogicalNode):
+    child: LogicalNode
+    limit: int
+
+    @property
+    def output_columns(self) -> list[str]:
+        return self.child.output_columns
+
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+    def _label(self) -> str:
+        return f"Limit {self.limit}"
+
+
+@dataclass
+class LogicalDistinct(LogicalNode):
+    child: LogicalNode
+
+    @property
+    def output_columns(self) -> list[str]:
+        return self.child.output_columns
+
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+
+def walk(node: LogicalNode):
+    """Pre-order traversal over a logical plan."""
+    yield node
+    for child in node.children():
+        yield from walk(child)

@@ -1,0 +1,23 @@
+"""The relational optimizer.
+
+Profiles correspond to the paper's compared systems:
+
+* **dp** — DPsub join enumeration with a greedy fallback above a size
+  threshold, low-order statistics.  This is the "DuckDB-like" optimizer with
+  aggressive pruning (used by the DuckDB and GRainDB baselines, and by RelGo
+  for the relational component of SPJM queries).
+* **exhaustive** — a Volcano-style full enumeration without pruning, with a
+  wall-clock budget.  This is the "Calcite with default rules" baseline of
+  Fig 4b; it times out (OT) on large join graphs exactly as in the paper.
+* **histograms** — the same DP enumeration but with histogram-based
+  selectivity estimation, standing in for Umbra's more accurate cardinality
+  model (Sec 5.3.2).
+"""
+
+from repro.relational.optimizer.planner import (
+    QueryBlock,
+    RelationalOptimizer,
+    RelationalOptimizerConfig,
+)
+
+__all__ = ["QueryBlock", "RelationalOptimizer", "RelationalOptimizerConfig"]

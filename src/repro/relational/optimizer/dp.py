@@ -1,0 +1,309 @@
+"""Join-order enumeration: DPsub with a greedy fallback.
+
+The join problem is a set of leaves (base-table scans or SCAN_GRAPH_TABLE
+nodes) plus equi-join predicates between pairs of leaves.  ``dp_order``
+finds the cost-optimal bushy tree without cross products (the "DuckDB-like"
+profile — DP up to a size threshold, greedy above it, mirroring how real
+engines aggressively prune).  Cost is C_out: the sum of estimated
+intermediate result sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.relational.logical import LogicalNode
+from repro.relational.optimizer.cardinality import CardinalityModel
+
+
+@dataclass
+class JoinProblem:
+    """Leaves + equi-join edges, ready for enumeration."""
+
+    leaves: list[LogicalNode]
+    leaf_aliases: list[frozenset[str]]
+    # frozenset({i, j}) -> [(col_on_i, col_on_j), ...]
+    edges: dict[frozenset[int], list[tuple[str, str]]]
+    card_model: CardinalityModel
+    leaf_rows: list[float] = field(default_factory=list)
+    _mask_rows: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.leaf_rows:
+            self.leaf_rows = [self.card_model.leaf_rows(n) for n in self.leaves]
+
+    @property
+    def size(self) -> int:
+        return len(self.leaves)
+
+    def mask_rows(self, mask: int) -> float:
+        """Estimated cardinality of joining exactly the leaves in ``mask``.
+
+        Computed from the leaf *set* (product of leaf rows divided by the
+        distinct-value reduction of every join edge inside the set), so the
+        estimate is identical for every join order over the set — the
+        invariance dynamic programming needs for Bellman optimality.
+        """
+        cached = self._mask_rows.get(mask)
+        if cached is not None:
+            return cached
+        rows = 1.0
+        m = mask
+        while m:
+            bit = m & -m
+            m ^= bit
+            rows *= self.leaf_rows[bit.bit_length() - 1]
+        alias_map = self.alias_to_leaf()
+        for pair, conds in self.edges.items():
+            i, j = sorted(pair)
+            if (mask >> i) & 1 and (mask >> j) & 1:
+                for lcol, rcol in conds:
+                    lleaf = alias_map.get(lcol.split(".", 1)[0])
+                    rleaf = alias_map.get(rcol.split(".", 1)[0])
+                    lndv = (
+                        min(
+                            self.card_model.leaf_ndv(self.leaves[lleaf], lcol),
+                            self.leaf_rows[lleaf],
+                        )
+                        if lleaf is not None
+                        else 1.0
+                    )
+                    rndv = (
+                        min(
+                            self.card_model.leaf_ndv(self.leaves[rleaf], rcol),
+                            self.leaf_rows[rleaf],
+                        )
+                        if rleaf is not None
+                        else 1.0
+                    )
+                    rows /= max(lndv, rndv, 1.0)
+        rows = max(rows, 1e-6)
+        self._mask_rows[mask] = rows
+        return rows
+
+    def adjacency(self) -> list[int]:
+        adj = [0] * self.size
+        for pair in self.edges:
+            i, j = sorted(pair)
+            adj[i] |= 1 << j
+            adj[j] |= 1 << i
+        return adj
+
+    def alias_to_leaf(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for i, aliases in enumerate(self.leaf_aliases):
+            for alias in aliases:
+                out[alias] = i
+        return out
+
+
+@dataclass
+class JoinTree:
+    """A (sub)plan over a set of leaves, as produced by enumeration."""
+
+    mask: int
+    rows: float
+    cost: float
+    leaf: int | None = None
+    left: "JoinTree | None" = None
+    right: "JoinTree | None" = None
+    conditions: list[tuple[str, str]] = field(default_factory=list)
+
+    def leaf_indices(self) -> list[int]:
+        if self.leaf is not None:
+            return [self.leaf]
+        assert self.left is not None and self.right is not None
+        return self.left.leaf_indices() + self.right.leaf_indices()
+
+
+def _join_candidates(
+    problem: JoinProblem, left_mask: int, right_mask: int
+) -> list[tuple[str, str]]:
+    """All equi conditions crossing the two leaf sets, as (left, right) cols."""
+    out: list[tuple[str, str]] = []
+    for pair, conds in problem.edges.items():
+        i, j = sorted(pair)
+        if (left_mask >> i) & 1 and (right_mask >> j) & 1:
+            out.extend(conds if i < j else [(b, a) for a, b in conds])
+        elif (left_mask >> j) & 1 and (right_mask >> i) & 1:
+            out.extend([(b, a) for a, b in conds] if i < j else conds)
+    return out
+
+
+def _estimate_join(
+    problem: JoinProblem,
+    left: JoinTree,
+    right: JoinTree,
+    conditions: list[tuple[str, str]],
+) -> float:
+    # Order-invariant: the joined cardinality depends only on the leaf set.
+    return problem.mask_rows(left.mask | right.mask)
+
+
+def make_leaf(problem: JoinProblem, index: int) -> JoinTree:
+    rows = problem.leaf_rows[index]
+    return JoinTree(mask=1 << index, rows=rows, cost=rows, leaf=index)
+
+
+def combine(
+    problem: JoinProblem, left: JoinTree, right: JoinTree
+) -> JoinTree | None:
+    """Join two disjoint subtrees; None when no join edge crosses."""
+    conditions = _join_candidates(problem, left.mask, right.mask)
+    if not conditions:
+        return None
+    rows = _estimate_join(problem, left, right, conditions)
+    return JoinTree(
+        mask=left.mask | right.mask,
+        rows=rows,
+        cost=left.cost + right.cost + rows,
+        left=left,
+        right=right,
+        conditions=conditions,
+    )
+
+
+def cross_combine(problem: JoinProblem, left: JoinTree, right: JoinTree) -> JoinTree:
+    rows = left.rows * right.rows
+    return JoinTree(
+        mask=left.mask | right.mask,
+        rows=rows,
+        cost=left.cost + right.cost + rows,
+        left=left,
+        right=right,
+        conditions=[],
+    )
+
+
+# ---------------------------------------------------------------------- #
+# DPsub
+# ---------------------------------------------------------------------- #
+
+
+def dp_order(problem: JoinProblem) -> JoinTree:
+    """Optimal bushy tree via subset DP (over each connected component)."""
+    components = _components(problem)
+    partials = [_dp_component(problem, comp) for comp in components]
+    partials.sort(key=lambda t: t.rows)
+    plan = partials[0]
+    for other in partials[1:]:
+        plan = cross_combine(problem, plan, other)
+    return plan
+
+
+def _components(problem: JoinProblem) -> list[int]:
+    adj = problem.adjacency()
+    unseen = set(range(problem.size))
+    components = []
+    while unseen:
+        start = min(unseen)
+        mask = 1 << start
+        frontier = [start]
+        unseen.discard(start)
+        while frontier:
+            v = frontier.pop()
+            m = adj[v]
+            while m:
+                bit = m & -m
+                m ^= bit
+                u = bit.bit_length() - 1
+                if u in unseen:
+                    unseen.discard(u)
+                    mask |= bit
+                    frontier.append(u)
+        components.append(mask)
+    return components
+
+
+def _dp_component(problem: JoinProblem, component: int) -> JoinTree:
+    adj = problem.adjacency()
+    best: dict[int, JoinTree] = {}
+    members = [i for i in range(problem.size) if (component >> i) & 1]
+    for i in members:
+        best[1 << i] = make_leaf(problem, i)
+    if len(members) == 1:
+        return best[component]
+
+    def connected(mask: int) -> bool:
+        start = mask & -mask
+        seen = start
+        frontier = start
+        while frontier:
+            nxt = 0
+            m = frontier
+            while m:
+                bit = m & -m
+                m ^= bit
+                nxt |= adj[bit.bit_length() - 1]
+            nxt &= mask & ~seen
+            seen |= nxt
+            frontier = nxt
+        return seen == mask
+
+    # Enumerate connected masks in increasing popcount order.
+    masks_by_size: dict[int, list[int]] = {}
+    sub = component
+    all_submasks = []
+    m = component
+    # Iterate all submasks of the component.
+    sub = component
+    while True:
+        if sub and sub != component and connected(sub):
+            all_submasks.append(sub)
+        if sub == 0:
+            break
+        sub = (sub - 1) & component
+    all_submasks.append(component)
+    all_submasks.sort(key=lambda x: bin(x).count("1"))
+    for mask in all_submasks:
+        if mask in best:
+            continue
+        low = mask & -mask
+        candidate: JoinTree | None = None
+        inner = (mask - 1) & mask
+        while inner:
+            if inner & low:
+                rest = mask ^ inner
+                if rest and inner in best and rest in best:
+                    joined = combine(problem, best[inner], best[rest])
+                    if joined is not None and (
+                        candidate is None or joined.cost < candidate.cost
+                    ):
+                        candidate = joined
+            inner = (inner - 1) & mask
+        if candidate is not None:
+            best[mask] = candidate
+    if component not in best:  # pragma: no cover - connected components join
+        raise PlanError("DP failed to cover the component")
+    return best[component]
+
+
+# ---------------------------------------------------------------------- #
+# greedy fallback
+# ---------------------------------------------------------------------- #
+
+
+def greedy_order(problem: JoinProblem) -> JoinTree:
+    """Repeatedly join the pair with the smallest estimated output."""
+    forest: list[JoinTree] = [make_leaf(problem, i) for i in range(problem.size)]
+    while len(forest) > 1:
+        best_pair: tuple[int, int] | None = None
+        best_tree: JoinTree | None = None
+        for i in range(len(forest)):
+            for j in range(i + 1, len(forest)):
+                joined = combine(problem, forest[i], forest[j])
+                if joined is not None and (
+                    best_tree is None or joined.rows < best_tree.rows
+                ):
+                    best_tree = joined
+                    best_pair = (i, j)
+        if best_tree is None:
+            # No join edges left: cross product the two smallest.
+            forest.sort(key=lambda t: t.rows)
+            best_tree = cross_combine(problem, forest[0], forest[1])
+            best_pair = (0, 1)
+        i, j = best_pair  # type: ignore[misc]
+        forest = [t for k, t in enumerate(forest) if k not in (i, j)]
+        forest.append(best_tree)
+    return forest[0]

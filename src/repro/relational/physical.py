@@ -1,0 +1,714 @@
+"""Row-based physical operators.
+
+All operators materialize their output as a list of Python tuples; columns
+are identified by qualified names (``alias.column``).  Besides the classic
+operators (scan, filter, project, hash join, aggregate, sort, limit,
+distinct) this module implements the two **predefined-join** operators that
+GRainDB contributes (Sec 3.2.1 of the paper):
+
+* :class:`RowIdJoin` — follows an EV-index pointer column (an edge tuple's
+  stored rowid of its endpoint tuple) and fetches the vertex row by position,
+  skipping hash-table build and probe entirely.
+* :class:`CsrJoin` — follows the VE-index (CSR adjacency) from a vertex row's
+  rowid to all joinable edge rows.
+
+Scans can emit a hidden ``alias._rowid`` column and EV-index pointer columns
+so that downstream predefined joins have something to follow; the planner
+decides when to request them.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Sequence
+
+from repro.errors import PlanError
+from repro.relational.executor import ExecutionContext
+from repro.relational.expr import (
+    Expr,
+    compile_expr,
+    compile_predicate,
+    referenced_columns,
+)
+from repro.relational.logical import AggregateSpec
+from repro.relational.table import Table
+
+ROWID_COLUMN = "_rowid"
+
+
+def rowid_checker(table: Table, predicate: Expr):
+    """Compile ``predicate`` into a rowid -> bool check over ``table``.
+
+    Used by the predefined joins, whose fetched side is addressed by rowid;
+    the predicate may reference any base column (qualified or not), not just
+    projected ones.
+    """
+    names = sorted(referenced_columns(predicate))
+    arrays = [table.column(n.rsplit(".", 1)[-1]) for n in names]
+    layout = {n: i for i, n in enumerate(names)}
+    pred = compile_predicate(predicate, layout)
+    if len(arrays) == 1:
+        only = arrays[0]
+        return lambda rowid: pred((only[rowid],))
+    return lambda rowid: pred(tuple(a[rowid] for a in arrays))
+
+
+class PhysicalOperator:
+    """Base class; subclasses set ``output_columns`` in ``__init__``."""
+
+    output_columns: list[str]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        raise NotImplementedError
+
+    def children(self) -> list["PhysicalOperator"]:
+        return []
+
+    def layout(self) -> dict[str, int]:
+        return {name: i for i, name in enumerate(self.output_columns)}
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [pad + self._label()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+
+def _column_indices(
+    exprs: list[tuple["Expr", str]], columns: Sequence[str]
+) -> list[int] | None:
+    """Source indices when every projection expression is a plain column
+    reference; None when any expression needs real evaluation."""
+    from repro.relational.expr import ColumnRef
+
+    indices: list[int] = []
+    for expr, _ in exprs:
+        if not isinstance(expr, ColumnRef):
+            return None
+        try:
+            indices.append(_resolve(columns, expr.name))
+        except PlanError:
+            return None
+    return indices
+
+
+def _resolve(columns: Sequence[str], name: str) -> int:
+    """Index of ``name`` among ``columns``; tolerates unqualified names."""
+    try:
+        return list(columns).index(name)
+    except ValueError:
+        pass
+    tail_matches = [i for i, c in enumerate(columns) if c.rsplit(".", 1)[-1] == name]
+    if len(tail_matches) == 1:
+        return tail_matches[0]
+    raise PlanError(f"cannot resolve column {name!r} among {list(columns)}")
+
+
+class SeqScan(PhysicalOperator):
+    """Full scan of a base table with optional inline filter and projection.
+
+    Args:
+        table: the table to scan.
+        alias: qualifier for output column names.
+        predicate: pushed-down filter over the table's (unqualified or
+            alias-qualified) columns.
+        projected: unqualified column names to emit; None emits all.
+        emit_rowid: additionally emit ``alias._rowid`` (physical position),
+            enabling downstream predefined joins.
+        pointer_columns: extra ``(name, values)`` pairs appended to the
+            output — the EV-index rowid pointer columns of an edge table.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        alias: str,
+        predicate: Expr | None = None,
+        projected: list[str] | None = None,
+        emit_rowid: bool = False,
+        pointer_columns: list[tuple[str, list[int]]] | None = None,
+    ):
+        self.table = table
+        self.alias = alias
+        self.predicate = predicate
+        self.projected = (
+            projected if projected is not None else table.schema.column_names
+        )
+        self.emit_rowid = emit_rowid
+        self.pointer_columns = pointer_columns or []
+        self.output_columns = [f"{alias}.{c}" for c in self.projected]
+        if emit_rowid:
+            self.output_columns.append(f"{alias}.{ROWID_COLUMN}")
+        self.output_columns.extend(name for name, _ in self.pointer_columns)
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        columns = [self.table.column(c) for c in self.projected]
+        extras: list[list[Any]] = [values for _, values in self.pointer_columns]
+        n = self.table.num_rows
+        rowids: range | list[int] = range(n)
+        if self.predicate is not None:
+            # Evaluate the predicate against the full base row once, then
+            # project; the predicate may reference non-projected columns.
+            base_layout: dict[str, int] = {}
+            for i, c in enumerate(self.table.schema.column_names):
+                base_layout[c] = i
+                base_layout[f"{self.alias}.{c}"] = i
+            pred = compile_predicate(self.predicate, base_layout)
+            all_columns = [self.table.column(c) for c in self.table.schema.column_names]
+            rowids = [i for i, row in enumerate(zip(*all_columns)) if pred(row)]
+        # Assemble column-at-a-time, then zip into rows at C speed.
+        parts: list = list(columns)
+        if self.emit_rowid:
+            parts.append(rowids if isinstance(rowids, (range, list)) else list(rowids))
+        parts.extend(extras)
+        if isinstance(rowids, range):
+            if self.emit_rowid:
+                parts[len(columns)] = rowids
+            out = list(zip(*parts)) if parts else [()] * n
+        else:
+            gathered = []
+            for part in parts:
+                if part is rowids:
+                    gathered.append(rowids)
+                else:
+                    gathered.append([part[i] for i in rowids])
+            out = list(zip(*gathered)) if gathered else [()] * len(rowids)
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        pred = f" ({self.predicate})" if self.predicate is not None else ""
+        return f"SCAN_TABLE {self.table.schema.name} as {self.alias}{pred}"
+
+
+class FilterOp(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, predicate: Expr):
+        self.child = child
+        self.predicate = predicate
+        self.output_columns = list(child.output_columns)
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        rows = self.child.execute(ctx)
+        pred = compile_predicate(self.predicate, self.child.layout())
+        out = [row for row in rows if pred(row)]
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        return f"SELECTION ({self.predicate})"
+
+
+class ProjectOp(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, exprs: list[tuple[Expr, str]]):
+        self.child = child
+        self.exprs = exprs
+        self.output_columns = [alias for _, alias in exprs]
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        rows = self.child.execute(ctx)
+        layout = self.child.layout()
+        indices = _column_indices(self.exprs, self.child.output_columns)
+        if indices is not None:
+            # Rename-only projection: gather via a C-level itemgetter.
+            if len(indices) == 1:
+                i0 = indices[0]
+                out = [(row[i0],) for row in rows]
+            else:
+                getter = operator.itemgetter(*indices)
+                out = list(map(getter, rows))
+        else:
+            evaluators = [compile_expr(e, layout) for e, _ in self.exprs]
+            out = [tuple(ev(row) for ev in evaluators) for row in rows]
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        return "PROJECTION " + ", ".join(a for _, a in self.exprs)
+
+
+class HashJoin(PhysicalOperator):
+    """Inner equi-join: build a hash table on the right, probe with the left."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_keys: list[str],
+        right_keys: list[str],
+        residual: Expr | None = None,
+    ):
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise PlanError("hash join needs matching, non-empty key lists")
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.output_columns = list(left.output_columns) + list(right.output_columns)
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self.left, self.right]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        left_rows = self.left.execute(ctx)
+        right_rows = self.right.execute(ctx)
+        l_idx = [_resolve(self.left.output_columns, k) for k in self.left_keys]
+        r_idx = [_resolve(self.right.output_columns, k) for k in self.right_keys]
+        build: dict[Any, list[tuple]] = {}
+        if len(r_idx) == 1:
+            ri = r_idx[0]
+            for row in right_rows:
+                key = row[ri]
+                if key is None:
+                    continue
+                build.setdefault(key, []).append(row)
+            keys = [l_idx[0]]
+            probe_key = lambda row: row[keys[0]]  # noqa: E731
+        else:
+            for row in right_rows:
+                key = tuple(row[i] for i in r_idx)
+                if any(k is None for k in key):
+                    continue
+                build.setdefault(key, []).append(row)
+            probe_key = lambda row: tuple(row[i] for i in l_idx)  # noqa: E731
+        out: list[tuple] = []
+        next_check = 16384
+        empty: list[tuple] = []
+        for row in left_rows:
+            key = probe_key(row)
+            if key is None:
+                continue
+            for match in build.get(key, empty):
+                out.append(row + match)
+                if len(out) >= next_check:
+                    ctx.check_size(len(out))
+                    next_check = len(out) + 16384
+        if self.residual is not None:
+            pred = compile_predicate(self.residual, self.layout())
+            out = [row for row in out if pred(row)]
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        keys = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
+        return f"HASH_JOIN ({keys})"
+
+
+class NestedLoopJoin(PhysicalOperator):
+    """Fallback join for non-equi (or absent) conditions."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        condition: Expr | None,
+    ):
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.output_columns = list(left.output_columns) + list(right.output_columns)
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self.left, self.right]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        left_rows = self.left.execute(ctx)
+        right_rows = self.right.execute(ctx)
+        if self.condition is not None:
+            pred = compile_predicate(self.condition, self.layout())
+            out = [
+                lrow + rrow
+                for lrow in left_rows
+                for rrow in right_rows
+                if pred(lrow + rrow)
+            ]
+        else:
+            out = [lrow + rrow for lrow in left_rows for rrow in right_rows]
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        return f"NL_JOIN ({self.condition})"
+
+
+class RowIdJoin(PhysicalOperator):
+    """GRainDB-style predefined join along an EV-index pointer column.
+
+    For each input row, reads the pointer column (a rowid into ``table``) and
+    fetches that row directly — no hash table.  A NULL/-1 pointer drops the
+    row (inner-join semantics over a total mapping never produces these, but
+    defensive plans may).
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        pointer_column: str,
+        table: Table,
+        alias: str,
+        projected: list[str] | None = None,
+        predicate: Expr | None = None,
+        emit_rowid: bool = False,
+    ):
+        self.child = child
+        self.pointer_column = pointer_column
+        self.table = table
+        self.alias = alias
+        self.projected = (
+            projected if projected is not None else table.schema.column_names
+        )
+        self.predicate = predicate
+        self.emit_rowid = emit_rowid
+        self.output_columns = list(child.output_columns) + [
+            f"{alias}.{c}" for c in self.projected
+        ]
+        if emit_rowid:
+            self.output_columns.append(f"{alias}.{ROWID_COLUMN}")
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        rows = self.child.execute(ctx)
+        ptr = _resolve(self.child.output_columns, self.pointer_column)
+        columns = [self.table.column(c) for c in self.projected]
+        check = (
+            rowid_checker(self.table, self.predicate)
+            if self.predicate is not None
+            else None
+        )
+        if check is not None and not self.emit_rowid:
+            # Evaluate the predicate once per base row (a bitmap over the
+            # fetched table), then join with comprehensions.
+            n = self.table.num_rows
+            mask = [check(i) for i in range(n)]
+            if len(columns) == 1:
+                c0 = columns[0]
+                out = [row + (c0[row[ptr]],) for row in rows if mask[row[ptr]]]
+            elif len(columns) == 2:
+                c0, c1 = columns
+                out = [
+                    row + (c0[row[ptr]], c1[row[ptr]])
+                    for row in rows
+                    if mask[row[ptr]]
+                ]
+            else:
+                out = [
+                    row + tuple(column[row[ptr]] for column in columns)
+                    for row in rows
+                    if mask[row[ptr]]
+                ]
+            ctx.charge(len(out), self._label())
+            return out
+        # Pointer columns produced by the graph index are total (never NULL),
+        # so the common cases vectorize into single comprehensions.
+        if check is None and not self.emit_rowid:
+            if len(columns) == 1:
+                c0 = columns[0]
+                out = [row + (c0[row[ptr]],) for row in rows]
+            elif len(columns) == 2:
+                c0, c1 = columns
+                out = [row + (c0[row[ptr]], c1[row[ptr]]) for row in rows]
+            else:
+                out = [
+                    row + tuple(column[row[ptr]] for column in columns)
+                    for row in rows
+                ]
+            ctx.charge(len(out), self._label())
+            return out
+        out: list[tuple] = []
+        for row in rows:
+            rowid = row[ptr]
+            if rowid is None or rowid < 0:
+                continue
+            if check is not None and not check(rowid):
+                continue
+            fetched = tuple(column[rowid] for column in columns)
+            if self.emit_rowid:
+                out.append(row + fetched + (rowid,))
+            else:
+                out.append(row + fetched)
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        pred = f" ({self.predicate})" if self.predicate is not None else ""
+        return (
+            f"ROWID_JOIN {self.pointer_column} -> "
+            f"{self.table.schema.name} as {self.alias}{pred}"
+        )
+
+
+class CsrJoin(PhysicalOperator):
+    """GRainDB-style predefined join along a VE-index (CSR adjacency).
+
+    For each input row, reads ``vertex_rowid_column`` and expands to every
+    adjacent edge rowid recorded in the CSR, fetching edge columns (and the
+    EV pointer to the far endpoint, so a subsequent :class:`RowIdJoin` can
+    complete the hop).
+
+    Args:
+        csr_offsets / csr_edges: the CSR arrays — edges for vertex ``v`` are
+            ``csr_edges[csr_offsets[v]:csr_offsets[v + 1]]``.
+        far_pointer: optional ``(name, values)`` — the EV pointer column of
+            the edge table toward the far endpoint, emitted per edge.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        vertex_rowid_column: str,
+        csr_offsets: list[int],
+        csr_edges: list[int],
+        edge_table: Table,
+        edge_alias: str,
+        projected: list[str] | None = None,
+        predicate: Expr | None = None,
+        far_pointer: tuple[str, list[int]] | None = None,
+    ):
+        self.child = child
+        self.vertex_rowid_column = vertex_rowid_column
+        self.csr_offsets = csr_offsets
+        self.csr_edges = csr_edges
+        self.edge_table = edge_table
+        self.edge_alias = edge_alias
+        self.projected = (
+            projected if projected is not None else edge_table.schema.column_names
+        )
+        self.predicate = predicate
+        self.far_pointer = far_pointer
+        self.output_columns = list(child.output_columns) + [
+            f"{edge_alias}.{c}" for c in self.projected
+        ]
+        if far_pointer is not None:
+            self.output_columns.append(far_pointer[0])
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        rows = self.child.execute(ctx)
+        vid = _resolve(self.child.output_columns, self.vertex_rowid_column)
+        columns = [self.edge_table.column(c) for c in self.projected]
+        check = (
+            rowid_checker(self.edge_table, self.predicate)
+            if self.predicate is not None
+            else None
+        )
+        far = self.far_pointer[1] if self.far_pointer is not None else None
+        offsets, edges = self.csr_offsets, self.csr_edges
+        out: list[tuple] = []
+        next_check = 16384
+        if check is None and far is not None and len(columns) <= 1:
+            # Fast paths for the dominant shapes (edge carries at most one
+            # projected column plus the far pointer).
+            if columns:
+                c0 = columns[0]
+                for row in rows:
+                    v = row[vid]
+                    out.extend(
+                        [
+                            row + (c0[e], far[e])
+                            for e in edges[offsets[v] : offsets[v + 1]]
+                        ]
+                    )
+                    if len(out) >= next_check:
+                        ctx.check_size(len(out))
+                        next_check = len(out) + 16384
+            else:
+                for row in rows:
+                    v = row[vid]
+                    out.extend(
+                        [row + (far[e],) for e in edges[offsets[v] : offsets[v + 1]]]
+                    )
+                    if len(out) >= next_check:
+                        ctx.check_size(len(out))
+                        next_check = len(out) + 16384
+            ctx.charge(len(out), self._label())
+            return out
+        for row in rows:
+            v = row[vid]
+            if v is None:
+                continue
+            for pos in range(offsets[v], offsets[v + 1]):
+                e = edges[pos]
+                if check is not None and not check(e):
+                    continue
+                fetched = tuple(column[e] for column in columns)
+                if far is not None:
+                    out.append(row + fetched + (far[e],))
+                else:
+                    out.append(row + fetched)
+            if len(out) >= next_check:
+                ctx.check_size(len(out))
+                next_check = len(out) + 16384
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        return (
+            f"CSR_JOIN {self.vertex_rowid_column} -> "
+            f"{self.edge_table.schema.name} as {self.edge_alias}"
+        )
+
+
+class AggregateOp(PhysicalOperator):
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        group_by: list[tuple[Expr, str]],
+        aggregates: list[AggregateSpec],
+    ):
+        self.child = child
+        self.group_by = group_by
+        self.aggregates = aggregates
+        self.output_columns = [a for _, a in group_by] + [a.alias for a in aggregates]
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        rows = self.child.execute(ctx)
+        layout = self.child.layout()
+        group_evs = [compile_expr(e, layout) for e, _ in self.group_by]
+        agg_evs = [
+            compile_expr(a.arg, layout) if a.arg is not None else None
+            for a in self.aggregates
+        ]
+        groups: dict[tuple, list[list[Any]]] = {}
+        for row in rows:
+            key = tuple(ev(row) for ev in group_evs)
+            state = groups.get(key)
+            if state is None:
+                state = [[] for _ in self.aggregates]
+                groups[key] = state
+            for values, ev in zip(state, agg_evs):
+                values.append(ev(row) if ev is not None else 1)
+        if not groups and not self.group_by:
+            groups[()] = [[] for _ in self.aggregates]
+        out: list[tuple] = []
+        for key, state in groups.items():
+            aggs = tuple(
+                _finalize(spec.func, values)
+                for spec, values in zip(self.aggregates, state)
+            )
+            out.append(key + aggs)
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        return "AGGREGATE " + ", ".join(str(a) for a in self.aggregates)
+
+
+def _finalize(func: str, values: list[Any]) -> Any:
+    non_null = [v for v in values if v is not None]
+    if func == "COUNT":
+        return len(non_null)
+    if not non_null:
+        return None
+    if func == "MIN":
+        return min(non_null)
+    if func == "MAX":
+        return max(non_null)
+    if func == "SUM":
+        return sum(non_null)
+    return sum(non_null) / len(non_null)  # AVG
+
+
+class SortOp(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, keys: list[tuple[Expr, bool]]):
+        self.child = child
+        self.keys = keys
+        self.output_columns = list(child.output_columns)
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        rows = self.child.execute(ctx)
+        layout = self.child.layout()
+        # Stable multi-key sort: apply keys from least to most significant.
+        for expr, ascending in reversed(self.keys):
+            ev = compile_expr(expr, layout)
+            rows = sorted(
+                rows,
+                key=lambda row: _null_safe_key(ev(row)),
+                reverse=not ascending,
+            )
+        ctx.charge(len(rows), self._label())
+        return rows
+
+    def _label(self) -> str:
+        keys = ", ".join(f"{e} {'ASC' if asc else 'DESC'}" for e, asc in self.keys)
+        return f"SORT {keys}"
+
+
+def _null_safe_key(value: Any) -> tuple:
+    return (value is not None, value if value is not None else 0)
+
+
+class LimitOp(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, limit: int):
+        self.child = child
+        self.limit = limit
+        self.output_columns = list(child.output_columns)
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        rows = self.child.execute(ctx)[: self.limit]
+        ctx.charge(len(rows), self._label())
+        return rows
+
+    def _label(self) -> str:
+        return f"LIMIT {self.limit}"
+
+
+class DistinctOp(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator):
+        self.child = child
+        self.output_columns = list(child.output_columns)
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        rows = self.child.execute(ctx)
+        seen: set[tuple] = set()
+        out: list[tuple] = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        ctx.charge(len(out), self._label())
+        return out
+
+    def _label(self) -> str:
+        return "DISTINCT"
+
+
+class MaterializedInput(PhysicalOperator):
+    """Wrap precomputed rows as a plan leaf (used by SCAN_GRAPH_TABLE glue)."""
+
+    def __init__(self, columns: list[str], rows: list[tuple], label: str = "MATERIALIZED"):
+        self.output_columns = list(columns)
+        self.rows = rows
+        self.label_text = label
+
+    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+        ctx.charge(len(self.rows), self._label())
+        return self.rows
+
+    def _label(self) -> str:
+        return self.label_text

@@ -1,0 +1,288 @@
+"""Table and column statistics for cardinality estimation.
+
+Two tiers of statistics mirror the paper's discussion (Sec 4.3):
+
+* **Low-order statistics** — per-table row counts and per-column distinct
+  counts / min / max.  These are what the DuckDB-like and GRainDB-like
+  baselines use.
+* **Histograms** — equi-depth histograms over orderable columns, plus
+  most-common-value lists for strings.  The Umbra-like baseline uses these
+  to estimate selective predicates (e.g. ``production_year > 2000``) more
+  accurately, which is exactly the axis along which the paper reports Umbra
+  occasionally beating RelGo (JOB30 discussion, Sec 5.3.2).
+
+High-order (sub-pattern) statistics live in :mod:`repro.graph.glogue`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.relational.expr import (
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+)
+from repro.relational.table import Table
+
+# Default selectivities for predicate shapes we cannot estimate from stats.
+# These are the classic System-R magic numbers.
+DEFAULT_EQ_SELECTIVITY = 0.005
+DEFAULT_RANGE_SELECTIVITY = 0.33
+DEFAULT_LIKE_SELECTIVITY = 0.05
+DEFAULT_NOT_NULL_SELECTIVITY = 0.95
+
+
+@dataclass
+class ColumnStats:
+    """Statistics for one column."""
+
+    distinct: int
+    null_count: int
+    min_value: Any = None
+    max_value: Any = None
+    # Equi-depth histogram: sorted bucket boundaries (len = buckets + 1).
+    histogram: list[Any] | None = None
+    # Most common values with frequencies (for equality on skewed columns).
+    mcv: dict[Any, int] = field(default_factory=dict)
+
+    def eq_selectivity(self, value: Any, row_count: int) -> float:
+        """Fraction of rows with column == value."""
+        if row_count == 0:
+            return 0.0
+        if value in self.mcv:
+            return self.mcv[value] / row_count
+        if self.min_value is not None and self.max_value is not None:
+            try:
+                if value < self.min_value or value > self.max_value:
+                    return 0.0
+            except TypeError:
+                pass
+        if self.distinct <= 0:
+            return DEFAULT_EQ_SELECTIVITY
+        return 1.0 / self.distinct
+
+    def range_selectivity(self, op: str, value: Any) -> float:
+        """Fraction of rows satisfying ``column op value`` for </<=/>/>=."""
+        if self.histogram and len(self.histogram) > 1:
+            return self._histogram_fraction(op, value)
+        lo, hi = self.min_value, self.max_value
+        if lo is None or hi is None or lo == hi:
+            return DEFAULT_RANGE_SELECTIVITY
+        try:
+            if isinstance(lo, str):
+                # Interpolation over strings is meaningless; use the histogram
+                # path or fall back to the default.
+                return DEFAULT_RANGE_SELECTIVITY
+            frac = (value - lo) / (hi - lo)
+        except TypeError:
+            return DEFAULT_RANGE_SELECTIVITY
+        frac = min(max(frac, 0.0), 1.0)
+        if op in ("<", "<="):
+            return frac
+        return 1.0 - frac
+
+    def _histogram_fraction(self, op: str, value: Any) -> float:
+        bounds = self.histogram
+        assert bounds is not None
+        buckets = len(bounds) - 1
+        try:
+            pos = bisect.bisect_left(bounds, value)
+        except TypeError:
+            return DEFAULT_RANGE_SELECTIVITY
+        if pos <= 0:
+            below = 0.0
+        elif pos >= len(bounds):
+            below = 1.0
+        else:
+            # Assume uniformity within the bucket that contains ``value``.
+            below = (pos - 0.5) / buckets
+        below = min(max(below, 0.0), 1.0)
+        if op in ("<", "<="):
+            return below
+        return 1.0 - below
+
+
+@dataclass
+class TableStats:
+    """Statistics for one table."""
+
+    row_count: int
+    column_stats: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def distinct(self, column: str) -> int:
+        stats = self.column_stats.get(column)
+        if stats is None or stats.distinct <= 0:
+            return max(self.row_count, 1)
+        return stats.distinct
+
+
+def collect_stats(
+    table: Table,
+    histogram_buckets: int = 0,
+    mcv_size: int = 10,
+) -> TableStats:
+    """Scan a table once and build its statistics.
+
+    Args:
+        table: the table to analyze.
+        histogram_buckets: when > 0, build equi-depth histograms with this
+            many buckets over every orderable column (the Umbra-like tier);
+            0 produces low-order stats only (the DuckDB-like tier).
+        mcv_size: how many most-common values to keep per column.
+    """
+    stats = TableStats(row_count=table.num_rows)
+    for column in table.schema.columns:
+        values = table.column(column.name)
+        non_null = [v for v in values if v is not None]
+        null_count = len(values) - len(non_null)
+        if not non_null:
+            stats.column_stats[column.name] = ColumnStats(
+                distinct=0, null_count=null_count
+            )
+            continue
+        counts: dict[Any, int] = {}
+        for v in non_null:
+            counts[v] = counts.get(v, 0) + 1
+        try:
+            sorted_values = sorted(non_null)
+            min_value, max_value = sorted_values[0], sorted_values[-1]
+        except TypeError:
+            sorted_values = None
+            min_value = max_value = None
+        histogram = None
+        if histogram_buckets > 0 and sorted_values is not None:
+            histogram = _equi_depth_bounds(sorted_values, histogram_buckets)
+        mcv: dict[Any, int] = {}
+        if mcv_size > 0 and counts:
+            top = sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+            # Only keep values that are genuinely common (appear more than
+            # the uniform expectation), otherwise MCVs add noise.
+            uniform = len(non_null) / len(counts)
+            mcv = {v: c for v, c in top[:mcv_size] if c > uniform}
+        stats.column_stats[column.name] = ColumnStats(
+            distinct=len(counts),
+            null_count=null_count,
+            min_value=min_value,
+            max_value=max_value,
+            histogram=histogram,
+            mcv=mcv,
+        )
+    return stats
+
+
+def _equi_depth_bounds(sorted_values: list[Any], buckets: int) -> list[Any]:
+    """Bucket boundaries for an equi-depth histogram (buckets+1 boundaries)."""
+    n = len(sorted_values)
+    buckets = min(buckets, n) or 1
+    bounds = [sorted_values[0]]
+    for b in range(1, buckets):
+        bounds.append(sorted_values[(b * n) // buckets])
+    bounds.append(sorted_values[-1])
+    return bounds
+
+
+# ---------------------------------------------------------------------- #
+# predicate selectivity
+# ---------------------------------------------------------------------- #
+
+
+def predicate_selectivity(
+    expr: Expr | None,
+    stats: TableStats,
+    column_owner: str | None = None,
+) -> float:
+    """Estimated fraction of rows that satisfy ``expr``.
+
+    Conjunctions multiply, disjunctions use inclusion-exclusion, negation
+    complements.  Column names may be qualified (``alias.column``); only the
+    last component is matched against the stats.
+    """
+    if expr is None:
+        return 1.0
+    if isinstance(expr, BoolOp):
+        parts = [predicate_selectivity(a, stats, column_owner) for a in expr.args]
+        if expr.op == "AND":
+            out = 1.0
+            for p in parts:
+                out *= p
+            return out
+        out = 0.0
+        for p in parts:
+            out = out + p - out * p
+        return out
+    if isinstance(expr, Not):
+        return max(0.0, 1.0 - predicate_selectivity(expr.arg, stats, column_owner))
+    if isinstance(expr, Comparison):
+        return _comparison_selectivity(expr, stats)
+    if isinstance(expr, Like):
+        base = DEFAULT_LIKE_SELECTIVITY
+        # Longer fixed prefixes are more selective.
+        fixed = len(expr.pattern.replace("%", "").replace("_", ""))
+        return max(base / max(fixed, 1), 1e-4)
+    if isinstance(expr, InList):
+        column = _single_column(expr.arg)
+        if column is None:
+            return min(1.0, DEFAULT_EQ_SELECTIVITY * len(expr.values))
+        col_stats = _lookup(stats, column)
+        if col_stats is None:
+            return min(1.0, DEFAULT_EQ_SELECTIVITY * len(expr.values))
+        return min(
+            1.0,
+            sum(col_stats.eq_selectivity(v, stats.row_count) for v in expr.values),
+        )
+    if isinstance(expr, IsNull):
+        column = _single_column(expr.arg)
+        col_stats = _lookup(stats, column) if column else None
+        if col_stats is None or stats.row_count == 0:
+            frac_null = 1.0 - DEFAULT_NOT_NULL_SELECTIVITY
+        else:
+            frac_null = col_stats.null_count / stats.row_count
+        return (1.0 - frac_null) if expr.negated else frac_null
+    if isinstance(expr, Literal):
+        return 1.0 if expr.value else 0.0
+    return DEFAULT_RANGE_SELECTIVITY
+
+
+def _comparison_selectivity(expr: Comparison, stats: TableStats) -> float:
+    column, value = _column_vs_literal(expr)
+    if column is None:
+        # column-vs-column comparison inside one table, or something odd.
+        return DEFAULT_EQ_SELECTIVITY if expr.op == "=" else DEFAULT_RANGE_SELECTIVITY
+    col_stats = _lookup(stats, column)
+    if col_stats is None:
+        return DEFAULT_EQ_SELECTIVITY if expr.op == "=" else DEFAULT_RANGE_SELECTIVITY
+    if expr.op == "=":
+        return col_stats.eq_selectivity(value, stats.row_count)
+    if expr.op == "<>":
+        return max(0.0, 1.0 - col_stats.eq_selectivity(value, stats.row_count))
+    return col_stats.range_selectivity(expr.op, value)
+
+
+def _column_vs_literal(expr: Comparison) -> tuple[str | None, Any]:
+    if isinstance(expr.left, ColumnRef) and isinstance(expr.right, Literal):
+        return expr.left.name, expr.right.value
+    if isinstance(expr.right, ColumnRef) and isinstance(expr.left, Literal):
+        # Flip so the caller sees column-op-value with the mirrored operator.
+        return expr.right.name, expr.left.value
+    return None, None
+
+
+def _single_column(expr: Expr) -> str | None:
+    return expr.name if isinstance(expr, ColumnRef) else None
+
+
+def _lookup(stats: TableStats, column: str) -> ColumnStats | None:
+    if column in stats.column_stats:
+        return stats.column_stats[column]
+    # Qualified name: match on the unqualified tail.
+    tail = column.rsplit(".", 1)[-1]
+    return stats.column_stats.get(tail)

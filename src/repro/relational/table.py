@@ -1,0 +1,131 @@
+"""Columnar table storage.
+
+A :class:`Table` stores each column as a Python list; row ``i`` of the table
+is the ``i``-th element of every column list.  The position ``i`` is the
+tuple's **rowid**, the stable physical identifier that the graph index
+(EV-index / VE-index, Sec 3.2.1 of the paper) points at and that RGMapping
+uses as the element identifier of mapped vertices and edges.
+
+Rows are append-only: the engine is an analytical substrate for optimizer
+experiments, so updates/deletes (which would invalidate rowids and the graph
+index) are intentionally unsupported.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
+
+from repro.errors import SchemaError
+from repro.relational.schema import TableSchema
+
+
+class Table:
+    """A relation materialized column-wise.
+
+    Args:
+        schema: the table schema; column order defines the row layout.
+        rows: optional initial rows (sequences matching the schema order).
+        validate: when True (default) every appended value is checked against
+            its column type.  Bulk loaders that generate known-clean data can
+            pass False to skip per-value validation.
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        rows: Iterable[Sequence[Any]] | None = None,
+        validate: bool = True,
+    ):
+        self.schema = schema
+        self.columns: dict[str, list[Any]] = {c.name: [] for c in schema.columns}
+        self._column_list: list[list[Any]] = [self.columns[c.name] for c in schema.columns]
+        self._pk_index: dict[Any, int] | None = None
+        if rows is not None:
+            self.extend(rows, validate=validate)
+
+    # ------------------------------------------------------------------ #
+    # loading
+    # ------------------------------------------------------------------ #
+
+    def append(self, row: Sequence[Any], validate: bool = True) -> int:
+        """Append one row; returns its rowid."""
+        if len(row) != len(self._column_list):
+            raise SchemaError(
+                f"row arity {len(row)} does not match schema {self.schema.name!r} "
+                f"with {len(self._column_list)} columns"
+            )
+        if validate:
+            row = [
+                col.dtype.validate(value)
+                for col, value in zip(self.schema.columns, row)
+            ]
+        for column, value in zip(self._column_list, row):
+            column.append(value)
+        self._pk_index = None
+        return len(self._column_list[0]) - 1
+
+    def extend(self, rows: Iterable[Sequence[Any]], validate: bool = True) -> None:
+        for row in rows:
+            self.append(row, validate=validate)
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_rows(self) -> int:
+        if not self._column_list:
+            return 0
+        return len(self._column_list[0])
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def column(self, name: str) -> list[Any]:
+        """The raw column list (shared, do not mutate)."""
+        if name not in self.columns:
+            raise SchemaError(f"no column {name!r} in table {self.schema.name!r}")
+        return self.columns[name]
+
+    def row(self, rowid: int) -> tuple[Any, ...]:
+        """Materialize one row as a tuple, in schema column order."""
+        return tuple(column[rowid] for column in self._column_list)
+
+    def value(self, rowid: int, column: str) -> Any:
+        return self.columns[column][rowid]
+
+    def iter_rows(self) -> Iterator[tuple[Any, ...]]:
+        """Yield all rows in rowid order."""
+        return iter(zip(*self._column_list)) if self._column_list else iter(())
+
+    # ------------------------------------------------------------------ #
+    # primary-key lookup
+    # ------------------------------------------------------------------ #
+
+    def pk_index(self) -> dict[Any, int]:
+        """The primary-key hash index: key value -> rowid.
+
+        Built lazily on first use, cached until the next append.  Shared by
+        :meth:`pk_lookup`, RGMapping's λ-function resolution, and the
+        runtime EVJoin of :class:`repro.graph.physical.EdgeTripleScan`.
+        """
+        pk = self.schema.primary_key
+        if pk is None:
+            raise SchemaError(f"table {self.schema.name!r} has no primary key")
+        if self._pk_index is None:
+            self._pk_index = {}
+            for rowid, value in enumerate(self.columns[pk]):
+                if value in self._pk_index:
+                    raise SchemaError(
+                        f"duplicate primary key {value!r} in table {self.schema.name!r}"
+                    )
+                self._pk_index[value] = rowid
+        return self._pk_index
+
+    def pk_lookup(self, key: Any) -> int | None:
+        """Rowid of the row whose primary key equals ``key``, or None."""
+        return self.pk_index().get(key)
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema.name!r}, rows={self.num_rows})"

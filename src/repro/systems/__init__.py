@@ -1,0 +1,11 @@
+"""The compared systems of Sec 5.1, as thin configurations of one engine.
+
+All systems except Kùzu share the execution engine and differ only in
+optimizer + physical join repertoire — exactly the paper's setup ("all
+systems except Kùzu use DuckDB v0.9.2 as the relational execution engine,
+differing only in their optimizers").
+"""
+
+from repro.systems.base import System, SystemResult, make_system, standard_systems
+
+__all__ = ["System", "SystemResult", "make_system", "standard_systems"]

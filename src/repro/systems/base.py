@@ -1,0 +1,165 @@
+"""System wrappers: a uniform run() interface with OT / OOM accounting.
+
+=================  ==========================================================
+name               configuration
+=================  ==========================================================
+``relgo``          converged optimizer, graph index, rules, EI  (Sec 4.2)
+``relgo_norule``   RelGo without FilterIntoMatch / TrimAndFuse  (Fig 8)
+``relgo_noei``     RelGo with stars as traditional multi-joins  (Fig 9)
+``relgo_hash``     RelGo join orders, no graph index            (Fig 10)
+``relgo_loworder`` RelGo with GLogue disabled (low-order stats ablation)
+``duckdb``         graph-agnostic + DP optimizer + hash joins   (Sec 4.1)
+``graindb``        graph-agnostic + DP optimizer + predefined joins
+``umbra``          graph-agnostic + histogram cardinalities + graph index
+``calcite``        graph-agnostic + exhaustive Volcano search   (Fig 4b)
+``kuzu``           native-graph baseline, declaration-order plans
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.framework import RelGoConfig, RelGoFramework
+from repro.core.spjm import SPJMQuery
+from repro.core.sqlpgq import parse_and_bind
+from repro.errors import OptimizationTimeout, OutOfMemoryError
+from repro.relational.catalog import Catalog
+
+SYSTEM_CONFIGS: dict[str, RelGoConfig] = {
+    "relgo": RelGoConfig(),
+    "relgo_norule": RelGoConfig(enable_rules=False),
+    "relgo_noei": RelGoConfig(enable_expand_intersect=False),
+    "relgo_hash": RelGoConfig(use_graph_index=False),
+    "relgo_loworder": RelGoConfig(use_glogue=False),
+    "duckdb": RelGoConfig(graph_aware=False, use_graph_index=False),
+    "graindb": RelGoConfig(graph_aware=False, use_graph_index=True),
+    "umbra": RelGoConfig(graph_aware=False, use_graph_index=True, histograms=True),
+    "calcite": RelGoConfig(
+        graph_aware=False, use_graph_index=False, join_enumeration="exhaustive"
+    ),
+}
+
+
+@dataclass
+class SystemResult:
+    """One (system, query) measurement."""
+
+    system: str
+    query: str
+    status: str  # "ok" | "OOM" | "OT" | "error"
+    optimization_time: float = 0.0
+    execution_time: float = 0.0
+    rows: int = 0
+    detail: str = ""
+
+    @property
+    def total_time(self) -> float:
+        return self.optimization_time + self.execution_time
+
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class System:
+    """A named optimizer configuration bound to a catalog + graph."""
+
+    def __init__(
+        self,
+        name: str,
+        catalog: Catalog,
+        graph_name: str | None = None,
+        config: RelGoConfig | None = None,
+        memory_budget_rows: int | None = None,
+        optimizer_timeout: float | None = None,
+    ):
+        if config is None:
+            config = SYSTEM_CONFIGS[name]
+        # Copy so per-system budget/timeout tweaks do not leak.
+        self.config = RelGoConfig(**vars(config))
+        if memory_budget_rows is not None:
+            self.config.memory_budget_rows = memory_budget_rows
+        if optimizer_timeout is not None and self.config.join_enumeration == "exhaustive":
+            self.config.optimizer_timeout = optimizer_timeout
+        self.name = name
+        self.framework = RelGoFramework(catalog, graph_name, self.config)
+        self.framework.prepare()
+
+    def bind(self, query: SPJMQuery | str) -> SPJMQuery:
+        if isinstance(query, str):
+            return parse_and_bind(query, self.framework.catalog)
+        return query
+
+    def optimize(self, query: SPJMQuery | str):
+        return self.framework.optimize(self.bind(query))
+
+    def run(self, query: SPJMQuery | str, query_name: str = "") -> SystemResult:
+        """Optimize + execute with OT / OOM accounting."""
+        result = SystemResult(system=self.name, query=query_name, status="ok")
+        try:
+            bound = self.bind(query)
+        except Exception as exc:  # bind errors are reported, not raised
+            result.status = "error"
+            result.detail = f"bind: {exc}"
+            return result
+        try:
+            optimized = self.optimize(bound)
+            result.optimization_time = optimized.optimization_time
+        except OptimizationTimeout as exc:
+            result.status = "OT"
+            result.optimization_time = exc.elapsed
+            return result
+        started = time.perf_counter()
+        try:
+            query_result = self.framework.execute(optimized)
+            result.execution_time = time.perf_counter() - started
+            result.rows = len(query_result)
+        except OutOfMemoryError as exc:
+            result.status = "OOM"
+            result.execution_time = time.perf_counter() - started
+            result.detail = str(exc)
+        return result
+
+
+def make_system(
+    name: str,
+    catalog: Catalog,
+    graph_name: str | None = None,
+    memory_budget_rows: int | None = None,
+    optimizer_timeout: float | None = None,
+) -> System:
+    """Instantiate one of the named systems (including ``kuzu``)."""
+    if name == "kuzu":
+        from repro.systems.kuzu_like import KuzuLikeSystem
+
+        return KuzuLikeSystem(
+            catalog, graph_name, memory_budget_rows=memory_budget_rows
+        )
+    return System(
+        name,
+        catalog,
+        graph_name,
+        memory_budget_rows=memory_budget_rows,
+        optimizer_timeout=optimizer_timeout,
+    )
+
+
+def standard_systems(
+    catalog: Catalog,
+    graph_name: str | None = None,
+    names: list[str] | None = None,
+    memory_budget_rows: int | None = None,
+    optimizer_timeout: float | None = None,
+) -> dict[str, System]:
+    names = names or ["relgo", "graindb", "duckdb", "umbra", "kuzu"]
+    return {
+        name: make_system(
+            name,
+            catalog,
+            graph_name,
+            memory_budget_rows=memory_budget_rows,
+            optimizer_timeout=optimizer_timeout,
+        )
+        for name in names
+    }

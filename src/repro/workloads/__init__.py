@@ -1,0 +1,12 @@
+"""Benchmark workloads: LDBC SNB-like and JOB/IMDB-like datasets + queries.
+
+The paper evaluates on LDBC SNB (SF 10/30/100, official datagen) and on the
+Join Order Benchmark over the real IMDB dump.  Neither dataset is shippable
+or generatable at that scale in a pure-Python reproduction, so this package
+provides seeded synthetic generators preserving what the evaluation actually
+exercises: the schema shape (labels and PK/FK topology), the degree skew
+(power-law social edges, zipfian movie casts), and the query pattern shapes
+(paths, stars, triangles, cliques; JOB's many-join acyclic topologies).
+Scale factors are shrunk to laptop scale; see DESIGN.md for the
+substitution rationale.
+"""

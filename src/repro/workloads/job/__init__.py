@@ -1,0 +1,6 @@
+"""JOB (Join Order Benchmark) workload over a synthetic IMDB-like dataset."""
+
+from repro.workloads.job.generator import JobParams, generate_imdb
+from repro.workloads.job.queries import job_queries
+
+__all__ = ["JobParams", "generate_imdb", "job_queries"]

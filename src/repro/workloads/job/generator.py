@@ -1,0 +1,357 @@
+"""Seeded IMDB-like generator for the Join Order Benchmark.
+
+The RGMapping mirrors the paper's Fig 12: relationship-carrying tables
+(``cast_info``, ``movie_companies``, ``movie_info``, ``movie_info_idx``)
+are *vertices* with derived edge relations to their endpoints
+(``cast_info_name``, ``cast_info_title``, ``movie_companies_title``, ...),
+while the plain N:M bridge ``movie_keyword`` maps directly to a
+``title -> keyword`` edge.
+
+Value distributions are zipfian (casts and keywords concentrate on popular
+titles), and the filter columns used by the queries (keyword strings,
+country codes, name prefixes, production years, ratings) have skewed
+frequencies so selectivity estimation actually matters — that is the whole
+point of JOB.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graph.rgmapping import RGMapping
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Column, ForeignKey, TableSchema
+from repro.relational.types import DataType
+
+COUNTRY_CODES = ["[us]", "[de]", "[gb]", "[fr]", "[jp]", "[in]", "[it]", "[ca]"]
+INFO_TYPES = [
+    "budget", "votes", "rating", "genres", "languages",
+    "runtimes", "countries", "release dates",
+]
+GENRES = ["Drama", "Comedy", "Action", "Horror", "Documentary", "Thriller", "Sci-Fi"]
+COMPANY_KINDS = ["production companies", "distributors"]
+SPECIAL_KEYWORDS = [
+    "character-name-in-title", "based-on-novel", "sequel", "murder",
+    "independent-film", "love", "revenge",
+]
+
+
+@dataclass(frozen=True)
+class JobParams:
+    titles: int = 1200
+    names: int = 1500
+    keywords: int = 150
+    companies: int = 200
+    cast_per_title: float = 4.0
+    keywords_per_title: float = 2.0
+    companies_per_title: float = 1.6
+    infos_per_title: float = 2.5
+    idx_fraction: float = 0.8
+    seed: int = 11
+
+    @staticmethod
+    def scaled(scale: float, seed: int = 11) -> "JobParams":
+        return JobParams(
+            titles=max(200, int(1200 * scale)),
+            names=max(260, int(1500 * scale)),
+            keywords=max(40, int(150 * scale)),
+            companies=max(40, int(200 * scale)),
+            seed=seed,
+        )
+
+
+def _zipf_weights(n: int, exponent: float = 0.85) -> list[float]:
+    return [1.0 / ((i + 1) ** exponent) for i in range(n)]
+
+
+def generate_imdb(
+    params: JobParams | None = None, graph_name: str = "imdb"
+) -> tuple[Catalog, RGMapping]:
+    params = params or JobParams()
+    rng = random.Random(params.seed)
+    catalog = Catalog()
+    _create_tables(catalog)
+
+    # -- dimension tables -------------------------------------------------- #
+    info_type = catalog.table("info_type")
+    for i, info in enumerate(INFO_TYPES):
+        info_type.append((i, info), validate=False)
+    company_type = catalog.table("company_type")
+    for i, kind in enumerate(COMPANY_KINDS):
+        company_type.append((i, kind), validate=False)
+    keyword = catalog.table("keyword")
+    for i in range(params.keywords):
+        text = (
+            SPECIAL_KEYWORDS[i]
+            if i < len(SPECIAL_KEYWORDS)
+            else f"kw-{i}"
+        )
+        keyword.append((i, text), validate=False)
+    company = catalog.table("company_name")
+    for i in range(params.companies):
+        code = COUNTRY_CODES[min(int(rng.expovariate(1.4)), len(COUNTRY_CODES) - 1)]
+        company.append((i, f"Studio {i}", code), validate=False)
+
+    # -- titles / names ------------------------------------------------------#
+    title = catalog.table("title")
+    for i in range(params.titles):
+        year = 1950 + min(int(rng.expovariate(0.03)), 74)
+        title.append((i, f"Movie {i:05d}", 2024 - (year - 1950), 1), validate=False)
+    name = catalog.table("name")
+    for i in range(params.names):
+        letter = chr(ord("A") + (i % 26))
+        gender = "m" if rng.random() < 0.6 else "f"
+        name.append((i, f"{letter}. Actor{i:05d}", gender), validate=False)
+
+    title_weights = _zipf_weights(params.titles)
+    name_weights = _zipf_weights(params.names)
+
+    # -- cast_info (vertex) + derived edges ----------------------------------#
+    cast_info = catalog.table("cast_info")
+    ci_name = catalog.table("cast_info_name")
+    ci_title = catalog.table("cast_info_title")
+    total_cast = int(params.titles * params.cast_per_title)
+    for i in range(total_cast):
+        t = rng.choices(range(params.titles), weights=title_weights)[0]
+        n = rng.choices(range(params.names), weights=name_weights)[0]
+        cast_info.append((i, rng.randint(1, 10), f"role note {i % 7}"), validate=False)
+        ci_name.append((i, i, n), validate=False)
+        ci_title.append((i, i, t), validate=False)
+
+    # -- movie_keyword (edge) -------------------------------------------------#
+    movie_keyword = catalog.table("movie_keyword")
+    kw_weights = _zipf_weights(params.keywords, exponent=1.0)
+    total_mk = int(params.titles * params.keywords_per_title)
+    for i in range(total_mk):
+        t = rng.choices(range(params.titles), weights=title_weights)[0]
+        k = rng.choices(range(params.keywords), weights=kw_weights)[0]
+        movie_keyword.append((i, t, k), validate=False)
+
+    # -- movie_companies (vertex) + derived edges ------------------------------#
+    movie_companies = catalog.table("movie_companies")
+    mc_title = catalog.table("movie_companies_title")
+    mc_company = catalog.table("movie_companies_company")
+    mc_type = catalog.table("movie_companies_type")
+    company_weights = _zipf_weights(params.companies)
+    total_mc = int(params.titles * params.companies_per_title)
+    for i in range(total_mc):
+        t = rng.choices(range(params.titles), weights=title_weights)[0]
+        c = rng.choices(range(params.companies), weights=company_weights)[0]
+        kind = 0 if rng.random() < 0.7 else 1
+        movie_companies.append((i, f"note {i % 11}"), validate=False)
+        mc_title.append((i, i, t), validate=False)
+        mc_company.append((i, i, c), validate=False)
+        mc_type.append((i, i, kind), validate=False)
+
+    # -- movie_info / movie_info_idx (vertices) + derived edges ----------------#
+    movie_info = catalog.table("movie_info")
+    mi_title = catalog.table("movie_info_title")
+    mi_type = catalog.table("movie_info_type")
+    total_mi = int(params.titles * params.infos_per_title)
+    for i in range(total_mi):
+        t = rng.choices(range(params.titles), weights=title_weights)[0]
+        it = rng.randrange(len(INFO_TYPES))
+        if INFO_TYPES[it] == "genres":
+            info = rng.choice(GENRES)
+        elif INFO_TYPES[it] == "languages":
+            info = rng.choice(["English", "German", "French", "Japanese"])
+        else:
+            info = str(rng.randint(1, 99999))
+        movie_info.append((i, info), validate=False)
+        mi_title.append((i, i, t), validate=False)
+        mi_type.append((i, i, it), validate=False)
+
+    movie_info_idx = catalog.table("movie_info_idx")
+    midx_title = catalog.table("movie_info_idx_title")
+    midx_type = catalog.table("movie_info_idx_type")
+    rating_type = INFO_TYPES.index("rating")
+    votes_type = INFO_TYPES.index("votes")
+    count = 0
+    for t in range(params.titles):
+        if rng.random() > params.idx_fraction:
+            continue
+        rating = f"{rng.uniform(1.0, 9.9):.1f}"
+        movie_info_idx.append((count, rating), validate=False)
+        midx_title.append((count, count, t), validate=False)
+        midx_type.append((count, count, rating_type), validate=False)
+        count += 1
+        votes = str(rng.randint(10, 99999))
+        movie_info_idx.append((count, votes), validate=False)
+        midx_title.append((count, count, t), validate=False)
+        midx_type.append((count, count, votes_type), validate=False)
+        count += 1
+
+    mapping = _create_mapping(catalog, graph_name)
+    catalog.register_graph(mapping)
+    catalog.analyze()
+    return catalog, mapping
+
+
+def _create_tables(catalog: Catalog) -> None:
+    catalog.create_table(
+        TableSchema(
+            "title",
+            [
+                Column("id", DataType.INT),
+                Column("title", DataType.STRING),
+                Column("production_year", DataType.INT),
+                Column("kind_id", DataType.INT),
+            ],
+            primary_key="id",
+        )
+    )
+    catalog.create_table(
+        TableSchema(
+            "name",
+            [
+                Column("id", DataType.INT),
+                Column("name", DataType.STRING),
+                Column("gender", DataType.STRING),
+            ],
+            primary_key="id",
+        )
+    )
+    catalog.create_table(
+        TableSchema(
+            "keyword",
+            [Column("id", DataType.INT), Column("keyword", DataType.STRING)],
+            primary_key="id",
+        )
+    )
+    catalog.create_table(
+        TableSchema(
+            "company_name",
+            [
+                Column("id", DataType.INT),
+                Column("name", DataType.STRING),
+                Column("country_code", DataType.STRING),
+            ],
+            primary_key="id",
+        )
+    )
+    catalog.create_table(
+        TableSchema(
+            "info_type",
+            [Column("id", DataType.INT), Column("info", DataType.STRING)],
+            primary_key="id",
+        )
+    )
+    catalog.create_table(
+        TableSchema(
+            "company_type",
+            [Column("id", DataType.INT), Column("kind", DataType.STRING)],
+            primary_key="id",
+        )
+    )
+    catalog.create_table(
+        TableSchema(
+            "cast_info",
+            [
+                Column("id", DataType.INT),
+                Column("role_id", DataType.INT),
+                Column("note", DataType.STRING),
+            ],
+            primary_key="id",
+        )
+    )
+    catalog.create_table(
+        TableSchema(
+            "movie_companies",
+            [Column("id", DataType.INT), Column("note", DataType.STRING)],
+            primary_key="id",
+        )
+    )
+    catalog.create_table(
+        TableSchema(
+            "movie_info",
+            [Column("id", DataType.INT), Column("info", DataType.STRING)],
+            primary_key="id",
+        )
+    )
+    catalog.create_table(
+        TableSchema(
+            "movie_info_idx",
+            [Column("id", DataType.INT), Column("info", DataType.STRING)],
+            primary_key="id",
+        )
+    )
+    edge_specs = [
+        ("cast_info_name", "cast_info", "ci_id", "name", "person_id"),
+        ("cast_info_title", "cast_info", "ci_id", "title", "movie_id"),
+        ("movie_keyword", "title", "movie_id", "keyword", "keyword_id"),
+        ("movie_companies_title", "movie_companies", "mc_id", "title", "movie_id"),
+        ("movie_companies_company", "movie_companies", "mc_id", "company_name", "company_id"),
+        ("movie_companies_type", "movie_companies", "mc_id", "company_type", "type_id"),
+        ("movie_info_title", "movie_info", "mi_id", "title", "movie_id"),
+        ("movie_info_type", "movie_info", "mi_id", "info_type", "type_id"),
+        ("movie_info_idx_title", "movie_info_idx", "mi_id", "title", "movie_id"),
+        ("movie_info_idx_type", "movie_info_idx", "mi_id", "info_type", "type_id"),
+    ]
+    for table, src_table, src_col, dst_table, dst_col in edge_specs:
+        catalog.create_table(
+            TableSchema(
+                table,
+                [
+                    Column("id", DataType.INT),
+                    Column(src_col, DataType.INT),
+                    Column(dst_col, DataType.INT),
+                ],
+                primary_key="id",
+                foreign_keys=[
+                    ForeignKey(src_col, src_table, "id"),
+                    ForeignKey(dst_col, dst_table, "id"),
+                ],
+            )
+        )
+
+
+def _create_mapping(catalog: Catalog, graph_name: str) -> RGMapping:
+    mapping = RGMapping(graph_name, catalog)
+    for table in (
+        "title", "name", "keyword", "company_name", "info_type",
+        "company_type", "cast_info", "movie_companies", "movie_info",
+        "movie_info_idx",
+    ):
+        mapping.add_vertex(table)
+    mapping.add_edge(
+        "cast_info_name", source=("cast_info", "ci_id"), target=("name", "person_id")
+    )
+    mapping.add_edge(
+        "cast_info_title", source=("cast_info", "ci_id"), target=("title", "movie_id")
+    )
+    mapping.add_edge(
+        "movie_keyword", source=("title", "movie_id"), target=("keyword", "keyword_id")
+    )
+    mapping.add_edge(
+        "movie_companies_title",
+        source=("movie_companies", "mc_id"),
+        target=("title", "movie_id"),
+    )
+    mapping.add_edge(
+        "movie_companies_company",
+        source=("movie_companies", "mc_id"),
+        target=("company_name", "company_id"),
+    )
+    mapping.add_edge(
+        "movie_companies_type",
+        source=("movie_companies", "mc_id"),
+        target=("company_type", "type_id"),
+    )
+    mapping.add_edge(
+        "movie_info_title", source=("movie_info", "mi_id"), target=("title", "movie_id")
+    )
+    mapping.add_edge(
+        "movie_info_type", source=("movie_info", "mi_id"), target=("info_type", "type_id")
+    )
+    mapping.add_edge(
+        "movie_info_idx_title",
+        source=("movie_info_idx", "mi_id"),
+        target=("title", "movie_id"),
+    )
+    mapping.add_edge(
+        "movie_info_idx_type",
+        source=("movie_info_idx", "mi_id"),
+        target=("info_type", "type_id"),
+    )
+    return mapping

@@ -1,0 +1,146 @@
+"""The 33 JOB queries (the "a" variants), rebuilt over the synthetic IMDB.
+
+Real JOB queries are join-topology variations over a fixed set of building
+blocks around ``title``: keyword bridges, company bridges (with country /
+type filters), cast bridges (with name filters), info and info_idx bridges
+(with type / value / rating filters) and title-level predicates.  Each of
+the 33 entries below picks the block combination and filter selectivities
+of its namesake so the *join-ordering problem* it poses has the same shape;
+string constants refer to the synthetic generator's domains.
+
+JOB17 deliberately matches the paper's Fig 12 case study: keyword
+``character-name-in-title``, US companies, actor names starting with 'B'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class JobSpec:
+    """Feature flags for one JOB query."""
+
+    kw: object = None  # str | list[str] | None
+    country: str | None = None
+    kind: str | None = None
+    cast_prefix: str | None = None
+    gender: str | None = None
+    info: tuple[str, list[str] | None] | None = None
+    rating_gt: str | None = None
+    year_gt: int | None = None
+    year_lt: int | None = None
+    extra_outputs: list[str] = field(default_factory=list)
+
+
+def _build_query(spec: JobSpec) -> str:
+    paths: list[str] = []
+    wheres: list[str] = []
+    columns: list[str] = ["t.title AS title"]
+    outputs: list[str] = ["MIN(g.title) AS movie"]
+
+    if spec.kw is not None:
+        paths.append("(t:title)-[:movie_keyword]->(k:keyword)")
+        if isinstance(spec.kw, str):
+            wheres.append(f"k.keyword = '{spec.kw}'")
+        else:
+            values = ", ".join(f"'{v}'" for v in spec.kw)
+            wheres.append(f"k.keyword IN ({values})")
+        columns.append("k.keyword AS kw")
+    if spec.country is not None or spec.kind is not None:
+        paths.append("(mc:movie_companies)-[:movie_companies_title]->(t:title)")
+        paths.append("(mc)-[:movie_companies_company]->(cn:company_name)")
+        if spec.country is not None:
+            wheres.append(f"cn.country_code = '{spec.country}'")
+        columns.append("cn.name AS company")
+        outputs.append("MIN(g.company) AS company_name")
+        if spec.kind is not None:
+            paths.append("(mc)-[:movie_companies_type]->(ct:company_type)")
+            wheres.append(f"ct.kind = '{spec.kind}'")
+    if spec.cast_prefix is not None or spec.gender is not None:
+        paths.append("(ci:cast_info)-[:cast_info_title]->(t:title)")
+        paths.append("(ci)-[:cast_info_name]->(n:name)")
+        if spec.cast_prefix is not None:
+            wheres.append(f"n.name STARTS WITH '{spec.cast_prefix}'")
+        if spec.gender is not None:
+            wheres.append(f"n.gender = '{spec.gender}'")
+        columns.append("n.name AS actor")
+        outputs.append("MIN(g.actor) AS actor_name")
+    if spec.info is not None:
+        itype, values = spec.info
+        paths.append("(mi:movie_info)-[:movie_info_title]->(t:title)")
+        paths.append("(mi)-[:movie_info_type]->(it:info_type)")
+        wheres.append(f"it.info = '{itype}'")
+        if values:
+            joined = ", ".join(f"'{v}'" for v in values)
+            wheres.append(f"mi.info IN ({joined})")
+    if spec.rating_gt is not None:
+        paths.append("(mix:movie_info_idx)-[:movie_info_idx_title]->(t:title)")
+        paths.append("(mix)-[:movie_info_idx_type]->(it2:info_type)")
+        wheres.append("it2.info = 'rating'")
+        wheres.append(f"mix.info > '{spec.rating_gt}'")
+        columns.append("mix.info AS rating")
+        outputs.append("MIN(g.rating) AS best_rating")
+    if spec.year_gt is not None:
+        wheres.append(f"t.production_year > {spec.year_gt}")
+    if spec.year_lt is not None:
+        wheres.append(f"t.production_year < {spec.year_lt}")
+    if not paths:
+        paths.append("(t:title)-[:movie_keyword]->(k:keyword)")
+    where_clause = f"\n      WHERE {' AND '.join(wheres)}" if wheres else ""
+    paths_text = ",\n        ".join(paths)
+    return (
+        f"SELECT {', '.join(outputs)}\n"
+        f"FROM GRAPH_TABLE (imdb\n"
+        f"  MATCH {paths_text}{where_clause}\n"
+        f"  COLUMNS ({', '.join(columns)})) g"
+    )
+
+
+_SPECS: dict[str, JobSpec] = {
+    # keyword + company family (JOB 1-4, 11-12).
+    "JOB1": JobSpec(kw="sequel", country="[us]", kind="production companies"),
+    "JOB2": JobSpec(kw="character-name-in-title", country="[de]"),
+    "JOB3": JobSpec(kw=["sequel", "revenge"], year_gt=2005),
+    "JOB4": JobSpec(kw="sequel", rating_gt="5.0"),
+    # company + info family (JOB 5-6).
+    "JOB5": JobSpec(country="[fr]", info=("languages", ["French", "German"])),
+    "JOB6": JobSpec(kw="murder", cast_prefix="B", year_gt=2010),
+    # cast + company family (JOB 7-10).
+    "JOB7": JobSpec(cast_prefix="A", country="[us]", year_gt=1990, year_lt=2020),
+    "JOB8": JobSpec(cast_prefix="C", gender="f", country="[jp]"),
+    "JOB9": JobSpec(cast_prefix="D", gender="f", country="[us]", kind="distributors"),
+    "JOB10": JobSpec(cast_prefix="E", country="[gb]", kind="production companies"),
+    "JOB11": JobSpec(kw=["sequel"], country="[gb]", kind="production companies", year_gt=2000),
+    "JOB12": JobSpec(country="[us]", info=("genres", ["Drama", "Horror"]), rating_gt="6.0"),
+    # info-heavy family (JOB 13-15).
+    "JOB13": JobSpec(country="[de]", info=("rating", None), rating_gt="4.0"),
+    "JOB14": JobSpec(kw=["murder", "revenge"], info=("countries", None), rating_gt="5.5"),
+    "JOB15": JobSpec(country="[us]", info=("release dates", None), year_gt=2000),
+    # cast + keyword family (JOB 16-20).
+    "JOB16": JobSpec(kw="character-name-in-title", cast_prefix="F", country="[us]"),
+    "JOB17": JobSpec(kw="character-name-in-title", cast_prefix="B", country="[us]"),
+    "JOB18": JobSpec(cast_prefix="G", info=("budget", None), gender="m"),
+    "JOB19": JobSpec(cast_prefix="H", gender="f", country="[us]", info=("release dates", None)),
+    "JOB20": JobSpec(kw="sequel", cast_prefix="I", year_gt=1995),
+    # bigger combinations (JOB 21-33).
+    "JOB21": JobSpec(kw="sequel", country="[de]", info=("languages", ["German"])),
+    "JOB22": JobSpec(kw="revenge", country="[us]", info=("genres", ["Horror"]), year_gt=2005),
+    "JOB23": JobSpec(kw="murder", country="[us]", kind="production companies", info=("release dates", None)),
+    "JOB24": JobSpec(kw="revenge", cast_prefix="J", country="[us]", info=("genres", None)),
+    "JOB25": JobSpec(kw="murder", cast_prefix="K", gender="m", info=("genres", ["Horror", "Thriller"])),
+    "JOB26": JobSpec(kw="character-name-in-title", cast_prefix="L", rating_gt="6.5"),
+    "JOB27": JobSpec(kw="sequel", country="[gb]", kind="production companies", cast_prefix="M"),
+    "JOB28": JobSpec(kw="murder", country="[de]", info=("countries", None), rating_gt="5.0"),
+    "JOB29": JobSpec(kw="love", cast_prefix="N", gender="f", country="[us]", info=("release dates", None)),
+    "JOB30": JobSpec(kw=["murder", "revenge"], cast_prefix="O", info=("genres", ["Horror"]), year_gt=2000),
+    "JOB31": JobSpec(kw=["murder"], cast_prefix="P", gender="m", country="[de]"),
+    "JOB32": JobSpec(kw="love", country="[jp]"),
+    "JOB33": JobSpec(country="[us]", kind="distributors", rating_gt="7.0", year_gt=2010),
+}
+
+
+def job_queries(subset: list[str] | None = None) -> dict[str, str]:
+    """SQL/PGQ text of the JOB suite; ``subset`` selects query names."""
+    names = subset if subset is not None else list(_SPECS)
+    return {name: _build_query(_SPECS[name]) for name in names}

@@ -1,0 +1,12 @@
+"""LDBC SNB-like workload: schema, generator, and the IC/QR/QC query suites."""
+
+from repro.workloads.ldbc.generator import LdbcParams, generate_ldbc
+from repro.workloads.ldbc.queries import ic_queries, qc_queries, qr_queries
+
+__all__ = [
+    "LdbcParams",
+    "generate_ldbc",
+    "ic_queries",
+    "qr_queries",
+    "qc_queries",
+]

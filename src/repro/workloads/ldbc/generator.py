@@ -1,0 +1,348 @@
+"""Seeded LDBC SNB-like social network generator.
+
+Entities: Person, Post, Comment, Forum, Tag, Place.
+Relationships (each an explicit edge relation so RGMapping maps it to a
+property-graph edge, as the paper's RGMapping of LDBC does):
+
+* ``knows``            Person -> Person (stored in both directions, like the
+  LDBC datagen's symmetric friendship)
+* ``likes``            Person -> Post
+* ``has_creator``      Post -> Person
+* ``comment_creator``  Comment -> Person
+* ``reply_of``         Comment -> Post
+* ``has_tag``          Post -> Tag
+* ``has_interest``     Person -> Tag
+* ``is_located_in``    Person -> Place
+* ``has_member``       Forum -> Person
+* ``container_of``     Forum -> Post
+
+Degree skew follows the SNB spirit: person popularity is zipfian, so
+friendship and like edges concentrate on hubs — that skew is what makes
+join-order quality matter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graph.rgmapping import RGMapping
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Column, ForeignKey, TableSchema
+from repro.relational.types import DataType
+
+FIRST_NAMES = [
+    "Jan", "Jun", "Ali", "Ken", "Abe", "Ada", "Eva", "Ian", "Lee", "Mia",
+    "Noa", "Oto", "Pia", "Raj", "Sam", "Tia", "Uma", "Vik", "Wei", "Yan",
+]
+LAST_NAMES = [
+    "Smith", "Yang", "Khan", "Mueller", "Silva", "Tanaka", "Kumar", "Ivanov",
+    "Garcia", "Nguyen", "Kowalski", "Okafor", "Johansson", "Rossi", "Novak",
+]
+COUNTRIES = [
+    "China", "India", "Germany", "France", "Brazil", "Japan", "Kenya",
+    "Mexico", "Poland", "Spain", "Sweden", "Vietnam",
+]
+TAG_STEMS = ["music", "sports", "science", "art", "travel", "food", "film", "code"]
+
+
+@dataclass(frozen=True)
+class LdbcParams:
+    """Scale knobs.  ``scale`` multiplies every table linearly; the named
+    datasets of the paper map to scale 1 / 3 / 10 (LDBC10 / 30 / 100 shrunk
+    to laptop size)."""
+
+    persons: int = 300
+    avg_friends: int = 8
+    posts_per_person: float = 2.0
+    comments_per_post: float = 1.5
+    likes_per_person: float = 8.0
+    forums: int = 40
+    tags: int = 48
+    places: int = 12
+    interests_per_person: float = 3.0
+    tags_per_post: float = 1.5
+    members_per_forum: float = 20.0
+    seed: int = 7
+
+    @staticmethod
+    def scaled(scale: float, seed: int = 7) -> "LdbcParams":
+        return LdbcParams(
+            persons=max(40, int(300 * scale)),
+            forums=max(8, int(40 * scale)),
+            tags=max(16, int(48 * scale)),
+            places=12,
+            seed=seed,
+        )
+
+
+def _date(rng: random.Random, start_year: int = 2020, end_year: int = 2024) -> str:
+    year = rng.randint(start_year, end_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def _zipf_weights(n: int, exponent: float = 0.8) -> list[float]:
+    return [1.0 / ((i + 1) ** exponent) for i in range(n)]
+
+
+def generate_ldbc(
+    params: LdbcParams | None = None, graph_name: str = "snb"
+) -> tuple[Catalog, RGMapping]:
+    """Build the catalog, load synthetic data, and register the RGMapping."""
+    params = params or LdbcParams()
+    rng = random.Random(params.seed)
+    catalog = Catalog()
+
+    _create_tables(catalog)
+
+    # -- places / tags --------------------------------------------------- #
+    place_table = catalog.table("place")
+    for i in range(params.places):
+        place_table.append((i, COUNTRIES[i % len(COUNTRIES)]), validate=False)
+    tag_table = catalog.table("tag")
+    for i in range(params.tags):
+        stem = TAG_STEMS[i % len(TAG_STEMS)]
+        tag_table.append((i, f"{stem}_{i}"), validate=False)
+
+    # -- persons ----------------------------------------------------------#
+    person_table = catalog.table("person")
+    located = catalog.table("is_located_in")
+    n = params.persons
+    for i in range(n):
+        person_table.append(
+            (
+                i,
+                FIRST_NAMES[i % len(FIRST_NAMES)],
+                LAST_NAMES[(i * 7) % len(LAST_NAMES)],
+                _date(rng, 1950, 2005),
+                _date(rng, 2019, 2023),
+            ),
+            validate=False,
+        )
+        located.append((len(located), i, rng.randrange(params.places)), validate=False)
+
+    popularity = _zipf_weights(n)
+
+    # -- knows (symmetric, power-law) ------------------------------------ #
+    knows_table = catalog.table("knows")
+    knows_pairs: set[tuple[int, int]] = set()
+    target_edges = (n * params.avg_friends) // 2
+    attempts = 0
+    while len(knows_pairs) < target_edges and attempts < target_edges * 20:
+        attempts += 1
+        a = rng.choices(range(n), weights=popularity)[0]
+        b = rng.choices(range(n), weights=popularity)[0]
+        if a == b:
+            continue
+        knows_pairs.add((min(a, b), max(a, b)))
+    for a, b in sorted(knows_pairs):
+        date = _date(rng)
+        knows_table.append((len(knows_table), a, b, date), validate=False)
+        knows_table.append((len(knows_table), b, a, date), validate=False)
+
+    # -- forums ------------------------------------------------------------#
+    forum_table = catalog.table("forum")
+    member_table = catalog.table("has_member")
+    for i in range(params.forums):
+        forum_table.append(
+            (i, f"Forum {TAG_STEMS[i % len(TAG_STEMS)]} {i}", _date(rng)),
+            validate=False,
+        )
+        member_count = max(2, int(rng.expovariate(1.0 / params.members_per_forum)))
+        members = {
+            rng.choices(range(n), weights=popularity)[0]
+            for _ in range(member_count)
+        }
+        for person in sorted(members):
+            member_table.append(
+                (len(member_table), i, person, _date(rng)), validate=False
+            )
+
+    # -- posts --------------------------------------------------------------#
+    post_table = catalog.table("post")
+    creator_table = catalog.table("has_creator")
+    container_table = catalog.table("container_of")
+    has_tag_table = catalog.table("has_tag")
+    num_posts = int(n * params.posts_per_person)
+    for i in range(num_posts):
+        creator = rng.choices(range(n), weights=popularity)[0]
+        forum = rng.randrange(params.forums)
+        post_table.append(
+            (i, f"post content {i}", 20 + (i * 13) % 180, _date(rng)),
+            validate=False,
+        )
+        creator_table.append((len(creator_table), i, creator), validate=False)
+        container_table.append((len(container_table), forum, i), validate=False)
+        for _ in range(rng.randint(0, int(2 * params.tags_per_post))):
+            has_tag_table.append(
+                (len(has_tag_table), i, rng.randrange(params.tags)), validate=False
+            )
+
+    # -- comments ------------------------------------------------------------#
+    comment_table = catalog.table("comment")
+    comment_creator = catalog.table("comment_creator")
+    reply_of = catalog.table("reply_of")
+    num_comments = int(num_posts * params.comments_per_post)
+    post_weights = _zipf_weights(num_posts) if num_posts else []
+    for i in range(num_comments):
+        creator = rng.choices(range(n), weights=popularity)[0]
+        post = rng.choices(range(num_posts), weights=post_weights)[0]
+        comment_table.append(
+            (i, f"comment {i}", _date(rng)), validate=False
+        )
+        comment_creator.append((len(comment_creator), i, creator), validate=False)
+        reply_of.append((len(reply_of), i, post), validate=False)
+
+    # -- likes -----------------------------------------------------------------#
+    likes_table = catalog.table("likes")
+    total_likes = int(n * params.likes_per_person)
+    for _ in range(total_likes):
+        person = rng.choices(range(n), weights=popularity)[0]
+        post = rng.choices(range(num_posts), weights=post_weights)[0]
+        likes_table.append(
+            (len(likes_table), person, post, _date(rng)), validate=False
+        )
+
+    # -- interests ----------------------------------------------------------------#
+    interest_table = catalog.table("has_interest")
+    for person in range(n):
+        for _ in range(rng.randint(1, int(2 * params.interests_per_person))):
+            interest_table.append(
+                (len(interest_table), person, rng.randrange(params.tags)),
+                validate=False,
+            )
+
+    mapping = _create_mapping(catalog, graph_name)
+    catalog.register_graph(mapping)
+    catalog.analyze()
+    return catalog, mapping
+
+
+def _create_tables(catalog: Catalog) -> None:
+    catalog.create_table(
+        TableSchema(
+            "place",
+            [Column("id", DataType.INT), Column("name", DataType.STRING)],
+            primary_key="id",
+        )
+    )
+    catalog.create_table(
+        TableSchema(
+            "tag",
+            [Column("id", DataType.INT), Column("name", DataType.STRING)],
+            primary_key="id",
+        )
+    )
+    catalog.create_table(
+        TableSchema(
+            "person",
+            [
+                Column("id", DataType.INT),
+                Column("first_name", DataType.STRING),
+                Column("last_name", DataType.STRING),
+                Column("birthday", DataType.DATE),
+                Column("creation_date", DataType.DATE),
+            ],
+            primary_key="id",
+        )
+    )
+    catalog.create_table(
+        TableSchema(
+            "forum",
+            [
+                Column("id", DataType.INT),
+                Column("title", DataType.STRING),
+                Column("creation_date", DataType.DATE),
+            ],
+            primary_key="id",
+        )
+    )
+    catalog.create_table(
+        TableSchema(
+            "post",
+            [
+                Column("id", DataType.INT),
+                Column("content", DataType.STRING),
+                Column("length", DataType.INT),
+                Column("creation_date", DataType.DATE),
+            ],
+            primary_key="id",
+        )
+    )
+    catalog.create_table(
+        TableSchema(
+            "comment",
+            [
+                Column("id", DataType.INT),
+                Column("content", DataType.STRING),
+                Column("creation_date", DataType.DATE),
+            ],
+            primary_key="id",
+        )
+    )
+    edge_specs = [
+        ("knows", "person", "p1", "person", "p2", True),
+        ("likes", "person", "person_id", "post", "post_id", True),
+        ("has_creator", "post", "post_id", "person", "person_id", False),
+        ("comment_creator", "comment", "comment_id", "person", "person_id", False),
+        ("reply_of", "comment", "comment_id", "post", "post_id", False),
+        ("has_tag", "post", "post_id", "tag", "tag_id", False),
+        ("has_interest", "person", "person_id", "tag", "tag_id", False),
+        ("is_located_in", "person", "person_id", "place", "place_id", False),
+        ("has_member", "forum", "forum_id", "person", "person_id", True),
+        ("container_of", "forum", "forum_id", "post", "post_id", False),
+    ]
+    for name, src_table, src_col, dst_table, dst_col, dated in edge_specs:
+        columns = [
+            Column("id", DataType.INT),
+            Column(src_col, DataType.INT),
+            Column(dst_col, DataType.INT),
+        ]
+        if dated:
+            columns.append(Column("creation_date", DataType.DATE))
+        catalog.create_table(
+            TableSchema(
+                name,
+                columns,
+                primary_key="id",
+                foreign_keys=[
+                    ForeignKey(src_col, src_table, "id"),
+                    ForeignKey(dst_col, dst_table, "id"),
+                ],
+            )
+        )
+
+
+def _create_mapping(catalog: Catalog, graph_name: str) -> RGMapping:
+    mapping = RGMapping(graph_name, catalog)
+    for table in ("person", "post", "comment", "forum", "tag", "place"):
+        mapping.add_vertex(table)
+    mapping.add_edge("knows", source=("person", "p1"), target=("person", "p2"))
+    mapping.add_edge("likes", source=("person", "person_id"), target=("post", "post_id"))
+    mapping.add_edge(
+        "has_creator", source=("post", "post_id"), target=("person", "person_id")
+    )
+    mapping.add_edge(
+        "comment_creator",
+        source=("comment", "comment_id"),
+        target=("person", "person_id"),
+    )
+    mapping.add_edge(
+        "reply_of", source=("comment", "comment_id"), target=("post", "post_id")
+    )
+    mapping.add_edge("has_tag", source=("post", "post_id"), target=("tag", "tag_id"))
+    mapping.add_edge(
+        "has_interest", source=("person", "person_id"), target=("tag", "tag_id")
+    )
+    mapping.add_edge(
+        "is_located_in", source=("person", "person_id"), target=("place", "place_id")
+    )
+    mapping.add_edge(
+        "has_member", source=("forum", "forum_id"), target=("person", "person_id")
+    )
+    mapping.add_edge(
+        "container_of", source=("forum", "forum_id"), target=("post", "post_id")
+    )
+    return mapping

@@ -1,0 +1,215 @@
+"""The LDBC query suites: IC*, QR1-4, QC1-3 (Sec 5.1).
+
+The paper evaluates LDBC Interactive Complex reads IC1..9, 11, 12 (10, 13,
+14 excluded as unsupported), splitting variable-length paths into
+fixed-length variants with an ``-l`` suffix; plus two custom suites:
+
+* QR1/QR2 exercise FilterIntoMatchRule (selective predicates phrased in the
+  *outer* WHERE over GRAPH_TABLE columns) and QR3/QR4 TrimAndFuseRule
+  (multi-hop patterns projecting vertex attributes only);
+* QC1/QC2/QC3 are the cyclic patterns (triangle / square / 4-clique) that
+  exercise EXPAND_INTERSECT.
+
+Queries are SQL/PGQ text over the ``snb`` graph of
+:mod:`repro.workloads.ldbc.generator`, simplified relative to the full LDBC
+specification but preserving each query's pattern shape (path length,
+star/cycle structure, selective anchors) — the property the optimizer
+experiments measure.
+"""
+
+from __future__ import annotations
+
+
+def _knows_path(length: int, first: str = "p0") -> str:
+    """(p0)-[:knows]->(p1)-...->(p<length>)."""
+    parts = [f"({first}:person)"]
+    for i in range(1, length + 1):
+        parts.append(f"-[:knows]->(p{i}:person)")
+    return "".join(parts)
+
+
+def ic_queries() -> dict[str, str]:
+    """The 18 IC variants evaluated in Fig 4b / Fig 11a."""
+    queries: dict[str, str] = {}
+    # IC1-l: friends within l hops with a given first name.
+    for length in (1, 2, 3):
+        queries[f"IC1-{length}"] = f"""
+        SELECT fn, ln FROM GRAPH_TABLE (snb
+          MATCH {_knows_path(length)}
+          WHERE p0.first_name = 'Jan'
+          COLUMNS (p{length}.first_name AS fn, p{length}.last_name AS ln)) g
+        """
+    # IC2: recent posts of friends.
+    queries["IC2"] = """
+    SELECT fn, content, cdate FROM GRAPH_TABLE (snb
+      MATCH (p:person)-[:knows]->(f:person)<-[:has_creator]-(m:post)
+      WHERE p.first_name = 'Jun' AND m.creation_date <= '2024-06-01'
+      COLUMNS (f.first_name AS fn, m.content AS content,
+               m.creation_date AS cdate)) g
+    ORDER BY cdate DESC LIMIT 20
+    """
+    # IC3-l: friends at distance l located in a given country.
+    for length in (1, 2):
+        queries[f"IC3-{length}"] = f"""
+        SELECT fn, place FROM GRAPH_TABLE (snb
+          MATCH {_knows_path(length)},
+                (p{length})-[:is_located_in]->(c:place)
+          WHERE p0.first_name = 'Ali' AND c.name = 'Germany'
+          COLUMNS (p{length}.first_name AS fn, c.name AS place)) g
+        """
+    # IC4: tags of posts created by friends, counted.
+    queries["IC4"] = """
+    SELECT g.tname AS tname, COUNT(*) AS cnt FROM GRAPH_TABLE (snb
+      MATCH (p:person)-[:knows]->(f:person)<-[:has_creator]-(m:post),
+            (m)-[:has_tag]->(t:tag)
+      WHERE p.first_name = 'Ken'
+      COLUMNS (t.name AS tname)) g
+    GROUP BY g.tname ORDER BY cnt DESC, tname ASC LIMIT 10
+    """
+    # IC5-l: forums the l-hop friends joined, where they also posted
+    # (contains a cycle through forum membership + containment).
+    for length in (1, 2):
+        queries[f"IC5-{length}"] = f"""
+        SELECT g.title AS title, COUNT(*) AS cnt FROM GRAPH_TABLE (snb
+          MATCH {_knows_path(length)},
+                (fo:forum)-[:has_member]->(p{length}),
+                (fo)-[:container_of]->(m:post),
+                (m)-[:has_creator]->(p{length})
+          WHERE p0.first_name = 'Abe'
+          COLUMNS (fo.title AS title)) g
+        GROUP BY g.title ORDER BY cnt DESC, title ASC LIMIT 10
+        """
+    # IC6-l: tags co-occurring with a given tag on friends' posts.
+    for length in (1, 2):
+        queries[f"IC6-{length}"] = f"""
+        SELECT g.other AS other, COUNT(*) AS cnt FROM GRAPH_TABLE (snb
+          MATCH {_knows_path(length)},
+                (m:post)-[:has_creator]->(p{length}),
+                (m)-[:has_tag]->(t1:tag),
+                (m)-[:has_tag]->(t2:tag)
+          WHERE p0.first_name = 'Ada' AND t1.name = 'music_0'
+          COLUMNS (t2.name AS other)) g
+    GROUP BY g.other ORDER BY cnt DESC, other ASC LIMIT 10
+        """
+    # IC7: people who liked my posts; friendship closes a triangle.
+    queries["IC7"] = """
+    SELECT fn, ldate FROM GRAPH_TABLE (snb
+      MATCH (p:person)-[:knows]->(f:person),
+            (f)-[l:likes]->(m:post),
+            (m)-[:has_creator]->(p)
+      WHERE p.first_name = 'Eva'
+      COLUMNS (f.first_name AS fn, l.creation_date AS ldate)) g
+    ORDER BY ldate DESC LIMIT 20
+    """
+    # IC8: recent replies to my posts.
+    queries["IC8"] = """
+    SELECT author, content FROM GRAPH_TABLE (snb
+      MATCH (c:comment)-[:reply_of]->(m:post)-[:has_creator]->(p:person),
+            (c)-[:comment_creator]->(a:person)
+      WHERE p.first_name = 'Ian'
+      COLUMNS (a.first_name AS author, c.content AS content,
+               c.creation_date AS cdate)) g
+    ORDER BY cdate DESC LIMIT 20
+    """
+    # IC9-l: recent posts by friends within l hops.
+    for length in (1, 2):
+        queries[f"IC9-{length}"] = f"""
+        SELECT fn, content FROM GRAPH_TABLE (snb
+          MATCH {_knows_path(length)},
+                (m:post)-[:has_creator]->(p{length})
+          WHERE p0.first_name = 'Lee' AND m.creation_date <= '2024-01-01'
+          COLUMNS (p{length}.first_name AS fn, m.content AS content,
+                   m.creation_date AS cdate)) g
+        ORDER BY cdate DESC LIMIT 20
+        """
+    # IC11-l: friends interested in tags of a given family (stand-in for the
+    # works-at query; the generator has no organisations).
+    for length in (1, 2):
+        queries[f"IC11-{length}"] = f"""
+        SELECT fn, tname FROM GRAPH_TABLE (snb
+          MATCH {_knows_path(length)},
+                (p{length})-[:has_interest]->(t:tag)
+          WHERE p0.first_name = 'Mia' AND t.name STARTS WITH 'code'
+          COLUMNS (p{length}.first_name AS fn, t.name AS tname)) g
+        """
+    # IC12: expert search — friends commenting on posts with a given tag.
+    queries["IC12"] = """
+    SELECT g.fn AS fn, COUNT(*) AS cnt FROM GRAPH_TABLE (snb
+      MATCH (p:person)-[:knows]->(f:person),
+            (c:comment)-[:comment_creator]->(f),
+            (c)-[:reply_of]->(m:post),
+            (m)-[:has_tag]->(t:tag)
+      WHERE p.first_name = 'Noa' AND t.name STARTS WITH 'science'
+      COLUMNS (f.first_name AS fn)) g
+    GROUP BY g.fn ORDER BY cnt DESC, fn ASC LIMIT 20
+    """
+    return queries
+
+
+def qr_queries() -> dict[str, str]:
+    """QR1/QR2: FilterIntoMatchRule; QR3/QR4: TrimAndFuseRule (Fig 8).
+
+    QR1/QR2 put their (very selective) predicates in the *outer* WHERE over
+    the GRAPH_TABLE columns — only FilterIntoMatchRule can rescue them.
+    QR3/QR4 are multi-hop patterns projecting vertex attributes only, so the
+    field trimmer can drop every edge column and fuse EXPANDs.
+    """
+    return {
+        "QR1": """
+        SELECT fn2 FROM GRAPH_TABLE (snb
+          MATCH (a:person)-[:knows]->(b:person)-[:knows]->(c:person)
+          COLUMNS (a.id AS aid, a.first_name AS fn0, c.first_name AS fn2)) g
+        WHERE g.aid = 5
+        """,
+        "QR2": """
+        SELECT content FROM GRAPH_TABLE (snb
+          MATCH (a:person)-[:knows]->(b:person),
+                (m:post)-[:has_creator]->(b)
+          COLUMNS (a.first_name AS fn, m.content AS content,
+                   m.creation_date AS cdate)) g
+        WHERE g.fn = 'Jan' AND g.cdate >= '2024-01-01'
+        """,
+        "QR3": """
+        SELECT fn3 FROM GRAPH_TABLE (snb
+          MATCH (a:person)-[e1:knows]->(b:person)-[e2:knows]->(c:person)
+                -[e3:knows]->(d:person)
+          WHERE a.first_name = 'Eva'
+          COLUMNS (d.first_name AS fn3)) g
+        """,
+        "QR4": """
+        SELECT tname FROM GRAPH_TABLE (snb
+          MATCH (a:person)-[e1:knows]->(b:person),
+                (m:post)-[e2:has_creator]->(b),
+                (m)-[e3:has_tag]->(t:tag)
+          WHERE a.first_name = 'Uma'
+          COLUMNS (t.name AS tname)) g
+        """,
+    }
+
+
+def qc_queries() -> dict[str, str]:
+    """QC1 triangle, QC2 square, QC3 4-clique over knows (Fig 9)."""
+    return {
+        "QC1": """
+        SELECT a_id, b_id, c_id FROM GRAPH_TABLE (snb
+          MATCH (a:person)-[:knows]->(b:person)-[:knows]->(c:person),
+                (a)-[:knows]->(c)
+          COLUMNS (a.id AS a_id, b.id AS b_id, c.id AS c_id)) g
+        """,
+        "QC2": """
+        SELECT a_id, c_id FROM GRAPH_TABLE (snb
+          MATCH (a:person)-[:knows]->(b:person)-[:knows]->(c:person),
+                (a)-[:knows]->(d:person)-[:knows]->(c)
+          COLUMNS (a.id AS a_id, c.id AS c_id)) g
+        """,
+        "QC3": """
+        SELECT a_id FROM GRAPH_TABLE (snb
+          MATCH (a:person)-[:knows]->(b:person),
+                (a)-[:knows]->(c:person),
+                (a)-[:knows]->(d:person),
+                (b)-[:knows]->(c),
+                (b)-[:knows]->(d),
+                (c)-[:knows]->(d)
+          COLUMNS (a.id AS a_id)) g
+        """,
+    }

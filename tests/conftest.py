@@ -1,0 +1,115 @@
+"""Shared fixtures.
+
+``fig2_catalog`` reproduces the running example of the paper's Figure 2:
+Person / Message / Likes / Knows / Place relations, the RGMapping onto the
+property graph G, and the graph index.  Ground-truth matching results on
+this graph are known by hand, so most correctness tests are phrased
+against it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.index import build_graph_index
+from repro.graph.rgmapping import RGMapping
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Column, ForeignKey, TableSchema
+from repro.relational.types import DataType
+
+
+def build_fig2_catalog() -> tuple[Catalog, RGMapping]:
+    catalog = Catalog()
+    catalog.create_table(
+        TableSchema(
+            "Person",
+            [
+                Column("person_id", DataType.INT),
+                Column("name", DataType.STRING),
+                Column("place_id", DataType.INT),
+            ],
+            primary_key="person_id",
+            foreign_keys=[ForeignKey("place_id", "Place", "id")],
+        ),
+        rows=[
+            (1, "Tom", 101),
+            (2, "Bob", 102),
+            (3, "David", 103),
+        ],
+    )
+    catalog.create_table(
+        TableSchema(
+            "Message",
+            [Column("message_id", DataType.INT), Column("content", DataType.STRING)],
+            primary_key="message_id",
+        ),
+        rows=[(11, "m1-content"), (12, "m2-content")],
+    )
+    catalog.create_table(
+        TableSchema(
+            "Likes",
+            [
+                Column("likes_id", DataType.INT),
+                Column("pid", DataType.INT),
+                Column("mid", DataType.INT),
+                Column("date", DataType.DATE),
+            ],
+            primary_key="likes_id",
+            foreign_keys=[
+                ForeignKey("pid", "Person", "person_id"),
+                ForeignKey("mid", "Message", "message_id"),
+            ],
+        ),
+        rows=[
+            (1, 1, 11, "2024-03-31"),
+            (2, 2, 11, "2024-03-28"),
+            (3, 2, 12, "2024-03-20"),
+            (4, 3, 12, "2024-03-21"),
+        ],
+    )
+    catalog.create_table(
+        TableSchema(
+            "Knows",
+            [
+                Column("knows_id", DataType.INT),
+                Column("pid1", DataType.INT),
+                Column("pid2", DataType.INT),
+                Column("date", DataType.DATE),
+            ],
+            primary_key="knows_id",
+            foreign_keys=[
+                ForeignKey("pid1", "Person", "person_id"),
+                ForeignKey("pid2", "Person", "person_id"),
+            ],
+        ),
+        rows=[
+            (1, 1, 2, "2023-01-15"),
+            (2, 2, 1, "2023-01-15"),
+            (3, 2, 3, "2023-02-18"),
+            (4, 3, 2, "2023-02-18"),
+        ],
+    )
+    catalog.create_table(
+        TableSchema(
+            "Place",
+            [Column("id", DataType.INT), Column("name", DataType.STRING)],
+            primary_key="id",
+        ),
+        rows=[(101, "Germany"), (102, "Denmark"), (103, "China")],
+    )
+    mapping = RGMapping("G", catalog)
+    mapping.add_vertex("Person")
+    mapping.add_vertex("Message")
+    mapping.add_edge("Likes", source=("Person", "pid"), target=("Message", "mid"))
+    mapping.add_edge("Knows", source=("Person", "pid1"), target=("Person", "pid2"))
+    catalog.register_graph(mapping)
+    catalog.analyze()
+    return catalog, mapping
+
+
+@pytest.fixture(scope="session")
+def fig2():
+    catalog, mapping = build_fig2_catalog()
+    index = build_graph_index(mapping)
+    catalog.register_graph_index(index)
+    return catalog, mapping, index

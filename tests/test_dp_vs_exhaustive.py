@@ -1,0 +1,76 @@
+"""DPsub must find the same optimal cost as full enumeration — the classic
+dynamic-programming optimality invariant, checked on random join graphs."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.catalog import Catalog
+from repro.relational.optimizer.cardinality import CardinalityModel
+from repro.relational.optimizer.dp import JoinProblem, dp_order, greedy_order
+from repro.relational.optimizer.volcano import ExhaustiveEnumerator
+from repro.relational.logical import LogicalScan
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+
+
+@st.composite
+def join_problems(draw):
+    """Random connected join problems over 2..6 relations."""
+    n = draw(st.integers(2, 6))
+    catalog = Catalog()
+    leaves = []
+    aliases = []
+    for i in range(n):
+        rows = draw(st.integers(1, 500))
+        name = f"t{i}"
+        catalog.create_table(
+            TableSchema(name, [Column("k", DataType.INT)]),
+            rows=[(j % max(rows // 3, 1),) for j in range(rows)],
+        )
+        leaves.append(LogicalScan(name, f"a{i}", ["k"]))
+        aliases.append(frozenset({f"a{i}"}))
+    edges = {}
+    # Spanning tree keeps it connected; extra random edges allowed.
+    for i in range(1, n):
+        j = draw(st.integers(0, i - 1))
+        edges[frozenset({j, i})] = [(f"a{j}.k", f"a{i}.k")]
+    for _ in range(draw(st.integers(0, 2))):
+        i = draw(st.integers(0, n - 1))
+        j = draw(st.integers(0, n - 1))
+        if i != j:
+            edges.setdefault(frozenset({i, j}), [(f"a{min(i,j)}.k", f"a{max(i,j)}.k")])
+    return JoinProblem(
+        leaves=leaves,
+        leaf_aliases=aliases,
+        edges=edges,
+        card_model=CardinalityModel(catalog),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(join_problems())
+def test_dp_matches_exhaustive_optimum(problem):
+    dp_tree = dp_order(problem)
+    exhaustive = ExhaustiveEnumerator(problem).best_plan_allow_cross()
+    assert dp_tree.cost <= exhaustive.cost * (1 + 1e-9)
+    assert exhaustive.cost <= dp_tree.cost * (1 + 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(join_problems())
+def test_greedy_never_beats_dp(problem):
+    dp_tree = dp_order(problem)
+    greedy_tree = greedy_order(problem)
+    assert greedy_tree.cost >= dp_tree.cost * (1 - 1e-9)
+    # Both cover all leaves exactly once.
+    assert sorted(greedy_tree.leaf_indices()) == sorted(dp_tree.leaf_indices())
+
+
+@settings(max_examples=30, deadline=None)
+@given(join_problems())
+def test_trees_cover_all_relations(problem):
+    tree = dp_order(problem)
+    assert sorted(tree.leaf_indices()) == list(range(problem.size))
+    assert tree.mask == (1 << problem.size) - 1

@@ -1,0 +1,140 @@
+"""Property-based tests for the expression layer (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.expr import (
+    Arith,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    and_,
+    compile_expr,
+    compile_predicate,
+    conjoin,
+    referenced_columns,
+    rename_columns,
+    split_conjuncts,
+    substitute_columns,
+)
+
+COLUMNS = ["t.a", "t.b", "t.c"]
+LAYOUT = {name: i for i, name in enumerate(COLUMNS)}
+
+
+@st.composite
+def exprs(draw, depth: int = 0):
+    if depth >= 3:
+        return draw(
+            st.one_of(
+                st.sampled_from([ColumnRef(c) for c in COLUMNS]),
+                st.integers(-5, 5).map(Literal),
+            )
+        )
+    choice = draw(st.integers(0, 6))
+    if choice == 0:
+        return ColumnRef(draw(st.sampled_from(COLUMNS)))
+    if choice == 1:
+        return Literal(draw(st.integers(-5, 5)))
+    if choice == 2:
+        op = draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
+        return Comparison(op, draw(exprs(depth + 1)), draw(exprs(depth + 1)))
+    if choice == 3:
+        op = draw(st.sampled_from(["AND", "OR"]))
+        return BoolOp(op, (draw(exprs(depth + 1)), draw(exprs(depth + 1))))
+    if choice == 4:
+        return Not(draw(exprs(depth + 1)))
+    if choice == 5:
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return Arith(op, draw(exprs(depth + 1)), draw(exprs(depth + 1)))
+    return InList(
+        ColumnRef(draw(st.sampled_from(COLUMNS))),
+        tuple(draw(st.lists(st.integers(-5, 5), min_size=1, max_size=3))),
+    )
+
+
+ROWS = st.tuples(
+    st.one_of(st.none(), st.integers(-5, 5)),
+    st.one_of(st.none(), st.integers(-5, 5)),
+    st.one_of(st.none(), st.integers(-5, 5)),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(exprs(), ROWS)
+def test_rename_identity_preserves_semantics(expr, row):
+    renamed = rename_columns(expr, {c: c for c in COLUMNS})
+    assert compile_expr(expr, LAYOUT)(row) == compile_expr(renamed, LAYOUT)(row)
+
+
+@settings(max_examples=200, deadline=None)
+@given(exprs(), ROWS)
+def test_rename_roundtrip(expr, row):
+    fwd = {"t.a": "x.a", "t.b": "x.b", "t.c": "x.c"}
+    back = {v: k for k, v in fwd.items()}
+    roundtripped = rename_columns(rename_columns(expr, fwd), back)
+    assert str(roundtripped) == str(expr)
+    assert compile_expr(expr, LAYOUT)(row) == compile_expr(roundtripped, LAYOUT)(row)
+
+
+@settings(max_examples=200, deadline=None)
+@given(exprs(), ROWS)
+def test_substitute_identity(expr, row):
+    substituted = substitute_columns(expr, {c: ColumnRef(c) for c in COLUMNS})
+    assert compile_expr(expr, LAYOUT)(row) == compile_expr(substituted, LAYOUT)(row)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(exprs(), min_size=1, max_size=4), ROWS)
+def test_split_conjoin_roundtrip(conjuncts, row):
+    combined = conjoin(conjuncts)
+    assert combined is not None
+    parts = split_conjuncts(combined)
+    # Evaluating the AND of the parts equals evaluating the original AND
+    # under predicate semantics (NULL collapses to False).
+    lhs = compile_predicate(combined, LAYOUT)(row)
+    rhs = all(compile_predicate(p, LAYOUT)(row) for p in parts)
+    assert lhs == rhs
+
+
+@settings(max_examples=200, deadline=None)
+@given(exprs())
+def test_referenced_columns_subset(expr):
+    assert referenced_columns(expr) <= set(COLUMNS)
+
+
+@settings(max_examples=100, deadline=None)
+@given(exprs(), exprs(), ROWS)
+def test_and_flattening_semantics(a, b, row):
+    naive = BoolOp("AND", (a, b))
+    flat = and_(a, b)
+    assert compile_predicate(naive, LAYOUT)(row) == compile_predicate(flat, LAYOUT)(row)
+
+
+def test_like_shapes():
+    layout = {"s": 0}
+    assert compile_predicate(Like(ColumnRef("s"), "ab%"), layout)(("abc",))
+    assert compile_predicate(Like(ColumnRef("s"), "%bc"), layout)(("abc",))
+    assert compile_predicate(Like(ColumnRef("s"), "%b%"), layout)(("abc",))
+    assert compile_predicate(Like(ColumnRef("s"), "a_c"), layout)(("abc",))
+    assert not compile_predicate(Like(ColumnRef("s"), "a_c"), layout)(("abdc",))
+    assert compile_predicate(Like(ColumnRef("s"), "abc"), layout)(("abc",))
+
+
+def test_null_semantics():
+    layout = {"x": 0}
+    ref = ColumnRef("x")
+    assert compile_expr(Comparison("=", ref, Literal(1)), layout)((None,)) is None
+    assert compile_predicate(Comparison("=", ref, Literal(1)), layout)((None,)) is False
+    assert compile_expr(IsNull(ref), layout)((None,)) is True
+    assert compile_expr(IsNull(ref, negated=True), layout)((None,)) is False
+    # AND short-circuits on False even with NULLs present.
+    pred = BoolOp("AND", (Comparison("=", ref, Literal(1)), Literal(False)))
+    assert compile_expr(pred, layout)((None,)) is False

@@ -1,0 +1,126 @@
+"""Graph-index invariants, property-checked on random RGMappings."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.graph.index import IN, OUT, build_graph_index
+from repro.graph.rgmapping import RGMapping
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Column, ForeignKey, TableSchema
+from repro.relational.types import DataType
+
+import pytest
+
+
+@st.composite
+def random_graphs(draw):
+    n_vertices = draw(st.integers(1, 30))
+    n_edges = draw(st.integers(0, 60))
+    catalog = Catalog()
+    catalog.create_table(
+        TableSchema("V", [Column("id", DataType.INT)], primary_key="id"),
+        rows=[(i * 7,) for i in range(n_vertices)],  # non-contiguous PKs
+    )
+    edge_rows = []
+    for e in range(n_edges):
+        s = draw(st.integers(0, n_vertices - 1)) * 7
+        t = draw(st.integers(0, n_vertices - 1)) * 7
+        edge_rows.append((e, s, t))
+    catalog.create_table(
+        TableSchema(
+            "E",
+            [
+                Column("id", DataType.INT),
+                Column("s", DataType.INT),
+                Column("t", DataType.INT),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("s", "V", "id"), ForeignKey("t", "V", "id")],
+        ),
+        rows=edge_rows,
+    )
+    mapping = RGMapping("g", catalog)
+    mapping.add_vertex("V")
+    mapping.add_edge("E", source=("V", "s"), target=("V", "t"))
+    return catalog, mapping
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_ev_index_resolves_foreign_keys(data):
+    catalog, mapping = data
+    index = build_graph_index(mapping)
+    ev = index.edge_index("E")
+    vtable = catalog.table("V")
+    etable = catalog.table("E")
+    for rowid in range(etable.num_rows):
+        assert vtable.value(ev.src_rowids[rowid], "id") == etable.value(rowid, "s")
+        assert vtable.value(ev.dst_rowids[rowid], "id") == etable.value(rowid, "t")
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_csr_partitions_all_edges(data):
+    """Every edge appears exactly once in the out-CSR and once in the in-CSR."""
+    catalog, mapping = data
+    index = build_graph_index(mapping)
+    etable = catalog.table("E")
+    for direction in (OUT, IN):
+        adj = index.adjacency("V", "E", direction)
+        assert adj.offsets[0] == 0
+        assert adj.offsets[-1] == etable.num_rows
+        assert sorted(adj.edge_rowids) == list(range(etable.num_rows))
+        # Offsets are monotone.
+        assert all(a <= b for a, b in zip(adj.offsets, adj.offsets[1:]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_csr_adjacency_consistent_with_ev(data):
+    catalog, mapping = data
+    index = build_graph_index(mapping)
+    ev = index.edge_index("E")
+    out_adj = index.adjacency("V", "E", OUT)
+    for v in range(catalog.table("V").num_rows):
+        for e in out_adj.edges_of(v):
+            assert ev.src_rowids[e] == v
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_degrees_sum_to_edge_count(data):
+    catalog, mapping = data
+    index = build_graph_index(mapping)
+    adj = index.adjacency("V", "E", OUT)
+    total = sum(adj.degree(v) for v in range(catalog.table("V").num_rows))
+    assert total == catalog.table("E").num_rows
+
+
+def test_dangling_edge_rejected():
+    catalog = Catalog()
+    catalog.create_table(
+        TableSchema("V", [Column("id", DataType.INT)], primary_key="id"),
+        rows=[(1,)],
+    )
+    catalog.create_table(
+        TableSchema(
+            "E",
+            [
+                Column("id", DataType.INT),
+                Column("s", DataType.INT),
+                Column("t", DataType.INT),
+            ],
+            primary_key="id",
+        ),
+        rows=[(0, 1, 99)],  # 99 dangles
+    )
+    mapping = RGMapping("g", catalog)
+    mapping.add_vertex("V")
+    mapping.add_edge("E", source=("V", "s"), target=("V", "t"))
+    with pytest.raises(SchemaError):
+        build_graph_index(mapping)
+    with pytest.raises(SchemaError):
+        mapping.validate()

@@ -1,0 +1,151 @@
+"""Ground-truth tests for the reference matcher on the Fig. 2 graph."""
+
+from __future__ import annotations
+
+from repro.graph.matching import (
+    EDGE_DISTINCT,
+    HOMOMORPHISM,
+    ISOMORPHISM,
+    count_matches,
+    match_pattern,
+)
+from repro.graph.pattern import PatternGraph
+from repro.relational.expr import col, eq, gt, lit
+
+
+def triangle_pattern(p1_pred=None):
+    """The paper's pattern P: (p1)-[Knows]->(p2), (p1)-[Likes]->(m), (p2)-[Likes]->(m)."""
+    return (
+        PatternGraph.builder()
+        .vertex("p1", "Person", predicate=p1_pred)
+        .vertex("p2", "Person")
+        .vertex("m", "Message")
+        .edge("p1", "p2", "Knows", name="k")
+        .edge("p1", "m", "Likes", name="l1")
+        .edge("p2", "m", "Likes", name="l2")
+        .build()
+    )
+
+
+def test_single_vertex_pattern(fig2):
+    _, mapping, index = fig2
+    pattern = PatternGraph.builder().vertex("p", "Person").build()
+    matches = match_pattern(mapping, index, pattern)
+    assert sorted(b["p"] for b in matches) == [0, 1, 2]
+
+
+def test_single_vertex_with_predicate(fig2):
+    _, mapping, index = fig2
+    pattern = (
+        PatternGraph.builder()
+        .vertex("p", "Person", predicate=eq(col("name"), lit("Tom")))
+        .build()
+    )
+    matches = match_pattern(mapping, index, pattern)
+    assert [b["p"] for b in matches] == [0]
+
+
+def test_single_edge_knows(fig2):
+    _, mapping, index = fig2
+    pattern = (
+        PatternGraph.builder()
+        .vertex("a", "Person")
+        .vertex("b", "Person")
+        .edge("a", "b", "Knows", name="k")
+        .build()
+    )
+    matches = match_pattern(mapping, index, pattern)
+    # The Knows table has 4 tuples; every one matches.
+    assert len(matches) == 4
+    pairs = sorted((b["a"], b["b"]) for b in matches)
+    assert pairs == [(0, 1), (1, 0), (1, 2), (2, 1)]
+
+
+def test_triangle_matches_fig2(fig2):
+    """Fig 2(b): exactly four homomorphic matches of the triangle pattern."""
+    _, mapping, index = fig2
+    matches = match_pattern(mapping, index, triangle_pattern())
+    assert len(matches) == 4
+    keyed = sorted((b["p1"], b["p2"], b["m"]) for b in matches)
+    # Persons are rowids 0=Tom, 1=Bob, 2=David; messages 0=m1, 1=m2.
+    assert keyed == [(0, 1, 0), (1, 0, 0), (1, 2, 1), (2, 1, 1)]
+
+
+def test_triangle_with_tom_filter(fig2):
+    _, mapping, index = fig2
+    pattern = triangle_pattern(p1_pred=eq(col("name"), lit("Tom")))
+    matches = match_pattern(mapping, index, pattern)
+    assert [(b["p1"], b["p2"], b["m"]) for b in matches] == [(0, 1, 0)]
+
+
+def test_edge_predicate(fig2):
+    _, mapping, index = fig2
+    pattern = (
+        PatternGraph.builder()
+        .vertex("p", "Person")
+        .vertex("m", "Message")
+        .edge("p", "m", "Likes", name="l", predicate=gt(col("date"), lit("2024-03-25")))
+        .build()
+    )
+    matches = match_pattern(mapping, index, pattern)
+    # Only likes rows with date > 2024-03-25: rows 0 and 1.
+    assert sorted(b["l"] for b in matches) == [0, 1]
+
+
+def test_direction_respected(fig2):
+    _, mapping, index = fig2
+    # Likes edges point Person -> Message; reversed pattern finds nothing
+    # because no edge label maps Message -> Person.
+    pattern = (
+        PatternGraph.builder()
+        .vertex("m", "Message")
+        .vertex("p", "Person")
+        .edge("m", "p", "Likes", name="l")
+        .build()
+    )
+    assert count_matches(mapping, index, pattern) == 0
+
+
+def test_homomorphism_allows_repeats(fig2):
+    """(a)-[Knows]->(b)-[Knows]->(c) allows a == c under homomorphism."""
+    _, mapping, index = fig2
+    pattern = (
+        PatternGraph.builder()
+        .vertex("a", "Person")
+        .vertex("b", "Person")
+        .vertex("c", "Person")
+        .edge("a", "b", "Knows")
+        .edge("b", "c", "Knows")
+        .build()
+    )
+    hom = match_pattern(mapping, index, pattern, HOMOMORPHISM)
+    iso = match_pattern(mapping, index, pattern, ISOMORPHISM)
+    # Paths: 0->1->0, 0->1->2, 1->0->1, 1->2->1, 2->1->0, 2->1->2
+    assert len(hom) == 6
+    assert len(iso) == 2
+    assert all(b["a"] != b["c"] for b in iso)
+
+
+def test_edge_distinct_semantics(fig2):
+    _, mapping, index = fig2
+    # (a)-[k1:Knows]->(b), (b)-[k2:Knows]->(a): homomorphism happily maps
+    # k1 and k2 to pairs of mutual edges; edges are distinct tuples here, so
+    # edge-distinct keeps all of them.
+    pattern = (
+        PatternGraph.builder()
+        .vertex("a", "Person")
+        .vertex("b", "Person")
+        .edge("a", "b", "Knows", name="k1")
+        .edge("b", "a", "Knows", name="k2")
+        .build()
+    )
+    hom = match_pattern(mapping, index, pattern, HOMOMORPHISM)
+    edge_distinct = match_pattern(mapping, index, pattern, EDGE_DISTINCT)
+    assert len(hom) == 4  # (0,1),(1,0),(1,2),(2,1) each close one way
+    assert len(edge_distinct) == 4
+    assert all(b["k1"] != b["k2"] for b in edge_distinct)
+
+
+def test_count_is_len(fig2):
+    _, mapping, index = fig2
+    assert count_matches(mapping, index, triangle_pattern()) == 4

@@ -1,0 +1,70 @@
+"""Registry front door + plan serialization across all systems."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.plan_proto import operator_counts, plan_to_dict, plan_to_json
+from repro.systems import make_system
+from repro.workloads import registry
+
+
+def test_registry_names():
+    assert registry.dataset_names() == ["IMDB", "LDBC10", "LDBC100", "LDBC30"]
+    assert registry.suite_names() == ["IC", "JOB", "QC", "QR"]
+    assert len(registry.suite("IC")) == 18
+    assert len(registry.suite("JOB")) == 33
+    with pytest.raises(KeyError):
+        registry.dataset("LDBC9000")
+
+
+def test_registry_builds_usable_dataset():
+    catalog = registry.dataset("LDBC10", seed=3)
+    assert catalog.has_graph("snb")
+    assert catalog.graph_index("snb") is not None
+    assert catalog.table("person").num_rows > 0
+
+
+@pytest.mark.parametrize("system_name", ["relgo", "duckdb", "graindb", "kuzu"])
+def test_plans_serialize_for_all_systems(fig2, system_name):
+    catalog, _, _ = fig2
+    sql = """
+    SELECT n FROM GRAPH_TABLE (G
+      MATCH (a:Person)-[:Knows]->(b:Person)
+      COLUMNS (b.name AS n)) g
+    """
+    system = make_system(system_name, catalog, "G")
+    optimized = system.optimize(sql)
+    doc = plan_to_dict(optimized.physical)
+    # The JSON dump round-trips and keeps the full operator tree.
+    parsed = json.loads(plan_to_json(optimized.physical))
+    assert parsed == doc
+    counts = operator_counts(optimized.physical)
+    assert sum(counts.values()) >= 2
+
+
+def test_converged_plan_nests_graph_subplan(fig2):
+    catalog, _, _ = fig2
+    system = make_system("relgo", catalog, "G")
+    sql = """
+    SELECT n FROM GRAPH_TABLE (G
+      MATCH (a:Person)-[:Knows]->(b:Person)
+      COLUMNS (b.name AS n)) g
+    """
+    doc = plan_to_dict(system.optimize(sql).physical)
+
+    def find(node, name):
+        if node["operator"] == name:
+            return node
+        for child in node.get("children", []):
+            found = find(child, name)
+            if found:
+                return found
+        return None
+
+    sgt = find(doc, "ScanGraphTableOp")
+    assert sgt is not None
+    # The graph sub-plan is nested within the SCAN_GRAPH_TABLE node.
+    assert find(sgt, "ScanVertex") is not None or find(sgt, "Expand") is not None

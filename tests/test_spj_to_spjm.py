@@ -1,0 +1,152 @@
+"""The SPJ -> SPJM converter (the paper's Sec 7 future-work extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import RelGoConfig, RelGoFramework
+from repro.core.spj_to_spjm import convert_spj_to_spjm
+from repro.core.spjm import SPJMQuery
+from repro.relational.expr import col, eq, lit
+
+
+def spj_friends_query() -> SPJMQuery:
+    """Example 1 hand-written as plain SPJ (no GRAPH_TABLE)."""
+    return SPJMQuery(
+        graph_table=None,
+        relations=[
+            ("Person", "p1"),
+            ("Person", "p2"),
+            ("Message", "m"),
+            ("Knows", "k"),
+            ("Likes", "l1"),
+            ("Likes", "l2"),
+            ("Place", "pl"),
+        ],
+        predicates=[
+            eq(col("k.pid1"), col("p1.person_id")),
+            eq(col("k.pid2"), col("p2.person_id")),
+            eq(col("l1.pid"), col("p1.person_id")),
+            eq(col("l1.mid"), col("m.message_id")),
+            eq(col("l2.pid"), col("p2.person_id")),
+            eq(col("l2.mid"), col("m.message_id")),
+            eq(col("p1.place_id"), col("pl.id")),
+            eq(col("p1.name"), lit("Tom")),
+        ],
+        projections=[(col("p2.name"), "friend"), (col("pl.name"), "place")],
+    )
+
+
+def test_conversion_folds_the_pattern(fig2):
+    _, mapping, _ = fig2
+    converted, report = convert_spj_to_spjm(spj_friends_query(), mapping)
+    assert report.converted
+    assert report.folded_edge_aliases == ["k", "l1", "l2"]
+    assert report.folded_vertex_aliases == ["m", "p1", "p2"]
+    assert report.folded_conjuncts == 6
+    clause = converted.graph_table
+    assert clause is not None
+    assert clause.pattern.num_vertices == 3
+    assert clause.pattern.num_edges == 3
+    # Place stays relational.
+    assert converted.relations == [("Place", "pl")]
+
+
+def test_converted_query_runs_and_matches_spj(fig2):
+    catalog, mapping, _ = fig2
+    spj = spj_friends_query()
+    baseline = RelGoFramework(
+        catalog, "G", RelGoConfig(graph_aware=False, use_graph_index=False)
+    )
+    expected, _ = baseline.run(spj)
+
+    converted, report = convert_spj_to_spjm(spj, mapping)
+    assert report.converted
+    relgo = RelGoFramework(catalog, "G", RelGoConfig())
+    relgo.prepare()
+    result, optimized = relgo.run(converted)
+    assert result.sorted_rows() == expected.sorted_rows() == [("Bob", "Germany")]
+    # The converted query goes through the graph optimizer.
+    assert "SCAN_GRAPH_TABLE" in optimized.explain()
+    # FilterIntoMatchRule picked up the Tom filter through the rewrite.
+    assert optimized.rule_report is not None
+    assert optimized.rule_report.pushed_constraints == 1
+
+
+def test_conversion_noop_without_edge_joins(fig2):
+    _, mapping, _ = fig2
+    query = SPJMQuery(
+        graph_table=None,
+        relations=[("Person", "p"), ("Place", "pl")],
+        predicates=[eq(col("p.place_id"), col("pl.id"))],
+        projections=[(col("p.name"), "n")],
+    )
+    converted, report = convert_spj_to_spjm(query, mapping)
+    assert not report.converted
+    assert converted is query
+
+
+def test_conversion_requires_both_fk_halves(fig2):
+    """Joining an edge table on only one endpoint must not fold."""
+    _, mapping, _ = fig2
+    query = SPJMQuery(
+        graph_table=None,
+        relations=[("Person", "p1"), ("Knows", "k")],
+        predicates=[eq(col("k.pid1"), col("p1.person_id"))],
+        projections=[(col("p1.name"), "n")],
+    )
+    converted, report = convert_spj_to_spjm(query, mapping)
+    assert not report.converted
+
+
+def test_conversion_folds_largest_component_only(fig2):
+    """Two disconnected matchable regions: only the larger one folds."""
+    _, mapping, _ = fig2
+    query = SPJMQuery(
+        graph_table=None,
+        relations=[
+            ("Person", "a"),
+            ("Person", "b"),
+            ("Person", "c"),
+            ("Knows", "k1"),
+            ("Knows", "k2"),
+            ("Person", "x"),
+            ("Message", "y"),
+            ("Likes", "lk"),
+        ],
+        predicates=[
+            eq(col("k1.pid1"), col("a.person_id")),
+            eq(col("k1.pid2"), col("b.person_id")),
+            eq(col("k2.pid1"), col("b.person_id")),
+            eq(col("k2.pid2"), col("c.person_id")),
+            eq(col("lk.pid"), col("x.person_id")),
+            eq(col("lk.mid"), col("y.message_id")),
+        ],
+        projections=[(col("a.name"), "n"), (col("x.name"), "xn")],
+    )
+    converted, report = convert_spj_to_spjm(query, mapping)
+    assert report.folded_edge_aliases == ["k1", "k2"]
+    # The likes region stays relational.
+    aliases = {a for _, a in converted.relations}
+    assert {"x", "y", "lk"} <= aliases
+
+
+def test_converted_aggregate_query(fig2):
+    from repro.relational.logical import AggregateSpec
+
+    catalog, mapping, _ = fig2
+    query = SPJMQuery(
+        graph_table=None,
+        relations=[("Person", "p"), ("Message", "m"), ("Likes", "l")],
+        predicates=[
+            eq(col("l.pid"), col("p.person_id")),
+            eq(col("l.mid"), col("m.message_id")),
+        ],
+        aggregates=[AggregateSpec("COUNT", None, "n")],
+    )
+    converted, report = convert_spj_to_spjm(query, mapping)
+    assert report.converted
+    relgo = RelGoFramework(catalog, "G", RelGoConfig())
+    relgo.prepare()
+    result, _ = relgo.run(converted)
+    assert result.rows == [(4,)]
