@@ -1,0 +1,108 @@
+"""Executor microbenchmark: batched streaming engine vs full materialization.
+
+Tracks executor throughput over time (``BENCH_exec.json`` at the repo root).
+The "before" engine is reconstructed by wrapping every operator of the same
+physical plan in a :class:`MaterializeOp` barrier — exactly the
+materialize-everything execution profile the engine had before it streamed —
+so the two measurements differ only in pipeline semantics:
+
+* a deep relational pipeline (scan -> filter -> join -> aggregate);
+* an ``ORDER BY ... LIMIT`` query over the LDBC workload (IC2), where
+  streaming additionally swaps the full sort for a TopK.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from benchmarks.conftest import RESULTS_DIR, save_report
+from repro.core.sqlpgq import parse_and_bind
+from repro.exec import execute_plan, materialize_plan
+from repro.systems import make_system
+from repro.workloads.ldbc import ic_queries
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_exec.json"
+
+PIPELINE_SQL = """
+SELECT g.fn AS fn, COUNT(*) AS cnt FROM GRAPH_TABLE (snb
+  MATCH (p:person)-[:knows]->(f:person)<-[:has_creator]-(m:post)
+  COLUMNS (f.first_name AS fn)) g
+GROUP BY g.fn
+"""
+
+TOPK_SQL_NAME = "IC2"  # MATCH ... ORDER BY cdate DESC LIMIT 20
+
+
+def _measure(catalog, sql: str, repetitions: int = 3) -> dict:
+    """Run one query streaming and fully materialized; report medians."""
+    system = make_system("relgo", catalog, "snb")
+    query = parse_and_bind(sql, catalog)
+
+    def run(materialized: bool) -> dict:
+        times, result = [], None
+        for _ in range(repetitions):
+            optimized = system.optimize(query)
+            plan = (
+                materialize_plan(optimized.physical)
+                if materialized
+                else optimized.physical
+            )
+            started = time.perf_counter()
+            result = execute_plan(plan)
+            times.append(time.perf_counter() - started)
+        assert result is not None
+        return {
+            "time_ms": sorted(times)[len(times) // 2] * 1000,
+            "rows_produced": result.rows_produced,
+            "peak_buffered_rows": result.peak_buffered_rows,
+            "result_rows": len(result),
+        }
+
+    streaming = run(materialized=False)
+    materialized = run(materialized=True)
+    return {
+        "streaming": streaming,
+        "materialized": materialized,
+        "speedup": materialized["time_ms"] / max(streaming["time_ms"], 1e-9),
+        "rows_produced_ratio": (
+            streaming["rows_produced"] / max(materialized["rows_produced"], 1)
+        ),
+    }
+
+
+def test_bench_exec_streaming(benchmark, ldbc10):
+    def run():
+        return {
+            "deep_pipeline": _measure(ldbc10, PIPELINE_SQL),
+            "orderby_limit": _measure(ldbc10, ic_queries()[TOPK_SQL_NAME]),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    doc = {
+        "benchmark": "exec_streaming",
+        "dataset": "ldbc10",
+        "queries": results,
+    }
+    OUTPUT.write_text(json.dumps(doc, indent=2) + "\n")
+    lines = ["Executor streaming vs materialized (LDBC10)", "=" * 50]
+    for name, r in results.items():
+        lines.append(
+            f"{name}: streaming {r['streaming']['time_ms']:.1f} ms "
+            f"(peak buffer {r['streaming']['peak_buffered_rows']} rows) vs "
+            f"materialized {r['materialized']['time_ms']:.1f} ms "
+            f"(peak buffer {r['materialized']['peak_buffered_rows']} rows) "
+            f"-> {r['speedup']:.2f}x"
+        )
+    save_report("exec_streaming", "\n".join(lines))
+    # Streaming must never do more per-operator work, and the LIMIT-bearing
+    # query must do strictly less.
+    for r in results.values():
+        assert r["rows_produced_ratio"] <= 1.0
+        assert (
+            r["streaming"]["peak_buffered_rows"]
+            <= r["materialized"]["peak_buffered_rows"]
+        )
+    assert results["orderby_limit"]["rows_produced_ratio"] < 1.0

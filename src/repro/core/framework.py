@@ -33,8 +33,8 @@ from repro.graph.optimizer import (
     GraphPlan,
     LoweringConfig,
 )
+from repro.exec import ExecutionContext, QueryResult, execute_plan
 from repro.relational.catalog import Catalog
-from repro.relational.executor import QueryResult, execute_plan
 from repro.relational.expr import col, substitute_columns
 from repro.relational.logical import AggregateSpec, LogicalNode
 from repro.relational.lowering import PhysicalPlanner
@@ -80,6 +80,9 @@ class RelGoConfig:
     glogue_max_k: int = 3
     glogue_sample_ratio: float = 0.1
     memory_budget_rows: int | None = None
+    # Target chunk size of the streaming executor; None keeps the engine
+    # default (repro.exec.DEFAULT_BATCH_SIZE).
+    batch_size: int | None = None
 
 
 @dataclass
@@ -168,8 +171,23 @@ class RelGoFramework:
 
     def execute(self, optimized: OptimizedQuery) -> QueryResult:
         return execute_plan(
-            optimized.physical, memory_budget_rows=self.config.memory_budget_rows
+            optimized.physical,
+            memory_budget_rows=self.config.memory_budget_rows,
+            batch_size=self.config.batch_size,
         )
+
+    def execute_iter(self, optimized: OptimizedQuery):
+        """Stream result batches without materializing the full result.
+
+        Unlike :meth:`execute`, nothing is retained across batches, so
+        arbitrarily large results can be consumed under a fixed memory
+        budget; only genuinely buffering operators (hash builds, sorts)
+        charge the budget.  Yields lists of row tuples.
+        """
+        ctx = ExecutionContext(memory_budget_rows=self.config.memory_budget_rows)
+        if self.config.batch_size is not None:
+            ctx.batch_size = self.config.batch_size
+        yield from optimized.physical.batches(ctx)
 
     def run(self, query: SPJMQuery) -> tuple[QueryResult, OptimizedQuery]:
         optimized = self.optimize(query)

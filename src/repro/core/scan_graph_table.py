@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.errors import BindError
 from repro.graph.index import GraphIndex
+from repro.exec.kernels import emit_batches
 from repro.graph.optimizer import GraphPlan, LoweringConfig, lower_plan
 from repro.graph.physical import GraphOperator
 from repro.graph.rgmapping import RGMapping
@@ -135,23 +136,24 @@ class ScanGraphTableOp(PhysicalOperator):
         self.graph_op = graph_op
         self.output_columns = [f"{clause.alias}.{c.alias}" for c in clause.columns]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        graph_rows = self.graph_op.execute(ctx)
+    def batches(self, ctx: ExecutionContext):
+        return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def _stream(self, ctx: ExecutionContext):
         fetchers = [self._fetcher(c) for c in self.clause.columns]
-        # Column-at-a-time projection: one comprehension per output column,
-        # then a C-speed zip into row tuples (the π̂ flattening).
-        columns = []
-        for f in fetchers:
-            if f.kind == "label":
-                columns.append([f.constant] * len(graph_rows))
-            else:
-                values = f.values
-                pos = f.var_position
-                assert values is not None
-                columns.append([values[row[pos]] for row in graph_rows])
-        out = list(zip(*columns)) if columns else [() for _ in graph_rows]
-        ctx.charge(len(out), self._label())
-        return out
+        for graph_batch in self.graph_op.batches(ctx):
+            # Column-at-a-time projection: one comprehension per output
+            # column, then a C-speed zip into row tuples (the π̂ flattening).
+            columns = []
+            for f in fetchers:
+                if f.kind == "label":
+                    columns.append([f.constant] * len(graph_batch))
+                else:
+                    values = f.values
+                    pos = f.var_position
+                    assert values is not None
+                    columns.append([values[row[pos]] for row in graph_batch])
+            yield list(zip(*columns)) if columns else [() for _ in graph_batch]
 
     def _fetcher(self, column: MatchColumn) -> _ColumnFetcher:
         var_names = [v.name for v in self.graph_op.output_vars]

@@ -1,0 +1,41 @@
+"""The converged batched streaming execution engine.
+
+One operator protocol serves both the relational and the graph physical
+layers (the runtime counterpart of the paper's converged optimizer stack):
+every operator implements ``batches(ctx) -> Iterator[list[tuple]]``, pulling
+chunks of ~:data:`DEFAULT_BATCH_SIZE` rows from its children and yielding
+chunks downstream.  Pipelines therefore stream: a ``LIMIT`` stops pulling as
+soon as it is satisfied, and only genuine pipeline breakers (hash-join
+builds, sort buffers, aggregation state, distinct sets) hold intermediate
+state — which is exactly what the memory budget charges.
+
+* :mod:`repro.exec.context` — :class:`ExecutionContext` (budget, counters),
+  :class:`Buffer` accounting handles, :class:`QueryResult`, and
+  :func:`execute_plan`.
+* :mod:`repro.exec.operator` — the :class:`Operator` protocol shared by
+  ``relational.physical`` and ``graph.physical``, plus the
+  :class:`MaterializeOp` pipeline breaker used to model naive
+  fully-materializing engines.
+* :mod:`repro.exec.kernels` — the shared filter / project / hash-build /
+  probe / expand kernels both operator families are built from.
+"""
+
+from repro.exec.context import (
+    DEFAULT_BATCH_SIZE,
+    Buffer,
+    ExecutionContext,
+    QueryResult,
+    execute_plan,
+)
+from repro.exec.operator import MaterializeOp, Operator, materialize_plan
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "Buffer",
+    "ExecutionContext",
+    "QueryResult",
+    "execute_plan",
+    "Operator",
+    "MaterializeOp",
+    "materialize_plan",
+]

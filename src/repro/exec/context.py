@@ -1,0 +1,178 @@
+"""Execution context: memory budget, counters, and the plan runner.
+
+The context is threaded through every physical operator.  Its single most
+important job for the reproduction is the **memory budget**: the paper's
+evaluation reports OOM entries (RelGoNoEI on the 4-clique QC3; Kùzu on
+IC3-1), and we reproduce those by capping the number of rows any single
+*genuinely buffered* intermediate may hold — hash-join build tables, sort
+and aggregation buffers, distinct sets, materialization barriers, and the
+final result.  Streaming pipeline segments (scan → filter → project →
+probe chains) never buffer more than one batch in flight, so they no longer
+trip the budget; operators that must buffer acquire a :class:`Buffer`
+handle via :meth:`ExecutionContext.buffer` and grow it as rows accumulate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import OutOfMemoryError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.exec.operator import Operator
+
+#: Target number of rows per batch flowing between operators.
+DEFAULT_BATCH_SIZE = 1024
+
+
+class Buffer:
+    """Accounting handle for one operator's buffered rows.
+
+    The budget check is per buffer — "no single materialized intermediate
+    may exceed the budget" — matching the semantics the OOM reproduction
+    was calibrated against.  The context additionally tracks the total and
+    peak buffered rows across all live buffers for observability.
+    """
+
+    __slots__ = ("_ctx", "label", "rows")
+
+    def __init__(self, ctx: "ExecutionContext", label: str):
+        self._ctx = ctx
+        self.label = label
+        self.rows = 0
+
+    def grow(self, rows: int) -> None:
+        """Account for ``rows`` newly buffered rows; raise OOM over budget."""
+        if rows <= 0:
+            return
+        self.rows += rows
+        ctx = self._ctx
+        ctx.buffered_rows += rows
+        if ctx.buffered_rows > ctx.peak_buffered_rows:
+            ctx.peak_buffered_rows = ctx.buffered_rows
+        budget = ctx.memory_budget_rows
+        if budget is not None and self.rows > budget:
+            raise OutOfMemoryError(self.rows, budget)
+
+    def shrink(self, rows: int) -> None:
+        """Account for ``rows`` buffered rows being dropped (e.g. TopK prune)."""
+        rows = min(rows, self.rows)
+        if rows <= 0:
+            return
+        self.rows -= rows
+        self._ctx.buffered_rows -= rows
+
+    def release(self) -> None:
+        """Release the whole buffer (operator finished or was cancelled)."""
+        self._ctx.buffered_rows -= self.rows
+        self.rows = 0
+
+
+@dataclass
+class ExecutionContext:
+    """Mutable per-query execution state.
+
+    Attributes:
+        memory_budget_rows: maximum rows a single buffered intermediate
+            (hash table, sort buffer, materialized result) may hold;
+            ``None`` means unlimited.
+        rows_produced: total rows emitted by all operators (a cheap proxy
+            for work done, used by tests and the benchmark reports).  With
+            streaming execution, early-exiting pipelines (LIMIT / TopK)
+            emit — and therefore count — strictly fewer rows.
+        operator_rows: per-operator-label row counts for plan forensics.
+        batch_size: target chunk size for operator output batches.
+        buffered_rows / peak_buffered_rows: current and high-water total of
+            rows held by live :class:`Buffer` handles.
+    """
+
+    memory_budget_rows: int | None = None
+    rows_produced: int = 0
+    operator_rows: dict[str, int] = field(default_factory=dict)
+    start_time: float = field(default_factory=time.perf_counter)
+    batch_size: int = DEFAULT_BATCH_SIZE
+    buffered_rows: int = 0
+    peak_buffered_rows: int = 0
+
+    def emit(self, rows: int, label: str = "") -> None:
+        """Count ``rows`` rows emitted downstream by operator ``label``."""
+        self.rows_produced += rows
+        if label:
+            self.operator_rows[label] = self.operator_rows.get(label, 0) + rows
+
+    def buffer(self, label: str = "") -> Buffer:
+        """Open a :class:`Buffer` accounting handle for buffered state."""
+        return Buffer(self, label)
+
+    def charge(self, rows: int, label: str = "") -> None:
+        """Legacy shim (pre-streaming): count emitted rows and treat them as
+        one materialized buffer.  Ported operators use :meth:`emit` +
+        :meth:`buffer` instead; this remains for external operator
+        subclasses that still materialize."""
+        self.emit(rows, label)
+        self.check_size(rows)
+
+    def check_size(self, rows: int) -> None:
+        """Raise OOM if a buffer of ``rows`` rows would exceed the budget."""
+        if self.memory_budget_rows is not None and rows > self.memory_budget_rows:
+            raise OutOfMemoryError(rows, self.memory_budget_rows)
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.start_time
+
+
+@dataclass
+class QueryResult:
+    """The outcome of executing a physical plan."""
+
+    columns: list[str]
+    rows: list[tuple[Any, ...]]
+    execution_time: float
+    rows_produced: int = 0
+    peak_buffered_rows: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def sorted_rows(self) -> list[tuple[Any, ...]]:
+        """Rows in a canonical order, for order-insensitive comparisons."""
+        return sorted(self.rows, key=_sort_key)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+def _sort_key(row: tuple) -> tuple:
+    # None sorts before everything; mixed types sort by type name first.
+    return tuple((v is not None, type(v).__name__, v) for v in row)
+
+
+def execute_plan(
+    plan: "Operator",
+    memory_budget_rows: int | None = None,
+    batch_size: int | None = None,
+) -> QueryResult:
+    """Run a physical plan to completion and package the result.
+
+    The plan is pulled batch by batch; the accumulating result is itself a
+    buffer charged against the memory budget (a fully materialized result
+    larger than the budget is an OOM, exactly as in the paper's runs).
+    """
+    ctx = ExecutionContext(memory_budget_rows=memory_budget_rows)
+    if batch_size is not None:
+        ctx.batch_size = batch_size
+    result_buffer = ctx.buffer("RESULT")
+    rows: list[tuple] = []
+    for batch in plan.batches(ctx):
+        rows.extend(batch)
+        result_buffer.grow(len(batch))
+    return QueryResult(
+        columns=list(plan.output_columns),
+        rows=rows,
+        execution_time=ctx.elapsed,
+        rows_produced=ctx.rows_produced,
+        peak_buffered_rows=ctx.peak_buffered_rows,
+    )

@@ -1,0 +1,158 @@
+"""Shared streaming kernels.
+
+The relational and graph operator families used to carry two private copies
+of the same inner loops (filter, project, hash build, hash probe, adjacency
+expansion).  These generators/helpers are the single shared implementation
+both families are now built from.  All kernels operate on *batches* — lists
+of row tuples — and preserve row order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.exec.context import Buffer, ExecutionContext
+
+Batch = list
+
+
+def emit_batches(
+    ctx: ExecutionContext, label: str, stream: Iterable[Batch]
+) -> Iterator[Batch]:
+    """Count each non-empty batch of ``stream`` against ``label`` and pass it on."""
+    for batch in stream:
+        if not batch:
+            continue
+        ctx.emit(len(batch), label)
+        yield batch
+
+
+def chunked(rows: list, size: int) -> Iterator[Batch]:
+    """Re-chunk a materialized row list into batches of ``size``."""
+    for start in range(0, len(rows), size):
+        yield rows[start : start + size]
+
+
+def filter_batches(
+    batches: Iterable[Batch], keep: Callable[[tuple], Any]
+) -> Iterator[Batch]:
+    """Keep the rows of each batch for which ``keep(row)`` is truthy."""
+    for batch in batches:
+        out = [row for row in batch if keep(row)]
+        if out:
+            yield out
+
+
+def map_batches(
+    batches: Iterable[Batch], transform: Callable[[Batch], Batch]
+) -> Iterator[Batch]:
+    """Apply a whole-batch transform (projection, gather) to each batch."""
+    for batch in batches:
+        out = transform(batch)
+        if out:
+            yield out
+
+
+def scalar_key(index: int) -> Callable[[tuple], Any]:
+    """Single-column join key; ``None`` values never match (SQL semantics)."""
+    return lambda row: row[index]
+
+
+def tuple_key(indices: list[int]) -> Callable[[tuple], Any]:
+    """Multi-column join key; returns None (no match) when any part is NULL."""
+
+    def key(row: tuple) -> Any:
+        parts = tuple(row[i] for i in indices)
+        return None if any(p is None for p in parts) else parts
+
+    return key
+
+
+def build_hash_table(
+    batches: Iterable[Batch],
+    key_of: Callable[[tuple], Any],
+    buffer: Buffer | None,
+    value_of: Callable[[tuple], Any] | None = None,
+) -> dict[Any, list]:
+    """Drain ``batches`` into ``key -> [values]``, charging ``buffer``.
+
+    Rows whose key is ``None`` are skipped (SQL NULLs never join).  The
+    buffer is grown incrementally so an exploding build side trips the
+    memory budget mid-build, not after the fact.  Pass ``buffer=None`` when
+    the rows were already charged by the caller (e.g. re-hashing an input
+    that was buffered for an adaptive build-side choice).
+    """
+    table: dict[Any, list] = {}
+    for batch in batches:
+        kept = 0
+        for row in batch:
+            key = key_of(row)
+            if key is None:
+                continue
+            value = row if value_of is None else value_of(row)
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = [value]
+            else:
+                bucket.append(value)
+            kept += 1
+        if buffer is not None:
+            buffer.grow(kept)
+    return table
+
+
+def probe_hash_table(
+    batches: Iterable[Batch],
+    table: dict[Any, list],
+    key_of: Callable[[tuple], Any],
+    batch_size: int,
+) -> Iterator[Batch]:
+    """Stream probe: concatenate each probing row with its matches.
+
+    The build values must be tuples (full rows or pre-trimmed extras); the
+    output row is ``probe_row + value``.  Output is re-chunked to
+    ``batch_size`` so joins with high fan-out keep bounded in-flight state.
+    """
+    lookup = table.get
+    out: list = []
+    for batch in batches:
+        for row in batch:
+            matches = lookup(key_of(row))
+            if not matches:
+                continue
+            if len(matches) == 1:
+                out.append(row + matches[0])
+            else:
+                out.extend([row + match for match in matches])
+            if len(out) >= batch_size:
+                yield out
+                out = []
+    if out:
+        yield out
+
+
+def expand_batches(
+    batches: Iterable[Batch],
+    expand_row: Callable[[tuple, list], None],
+    batch_size: int,
+) -> Iterator[Batch]:
+    """Row-to-many expansion (CSR walks, nested-loop inner scans).
+
+    ``expand_row(row, out)`` appends zero or more output rows to ``out``;
+    the kernel flushes ``out`` whenever it reaches ``batch_size`` so a
+    high-degree vertex cannot balloon the in-flight batch unboundedly.
+
+    The two hottest expansion operators (``Expand``'s predicate-free fast
+    path and ``CsrJoin``'s fast paths) deliberately inline this flush
+    pattern instead of paying a per-row closure call — keep them in sync
+    when changing the flushing contract here.
+    """
+    out: list = []
+    for batch in batches:
+        for row in batch:
+            expand_row(row, out)
+            if len(out) >= batch_size:
+                yield out
+                out = []
+    if out:
+        yield out

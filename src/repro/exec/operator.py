@@ -1,0 +1,130 @@
+"""The shared operator protocol of the converged execution engine.
+
+Both operator families — ``repro.relational.physical.PhysicalOperator`` and
+``repro.graph.physical.GraphOperator`` — subclass :class:`Operator` and
+implement :meth:`Operator.batches`, a generator yielding chunks of row
+tuples.  Because batches are pulled lazily, downstream operators control how
+much upstream work happens: a satisfied ``LIMIT`` simply stops iterating and
+the whole upstream pipeline halts.
+
+:meth:`Operator.execute` is the materializing compatibility entry point
+(tests and ad-hoc callers); it drains :meth:`batches` into one list.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.exec.context import ExecutionContext
+
+Batch = list  # a chunk of row tuples
+
+
+class Operator:
+    """Base class of all physical operators (relational and graph)."""
+
+    def batches(self, ctx: "ExecutionContext") -> Iterator[Batch]:
+        """Yield the operator's output as chunks of row tuples.
+
+        The default adapts a legacy subclass that only overrides
+        :meth:`execute`, re-chunking its materialized output.
+        """
+        if type(self).execute is Operator.execute:
+            raise NotImplementedError(
+                f"{type(self).__name__} implements neither batches() nor execute()"
+            )
+        rows = self.execute(ctx)
+        size = ctx.batch_size
+        for start in range(0, len(rows), size):
+            yield rows[start : start + size]
+
+    def execute(self, ctx: "ExecutionContext") -> list[tuple]:
+        """Materialize the full output (compatibility/testing entry point)."""
+        rows: list[tuple] = []
+        for batch in self.batches(ctx):
+            rows.extend(batch)
+        return rows
+
+    def children(self) -> list["Operator"]:
+        return []
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [pad + self._label()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+
+class MaterializeOp(Operator):
+    """Pipeline breaker: fully buffers the child's output before emitting.
+
+    This is how the pre-streaming engine behaved at *every* operator
+    boundary.  It remains in two roles:
+
+    * modelling naive tuple-materializing engines (the Kùzu-like baseline
+      materializes each traversal step, which is what blows its memory
+      budget on cyclic queries — the paper's Kùzu OOM entries);
+    * as the "before" engine in executor microbenchmarks
+      (``benchmarks/bench_exec_streaming.py``).
+
+    The buffered rows are charged against the memory budget.
+    """
+
+    def __init__(self, child: Operator):
+        self.child = child
+        columns = getattr(child, "output_columns", None)
+        if columns is not None:
+            self.output_columns = list(columns)
+        output_vars = getattr(child, "output_vars", None)
+        if output_vars is not None:
+            self.output_vars = list(output_vars)
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def var_index(self, name: str) -> int:
+        return self.child.var_index(name)
+
+    def layout(self) -> dict[str, int]:
+        return {name: i for i, name in enumerate(self.output_columns)}
+
+    def batches(self, ctx: "ExecutionContext") -> Iterator[Batch]:
+        buffer = ctx.buffer(self._label())
+        try:
+            rows: list[tuple] = []
+            for batch in self.child.batches(ctx):
+                rows.extend(batch)
+                buffer.grow(len(batch))
+            size = ctx.batch_size
+            for start in range(0, len(rows), size):
+                batch = rows[start : start + size]
+                ctx.emit(len(batch), self._label())
+                yield batch
+        finally:
+            buffer.release()
+
+    def _label(self) -> str:
+        return "MATERIALIZE"
+
+
+_CHILD_ATTRS = ("child", "left", "right", "graph_op")
+
+
+def materialize_plan(op: Operator) -> Operator:
+    """Wrap every operator of a plan in :class:`MaterializeOp` (in place).
+
+    Reproduces the pre-streaming engine's execution profile — every
+    intermediate fully materialized and charged — for before/after
+    comparisons.  The tree is mutated; apply only to plans built for this
+    purpose.
+    """
+    for attr in _CHILD_ATTRS:
+        child = getattr(op, attr, None)
+        if isinstance(child, Operator):
+            setattr(op, attr, materialize_plan(child))
+    return MaterializeOp(op)

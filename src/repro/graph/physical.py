@@ -1,9 +1,16 @@
-"""Graph physical operators (Sec 3.2.2 of the paper).
+"""Graph physical operators (Sec 3.2.2 of the paper) on the streaming engine.
 
 These operators compute graph relations: rows of rowids, one column per
 pattern variable (vertex or edge).  The column metadata is a
 :class:`GraphVar` carrying the variable name, kind and label — the label is
 static, so rows store bare rowids.
+
+All operators share the relational engine's batched pull protocol
+(:class:`repro.exec.Operator`): expansions stream bounded chunks, and only
+the genuinely stateful operators (pattern hash joins, intersect caches,
+distinct sets) hold — and charge — buffered rows.  The hash-build and
+probe inner loops are the same :mod:`repro.exec.kernels` the relational
+``HashJoin`` uses; there is one implementation, not two.
 
 Operators:
 
@@ -33,12 +40,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product as iter_product
+from typing import Iterator
 
 from repro.errors import PlanError
+from repro.exec.context import ExecutionContext
+from repro.exec.kernels import (
+    build_hash_table,
+    chunked,
+    emit_batches,
+    expand_batches,
+    filter_batches,
+    probe_hash_table,
+    scalar_key,
+    tuple_key,
+)
+from repro.exec.operator import Batch, Operator
 from repro.graph.index import GraphIndex
 from repro.graph.matching import rowid_predicate
 from repro.graph.rgmapping import RGMapping
-from repro.relational.executor import ExecutionContext
 from repro.relational.expr import Expr
 
 
@@ -51,32 +70,16 @@ class GraphVar:
     label: str
 
 
-class GraphOperator:
+class GraphOperator(Operator):
     """Base class; subclasses set ``output_vars`` in ``__init__``."""
 
     output_vars: list[GraphVar]
-
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        raise NotImplementedError
-
-    def children(self) -> list["GraphOperator"]:
-        return []
 
     def var_index(self, name: str) -> int:
         for i, var in enumerate(self.output_vars):
             if var.name == name:
                 return i
         raise PlanError(f"variable {name!r} not in {[v.name for v in self.output_vars]}")
-
-    def explain(self, indent: int = 0) -> str:
-        pad = "  " * indent
-        lines = [pad + self._label()]
-        for child in self.children():
-            lines.append(child.explain(indent + 1))
-        return "\n".join(lines)
-
-    def _label(self) -> str:
-        return type(self).__name__
 
 
 class ScanVertex(GraphOperator):
@@ -95,16 +98,24 @@ class ScanVertex(GraphOperator):
         self.predicate = predicate
         self.output_vars = [GraphVar(var, "v", label)]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return emit_batches(ctx, self._label(), self._scan(ctx))
+
+    def _scan(self, ctx: ExecutionContext) -> Iterator[Batch]:
         table = self.mapping.vertex_table(self.label)
         n = table.num_rows
-        if self.predicate is None:
-            out = [(i,) for i in range(n)]
-        else:
-            check = rowid_predicate(table, self.predicate)
-            out = [(i,) for i in range(n) if check(i)]
-        ctx.charge(len(out), self._label())
-        return out
+        size = ctx.batch_size
+        check = (
+            rowid_predicate(table, self.predicate)
+            if self.predicate is not None
+            else None
+        )
+        for start in range(0, n, size):
+            stop = min(start + size, n)
+            if check is None:
+                yield [(i,) for i in range(start, stop)]
+            else:
+                yield [(i,) for i in range(start, stop) if check(i)]
 
     def _label(self) -> str:
         pred = f" ({self.predicate})" if self.predicate is not None else ""
@@ -135,11 +146,10 @@ class ExpandEdge(GraphOperator):
         self.edge_predicate = edge_predicate
         self.output_vars = list(child.output_vars) + [GraphVar(edge_var, "e", edge_label)]
 
-    def children(self) -> list[GraphOperator]:
+    def children(self) -> list[Operator]:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        rows = self.child.execute(ctx)
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         from_idx = self.child.var_index(self.from_var)
         from_label = self.child.output_vars[from_idx].label
         adjacency = self.index.adjacency(from_label, self.edge_label, self.direction)
@@ -149,20 +159,32 @@ class ExpandEdge(GraphOperator):
             epred = rowid_predicate(
                 self.mapping.edge_table(self.edge_label), self.edge_predicate
             )
-        out: list[tuple] = []
-        next_check = 16384
-        for row in rows:
-            v = row[from_idx]
-            for pos in range(offsets[v], offsets[v + 1]):
-                e = edge_rowids[pos]
-                if epred is not None and not epred(e):
-                    continue
-                out.append(row + (e,))
-            if len(out) >= next_check:
-                ctx.check_size(len(out))
-                next_check = len(out) + 16384
-        ctx.charge(len(out), self._label())
-        return out
+
+        if epred is None:
+
+            def expand(row: tuple, out: list) -> None:
+                v = row[from_idx]
+                out.extend(
+                    [row + (e,) for e in edge_rowids[offsets[v] : offsets[v + 1]]]
+                )
+
+        else:
+
+            def expand(row: tuple, out: list) -> None:
+                v = row[from_idx]
+                out.extend(
+                    [
+                        row + (e,)
+                        for e in edge_rowids[offsets[v] : offsets[v + 1]]
+                        if epred(e)
+                    ]
+                )
+
+        return emit_batches(
+            ctx,
+            self._label(),
+            expand_batches(self.child.batches(ctx), expand, ctx.batch_size),
+        )
 
     def _label(self) -> str:
         return f"EXPAND_EDGE {self.from_var} -[{self.edge_label} {self.direction}]-> {self.edge_var}"
@@ -192,11 +214,13 @@ class GetVertex(GraphOperator):
         self.vertex_predicate = vertex_predicate
         self.output_vars = list(child.output_vars) + [GraphVar(to_var, "v", to_label)]
 
-    def children(self) -> list[GraphOperator]:
+    def children(self) -> list[Operator]:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        rows = self.child.execute(ctx)
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         edge_idx = self.child.var_index(self.edge_var)
         edge_label = self.child.output_vars[edge_idx].label
         far = self.index.edge_index(edge_label).endpoint_rowids(self.direction)
@@ -205,18 +229,17 @@ class GetVertex(GraphOperator):
             vpred = rowid_predicate(
                 self.mapping.vertex_table(self.to_label), self.vertex_predicate
             )
-        if vpred is None:
-            out = [row + (far[row[edge_idx]],) for row in rows]
-            ctx.charge(len(out), self._label())
-            return out
-        out: list[tuple] = []
-        for row in rows:
-            target = far[row[edge_idx]]
-            if not vpred(target):
+        for batch in self.child.batches(ctx):
+            if vpred is None:
+                yield [row + (far[row[edge_idx]],) for row in batch]
                 continue
-            out.append(row + (target,))
-        ctx.charge(len(out), self._label())
-        return out
+            out = []
+            for row in batch:
+                target = far[row[edge_idx]]
+                if vpred(target):
+                    out.append(row + (target,))
+            if out:
+                yield out
 
     def _label(self) -> str:
         return f"GET_VERTEX {self.edge_var} -> {self.to_var}:{self.to_label}"
@@ -262,11 +285,10 @@ class Expand(GraphOperator):
         else:
             self.output_vars = list(child.output_vars) + [GraphVar(to_var, "v", to_label)]
 
-    def children(self) -> list[GraphOperator]:
+    def children(self) -> list[Operator]:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        rows = self.child.execute(ctx)
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         from_idx = self.child.var_index(self.from_var)
         from_label = self.child.output_vars[from_idx].label
         adjacency = self.index.adjacency(from_label, self.edge_label, self.direction)
@@ -282,22 +304,32 @@ class Expand(GraphOperator):
             vpred = rowid_predicate(
                 self.mapping.vertex_table(self.to_label), self.vertex_predicate
             )
-        out: list[tuple] = []
-        next_check = 16384
         to_idx = self.child.var_index(self.to_var) if self.closing else -1
+
         if not self.closing and epred is None and vpred is None:
-            # Fast path: emit one row per adjacent edge via comprehensions.
-            for row in rows:
-                v = row[from_idx]
-                out.extend(
-                    [row + (far[e],) for e in edge_rowids[offsets[v] : offsets[v + 1]]]
-                )
-                if len(out) >= next_check:
-                    ctx.check_size(len(out))
-                    next_check = len(out) + 16384
-            ctx.charge(len(out), self._label())
-            return out
-        for row in rows:
+            # Fast path: emit one row per adjacent edge, inline loop with
+            # bounded flushing — this is the traversal hot path.
+            def stream() -> Iterator[Batch]:
+                size = ctx.batch_size
+                out: list[tuple] = []
+                for batch in self.child.batches(ctx):
+                    for row in batch:
+                        v = row[from_idx]
+                        out.extend(
+                            [
+                                row + (far[e],)
+                                for e in edge_rowids[offsets[v] : offsets[v + 1]]
+                            ]
+                        )
+                        if len(out) >= size:
+                            yield out
+                            out = []
+                if out:
+                    yield out
+
+            return emit_batches(ctx, self._label(), stream())
+
+        def expand(row: tuple, out: list) -> None:
             v = row[from_idx]
             bound = row[to_idx] if self.closing else None
             for pos in range(offsets[v], offsets[v + 1]):
@@ -312,11 +344,12 @@ class Expand(GraphOperator):
                 if vpred is not None and not vpred(target):
                     continue
                 out.append(row + (target,))
-            if len(out) >= next_check:
-                ctx.check_size(len(out))
-                next_check = len(out) + 16384
-        ctx.charge(len(out), self._label())
-        return out
+
+        return emit_batches(
+            ctx,
+            self._label(),
+            expand_batches(self.child.batches(ctx), expand, ctx.batch_size),
+        )
 
     def _label(self) -> str:
         kind = "EXPAND(closing)" if self.closing else "EXPAND"
@@ -348,6 +381,12 @@ class ExpandIntersect(GraphOperator):
     Homomorphism semantics: parallel edges multiply — either as explicit
     edge-variable combinations (``with edge vars``) or as row multiplicity
     (edge columns trimmed).
+
+    The per-(leg, vertex) neighbor-map caches are bounded by the adjacency
+    lists' total size — index-shaped acceleration state, like the graph
+    index itself — so they are *not* charged against the memory budget,
+    which models materialized row intermediates (charging them would let
+    index-sized state flip the paper's calibrated OOM entries at scale).
     """
 
     def __init__(
@@ -375,11 +414,13 @@ class ExpandIntersect(GraphOperator):
                 self.output_vars.append(GraphVar(leg.edge_var, "e", leg.edge_label))
         self.output_vars.append(GraphVar(to_var, "v", to_label))
 
-    def children(self) -> list[GraphOperator]:
+    def children(self) -> list[Operator]:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        rows = self.child.execute(ctx)
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         leg_state = []
         for leg in self.legs:
             from_idx = self.child.var_index(leg.from_var)
@@ -399,8 +440,6 @@ class ExpandIntersect(GraphOperator):
             )
         emit_edges = [leg.edge_var is not None for leg in self.legs]
         any_edges = any(emit_edges)
-        out: list[tuple] = []
-        next_check = 16384
         # Neighbor maps are cached per (leg, vertex): input rows revisit the
         # same bound vertices constantly, and map building dominates EI cost.
         caches: list[dict[int, dict[int, list[int]]]] = [{} for _ in leg_state]
@@ -410,62 +449,35 @@ class ExpandIntersect(GraphOperator):
             and vpred is None
             and all(s[4] is None for s in leg_state)
         ):
-            # Two-leg fast path (triangle/square closing without edge vars):
-            # intersect two cached neighbor maps per row, no sorting.
-            (leg_a, idx_a, adj_a, far_a, _), (leg_b, idx_b, adj_b, far_b, _) = leg_state
-            cache_a, cache_b = caches
-            for row in rows:
-                va, vb = row[idx_a], row[idx_b]
-                nbrs_a = cache_a.get(va)
-                if nbrs_a is None:
-                    nbrs_a = {}
-                    for e in adj_a.edge_rowids[adj_a.offsets[va] : adj_a.offsets[va + 1]]:
-                        nbrs_a.setdefault(far_a[e], []).append(e)
-                    cache_a[va] = nbrs_a
-                nbrs_b = cache_b.get(vb)
-                if nbrs_b is None:
-                    nbrs_b = {}
-                    for e in adj_b.edge_rowids[adj_b.offsets[vb] : adj_b.offsets[vb + 1]]:
-                        nbrs_b.setdefault(far_b[e], []).append(e)
-                    cache_b[vb] = nbrs_b
-                if len(nbrs_b) < len(nbrs_a):
-                    nbrs_a, nbrs_b = nbrs_b, nbrs_a
-                for nbr, edges_a in nbrs_a.items():
-                    edges_b = nbrs_b.get(nbr)
-                    if edges_b is None:
+            yield from self._stream_two_legs(ctx, leg_state, caches)
+            return
+
+        def neighbor_map(i: int, v: int) -> dict[int, list[int]]:
+            leg, from_idx, adjacency, far, epred = leg_state[i]
+            nbrs = caches[i].get(v)
+            if nbrs is None:
+                nbrs = {}
+                for pos in range(adjacency.offsets[v], adjacency.offsets[v + 1]):
+                    e = adjacency.edge_rowids[pos]
+                    if epred is not None and not epred(e):
                         continue
-                    multiplicity = len(edges_a) * len(edges_b)
-                    extended = row + (nbr,)
-                    if multiplicity == 1:
-                        out.append(extended)
-                    else:
-                        out.extend([extended] * multiplicity)
-                if len(out) >= next_check:
-                    ctx.check_size(len(out))
-                    next_check = len(out) + 16384
-            ctx.charge(len(out), self._label())
-            return out
-        for row in rows:
+                    nbrs.setdefault(far[e], []).append(e)
+                caches[i][v] = nbrs
+            return nbrs
+
+        def expand(row: tuple, out: list) -> None:
             # Build neighbor -> [edges] per leg; smallest first.
-            per_leg: list[dict[int, list[int]]] = []
-            for i, (leg, from_idx, adjacency, far, epred) in enumerate(leg_state):
-                v = row[from_idx]
-                nbrs = caches[i].get(v)
-                if nbrs is None:
-                    nbrs = {}
-                    for pos in range(adjacency.offsets[v], adjacency.offsets[v + 1]):
-                        e = adjacency.edge_rowids[pos]
-                        if epred is not None and not epred(e):
-                            continue
-                        nbrs.setdefault(far[e], []).append(e)
-                    caches[i][v] = nbrs
-                per_leg.append(nbrs)
+            per_leg = [
+                neighbor_map(i, row[leg_state[i][1]])
+                for i in range(len(leg_state))
+            ]
             order = sorted(range(len(per_leg)), key=lambda i: len(per_leg[i]))
             smallest = per_leg[order[0]]
-            common: list[int] = []
-            for nbr in smallest:
-                if all(nbr in per_leg[i] for i in order[1:]):
-                    common.append(nbr)
+            common = [
+                nbr
+                for nbr in smallest
+                if all(nbr in per_leg[i] for i in order[1:])
+            ]
             for nbr in common:
                 if vpred is not None and not vpred(nbr):
                     continue
@@ -484,11 +496,45 @@ class ExpandIntersect(GraphOperator):
                         multiplicity *= len(per_leg[i][nbr])
                     extended = row + (nbr,)
                     out.extend([extended] * multiplicity)
-            if len(out) >= next_check:
-                ctx.check_size(len(out))
-                next_check = len(out) + 16384
-        ctx.charge(len(out), self._label())
-        return out
+
+        yield from expand_batches(self.child.batches(ctx), expand, ctx.batch_size)
+
+    def _stream_two_legs(
+        self, ctx: ExecutionContext, leg_state, caches
+    ) -> Iterator[Batch]:
+        # Two-leg fast path (triangle/square closing without edge vars):
+        # intersect two cached neighbor maps per row, no sorting.
+        (leg_a, idx_a, adj_a, far_a, _), (leg_b, idx_b, adj_b, far_b, _) = leg_state
+        cache_a, cache_b = caches
+
+        def expand(row: tuple, out: list) -> None:
+            va, vb = row[idx_a], row[idx_b]
+            nbrs_a = cache_a.get(va)
+            if nbrs_a is None:
+                nbrs_a = {}
+                for e in adj_a.edge_rowids[adj_a.offsets[va] : adj_a.offsets[va + 1]]:
+                    nbrs_a.setdefault(far_a[e], []).append(e)
+                cache_a[va] = nbrs_a
+            nbrs_b = cache_b.get(vb)
+            if nbrs_b is None:
+                nbrs_b = {}
+                for e in adj_b.edge_rowids[adj_b.offsets[vb] : adj_b.offsets[vb + 1]]:
+                    nbrs_b.setdefault(far_b[e], []).append(e)
+                cache_b[vb] = nbrs_b
+            if len(nbrs_b) < len(nbrs_a):
+                nbrs_a, nbrs_b = nbrs_b, nbrs_a
+            for nbr, edges_a in nbrs_a.items():
+                edges_b = nbrs_b.get(nbr)
+                if edges_b is None:
+                    continue
+                multiplicity = len(edges_a) * len(edges_b)
+                extended = row + (nbr,)
+                if multiplicity == 1:
+                    out.append(extended)
+                else:
+                    out.extend([extended] * multiplicity)
+
+        yield from expand_batches(self.child.batches(ctx), expand, ctx.batch_size)
 
     def _label(self) -> str:
         legs = ", ".join(f"{leg.from_var}-[{leg.edge_label}]" for leg in self.legs)
@@ -533,7 +579,10 @@ class EdgeTripleScan(GraphOperator):
         if edge_var is not None:
             self.output_vars.append(GraphVar(edge_var, "e", edge_label))
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         em = self.mapping.edge(self.edge_label)
         edge_table = self.mapping.edge_table(self.edge_label)
         if self.index is not None:
@@ -568,27 +617,39 @@ class EdgeTripleScan(GraphOperator):
             else None
         )
         with_edge = self.edge_var is not None
+        n = edge_table.num_rows
+        size = ctx.batch_size
         if epred is None and spred is None and dpred is None:
-            # No filters: assemble the triples at C speed.
-            if with_edge:
-                pairs = zip(src_rowids, dst_rowids, range(edge_table.num_rows))
-            else:
-                pairs = zip(src_rowids, dst_rowids)
-            out = list(pairs)
-            ctx.charge(len(out), self._label())
-            return out
-        out: list[tuple] = []
-        for e in range(edge_table.num_rows):
-            if epred is not None and not epred(e):
-                continue
-            s, d = src_rowids[e], dst_rowids[e]
-            if spred is not None and not spred(s):
-                continue
-            if dpred is not None and not dpred(d):
-                continue
-            out.append((s, d, e) if with_edge else (s, d))
-        ctx.charge(len(out), self._label())
-        return out
+            # No filters: assemble the triples at C speed, chunk by chunk.
+            for start in range(0, n, size):
+                stop = min(start + size, n)
+                if with_edge:
+                    yield list(
+                        zip(
+                            src_rowids[start:stop],
+                            dst_rowids[start:stop],
+                            range(start, stop),
+                        )
+                    )
+                else:
+                    yield list(
+                        zip(src_rowids[start:stop], dst_rowids[start:stop])
+                    )
+            return
+        for start in range(0, n, size):
+            stop = min(start + size, n)
+            out: list[tuple] = []
+            for e in range(start, stop):
+                if epred is not None and not epred(e):
+                    continue
+                s, d = src_rowids[e], dst_rowids[e]
+                if spred is not None and not spred(s):
+                    continue
+                if dpred is not None and not dpred(d):
+                    continue
+                out.append((s, d, e) if with_edge else (s, d))
+            if out:
+                yield out
 
     def _label(self) -> str:
         mode = "EV-index" if self.index is not None else "EVJoin"
@@ -598,7 +659,17 @@ class EdgeTripleScan(GraphOperator):
 
 
 class PatternHashJoin(GraphOperator):
-    """Natural join of two graph relations on their common variables."""
+    """Natural join of two graph relations on their common variables.
+
+    The build side is chosen adaptively (smaller input builds, as in any
+    hash join) without materializing the probe side: the right input is
+    drained first, then left batches are buffered only until they outnumber
+    it — at which point the right side builds and the remaining left input
+    streams straight through the shared probe kernel.  Join *output* always
+    streams, so only the inputs' buffered rows charge the memory budget;
+    exploding star materializations (the NoEI / naive plans) still trip the
+    paper's OOMs during their build drain.
+    """
 
     def __init__(self, left: GraphOperator, right: GraphOperator):
         self.left = left
@@ -615,68 +686,79 @@ class PatternHashJoin(GraphOperator):
             right.output_vars[i] for i in self.right_keep
         ]
 
-    def children(self) -> list[GraphOperator]:
+    def children(self) -> list[Operator]:
         return [self.left, self.right]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        left_rows = self.left.execute(ctx)
-        right_rows = self.right.execute(ctx)
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         l_idx = [self.left.var_index(n) for n in self.join_vars]
         r_idx = [self.right.var_index(n) for n in self.join_vars]
         keep = self.right_keep
-        scalar = len(r_idx) == 1
-        out: list[tuple] = []
-        next_check = 16384
-        empty: list = []
-        if len(right_rows) <= len(left_rows):
-            # Build on the right (smaller); output stays left ++ right_keep.
-            build: dict = {}
-            if scalar:
-                ri = r_idx[0]
-                for row in right_rows:
-                    build.setdefault(row[ri], []).append(
-                        tuple(row[i] for i in keep)
-                    )
-                li = l_idx[0]
-                key_of = lambda row: row[li]  # noqa: E731
-            else:
-                for row in right_rows:
-                    key = tuple(row[i] for i in r_idx)
-                    build.setdefault(key, []).append(tuple(row[i] for i in keep))
-                key_of = lambda row: tuple(row[i] for i in l_idx)  # noqa: E731
-            for row in left_rows:
-                for extra in build.get(key_of(row), empty):
-                    out.append(row + extra)
-                    if len(out) >= next_check:
-                        ctx.check_size(len(out))
-                        next_check = len(out) + 16384
+        if len(r_idx) == 1:
+            right_key, left_key = scalar_key(r_idx[0]), scalar_key(l_idx[0])
         else:
-            # Build on the left (smaller), probe with the right; the output
-            # column order is unchanged.
-            build = {}
-            if scalar:
-                li = l_idx[0]
-                for row in left_rows:
-                    build.setdefault(row[li], []).append(row)
-                ri = r_idx[0]
-                rkey_of = lambda row: row[ri]  # noqa: E731
-            else:
-                for row in left_rows:
-                    key = tuple(row[i] for i in l_idx)
-                    build.setdefault(key, []).append(row)
-                rkey_of = lambda row: tuple(row[i] for i in r_idx)  # noqa: E731
-            for row in right_rows:
-                matches = build.get(rkey_of(row), empty)
-                if not matches:
-                    continue
-                extra = tuple(row[i] for i in keep)
-                for lrow in matches:
-                    out.append(lrow + extra)
-                    if len(out) >= next_check:
-                        ctx.check_size(len(out))
-                        next_check = len(out) + 16384
-        ctx.charge(len(out), self._label())
-        return out
+            right_key, left_key = tuple_key(r_idx), tuple_key(l_idx)
+        trim = (
+            (lambda row: ())
+            if not keep
+            else (lambda row: tuple(row[i] for i in keep))
+        )
+        size = ctx.batch_size
+        right_buffer = ctx.buffer(f"{self._label()} build")
+        left_buffer = ctx.buffer(f"{self._label()} lookahead")
+        try:
+            right_rows: list[tuple] = []
+            for batch in self.right.batches(ctx):
+                right_rows.extend(batch)
+                right_buffer.grow(len(batch))
+            # Bounded lookahead on the left: once it outnumbers the right
+            # side, the right side is the smaller build input for sure.
+            left_stream = self.left.batches(ctx)
+            left_prefix: list[tuple] = []
+            left_is_smaller = True
+            for batch in left_stream:
+                left_prefix.extend(batch)
+                if len(left_prefix) > len(right_rows):
+                    # The left side turns out to be the probe side: its
+                    # prefix is in-flight probe input, not build state, so
+                    # it must not charge the budget.
+                    left_is_smaller = False
+                    left_buffer.release()
+                    break
+                left_buffer.grow(len(batch))
+            if left_is_smaller:
+                # Build on the (fully seen) left; probe the materialized
+                # right.  Output stays left ++ right_keep.
+                table = build_hash_table(chunked(left_prefix, size), left_key, None)
+                lookup = table.get
+                out: list[tuple] = []
+                for rrow in right_rows:
+                    matches = lookup(right_key(rrow))
+                    if not matches:
+                        continue
+                    extra = trim(rrow)
+                    out.extend([lrow + extra for lrow in matches])
+                    if len(out) >= size:
+                        yield out
+                        out = []
+                if out:
+                    yield out
+                return
+            table = build_hash_table(
+                chunked(right_rows, size), right_key, None, value_of=trim
+            )
+            del right_rows
+
+            def left_batches() -> Iterator[Batch]:
+                yield from chunked(left_prefix, size)
+                yield from left_stream
+
+            yield from probe_hash_table(left_batches(), table, left_key, size)
+        finally:
+            right_buffer.release()
+            left_buffer.release()
 
     def _label(self) -> str:
         return f"PATTERN_HASH_JOIN on ({', '.join(self.join_vars)})"
@@ -692,17 +774,18 @@ class VertexFilter(GraphOperator):
         self.predicate = predicate
         self.output_vars = list(child.output_vars)
 
-    def children(self) -> list[GraphOperator]:
+    def children(self) -> list[Operator]:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        rows = self.child.execute(ctx)
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         idx = self.child.var_index(self.var)
         label = self.child.output_vars[idx].label
         check = rowid_predicate(self.mapping.vertex_table(label), self.predicate)
-        out = [row for row in rows if check(row[idx])]
-        ctx.charge(len(out), self._label())
-        return out
+        return emit_batches(
+            ctx,
+            self._label(),
+            filter_batches(self.child.batches(ctx), lambda row: check(row[idx])),
+        )
 
     def _label(self) -> str:
         return f"VERTEX_FILTER {self.var} ({self.predicate})"
@@ -718,17 +801,18 @@ class EdgeFilter(GraphOperator):
         self.predicate = predicate
         self.output_vars = list(child.output_vars)
 
-    def children(self) -> list[GraphOperator]:
+    def children(self) -> list[Operator]:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        rows = self.child.execute(ctx)
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         idx = self.child.var_index(self.var)
         label = self.child.output_vars[idx].label
         check = rowid_predicate(self.mapping.edge_table(label), self.predicate)
-        out = [row for row in rows if check(row[idx])]
-        ctx.charge(len(out), self._label())
-        return out
+        return emit_batches(
+            ctx,
+            self._label(),
+            filter_batches(self.child.batches(ctx), lambda row: check(row[idx])),
+        )
 
     def _label(self) -> str:
         return f"EDGE_FILTER {self.var} ({self.predicate})"
@@ -748,20 +832,41 @@ class AllDistinct(GraphOperator):
             if var.kind == kind
         ]
 
-    def children(self) -> list[GraphOperator]:
+    def children(self) -> list[Operator]:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        rows = self.child.execute(ctx)
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         indices = self._indices
         n = len(indices)
-        out = []
-        for row in rows:
-            elements = {(label, row[i]) for i, label in indices}
-            if len(elements) == n:
-                out.append(row)
-        ctx.charge(len(out), self._label())
-        return out
+
+        def distinct(row: tuple) -> bool:
+            return len({(label, row[i]) for i, label in indices}) == n
+
+        return emit_batches(
+            ctx, self._label(), filter_batches(self.child.batches(ctx), distinct)
+        )
 
     def _label(self) -> str:
         return f"ALL_DISTINCT ({self.kind})"
+
+
+# Re-exported for naive-engine modelling (see systems.kuzu_like); the class
+# itself lives with the shared protocol in repro.exec.
+from repro.exec.operator import MaterializeOp  # noqa: E402  (re-export)
+
+__all__ = [
+    "GraphVar",
+    "GraphOperator",
+    "ScanVertex",
+    "ExpandEdge",
+    "GetVertex",
+    "Expand",
+    "StarLeg",
+    "ExpandIntersect",
+    "EdgeTripleScan",
+    "PatternHashJoin",
+    "VertexFilter",
+    "EdgeFilter",
+    "AllDistinct",
+    "MaterializeOp",
+]

@@ -1,96 +1,26 @@
-"""Execution context: memory budget, counters, and the plan runner.
+"""Backwards-compatible façade over the converged execution engine.
 
-The context is threaded through every physical operator.  Its single most
-important job for the reproduction is the **memory budget**: the paper's
-evaluation reports OOM entries (RelGoNoEI on the 4-clique QC3; Kùzu on
-IC3-1), and we reproduce those by capping the number of rows any single
-materialized intermediate may hold.  Operators call
-:meth:`ExecutionContext.charge` as they buffer rows; exceeding the budget
-raises :class:`repro.errors.OutOfMemoryError`.
+The execution context, result type and plan runner moved to
+:mod:`repro.exec.context` when the engine became batched/streaming (one
+runtime now serves both the relational and the graph physical layers).
+Every historical import site — ``from repro.relational.executor import
+ExecutionContext`` and friends — keeps working through this module.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from repro.exec.context import (
+    DEFAULT_BATCH_SIZE,
+    Buffer,
+    ExecutionContext,
+    QueryResult,
+    execute_plan,
+)
 
-from repro.errors import OutOfMemoryError
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.relational.physical import PhysicalOperator
-
-
-@dataclass
-class ExecutionContext:
-    """Mutable per-query execution state.
-
-    Attributes:
-        memory_budget_rows: maximum rows a single materialized intermediate
-            may hold; ``None`` means unlimited.
-        rows_produced: total rows emitted by all operators (a cheap proxy for
-            work done, used by tests and the benchmark reports).
-        operator_rows: per-operator-label row counts for plan forensics.
-    """
-
-    memory_budget_rows: int | None = None
-    rows_produced: int = 0
-    operator_rows: dict[str, int] = field(default_factory=dict)
-    start_time: float = field(default_factory=time.perf_counter)
-
-    def charge(self, rows: int, label: str = "") -> None:
-        """Account for ``rows`` buffered rows; raise OOM when over budget."""
-        self.rows_produced += rows
-        if label:
-            self.operator_rows[label] = self.operator_rows.get(label, 0) + rows
-        if self.memory_budget_rows is not None and rows > self.memory_budget_rows:
-            raise OutOfMemoryError(rows, self.memory_budget_rows)
-
-    def check_size(self, rows: int) -> None:
-        """Raise OOM if a buffer of ``rows`` rows would exceed the budget."""
-        if self.memory_budget_rows is not None and rows > self.memory_budget_rows:
-            raise OutOfMemoryError(rows, self.memory_budget_rows)
-
-    @property
-    def elapsed(self) -> float:
-        return time.perf_counter() - self.start_time
-
-
-@dataclass
-class QueryResult:
-    """The outcome of executing a physical plan."""
-
-    columns: list[str]
-    rows: list[tuple[Any, ...]]
-    execution_time: float
-    rows_produced: int = 0
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-    def sorted_rows(self) -> list[tuple[Any, ...]]:
-        """Rows in a canonical order, for order-insensitive comparisons."""
-        return sorted(self.rows, key=_sort_key)
-
-    def to_dicts(self) -> list[dict[str, Any]]:
-        return [dict(zip(self.columns, row)) for row in self.rows]
-
-
-def _sort_key(row: tuple) -> tuple:
-    # None sorts before everything; mixed types sort by type name first.
-    return tuple((v is not None, type(v).__name__, v) for v in row)
-
-
-def execute_plan(
-    plan: "PhysicalOperator",
-    memory_budget_rows: int | None = None,
-) -> QueryResult:
-    """Run a physical plan to completion and package the result."""
-    ctx = ExecutionContext(memory_budget_rows=memory_budget_rows)
-    rows = plan.execute(ctx)
-    return QueryResult(
-        columns=list(plan.output_columns),
-        rows=rows,
-        execution_time=ctx.elapsed,
-        rows_produced=ctx.rows_produced,
-    )
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "Buffer",
+    "ExecutionContext",
+    "QueryResult",
+    "execute_plan",
+]

@@ -54,6 +54,7 @@ from repro.relational.physical import (
     RowIdJoin,
     SeqScan,
     SortOp,
+    TopKOp,
 )
 
 
@@ -271,6 +272,14 @@ class PhysicalPlanner:
         if isinstance(node, LogicalSort):
             return SortOp(self._build(node.child, analysis), node.keys)
         if isinstance(node, LogicalLimit):
+            # ORDER BY ... LIMIT k fuses into a streaming top-k selection:
+            # O(k) buffered state instead of a full sort, identical rows.
+            if isinstance(node.child, LogicalSort):
+                return TopKOp(
+                    self._build(node.child.child, analysis),
+                    node.child.keys,
+                    node.limit,
+                )
             return LimitOp(self._build(node.child, analysis), node.limit)
         if isinstance(node, LogicalDistinct):
             return DistinctOp(self._build(node.child, analysis))

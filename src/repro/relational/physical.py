@@ -1,10 +1,16 @@
-"""Row-based physical operators.
+"""Row-based physical operators on the batched streaming engine.
 
-All operators materialize their output as a list of Python tuples; columns
-are identified by qualified names (``alias.column``).  Besides the classic
-operators (scan, filter, project, hash join, aggregate, sort, limit,
-distinct) this module implements the two **predefined-join** operators that
-GRainDB contributes (Sec 3.2.1 of the paper):
+All operators implement the shared :class:`repro.exec.Operator` protocol —
+``batches(ctx)`` yields chunks of row tuples — so pipelines stream: scans,
+filters, projections and join probes keep only one batch in flight, while
+genuine pipeline breakers (hash builds, sort/aggregate/distinct state)
+acquire :class:`repro.exec.Buffer` handles that the memory budget charges.
+Columns are identified by qualified names (``alias.column``).
+
+Besides the classic operators (scan, filter, project, hash join, aggregate,
+sort, top-k, limit, distinct) this module implements the two
+**predefined-join** operators that GRainDB contributes (Sec 3.2.1 of the
+paper):
 
 * :class:`RowIdJoin` — follows an EV-index pointer column (an edge tuple's
   stored rowid of its endpoint tuple) and fetches the vertex row by position,
@@ -19,11 +25,24 @@ decides when to request them.
 
 from __future__ import annotations
 
+import heapq
 import operator
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.errors import PlanError
-from repro.relational.executor import ExecutionContext
+from repro.exec.context import ExecutionContext
+from repro.exec.kernels import (
+    build_hash_table,
+    chunked,
+    emit_batches,
+    expand_batches,
+    filter_batches,
+    map_batches,
+    probe_hash_table,
+    scalar_key,
+    tuple_key,
+)
+from repro.exec.operator import Batch, Operator
 from repro.relational.expr import (
     Expr,
     compile_expr,
@@ -53,29 +72,13 @@ def rowid_checker(table: Table, predicate: Expr):
     return lambda rowid: pred(tuple(a[rowid] for a in arrays))
 
 
-class PhysicalOperator:
+class PhysicalOperator(Operator):
     """Base class; subclasses set ``output_columns`` in ``__init__``."""
 
     output_columns: list[str]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        raise NotImplementedError
-
-    def children(self) -> list["PhysicalOperator"]:
-        return []
-
     def layout(self) -> dict[str, int]:
         return {name: i for i, name in enumerate(self.output_columns)}
-
-    def explain(self, indent: int = 0) -> str:
-        pad = "  " * indent
-        lines = [pad + self._label()]
-        for child in self.children():
-            lines.append(child.explain(indent + 1))
-        return "\n".join(lines)
-
-    def _label(self) -> str:
-        return type(self).__name__
 
 
 def _column_indices(
@@ -109,7 +112,7 @@ def _resolve(columns: Sequence[str], name: str) -> int:
 
 
 class SeqScan(PhysicalOperator):
-    """Full scan of a base table with optional inline filter and projection.
+    """Chunked scan of a base table with optional inline filter/projection.
 
     Args:
         table: the table to scan.
@@ -121,6 +124,9 @@ class SeqScan(PhysicalOperator):
             enabling downstream predefined joins.
         pointer_columns: extra ``(name, values)`` pairs appended to the
             output — the EV-index rowid pointer columns of an edge table.
+
+    The scan evaluates its predicate chunk by chunk, so a ``LIMIT`` above
+    only pays for the prefix of the table it actually pulls.
     """
 
     def __init__(
@@ -145,40 +151,46 @@ class SeqScan(PhysicalOperator):
             self.output_columns.append(f"{alias}.{ROWID_COLUMN}")
         self.output_columns.extend(name for name, _ in self.pointer_columns)
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return emit_batches(ctx, self._label(), self._scan(ctx))
+
+    def _scan(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        size = ctx.batch_size
+        n = self.table.num_rows
         columns = [self.table.column(c) for c in self.projected]
         extras: list[list[Any]] = [values for _, values in self.pointer_columns]
-        n = self.table.num_rows
-        rowids: range | list[int] = range(n)
+        pred = None
+        all_columns: list[list[Any]] = []
         if self.predicate is not None:
-            # Evaluate the predicate against the full base row once, then
-            # project; the predicate may reference non-projected columns.
+            # Evaluate the predicate against the full base row, then project;
+            # the predicate may reference non-projected columns.
             base_layout: dict[str, int] = {}
             for i, c in enumerate(self.table.schema.column_names):
                 base_layout[c] = i
                 base_layout[f"{self.alias}.{c}"] = i
             pred = compile_predicate(self.predicate, base_layout)
-            all_columns = [self.table.column(c) for c in self.table.schema.column_names]
-            rowids = [i for i, row in enumerate(zip(*all_columns)) if pred(row)]
-        # Assemble column-at-a-time, then zip into rows at C speed.
-        parts: list = list(columns)
-        if self.emit_rowid:
-            parts.append(rowids if isinstance(rowids, (range, list)) else list(rowids))
-        parts.extend(extras)
-        if isinstance(rowids, range):
+            all_columns = [
+                self.table.column(c) for c in self.table.schema.column_names
+            ]
+        for start in range(0, n, size):
+            stop = min(start + size, n)
+            if pred is None:
+                # Assemble column-at-a-time, then zip into rows at C speed.
+                parts: list = [c[start:stop] for c in columns]
+                if self.emit_rowid:
+                    parts.append(range(start, stop))
+                parts.extend(e[start:stop] for e in extras)
+                yield list(zip(*parts)) if parts else [()] * (stop - start)
+                continue
+            rows = zip(*(c[start:stop] for c in all_columns))
+            rowids = [start + i for i, row in enumerate(rows) if pred(row)]
+            if not rowids:
+                continue
+            parts = [[c[i] for i in rowids] for c in columns]
             if self.emit_rowid:
-                parts[len(columns)] = rowids
-            out = list(zip(*parts)) if parts else [()] * n
-        else:
-            gathered = []
-            for part in parts:
-                if part is rowids:
-                    gathered.append(rowids)
-                else:
-                    gathered.append([part[i] for i in rowids])
-            out = list(zip(*gathered)) if gathered else [()] * len(rowids)
-        ctx.charge(len(out), self._label())
-        return out
+                parts.append(rowids)
+            parts.extend([e[i] for i in rowids] for e in extras)
+            yield list(zip(*parts)) if parts else [()] * len(rowids)
 
     def _label(self) -> str:
         pred = f" ({self.predicate})" if self.predicate is not None else ""
@@ -191,15 +203,14 @@ class FilterOp(PhysicalOperator):
         self.predicate = predicate
         self.output_columns = list(child.output_columns)
 
-    def children(self) -> list[PhysicalOperator]:
+    def children(self) -> list[Operator]:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        rows = self.child.execute(ctx)
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         pred = compile_predicate(self.predicate, self.child.layout())
-        out = [row for row in rows if pred(row)]
-        ctx.charge(len(out), self._label())
-        return out
+        return emit_batches(
+            ctx, self._label(), filter_batches(self.child.batches(ctx), pred)
+        )
 
     def _label(self) -> str:
         return f"SELECTION ({self.predicate})"
@@ -211,33 +222,39 @@ class ProjectOp(PhysicalOperator):
         self.exprs = exprs
         self.output_columns = [alias for _, alias in exprs]
 
-    def children(self) -> list[PhysicalOperator]:
+    def children(self) -> list[Operator]:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        rows = self.child.execute(ctx)
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         layout = self.child.layout()
         indices = _column_indices(self.exprs, self.child.output_columns)
         if indices is not None:
             # Rename-only projection: gather via a C-level itemgetter.
             if len(indices) == 1:
                 i0 = indices[0]
-                out = [(row[i0],) for row in rows]
+                transform = lambda batch: [(row[i0],) for row in batch]  # noqa: E731
             else:
                 getter = operator.itemgetter(*indices)
-                out = list(map(getter, rows))
+                transform = lambda batch: list(map(getter, batch))  # noqa: E731
         else:
             evaluators = [compile_expr(e, layout) for e, _ in self.exprs]
-            out = [tuple(ev(row) for ev in evaluators) for row in rows]
-        ctx.charge(len(out), self._label())
-        return out
+            transform = lambda batch: [  # noqa: E731
+                tuple(ev(row) for ev in evaluators) for row in batch
+            ]
+        return emit_batches(
+            ctx, self._label(), map_batches(self.child.batches(ctx), transform)
+        )
 
     def _label(self) -> str:
         return "PROJECTION " + ", ".join(a for _, a in self.exprs)
 
 
 class HashJoin(PhysicalOperator):
-    """Inner equi-join: build a hash table on the right, probe with the left."""
+    """Inner equi-join: build a hash table on the right, probe with the left.
+
+    The build side is the only buffered state (charged against the memory
+    budget); probe output streams in re-chunked batches.
+    """
 
     def __init__(
         self,
@@ -256,48 +273,32 @@ class HashJoin(PhysicalOperator):
         self.residual = residual
         self.output_columns = list(left.output_columns) + list(right.output_columns)
 
-    def children(self) -> list[PhysicalOperator]:
+    def children(self) -> list[Operator]:
         return [self.left, self.right]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        left_rows = self.left.execute(ctx)
-        right_rows = self.right.execute(ctx)
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         l_idx = [_resolve(self.left.output_columns, k) for k in self.left_keys]
         r_idx = [_resolve(self.right.output_columns, k) for k in self.right_keys]
-        build: dict[Any, list[tuple]] = {}
         if len(r_idx) == 1:
-            ri = r_idx[0]
-            for row in right_rows:
-                key = row[ri]
-                if key is None:
-                    continue
-                build.setdefault(key, []).append(row)
-            keys = [l_idx[0]]
-            probe_key = lambda row: row[keys[0]]  # noqa: E731
+            build_key, probe_key = scalar_key(r_idx[0]), scalar_key(l_idx[0])
         else:
-            for row in right_rows:
-                key = tuple(row[i] for i in r_idx)
-                if any(k is None for k in key):
-                    continue
-                build.setdefault(key, []).append(row)
-            probe_key = lambda row: tuple(row[i] for i in l_idx)  # noqa: E731
-        out: list[tuple] = []
-        next_check = 16384
-        empty: list[tuple] = []
-        for row in left_rows:
-            key = probe_key(row)
-            if key is None:
-                continue
-            for match in build.get(key, empty):
-                out.append(row + match)
-                if len(out) >= next_check:
-                    ctx.check_size(len(out))
-                    next_check = len(out) + 16384
-        if self.residual is not None:
+            build_key, probe_key = tuple_key(r_idx), tuple_key(l_idx)
+        buffer = ctx.buffer(f"{self._label()} build")
+        try:
+            table = build_hash_table(self.right.batches(ctx), build_key, buffer)
+            probe = probe_hash_table(
+                self.left.batches(ctx), table, probe_key, ctx.batch_size
+            )
+            if self.residual is None:
+                yield from probe
+                return
             pred = compile_predicate(self.residual, self.layout())
-            out = [row for row in out if pred(row)]
-        ctx.charge(len(out), self._label())
-        return out
+            yield from filter_batches(probe, pred)
+        finally:
+            buffer.release()
 
     def _label(self) -> str:
         keys = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
@@ -305,7 +306,10 @@ class HashJoin(PhysicalOperator):
 
 
 class NestedLoopJoin(PhysicalOperator):
-    """Fallback join for non-equi (or absent) conditions."""
+    """Fallback join for non-equi (or absent) conditions.
+
+    Buffers the right side (charged), streams the left.
+    """
 
     def __init__(
         self,
@@ -318,24 +322,37 @@ class NestedLoopJoin(PhysicalOperator):
         self.condition = condition
         self.output_columns = list(left.output_columns) + list(right.output_columns)
 
-    def children(self) -> list[PhysicalOperator]:
+    def children(self) -> list[Operator]:
         return [self.left, self.right]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        left_rows = self.left.execute(ctx)
-        right_rows = self.right.execute(ctx)
-        if self.condition is not None:
-            pred = compile_predicate(self.condition, self.layout())
-            out = [
-                lrow + rrow
-                for lrow in left_rows
-                for rrow in right_rows
-                if pred(lrow + rrow)
-            ]
-        else:
-            out = [lrow + rrow for lrow in left_rows for rrow in right_rows]
-        ctx.charge(len(out), self._label())
-        return out
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        buffer = ctx.buffer(f"{self._label()} build")
+        try:
+            right_rows: list[tuple] = []
+            for batch in self.right.batches(ctx):
+                right_rows.extend(batch)
+                buffer.grow(len(batch))
+            if self.condition is not None:
+                pred = compile_predicate(self.condition, self.layout())
+
+                def expand(lrow: tuple, out: list) -> None:
+                    out.extend(
+                        [lrow + rrow for rrow in right_rows if pred(lrow + rrow)]
+                    )
+
+            else:
+
+                def expand(lrow: tuple, out: list) -> None:
+                    out.extend([lrow + rrow for rrow in right_rows])
+
+            yield from expand_batches(
+                self.left.batches(ctx), expand, ctx.batch_size
+            )
+        finally:
+            buffer.release()
 
     def _label(self) -> str:
         return f"NL_JOIN ({self.condition})"
@@ -345,9 +362,9 @@ class RowIdJoin(PhysicalOperator):
     """GRainDB-style predefined join along an EV-index pointer column.
 
     For each input row, reads the pointer column (a rowid into ``table``) and
-    fetches that row directly — no hash table.  A NULL/-1 pointer drops the
-    row (inner-join semantics over a total mapping never produces these, but
-    defensive plans may).
+    fetches that row directly — no hash table, no buffered state.  A
+    NULL/-1 pointer drops the row (inner-join semantics over a total mapping
+    never produces these, but defensive plans may).
     """
 
     def __init__(
@@ -375,11 +392,13 @@ class RowIdJoin(PhysicalOperator):
         if emit_rowid:
             self.output_columns.append(f"{alias}.{ROWID_COLUMN}")
 
-    def children(self) -> list[PhysicalOperator]:
+    def children(self) -> list[Operator]:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        rows = self.child.execute(ctx)
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         ptr = _resolve(self.child.output_columns, self.pointer_column)
         columns = [self.table.column(c) for c in self.projected]
         check = (
@@ -387,59 +406,67 @@ class RowIdJoin(PhysicalOperator):
             if self.predicate is not None
             else None
         )
+        source = self.child.batches(ctx)
         if check is not None and not self.emit_rowid:
             # Evaluate the predicate once per base row (a bitmap over the
-            # fetched table), then join with comprehensions.
+            # fetched table), then join with per-batch comprehensions.
             n = self.table.num_rows
             mask = [check(i) for i in range(n)]
             if len(columns) == 1:
                 c0 = columns[0]
-                out = [row + (c0[row[ptr]],) for row in rows if mask[row[ptr]]]
+                transform = lambda batch: [  # noqa: E731
+                    row + (c0[row[ptr]],) for row in batch if mask[row[ptr]]
+                ]
             elif len(columns) == 2:
                 c0, c1 = columns
-                out = [
+                transform = lambda batch: [  # noqa: E731
                     row + (c0[row[ptr]], c1[row[ptr]])
-                    for row in rows
+                    for row in batch
                     if mask[row[ptr]]
                 ]
             else:
-                out = [
+                transform = lambda batch: [  # noqa: E731
                     row + tuple(column[row[ptr]] for column in columns)
-                    for row in rows
+                    for row in batch
                     if mask[row[ptr]]
                 ]
-            ctx.charge(len(out), self._label())
-            return out
+            yield from map_batches(source, transform)
+            return
         # Pointer columns produced by the graph index are total (never NULL),
         # so the common cases vectorize into single comprehensions.
         if check is None and not self.emit_rowid:
             if len(columns) == 1:
                 c0 = columns[0]
-                out = [row + (c0[row[ptr]],) for row in rows]
+                transform = lambda batch: [  # noqa: E731
+                    row + (c0[row[ptr]],) for row in batch
+                ]
             elif len(columns) == 2:
                 c0, c1 = columns
-                out = [row + (c0[row[ptr]], c1[row[ptr]]) for row in rows]
-            else:
-                out = [
-                    row + tuple(column[row[ptr]] for column in columns)
-                    for row in rows
+                transform = lambda batch: [  # noqa: E731
+                    row + (c0[row[ptr]], c1[row[ptr]]) for row in batch
                 ]
-            ctx.charge(len(out), self._label())
-            return out
-        out: list[tuple] = []
-        for row in rows:
-            rowid = row[ptr]
-            if rowid is None or rowid < 0:
-                continue
-            if check is not None and not check(rowid):
-                continue
-            fetched = tuple(column[rowid] for column in columns)
-            if self.emit_rowid:
-                out.append(row + fetched + (rowid,))
             else:
-                out.append(row + fetched)
-        ctx.charge(len(out), self._label())
-        return out
+                transform = lambda batch: [  # noqa: E731
+                    row + tuple(column[row[ptr]] for column in columns)
+                    for row in batch
+                ]
+            yield from map_batches(source, transform)
+            return
+        for batch in source:
+            out: list[tuple] = []
+            for row in batch:
+                rowid = row[ptr]
+                if rowid is None or rowid < 0:
+                    continue
+                if check is not None and not check(rowid):
+                    continue
+                fetched = tuple(column[rowid] for column in columns)
+                if self.emit_rowid:
+                    out.append(row + fetched + (rowid,))
+                else:
+                    out.append(row + fetched)
+            if out:
+                yield out
 
     def _label(self) -> str:
         pred = f" ({self.predicate})" if self.predicate is not None else ""
@@ -455,7 +482,7 @@ class CsrJoin(PhysicalOperator):
     For each input row, reads ``vertex_rowid_column`` and expands to every
     adjacent edge rowid recorded in the CSR, fetching edge columns (and the
     EV pointer to the far endpoint, so a subsequent :class:`RowIdJoin` can
-    complete the hop).
+    complete the hop).  Expansion output streams in bounded chunks.
 
     Args:
         csr_offsets / csr_edges: the CSR arrays — edges for vertex ``v`` are
@@ -493,11 +520,13 @@ class CsrJoin(PhysicalOperator):
         if far_pointer is not None:
             self.output_columns.append(far_pointer[0])
 
-    def children(self) -> list[PhysicalOperator]:
+    def children(self) -> list[Operator]:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        rows = self.child.execute(ctx)
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         vid = _resolve(self.child.output_columns, self.vertex_rowid_column)
         columns = [self.edge_table.column(c) for c in self.projected]
         check = (
@@ -507,53 +536,77 @@ class CsrJoin(PhysicalOperator):
         )
         far = self.far_pointer[1] if self.far_pointer is not None else None
         offsets, edges = self.csr_offsets, self.csr_edges
+        size = ctx.batch_size
         out: list[tuple] = []
-        next_check = 16384
-        if check is None and far is not None and len(columns) <= 1:
-            # Fast paths for the dominant shapes (edge carries at most one
-            # projected column plus the far pointer).
-            if columns:
+        if check is None and far is not None and len(columns) <= 2:
+            # Fast paths for the dominant shapes (edge carries at most its
+            # two FK columns plus the far pointer); inline comprehensions —
+            # this is the predefined-join hot path.
+            if len(columns) == 2:
+                ca, cb = columns
+                for batch in self.child.batches(ctx):
+                    for row in batch:
+                        v = row[vid]
+                        if v is None:  # this shape used the guarded slow path
+                            continue
+                        out.extend(
+                            [
+                                row + (ca[e], cb[e], far[e])
+                                for e in edges[offsets[v] : offsets[v + 1]]
+                            ]
+                        )
+                        if len(out) >= size:
+                            yield out
+                            out = []
+            elif columns:
                 c0 = columns[0]
-                for row in rows:
-                    v = row[vid]
-                    out.extend(
-                        [
-                            row + (c0[e], far[e])
-                            for e in edges[offsets[v] : offsets[v + 1]]
-                        ]
-                    )
-                    if len(out) >= next_check:
-                        ctx.check_size(len(out))
-                        next_check = len(out) + 16384
+                for batch in self.child.batches(ctx):
+                    for row in batch:
+                        v = row[vid]
+                        out.extend(
+                            [
+                                row + (c0[e], far[e])
+                                for e in edges[offsets[v] : offsets[v + 1]]
+                            ]
+                        )
+                        if len(out) >= size:
+                            yield out
+                            out = []
             else:
-                for row in rows:
-                    v = row[vid]
-                    out.extend(
-                        [row + (far[e],) for e in edges[offsets[v] : offsets[v + 1]]]
-                    )
-                    if len(out) >= next_check:
-                        ctx.check_size(len(out))
-                        next_check = len(out) + 16384
-            ctx.charge(len(out), self._label())
-            return out
-        for row in rows:
-            v = row[vid]
-            if v is None:
-                continue
-            for pos in range(offsets[v], offsets[v + 1]):
-                e = edges[pos]
-                if check is not None and not check(e):
+                for batch in self.child.batches(ctx):
+                    for row in batch:
+                        v = row[vid]
+                        out.extend(
+                            [
+                                row + (far[e],)
+                                for e in edges[offsets[v] : offsets[v + 1]]
+                            ]
+                        )
+                        if len(out) >= size:
+                            yield out
+                            out = []
+            if out:
+                yield out
+            return
+        for batch in self.child.batches(ctx):
+            for row in batch:
+                v = row[vid]
+                if v is None:
                     continue
-                fetched = tuple(column[e] for column in columns)
-                if far is not None:
-                    out.append(row + fetched + (far[e],))
-                else:
-                    out.append(row + fetched)
-            if len(out) >= next_check:
-                ctx.check_size(len(out))
-                next_check = len(out) + 16384
-        ctx.charge(len(out), self._label())
-        return out
+                for pos in range(offsets[v], offsets[v + 1]):
+                    e = edges[pos]
+                    if check is not None and not check(e):
+                        continue
+                    fetched = tuple(column[e] for column in columns)
+                    if far is not None:
+                        out.append(row + fetched + (far[e],))
+                    else:
+                        out.append(row + fetched)
+                if len(out) >= size:
+                    yield out
+                    out = []
+        if out:
+            yield out
 
     def _label(self) -> str:
         return (
@@ -562,7 +615,55 @@ class CsrJoin(PhysicalOperator):
         )
 
 
+_MISSING = object()
+
+
+def _make_accumulator(func: str):
+    """(initial_cell, update, final) for one aggregate function.
+
+    Cells are O(1) running state — count / (count, sum) / best-so-far — so
+    aggregation buffers scale with the number of groups, not input rows.
+    NULLs are skipped; an aggregate over no non-NULL input is NULL (COUNT: 0).
+    """
+    if func == "COUNT":
+        return (
+            0,
+            lambda cell, v: cell + 1 if v is not None else cell,
+            lambda cell: cell,
+        )
+    if func in ("SUM", "AVG"):
+        def update(cell, v):
+            return cell if v is None else (cell[0] + 1, cell[1] + v)
+
+        if func == "SUM":
+            final = lambda cell: cell[1] if cell[0] else None  # noqa: E731
+        else:
+            final = lambda cell: cell[1] / cell[0] if cell[0] else None  # noqa: E731
+        return (0, 0), update, final
+    if func == "MIN":
+        def update(cell, v):
+            if v is None:
+                return cell
+            return v if cell is _MISSING or v < cell else cell
+
+        return _MISSING, update, lambda cell: None if cell is _MISSING else cell
+    if func == "MAX":
+        def update(cell, v):
+            if v is None:
+                return cell
+            return v if cell is _MISSING or v > cell else cell
+
+        return _MISSING, update, lambda cell: None if cell is _MISSING else cell
+    raise PlanError(f"unknown aggregate function {func!r}")
+
+
 class AggregateOp(PhysicalOperator):
+    """Hash aggregation with O(1) running state per (group, aggregate).
+
+    The buffered state — one cell list per group — is charged per new
+    group, so only genuinely wide aggregations trip the memory budget.
+    """
+
     def __init__(
         self,
         child: PhysicalOperator,
@@ -574,79 +675,84 @@ class AggregateOp(PhysicalOperator):
         self.aggregates = aggregates
         self.output_columns = [a for _, a in group_by] + [a.alias for a in aggregates]
 
-    def children(self) -> list[PhysicalOperator]:
+    def children(self) -> list[Operator]:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        rows = self.child.execute(ctx)
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         layout = self.child.layout()
         group_evs = [compile_expr(e, layout) for e, _ in self.group_by]
         agg_evs = [
             compile_expr(a.arg, layout) if a.arg is not None else None
             for a in self.aggregates
         ]
-        groups: dict[tuple, list[list[Any]]] = {}
-        for row in rows:
-            key = tuple(ev(row) for ev in group_evs)
-            state = groups.get(key)
-            if state is None:
-                state = [[] for _ in self.aggregates]
-                groups[key] = state
-            for values, ev in zip(state, agg_evs):
-                values.append(ev(row) if ev is not None else 1)
-        if not groups and not self.group_by:
-            groups[()] = [[] for _ in self.aggregates]
-        out: list[tuple] = []
-        for key, state in groups.items():
-            aggs = tuple(
-                _finalize(spec.func, values)
-                for spec, values in zip(self.aggregates, state)
-            )
-            out.append(key + aggs)
-        ctx.charge(len(out), self._label())
-        return out
+        accumulators = [_make_accumulator(a.func) for a in self.aggregates]
+        initials = [init for init, _, _ in accumulators]
+        updates = [update for _, update, _ in accumulators]
+        finals = [final for _, _, final in accumulators]
+        buffer = ctx.buffer(self._label())
+        try:
+            groups: dict[tuple, list[Any]] = {}
+            for batch in self.child.batches(ctx):
+                for row in batch:
+                    key = tuple(ev(row) for ev in group_evs)
+                    cells = groups.get(key)
+                    if cells is None:
+                        cells = list(initials)
+                        groups[key] = cells
+                        buffer.grow(1)
+                    for i, ev in enumerate(agg_evs):
+                        cells[i] = updates[i](
+                            cells[i], ev(row) if ev is not None else 1
+                        )
+            if not groups and not self.group_by:
+                groups[()] = list(initials)
+            out = [
+                key + tuple(final(cell) for final, cell in zip(finals, cells))
+                for key, cells in groups.items()
+            ]
+            yield from chunked(out, ctx.batch_size)
+        finally:
+            buffer.release()
 
     def _label(self) -> str:
         return "AGGREGATE " + ", ".join(str(a) for a in self.aggregates)
 
 
-def _finalize(func: str, values: list[Any]) -> Any:
-    non_null = [v for v in values if v is not None]
-    if func == "COUNT":
-        return len(non_null)
-    if not non_null:
-        return None
-    if func == "MIN":
-        return min(non_null)
-    if func == "MAX":
-        return max(non_null)
-    if func == "SUM":
-        return sum(non_null)
-    return sum(non_null) / len(non_null)  # AVG
-
-
 class SortOp(PhysicalOperator):
+    """Full sort — a pipeline breaker whose buffer is charged as it fills."""
+
     def __init__(self, child: PhysicalOperator, keys: list[tuple[Expr, bool]]):
         self.child = child
         self.keys = keys
         self.output_columns = list(child.output_columns)
 
-    def children(self) -> list[PhysicalOperator]:
+    def children(self) -> list[Operator]:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        rows = self.child.execute(ctx)
-        layout = self.child.layout()
-        # Stable multi-key sort: apply keys from least to most significant.
-        for expr, ascending in reversed(self.keys):
-            ev = compile_expr(expr, layout)
-            rows = sorted(
-                rows,
-                key=lambda row: _null_safe_key(ev(row)),
-                reverse=not ascending,
-            )
-        ctx.charge(len(rows), self._label())
-        return rows
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        buffer = ctx.buffer(self._label())
+        try:
+            rows: list[tuple] = []
+            for batch in self.child.batches(ctx):
+                rows.extend(batch)
+                buffer.grow(len(batch))
+            layout = self.child.layout()
+            # Stable multi-key sort: apply keys from least to most significant.
+            for expr, ascending in reversed(self.keys):
+                ev = compile_expr(expr, layout)
+                rows.sort(
+                    key=lambda row: _null_safe_key(ev(row)),
+                    reverse=not ascending,
+                )
+            yield from chunked(rows, ctx.batch_size)
+        finally:
+            buffer.release()
 
     def _label(self) -> str:
         keys = ", ".join(f"{e} {'ASC' if asc else 'DESC'}" for e, asc in self.keys)
@@ -657,42 +763,174 @@ def _null_safe_key(value: Any) -> tuple:
     return (value is not None, value if value is not None else 0)
 
 
+class _Descending:
+    """Inverts comparisons so DESC keys fit a smallest-first heap order."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Descending) and other.value == self.value
+
+
+class TopKOp(PhysicalOperator):
+    """Streaming ``ORDER BY ... LIMIT k``: a bounded top-k selection.
+
+    Instead of sorting (and buffering) the full input, candidate rows are
+    decorated with a heap-ordered key and pruned to the best ``k`` via
+    :func:`heapq.nsmallest` whenever the candidate buffer doubles.  The
+    buffered state is therefore O(k); ties resolve by arrival order, so the
+    emitted rows are exactly what ``SORT`` + ``LIMIT`` would produce.
+    """
+
+    def __init__(
+        self, child: PhysicalOperator, keys: list[tuple[Expr, bool]], limit: int
+    ):
+        self.child = child
+        self.keys = keys
+        self.limit = limit
+        self.output_columns = list(child.output_columns)
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        k = self.limit
+        if k <= 0:
+            return
+        layout = self.child.layout()
+        evs = [(compile_expr(e, layout), asc) for e, asc in self.keys]
+        all_asc = all(asc for _, asc in evs)
+        all_desc = all(not asc for _, asc in evs)
+        if all_asc or all_desc:
+            # Uniform direction: plain comparable key tuples, selected with
+            # nsmallest/nlargest.  The arrival counter breaks ties — negated
+            # for nlargest so earlier rows still win — and shields rows
+            # themselves from ever being compared.
+            if len(evs) == 1:
+                ev0 = evs[0][0]
+                key_of = lambda row: _null_safe_key(ev0(row))  # noqa: E731
+            else:
+                key_of = lambda row: tuple(  # noqa: E731
+                    _null_safe_key(ev(row)) for ev, _ in evs
+                )
+            select = (
+                (lambda cands: heapq.nsmallest(k, cands))
+                if all_asc
+                else (lambda cands: heapq.nlargest(k, cands))
+            )
+            tiebreak = 1 if all_asc else -1
+        else:
+
+            def key_of(row: tuple) -> tuple:
+                return tuple(
+                    _null_safe_key(ev(row))
+                    if asc
+                    else _Descending(_null_safe_key(ev(row)))
+                    for ev, asc in evs
+                )
+
+            select = lambda cands: heapq.nsmallest(k, cands)  # noqa: E731
+            tiebreak = 1
+        # Prune once candidates double past k — or sooner when a tighter
+        # memory budget is in force, so any LIMIT that fits the budget
+        # (k <= budget) streams without tripping it.
+        threshold = max(2 * k, ctx.batch_size)
+        if ctx.memory_budget_rows is not None:
+            threshold = min(threshold, ctx.memory_budget_rows + 1)
+        buffer = ctx.buffer(self._label())
+        try:
+            candidates: list[tuple] = []  # (key, ±arrival, row)
+            arrival = 0
+            for batch in self.child.batches(ctx):
+                for row in batch:
+                    candidates.append((key_of(row), tiebreak * arrival, row))
+                    arrival += 1
+                if len(candidates) >= threshold:
+                    candidates = select(candidates)
+                # Charge the retained candidates (post-prune); the
+                # just-consumed batch is in-flight, not buffered state.
+                delta = len(candidates) - buffer.rows
+                if delta >= 0:
+                    buffer.grow(delta)
+                else:
+                    buffer.shrink(-delta)
+            top = select(candidates)
+            yield from chunked([entry[2] for entry in top], ctx.batch_size)
+        finally:
+            buffer.release()
+
+    def _label(self) -> str:
+        keys = ", ".join(f"{e} {'ASC' if asc else 'DESC'}" for e, asc in self.keys)
+        return f"TOPK {self.limit} BY {keys}"
+
+
 class LimitOp(PhysicalOperator):
+    """Emit the first ``limit`` rows, then stop pulling from upstream."""
+
     def __init__(self, child: PhysicalOperator, limit: int):
         self.child = child
         self.limit = limit
         self.output_columns = list(child.output_columns)
 
-    def children(self) -> list[PhysicalOperator]:
+    def children(self) -> list[Operator]:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        rows = self.child.execute(ctx)[: self.limit]
-        ctx.charge(len(rows), self._label())
-        return rows
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        remaining = self.limit
+        if remaining <= 0:
+            return
+        label = self._label()
+        for batch in self.child.batches(ctx):
+            if len(batch) >= remaining:
+                out = batch[:remaining]
+                ctx.emit(len(out), label)
+                yield out
+                return
+            remaining -= len(batch)
+            ctx.emit(len(batch), label)
+            yield batch
 
     def _label(self) -> str:
         return f"LIMIT {self.limit}"
 
 
 class DistinctOp(PhysicalOperator):
+    """Streaming dedup; the seen-set is the charged buffered state."""
+
     def __init__(self, child: PhysicalOperator):
         self.child = child
         self.output_columns = list(child.output_columns)
 
-    def children(self) -> list[PhysicalOperator]:
+    def children(self) -> list[Operator]:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        rows = self.child.execute(ctx)
-        seen: set[tuple] = set()
-        out: list[tuple] = []
-        for row in rows:
-            if row not in seen:
-                seen.add(row)
-                out.append(row)
-        ctx.charge(len(out), self._label())
-        return out
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        buffer = ctx.buffer(self._label())
+        try:
+            seen: set[tuple] = set()
+            for batch in self.child.batches(ctx):
+                out: list[tuple] = []
+                for row in batch:
+                    if row not in seen:
+                        seen.add(row)
+                        out.append(row)
+                if out:
+                    buffer.grow(len(out))
+                    yield out
+        finally:
+            buffer.release()
 
     def _label(self) -> str:
         return "DISTINCT"
@@ -706,9 +944,15 @@ class MaterializedInput(PhysicalOperator):
         self.rows = rows
         self.label_text = label
 
-    def execute(self, ctx: ExecutionContext) -> list[tuple]:
-        ctx.charge(len(self.rows), self._label())
-        return self.rows
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        buffer = ctx.buffer(self._label())
+        try:
+            buffer.grow(len(self.rows))
+            yield from emit_batches(
+                ctx, self._label(), chunked(self.rows, ctx.batch_size)
+            )
+        finally:
+            buffer.release()
 
     def _label(self) -> str:
         return self.label_text

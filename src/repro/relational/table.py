@@ -66,8 +66,36 @@ class Table:
         return len(self._column_list[0]) - 1
 
     def extend(self, rows: Iterable[Sequence[Any]], validate: bool = True) -> None:
+        """Bulk append: transpose once, then extend column-wise.
+
+        One arity pass and one per-column validate pass replace the
+        per-row/per-value work of repeated :meth:`append`, which is what the
+        workload generators' bulk loads spend their time in.
+        """
+        rows = rows if isinstance(rows, list) else list(rows)
+        if not rows:
+            return
+        ncols = len(self._column_list)
         for row in rows:
-            self.append(row, validate=validate)
+            if len(row) != ncols:
+                raise SchemaError(
+                    f"row arity {len(row)} does not match schema "
+                    f"{self.schema.name!r} with {ncols} columns"
+                )
+        if ncols == 0:
+            return
+        # Validate every column before mutating any, so a bad value cannot
+        # leave the table with ragged columns.
+        validated: list[list[Any]] = []
+        for i, col in enumerate(self.schema.columns):
+            values = [row[i] for row in rows]
+            if validate:
+                check = col.dtype.validate
+                values = [check(v) for v in values]
+            validated.append(values)
+        for column, values in zip(self._column_list, validated):
+            column.extend(values)
+        self._pk_index = None
 
     # ------------------------------------------------------------------ #
     # access

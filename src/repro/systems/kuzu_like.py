@@ -31,6 +31,7 @@ from repro.graph.physical import (
     ExpandEdge,
     GetVertex,
     GraphOperator,
+    MaterializeOp,
     PatternHashJoin,
     ScanVertex,
 )
@@ -125,6 +126,11 @@ def naive_declaration_order_plan(
                     edge_predicate=edge.predicate,
                     vertex_predicate=target.predicate,
                 )
+            # A naive tuple-at-a-time engine materializes every traversal
+            # step; the barrier keeps that cost model (and its memory-budget
+            # blowups on cyclic queries — the paper's Kùzu OOM entries) now
+            # that the shared operators themselves stream.
+            op = MaterializeOp(op)
             bound.add(to_var)
             pending.pop(i)
             progress = True
