@@ -1,14 +1,20 @@
-"""Executor microbenchmark: batched streaming engine vs full materialization.
+"""Executor microbenchmark: columnar vs row vs full materialization.
 
-Tracks executor throughput over time (``BENCH_exec.json`` at the repo root).
-The "before" engine is reconstructed by wrapping every operator of the same
-physical plan in a :class:`MaterializeOp` barrier — exactly the
-materialize-everything execution profile the engine had before it streamed —
-so the two measurements differ only in pipeline semantics:
+Tracks executor throughput over time (``BENCH_exec.json`` at the repo
+root).  Each query runs through three execution profiles of the *same*
+physical plan:
 
-* a deep relational pipeline (scan -> filter -> join -> aggregate);
-* an ``ORDER BY ... LIMIT`` query over the LDBC workload (IC2), where
-  streaming additionally swaps the full sort for a TopK.
+* **columnar** — the vectorized runtime (struct-of-arrays batches,
+  selection vectors, column-at-a-time kernels); the engine default;
+* **row** — the legacy row-tuple batch protocol (the PR-1 engine), kept as
+  the baseline the columnar speedups are measured against;
+* **materialized** — every operator wrapped in a :class:`MaterializeOp`
+  barrier, reconstructing the pre-streaming materialize-everything engine.
+
+Queries cover the hot-loop spectrum: a deep relational pipeline
+(scan -> expand -> join -> aggregate), an ``ORDER BY ... LIMIT`` TopK
+query (IC2), a filter-heavy scan (selection-vector refinement), and a
+high-fan-out two-hop expansion (adaptive chunk sizing).
 """
 
 from __future__ import annotations
@@ -33,15 +39,34 @@ SELECT g.fn AS fn, COUNT(*) AS cnt FROM GRAPH_TABLE (snb
 GROUP BY g.fn
 """
 
+# Filter-heavy scan: two pushed-down conjuncts plus an outer residual
+# filter — all selection-vector refinement on the columnar path.
+FILTER_SCAN_SQL = """
+SELECT g.content AS content FROM GRAPH_TABLE (snb
+  MATCH (m:post)
+  WHERE m.creation_date <= '2024-06-01' AND m.length > 40
+  COLUMNS (m.content AS content, m.length AS len)) g
+WHERE g.len < 190
+"""
+
+# High-fan-out expansion: two knows-hops multiply rows before aggregation,
+# exercising the adaptive expansion chunk sizing.
+FANOUT_SQL = """
+SELECT g.a AS a, COUNT(*) AS paths FROM GRAPH_TABLE (snb
+  MATCH (p0:person)-[:knows]->(p1:person)-[:knows]->(p2:person)
+  COLUMNS (p0.first_name AS a)) g
+GROUP BY g.a
+"""
+
 TOPK_SQL_NAME = "IC2"  # MATCH ... ORDER BY cdate DESC LIMIT 20
 
 
 def _measure(catalog, sql: str, repetitions: int = 3) -> dict:
-    """Run one query streaming and fully materialized; report medians."""
+    """Run one query in all three profiles; report medians."""
     system = make_system("relgo", catalog, "snb")
     query = parse_and_bind(sql, catalog)
 
-    def run(materialized: bool) -> dict:
+    def run(columnar: bool, materialized: bool = False) -> dict:
         times, result = [], None
         for _ in range(repetitions):
             optimized = system.optimize(query)
@@ -51,7 +76,7 @@ def _measure(catalog, sql: str, repetitions: int = 3) -> dict:
                 else optimized.physical
             )
             started = time.perf_counter()
-            result = execute_plan(plan)
+            result = execute_plan(plan, columnar=columnar)
             times.append(time.perf_counter() - started)
         assert result is not None
         return {
@@ -61,14 +86,17 @@ def _measure(catalog, sql: str, repetitions: int = 3) -> dict:
             "result_rows": len(result),
         }
 
-    streaming = run(materialized=False)
-    materialized = run(materialized=True)
+    columnar = run(columnar=True)
+    row = run(columnar=False)
+    materialized = run(columnar=False, materialized=True)
     return {
-        "streaming": streaming,
+        "columnar": columnar,
+        "row": row,
         "materialized": materialized,
-        "speedup": materialized["time_ms"] / max(streaming["time_ms"], 1e-9),
+        "columnar_speedup": row["time_ms"] / max(columnar["time_ms"], 1e-9),
+        "streaming_speedup": materialized["time_ms"] / max(row["time_ms"], 1e-9),
         "rows_produced_ratio": (
-            streaming["rows_produced"] / max(materialized["rows_produced"], 1)
+            row["rows_produced"] / max(materialized["rows_produced"], 1)
         ),
     }
 
@@ -78,6 +106,8 @@ def test_bench_exec_streaming(benchmark, ldbc10):
         return {
             "deep_pipeline": _measure(ldbc10, PIPELINE_SQL),
             "orderby_limit": _measure(ldbc10, ic_queries()[TOPK_SQL_NAME]),
+            "filter_scan": _measure(ldbc10, FILTER_SCAN_SQL),
+            "fanout_expand": _measure(ldbc10, FANOUT_SQL),
         }
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -87,22 +117,36 @@ def test_bench_exec_streaming(benchmark, ldbc10):
         "queries": results,
     }
     OUTPUT.write_text(json.dumps(doc, indent=2) + "\n")
-    lines = ["Executor streaming vs materialized (LDBC10)", "=" * 50]
+    lines = ["Executor columnar vs row vs materialized (LDBC10)", "=" * 50]
     for name, r in results.items():
         lines.append(
-            f"{name}: streaming {r['streaming']['time_ms']:.1f} ms "
-            f"(peak buffer {r['streaming']['peak_buffered_rows']} rows) vs "
-            f"materialized {r['materialized']['time_ms']:.1f} ms "
-            f"(peak buffer {r['materialized']['peak_buffered_rows']} rows) "
-            f"-> {r['speedup']:.2f}x"
+            f"{name}: columnar {r['columnar']['time_ms']:.1f} ms vs "
+            f"row {r['row']['time_ms']:.1f} ms "
+            f"-> {r['columnar_speedup']:.2f}x "
+            f"(materialized {r['materialized']['time_ms']:.1f} ms; "
+            f"peak buffer {r['columnar']['peak_buffered_rows']} / "
+            f"{r['row']['peak_buffered_rows']} / "
+            f"{r['materialized']['peak_buffered_rows']} rows)"
         )
     save_report("exec_streaming", "\n".join(lines))
-    # Streaming must never do more per-operator work, and the LIMIT-bearing
-    # query must do strictly less.
     for r in results.values():
-        assert r["rows_produced_ratio"] <= 1.0
+        # Both protocols execute the same plan: identical results, identical
+        # per-operator row counts, and the columnar path may never buffer
+        # more than the row path.
+        assert r["columnar"]["result_rows"] == r["row"]["result_rows"]
+        assert r["columnar"]["rows_produced"] == r["row"]["rows_produced"]
         assert (
-            r["streaming"]["peak_buffered_rows"]
-            <= r["materialized"]["peak_buffered_rows"]
+            r["columnar"]["peak_buffered_rows"] <= r["row"]["peak_buffered_rows"]
         )
+        # Streaming must never do more per-operator work than materialized,
+        # and columnar must not be meaningfully slower than the row engine
+        # anywhere (very loose bound: orderby_limit runs near parity and
+        # these are sub-millisecond medians on noisy CI runners).
+        assert r["rows_produced_ratio"] <= 1.0
+        assert r["columnar_speedup"] > 0.5
+    # The vectorized hot loops must beat the row engine clearly on the
+    # scan/filter/expand-bound queries (recorded speedups are 2-4.5x; the
+    # bound leaves room for runner noise).
+    for hot in ("deep_pipeline", "filter_scan", "fanout_expand"):
+        assert results[hot]["columnar_speedup"] > 1.2, hot
     assert results["orderby_limit"]["rows_produced_ratio"] < 1.0

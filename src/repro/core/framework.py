@@ -83,6 +83,10 @@ class RelGoConfig:
     # Target chunk size of the streaming executor; None keeps the engine
     # default (repro.exec.DEFAULT_BATCH_SIZE).
     batch_size: int | None = None
+    # Pull plans through the vectorized columnar protocol (default) or the
+    # legacy row-tuple protocol; results are identical (parity-tested), so
+    # this is a performance knob kept for columnar-vs-row comparisons.
+    columnar: bool = True
 
 
 @dataclass
@@ -174,6 +178,7 @@ class RelGoFramework:
             optimized.physical,
             memory_budget_rows=self.config.memory_budget_rows,
             batch_size=self.config.batch_size,
+            columnar=self.config.columnar,
         )
 
     def execute_iter(self, optimized: OptimizedQuery):
@@ -187,7 +192,12 @@ class RelGoFramework:
         ctx = ExecutionContext(memory_budget_rows=self.config.memory_budget_rows)
         if self.config.batch_size is not None:
             ctx.batch_size = self.config.batch_size
-        yield from optimized.physical.batches(ctx)
+        if self.config.columnar:
+            # Vectorized pull; rows materialize only at this yield boundary.
+            for cb in optimized.physical.columnar_batches(ctx):
+                yield cb.to_rows()
+        else:
+            yield from optimized.physical.batches(ctx)
 
     def run(self, query: SPJMQuery) -> tuple[QueryResult, OptimizedQuery]:
         optimized = self.optimize(query)

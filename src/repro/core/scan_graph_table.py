@@ -19,7 +19,8 @@ from dataclasses import dataclass
 
 from repro.errors import BindError
 from repro.graph.index import GraphIndex
-from repro.exec.kernels import emit_batches
+from repro.exec.kernels import emit_batches, emit_columnar
+from repro.exec.vector import ColumnarBatch, gather
 from repro.graph.optimizer import GraphPlan, LoweringConfig, lower_plan
 from repro.graph.physical import GraphOperator
 from repro.graph.rgmapping import RGMapping
@@ -138,6 +139,25 @@ class ScanGraphTableOp(PhysicalOperator):
 
     def batches(self, ctx: ExecutionContext):
         return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def columnar_batches(self, ctx: ExecutionContext):
+        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+
+    def _stream_columnar(self, ctx: ExecutionContext):
+        """Columnar π̂ flattening: each projected attribute is one gather of
+        the base attribute column through the bound variable's rowid column
+        — no per-row tuples anywhere on the graph-to-relational bridge."""
+        fetchers = [self._fetcher(c) for c in self.clause.columns]
+        for cb in self.graph_op.columnar_batches(ctx):
+            n = len(cb)
+            columns = []
+            for f in fetchers:
+                if f.kind == "label":
+                    columns.append([f.constant] * n)
+                else:
+                    assert f.values is not None
+                    columns.append(gather(f.values, cb.column(f.var_position)))
+            yield ColumnarBatch(columns, n, None)
 
     def _stream(self, ctx: ExecutionContext):
         fetchers = [self._fetcher(c) for c in self.clause.columns]

@@ -17,20 +17,32 @@ state — which is exactly what the memory budget charges.
   :class:`MaterializeOp` pipeline breaker used to model naive
   fully-materializing engines.
 * :mod:`repro.exec.kernels` — the shared filter / project / hash-build /
-  probe / expand kernels both operator families are built from.
+  probe / expand kernels both operator families are built from, in row and
+  columnar flavours.
+* :mod:`repro.exec.vector` — :class:`ColumnarBatch`, the struct-of-arrays
+  chunk with selection vector that the vectorized kernels flow, with
+  optional numpy-accelerated gather.
 """
 
 from repro.exec.context import (
     DEFAULT_BATCH_SIZE,
+    MIN_BATCH_SIZE,
     Buffer,
     ExecutionContext,
     QueryResult,
     execute_plan,
 )
 from repro.exec.operator import MaterializeOp, Operator, materialize_plan
+from repro.exec.vector import (
+    ColumnarBatch,
+    numpy_available,
+    numpy_enabled,
+    set_numpy_enabled,
+)
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "MIN_BATCH_SIZE",
     "Buffer",
     "ExecutionContext",
     "QueryResult",
@@ -38,4 +50,8 @@ __all__ = [
     "Operator",
     "MaterializeOp",
     "materialize_plan",
+    "ColumnarBatch",
+    "numpy_available",
+    "numpy_enabled",
+    "set_numpy_enabled",
 ]

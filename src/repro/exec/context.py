@@ -26,6 +26,9 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Target number of rows per batch flowing between operators.
 DEFAULT_BATCH_SIZE = 1024
 
+#: Floor for adaptively shrunk expansion chunks.
+MIN_BATCH_SIZE = 64
+
 
 class Buffer:
     """Accounting handle for one operator's buffered rows.
@@ -84,6 +87,10 @@ class ExecutionContext:
             emit — and therefore count — strictly fewer rows.
         operator_rows: per-operator-label row counts for plan forensics.
         batch_size: target chunk size for operator output batches.
+        adaptive_batch_sizing: when True (default), expansion-heavy
+            operators shrink their flush threshold under observed fan-out
+            via :meth:`expansion_batch_size`.
+        min_batch_size: floor for adaptively shrunk chunks.
         buffered_rows / peak_buffered_rows: current and high-water total of
             rows held by live :class:`Buffer` handles.
     """
@@ -93,6 +100,8 @@ class ExecutionContext:
     operator_rows: dict[str, int] = field(default_factory=dict)
     start_time: float = field(default_factory=time.perf_counter)
     batch_size: int = DEFAULT_BATCH_SIZE
+    adaptive_batch_sizing: bool = True
+    min_batch_size: int = MIN_BATCH_SIZE
     buffered_rows: int = 0
     peak_buffered_rows: int = 0
 
@@ -106,18 +115,26 @@ class ExecutionContext:
         """Open a :class:`Buffer` accounting handle for buffered state."""
         return Buffer(self, label)
 
-    def charge(self, rows: int, label: str = "") -> None:
-        """Legacy shim (pre-streaming): count emitted rows and treat them as
-        one materialized buffer.  Ported operators use :meth:`emit` +
-        :meth:`buffer` instead; this remains for external operator
-        subclasses that still materialize."""
-        self.emit(rows, label)
-        self.check_size(rows)
+    def expansion_batch_size(self, rows_in: int, rows_out: int) -> int:
+        """Target chunk size for an expansion with the observed fan-out.
 
-    def check_size(self, rows: int) -> None:
-        """Raise OOM if a buffer of ``rows`` rows would exceed the budget."""
-        if self.memory_budget_rows is not None and rows > self.memory_budget_rows:
-            raise OutOfMemoryError(rows, self.memory_budget_rows)
+        Expansion operators (adjacency walks, high-multiplicity probes)
+        call this with their cumulative input/output row counts; when the
+        fan-out exceeds 1 the fixed :attr:`batch_size` target is scaled
+        down proportionally (never below :attr:`min_batch_size`) so the
+        in-flight chunk a downstream operator must hold stays near one
+        "input batch worth" of work.  Chunk boundaries carry no semantics,
+        so adaptation never changes results.
+        """
+        size = self.batch_size
+        if not self.adaptive_batch_sizing or rows_in <= 0 or rows_out <= rows_in:
+            return size
+        shrunk = int(size * rows_in / rows_out)
+        if shrunk >= size:
+            return size
+        # The floor must never *raise* the caller's configured ceiling: a
+        # batch_size below min_batch_size is itself the floor.
+        return max(min(self.min_batch_size, size), shrunk)
 
     @property
     def elapsed(self) -> float:
@@ -154,21 +171,34 @@ def execute_plan(
     plan: "Operator",
     memory_budget_rows: int | None = None,
     batch_size: int | None = None,
+    columnar: bool = True,
 ) -> QueryResult:
     """Run a physical plan to completion and package the result.
 
     The plan is pulled batch by batch; the accumulating result is itself a
     buffer charged against the memory budget (a fully materialized result
     larger than the budget is an OOM, exactly as in the paper's runs).
+
+    ``columnar`` selects the protocol the plan is pulled through: the
+    vectorized columnar path (default; row tuples materialize only at this
+    result boundary) or the legacy row-tuple path.  Both produce identical
+    rows — the parity suite pins this — so the flag is a performance knob,
+    kept for the columnar-vs-row executor benchmarks.
     """
     ctx = ExecutionContext(memory_budget_rows=memory_budget_rows)
     if batch_size is not None:
         ctx.batch_size = batch_size
     result_buffer = ctx.buffer("RESULT")
     rows: list[tuple] = []
-    for batch in plan.batches(ctx):
-        rows.extend(batch)
-        result_buffer.grow(len(batch))
+    if columnar:
+        for cb in plan.columnar_batches(ctx):
+            batch = cb.to_rows()
+            rows.extend(batch)
+            result_buffer.grow(len(batch))
+    else:
+        for batch in plan.batches(ctx):
+            rows.extend(batch)
+            result_buffer.grow(len(batch))
     return QueryResult(
         columns=list(plan.output_columns),
         rows=rows,

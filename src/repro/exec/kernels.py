@@ -3,15 +3,24 @@
 The relational and graph operator families used to carry two private copies
 of the same inner loops (filter, project, hash build, hash probe, adjacency
 expansion).  These generators/helpers are the single shared implementation
-both families are now built from.  All kernels operate on *batches* — lists
-of row tuples — and preserve row order.
+both families are now built from, in two flavours:
+
+* the **row kernels** (top half) operate on batches that are lists of row
+  tuples and preserve row order — the original streaming protocol, kept as
+  the compatibility/reference path;
+* the **columnar kernels** (bottom half) operate on
+  :class:`~repro.exec.vector.ColumnarBatch` chunks: filters refine
+  selection vectors, projections gather columns, hash build/probe extract
+  whole key columns at once.  These are the vectorized hot loops of the
+  engine.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.exec.context import Buffer, ExecutionContext
+from repro.exec.vector import ColumnarBatch, gather
 
 Batch = list
 
@@ -131,28 +140,234 @@ def probe_hash_table(
         yield out
 
 
+class ChunkSizer:
+    """Adaptive flush threshold for expansion-heavy operators.
+
+    Tracks the operator's cumulative input/output rows and re-derives the
+    target chunk size from :meth:`ExecutionContext.expansion_batch_size`
+    after every observation, so operators whose fan-out balloons output
+    batches shrink their in-flight chunks instead of holding
+    ``fan-out x batch_size`` rows between flushes.
+    """
+
+    __slots__ = ("_ctx", "size", "rows_in", "rows_out")
+
+    def __init__(self, ctx: ExecutionContext):
+        self._ctx = ctx
+        self.size = ctx.batch_size
+        self.rows_in = 0
+        self.rows_out = 0
+
+    def observe(self, rows_in: int, rows_out: int) -> None:
+        """Record one input batch's observed fan-out and retune the size."""
+        self.rows_in += rows_in
+        self.rows_out += rows_out
+        self.size = self._ctx.expansion_batch_size(self.rows_in, self.rows_out)
+
+
 def expand_batches(
     batches: Iterable[Batch],
     expand_row: Callable[[tuple, list], None],
-    batch_size: int,
+    ctx: ExecutionContext,
 ) -> Iterator[Batch]:
     """Row-to-many expansion (CSR walks, nested-loop inner scans).
 
     ``expand_row(row, out)`` appends zero or more output rows to ``out``;
-    the kernel flushes ``out`` whenever it reaches ``batch_size`` so a
-    high-degree vertex cannot balloon the in-flight batch unboundedly.
+    the kernel flushes ``out`` whenever it reaches the (adaptively sized)
+    target chunk so a high-degree vertex cannot balloon the in-flight batch
+    unboundedly.
 
     The two hottest expansion operators (``Expand``'s predicate-free fast
     path and ``CsrJoin``'s fast paths) deliberately inline this flush
     pattern instead of paying a per-row closure call — keep them in sync
     when changing the flushing contract here.
     """
+    sizer = ChunkSizer(ctx)
     out: list = []
     for batch in batches:
+        carry = len(out)
+        flushed = 0
         for row in batch:
             expand_row(row, out)
-            if len(out) >= batch_size:
+            if len(out) >= sizer.size:
+                flushed += len(out)
                 yield out
                 out = []
+        sizer.observe(len(batch), flushed + len(out) - carry)
     if out:
         yield out
+
+
+# ---------------------------------------------------------------------- #
+# columnar kernels
+# ---------------------------------------------------------------------- #
+
+
+def emit_columnar(
+    ctx: ExecutionContext, label: str, stream: Iterable[ColumnarBatch]
+) -> Iterator[ColumnarBatch]:
+    """Columnar counterpart of :func:`emit_batches`."""
+    for cb in stream:
+        n = len(cb)
+        if not n:
+            continue
+        ctx.emit(n, label)
+        yield cb
+
+
+def filter_columnar(
+    batches: Iterable[ColumnarBatch],
+    predicate: "Callable[[Sequence, Sequence[int] | None, int], Sequence[int] | None]",
+) -> Iterator[ColumnarBatch]:
+    """Refine each batch's selection vector by a compiled columnar predicate.
+
+    The predicate returns the input selection object unchanged when every
+    visible row passes, in which case the batch itself is forwarded
+    (all-selected fast path, no allocation).
+    """
+    for cb in batches:
+        sel = predicate(cb.columns, cb.selection, cb.length)
+        if sel is cb.selection:
+            yield cb
+        elif sel is None or len(sel):
+            yield ColumnarBatch(cb.columns, cb.length, sel)
+
+
+def key_columns(cb: ColumnarBatch, indices: list[int]) -> list:
+    """Per-row join keys extracted whole-column-at-a-time.
+
+    Single-column keys are the gathered column itself (``None`` entries are
+    SQL NULLs and never join); multi-column keys are tuples, collapsed to
+    ``None`` when any part is NULL.
+    """
+    if len(indices) == 1:
+        return list(cb.column(indices[0]))
+    cols = [cb.column(i) for i in indices]
+    return [
+        None if any(v is None for v in parts) else parts for parts in zip(*cols)
+    ]
+
+
+def build_hash_table_columnar(
+    batches: Iterable[ColumnarBatch],
+    key_indices: list[int],
+    buffer: Buffer | None,
+) -> dict[Any, list]:
+    """Columnar hash build: key -> [row tuples].
+
+    Keys are extracted column-at-a-time; the stored values are materialized
+    row tuples (the build side is genuinely buffered state, so tuple
+    materialization here matches what the memory budget charges).
+    """
+    table: dict[Any, list] = {}
+    for cb in batches:
+        keys = key_columns(cb, key_indices)
+        values = cb.to_rows()
+        count = 0
+        for key, value in zip(keys, values):
+            if key is None:
+                continue
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = [value]
+            else:
+                bucket.append(value)
+            count += 1
+        if buffer is not None:
+            buffer.grow(count)
+    return table
+
+
+def probe_hash_table_columnar(
+    batches: Iterable[ColumnarBatch],
+    table: dict[Any, list],
+    key_indices: list[int],
+    ctx: ExecutionContext,
+) -> Iterator[ColumnarBatch]:
+    """Columnar stream probe: probe columns gather, build tuples transpose.
+
+    For each probe batch the key column is extracted at once; matching rows
+    are described by a parent-position vector (which probe row each output
+    row replicates) plus the matched build tuples, and the output batch is
+    assembled column-wise: probe columns are gathered through the parent
+    vector, build values are transposed at C speed.  Output is re-chunked
+    so joins with high fan-out keep bounded in-flight state.
+    """
+    lookup = table.get
+    sizer = ChunkSizer(ctx)
+    for cb in batches:
+        keys = key_columns(cb, key_indices)
+        parents: list[int] = []
+        builds: list[tuple] = []
+        flushed = 0
+        for j, key in enumerate(keys):
+            if key is None:
+                continue
+            matches = lookup(key)
+            if not matches:
+                continue
+            if len(matches) == 1:
+                parents.append(j)
+                builds.append(matches[0])
+            else:
+                parents.extend([j] * len(matches))
+                builds.extend(matches)
+            if len(parents) >= sizer.size:
+                # Flush mid-batch so high-multiplicity keys cannot balloon
+                # the in-flight (budget-invisible) assembly state.
+                flushed += len(parents)
+                yield from chunk_columnar(
+                    replicate_columnar(cb, parents, transpose_rows(builds)),
+                    sizer.size,
+                )
+                parents, builds = [], []
+        sizer.observe(len(cb), flushed + len(parents))
+        if parents:
+            yield from chunk_columnar(
+                replicate_columnar(cb, parents, transpose_rows(builds)), sizer.size
+            )
+
+
+def transpose_rows(rows: list[tuple]) -> list:
+    """Row tuples -> column tuples (C-speed zip); [] for empty/zero-width."""
+    if not rows or not rows[0]:
+        return []
+    return list(zip(*rows))
+
+
+def replicate_columnar(
+    cb: ColumnarBatch, parents: list[int], new_columns: list
+) -> ColumnarBatch:
+    """Expansion assembly: replicate ``cb``'s rows through ``parents`` and
+    append ``new_columns``.
+
+    ``parents`` holds, per output row, the position of the visible input
+    row it extends; ``new_columns`` are dense sequences aligned with
+    ``parents`` (the per-output-row new values).  The result is a compact
+    batch (no selection vector).
+    """
+    sel = cb.selection
+    raw = parents if sel is None else gather(sel, parents)
+    cols = [gather(c, raw) for c in cb.columns]
+    cols.extend(new_columns)
+    return ColumnarBatch(cols, len(parents), None)
+
+
+def chunk_columnar(cb: ColumnarBatch, size: int) -> Iterator[ColumnarBatch]:
+    """Split an oversized batch into <= ``size``-row chunks (zero-copy)."""
+    n = len(cb)
+    if n <= size:
+        if n:
+            yield cb
+        return
+    for start in range(0, n, size):
+        yield cb.take(range(start, min(start + size, n)))
+
+
+def rows_to_columnar(
+    batches: Iterable[Batch],
+) -> Iterator[ColumnarBatch]:
+    """Adapt a row-batch stream to the columnar protocol."""
+    for batch in batches:
+        if batch:
+            yield ColumnarBatch.from_rows(batch)

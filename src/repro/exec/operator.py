@@ -2,10 +2,20 @@
 
 Both operator families — ``repro.relational.physical.PhysicalOperator`` and
 ``repro.graph.physical.GraphOperator`` — subclass :class:`Operator` and
-implement :meth:`Operator.batches`, a generator yielding chunks of row
-tuples.  Because batches are pulled lazily, downstream operators control how
-much upstream work happens: a satisfied ``LIMIT`` simply stops iterating and
-the whole upstream pipeline halts.
+speak two pull protocols:
+
+* :meth:`Operator.batches` yields chunks of row tuples (the original
+  streaming protocol, kept as the compatibility/reference path);
+* :meth:`Operator.columnar_batches` yields
+  :class:`~repro.exec.vector.ColumnarBatch` chunks — the vectorized path.
+  The default implementation adapts any row-protocol operator by
+  transposing its batches, so a columnar pipeline can sit on top of an
+  unported operator; ported operators override it with genuinely
+  column-at-a-time kernels.
+
+Because batches are pulled lazily under both protocols, downstream
+operators control how much upstream work happens: a satisfied ``LIMIT``
+simply stops iterating and the whole upstream pipeline halts.
 
 :meth:`Operator.execute` is the materializing compatibility entry point
 (tests and ad-hoc callers); it drains :meth:`batches` into one list.
@@ -14,6 +24,8 @@ the whole upstream pipeline halts.
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
+
+from repro.exec.vector import ColumnarBatch
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.exec.context import ExecutionContext
@@ -38,6 +50,18 @@ class Operator:
         size = ctx.batch_size
         for start in range(0, len(rows), size):
             yield rows[start : start + size]
+
+    def columnar_batches(self, ctx: "ExecutionContext") -> Iterator[ColumnarBatch]:
+        """Yield the operator's output as columnar chunks.
+
+        The default is the row-protocol boundary: it transposes
+        :meth:`batches` output, so an unported operator (and its subtree,
+        which it pulls through the row protocol) keeps exact row-level
+        semantics inside a columnar pipeline.
+        """
+        from repro.exec.kernels import rows_to_columnar
+
+        return rows_to_columnar(self.batches(ctx))
 
     def execute(self, ctx: "ExecutionContext") -> list[tuple]:
         """Materialize the full output (compatibility/testing entry point)."""

@@ -1,0 +1,190 @@
+"""Columnar batches: struct-of-arrays chunks with selection vectors.
+
+A :class:`ColumnarBatch` is the unit of data flow of the vectorized
+execution path: instead of a ``list`` of row tuples, a batch holds one
+value sequence per output column plus an optional **selection vector** — a
+sequence of row indices into those columns.  Filters refine the selection
+without touching the data; projections that merely reorder columns share
+the underlying sequences (zero copy); scans emit the base table's column
+lists directly with a ``range`` selection per chunk.
+
+Row tuples are materialized only at protocol boundaries
+(:meth:`ColumnarBatch.to_rows`): when a legacy row-protocol operator sits
+downstream, or when the final :class:`~repro.exec.context.QueryResult` is
+assembled.  Both directions preserve exact row-level semantics, so ported
+and unported operators compose freely.
+
+NumPy, when importable, accelerates selection and gather for columns that
+are ``numpy.ndarray``\\ s; the feature is gated behind
+:func:`set_numpy_enabled` and every code path has a pure-Python fallback,
+keeping the package free of hard dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+try:  # pragma: no cover - exercised via the CI numpy leg
+    import numpy as _np
+except Exception:  # pragma: no cover
+    _np = None
+
+#: Whether the accelerated gather paths are active.  Auto-detected from
+#: numpy importability; flip with :func:`set_numpy_enabled`.
+_numpy_enabled = _np is not None
+
+
+def numpy_available() -> bool:
+    """True when numpy could be imported."""
+    return _np is not None
+
+
+def numpy_enabled() -> bool:
+    """True when the numpy-accelerated gather paths are active."""
+    return _numpy_enabled and _np is not None
+
+
+def set_numpy_enabled(enabled: bool | None) -> None:
+    """Enable/disable numpy acceleration; ``None`` restores auto-detection."""
+    global _numpy_enabled
+    _numpy_enabled = (_np is not None) if enabled is None else bool(enabled)
+
+
+def gather(values: Sequence, indices: Sequence[int]) -> list:
+    """``[values[i] for i in indices]`` with a numpy fast path.
+
+    Always returns a plain Python list (numpy results are converted via
+    ``tolist()`` so no numpy scalars leak into row tuples or hash keys).
+    """
+    if _numpy_enabled and _np is not None and isinstance(values, _np.ndarray):
+        if isinstance(indices, _np.ndarray):
+            return values[indices].tolist()
+        return values[_np.asarray(indices, dtype=_np.intp)].tolist()
+    return [values[i] for i in indices]
+
+
+def as_values(values: Sequence) -> Sequence:
+    """A column as plain Python values (ndarray -> list, others pass through)."""
+    if _np is not None and isinstance(values, _np.ndarray):
+        return values.tolist()
+    return values
+
+
+class ColumnarBatch:
+    """One chunk of rows stored column-wise.
+
+    Attributes:
+        columns: one indexable sequence per output column.  Sequences may be
+            shared with other batches or with base-table storage (zero-copy
+            slices); treat them as read-only.
+        length: the number of addressable positions in each column (the raw
+            row space the selection indexes into).  When ``selection`` is
+            None every column must have exactly ``length`` elements.
+        selection: optional sequence of row indices (ints in
+            ``[0, length)``); when present, the batch's visible rows are
+            ``columns[c][i] for i in selection`` and ``length`` only bounds
+            the index space.  ``None`` means all ``length`` rows are
+            visible (the all-selected fast path).
+    """
+
+    __slots__ = ("columns", "length", "selection")
+
+    def __init__(
+        self,
+        columns: list,
+        length: int,
+        selection: Sequence[int] | None = None,
+    ):
+        self.columns = columns
+        self.length = length
+        self.selection = selection
+
+    # ------------------------------------------------------------------ #
+    # construction / conversion boundaries
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple]) -> "ColumnarBatch":
+        """Transpose a list of row tuples into a dense columnar batch."""
+        if not rows:
+            return cls([], 0, None)
+        if not rows[0]:
+            return cls([], len(rows), None)
+        return cls([list(c) for c in zip(*rows)], len(rows), None)
+
+    def to_rows(self) -> list[tuple]:
+        """Materialize the visible rows as a list of tuples."""
+        sel = self.selection
+        if not self.columns:
+            return [()] * (len(sel) if sel is not None else self.length)
+        if sel is None:
+            return list(zip(*(as_values(c) for c in self.columns)))
+        return list(zip(*(gather(c, sel) for c in self.columns)))
+
+    # ------------------------------------------------------------------ #
+    # shape
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.selection) if self.selection is not None else self.length
+
+    @property
+    def width(self) -> int:
+        return len(self.columns)
+
+    # ------------------------------------------------------------------ #
+    # column access
+    # ------------------------------------------------------------------ #
+
+    def column(self, i: int) -> Sequence:
+        """Column ``i``'s visible values (gathered when a selection is set)."""
+        if self.selection is None:
+            return as_values(self.columns[i])
+        return gather(self.columns[i], self.selection)
+
+    def gathered_columns(self) -> list:
+        """All columns with the selection applied (dense, row-aligned)."""
+        return [self.column(i) for i in range(len(self.columns))]
+
+    def compact(self) -> "ColumnarBatch":
+        """An equivalent batch with no selection vector (gathers once)."""
+        if self.selection is None:
+            return self
+        return ColumnarBatch(self.gathered_columns(), len(self), None)
+
+    # ------------------------------------------------------------------ #
+    # row selection
+    # ------------------------------------------------------------------ #
+
+    def take(self, positions: Sequence[int]) -> "ColumnarBatch":
+        """New batch keeping the visible rows at ``positions`` (in order).
+
+        ``positions`` index *visible* rows; they compose with any existing
+        selection.  An empty ``positions`` yields an empty batch.
+        """
+        sel = self.selection
+        if sel is None:
+            new_sel: Sequence[int] = positions
+        else:
+            new_sel = gather(sel, positions)
+        return ColumnarBatch(self.columns, self.length, new_sel)
+
+    def head(self, k: int) -> "ColumnarBatch":
+        """The first ``k`` visible rows (self when ``k >= len(self)``)."""
+        n = len(self)
+        if k >= n:
+            return self
+        sel = self.selection
+        if sel is None:
+            return ColumnarBatch(self.columns, self.length, range(k))
+        return ColumnarBatch(self.columns, self.length, sel[:k])
+
+
+__all__ = [
+    "ColumnarBatch",
+    "gather",
+    "as_values",
+    "numpy_available",
+    "numpy_enabled",
+    "set_numpy_enabled",
+]

@@ -19,7 +19,12 @@ from repro.errors import PlanError
 from repro.graph.index import GraphIndex
 from repro.graph.pattern import PatternEdge, PatternGraph
 from repro.graph.rgmapping import RGMapping
-from repro.relational.expr import Expr, compile_predicate, referenced_columns
+from repro.relational.expr import (
+    Expr,
+    compile_predicate,
+    compile_predicate_columnar,
+    referenced_columns,
+)
 from repro.relational.table import Table
 
 Binding = dict[str, int]
@@ -47,6 +52,26 @@ def rowid_predicate(table: Table, predicate: Expr) -> Callable[[int], bool]:
         only = arrays[0]
         return lambda rowid: pred((only[rowid],))
     return lambda rowid: pred(tuple(a[rowid] for a in arrays))
+
+
+def rowid_selection(table: Table, predicate: Expr):
+    """Columnar sibling of :func:`rowid_predicate`.
+
+    Compiles ``predicate`` into ``candidates -> surviving candidates`` over
+    rowids of ``table``, evaluated column-at-a-time (the vectorized scan /
+    filter path).  Returns the input object unchanged when every candidate
+    survives.
+    """
+    names = sorted(referenced_columns(predicate))
+    arrays = []
+    layout: dict[str, int] = {}
+    for i, name in enumerate(names):
+        tail = name.rsplit(".", 1)[-1]
+        arrays.append(table.column(tail))
+        layout[name] = i
+    selector = compile_predicate_columnar(predicate, layout)
+    length = table.num_rows
+    return lambda candidates: selector(arrays, candidates, length)
 
 
 def match_pattern(

@@ -45,18 +45,23 @@ from typing import Iterator
 from repro.errors import PlanError
 from repro.exec.context import ExecutionContext
 from repro.exec.kernels import (
+    ChunkSizer,
     build_hash_table,
     chunked,
     emit_batches,
+    emit_columnar,
     expand_batches,
     filter_batches,
     probe_hash_table,
+    probe_hash_table_columnar,
+    replicate_columnar,
     scalar_key,
     tuple_key,
 )
 from repro.exec.operator import Batch, Operator
+from repro.exec.vector import ColumnarBatch
 from repro.graph.index import GraphIndex
-from repro.graph.matching import rowid_predicate
+from repro.graph.matching import rowid_predicate, rowid_selection
 from repro.graph.rgmapping import RGMapping
 from repro.relational.expr import Expr
 
@@ -117,9 +122,101 @@ class ScanVertex(GraphOperator):
             else:
                 yield [(i,) for i in range(start, stop) if check(i)]
 
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        return emit_columnar(ctx, self._label(), self._scan_columnar(ctx))
+
+    def _scan_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        """Zero-copy vertex scan: the single rowid column *is* ``range(n)``
+        and each chunk is a selection over it; the attribute predicate, if
+        any, vectorizes over the vertex table's base columns."""
+        table = self.mapping.vertex_table(self.label)
+        n = table.num_rows
+        size = ctx.batch_size
+        rowids = range(n)
+        selector = (
+            rowid_selection(table, self.predicate)
+            if self.predicate is not None
+            else None
+        )
+        for start in range(0, n, size):
+            chunk = range(start, min(start + size, n))
+            sel = chunk if selector is None else selector(chunk)
+            if sel is None:
+                sel = chunk
+            if len(sel):
+                yield ColumnarBatch([rowids], n, sel)
+
     def _label(self) -> str:
         pred = f" ({self.predicate})" if self.predicate is not None else ""
         return f"SCAN {self.var}:{self.label}{pred}"
+
+
+def _expand_columnar(
+    source: Iterator[ColumnarBatch],
+    ctx: ExecutionContext,
+    from_idx: int,
+    offsets,
+    edge_rowids,
+    far,
+    epred=None,
+    vpred=None,
+) -> Iterator[ColumnarBatch]:
+    """Shared columnar adjacency expansion.
+
+    Walks each input batch's bound-vertex column once, accumulating a
+    parent-position vector plus the new column's values — adjacent edge
+    rowids when ``far`` is None (EXPAND_EDGE), or far endpoints (fused
+    EXPAND).  ``epred`` / ``vpred`` are optional per-rowid checks on the
+    traversed edge / target vertex.  Output batches are assembled as
+    whole-column gathers and the flush threshold adapts to observed
+    fan-out.
+    """
+    sizer = ChunkSizer(ctx)
+    for cb in source:
+        vertices = cb.column(from_idx)
+        parents: list[int] = []
+        new_values: list[int] = []
+        flushed = 0
+        if epred is None and vpred is None:
+            for j, v in enumerate(vertices):
+                lo, hi = offsets[v], offsets[v + 1]
+                if lo == hi:
+                    continue
+                parents.extend([j] * (hi - lo))
+                edges = edge_rowids[lo:hi]
+                if far is None:
+                    new_values.extend(edges)
+                else:
+                    new_values.extend([far[e] for e in edges])
+                if len(parents) >= sizer.size:
+                    flushed += len(parents)
+                    yield replicate_columnar(cb, parents, [new_values])
+                    parents, new_values = [], []
+        else:
+            for j, v in enumerate(vertices):
+                kept = 0
+                for e in edge_rowids[offsets[v] : offsets[v + 1]]:
+                    if epred is not None and not epred(e):
+                        continue
+                    if far is None:
+                        new_values.append(e)
+                    else:
+                        target = far[e]
+                        if vpred is not None and not vpred(target):
+                            continue
+                        new_values.append(target)
+                    kept += 1
+                if kept == 1:
+                    parents.append(j)
+                elif kept:
+                    parents.extend([j] * kept)
+                if len(parents) >= sizer.size:
+                    flushed += len(parents)
+                    yield replicate_columnar(cb, parents, [new_values])
+                    parents, new_values = [], []
+        sizer.observe(len(vertices), flushed + len(parents))
+        if parents:
+            yield replicate_columnar(cb, parents, [new_values])
 
 
 class ExpandEdge(GraphOperator):
@@ -183,7 +280,30 @@ class ExpandEdge(GraphOperator):
         return emit_batches(
             ctx,
             self._label(),
-            expand_batches(self.child.batches(ctx), expand, ctx.batch_size),
+            expand_batches(self.child.batches(ctx), expand, ctx),
+        )
+
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+
+    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        from_idx = self.child.var_index(self.from_var)
+        from_label = self.child.output_vars[from_idx].label
+        adjacency = self.index.adjacency(from_label, self.edge_label, self.direction)
+        offsets, edge_rowids = adjacency.offsets, adjacency.edge_rowids
+        epred = None
+        if self.edge_predicate is not None:
+            epred = rowid_predicate(
+                self.mapping.edge_table(self.edge_label), self.edge_predicate
+            )
+        yield from _expand_columnar(
+            self.child.columnar_batches(ctx),
+            ctx,
+            from_idx,
+            offsets,
+            edge_rowids,
+            far=None,
+            epred=epred,
         )
 
     def _label(self) -> str:
@@ -240,6 +360,32 @@ class GetVertex(GraphOperator):
                     out.append(row + (target,))
             if out:
                 yield out
+
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+
+    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        edge_idx = self.child.var_index(self.edge_var)
+        edge_label = self.child.output_vars[edge_idx].label
+        far = self.index.edge_index(edge_label).endpoint_rowids(self.direction)
+        vpred = None
+        if self.vertex_predicate is not None:
+            vpred = rowid_predicate(
+                self.mapping.vertex_table(self.to_label), self.vertex_predicate
+            )
+        for cb in self.child.columnar_batches(ctx):
+            edge_col = cb.column(edge_idx)
+            targets = [far[e] for e in edge_col]
+            if vpred is not None:
+                keep = [j for j, t in enumerate(targets) if vpred(t)]
+                if not keep:
+                    continue
+                if len(keep) < len(targets):
+                    cb = cb.take(keep)
+                    targets = [targets[j] for j in keep]
+            columns = cb.gathered_columns()
+            columns.append(targets)
+            yield ColumnarBatch(columns, len(targets), None)
 
     def _label(self) -> str:
         return f"GET_VERTEX {self.edge_var} -> {self.to_var}:{self.to_label}"
@@ -308,11 +454,13 @@ class Expand(GraphOperator):
 
         if not self.closing and epred is None and vpred is None:
             # Fast path: emit one row per adjacent edge, inline loop with
-            # bounded flushing — this is the traversal hot path.
+            # bounded, fan-out-adaptive flushing — the traversal hot path.
             def stream() -> Iterator[Batch]:
-                size = ctx.batch_size
+                sizer = ChunkSizer(ctx)
                 out: list[tuple] = []
                 for batch in self.child.batches(ctx):
+                    carry = len(out)
+                    flushed = 0
                     for row in batch:
                         v = row[from_idx]
                         out.extend(
@@ -321,9 +469,11 @@ class Expand(GraphOperator):
                                 for e in edge_rowids[offsets[v] : offsets[v + 1]]
                             ]
                         )
-                        if len(out) >= size:
+                        if len(out) >= sizer.size:
+                            flushed += len(out)
                             yield out
                             out = []
+                    sizer.observe(len(batch), flushed + len(out) - carry)
                 if out:
                     yield out
 
@@ -348,8 +498,54 @@ class Expand(GraphOperator):
         return emit_batches(
             ctx,
             self._label(),
-            expand_batches(self.child.batches(ctx), expand, ctx.batch_size),
+            expand_batches(self.child.batches(ctx), expand, ctx),
         )
+
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+
+    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        from_idx = self.child.var_index(self.from_var)
+        from_label = self.child.output_vars[from_idx].label
+        adjacency = self.index.adjacency(from_label, self.edge_label, self.direction)
+        offsets, edge_rowids = adjacency.offsets, adjacency.edge_rowids
+        far = self.index.edge_index(self.edge_label).endpoint_rowids(self.direction)
+        epred = None
+        if self.edge_predicate is not None:
+            epred = rowid_predicate(
+                self.mapping.edge_table(self.edge_label), self.edge_predicate
+            )
+        source = self.child.columnar_batches(ctx)
+        if not self.closing:
+            # Traversal hot path: one row per adjacent edge, neighbor
+            # column only.
+            vpred = None
+            if self.vertex_predicate is not None:
+                vpred = rowid_predicate(
+                    self.mapping.vertex_table(self.to_label), self.vertex_predicate
+                )
+            yield from _expand_columnar(
+                source, ctx, from_idx, offsets, edge_rowids, far, epred, vpred
+            )
+            return
+        to_idx = self.child.var_index(self.to_var)
+        for cb in source:
+            vertices = cb.column(from_idx)
+            bounds = cb.column(to_idx)
+            keep: list[int] = []
+            for j, (v, bound) in enumerate(zip(vertices, bounds)):
+                hits = 0
+                for e in edge_rowids[offsets[v] : offsets[v + 1]]:
+                    if epred is not None and not epred(e):
+                        continue
+                    if far[e] == bound:
+                        hits += 1
+                if hits == 1:
+                    keep.append(j)
+                elif hits:
+                    keep.extend([j] * hits)
+            if keep:
+                yield cb.take(keep).compact()
 
     def _label(self) -> str:
         kind = "EXPAND(closing)" if self.closing else "EXPAND"
@@ -417,10 +613,7 @@ class ExpandIntersect(GraphOperator):
     def children(self) -> list[Operator]:
         return [self.child]
 
-    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        return emit_batches(ctx, self._label(), self._stream(ctx))
-
-    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
+    def _leg_state(self):
         leg_state = []
         for leg in self.legs:
             from_idx = self.child.var_index(leg.from_var)
@@ -433,11 +626,81 @@ class ExpandIntersect(GraphOperator):
                     self.mapping.edge_table(leg.edge_label), leg.edge_predicate
                 )
             leg_state.append((leg, from_idx, adjacency, far, epred))
-        vpred = None
-        if self.vertex_predicate is not None:
-            vpred = rowid_predicate(
-                self.mapping.vertex_table(self.to_label), self.vertex_predicate
-            )
+        return leg_state
+
+    def _vertex_check(self):
+        if self.vertex_predicate is None:
+            return None
+        return rowid_predicate(
+            self.mapping.vertex_table(self.to_label), self.vertex_predicate
+        )
+
+    def _neighbor_map_fn(self, leg_state, caches):
+        def neighbor_map(i: int, v: int) -> dict[int, list[int]]:
+            leg, from_idx, adjacency, far, epred = leg_state[i]
+            nbrs = caches[i].get(v)
+            if nbrs is None:
+                nbrs = {}
+                for pos in range(adjacency.offsets[v], adjacency.offsets[v + 1]):
+                    e = adjacency.edge_rowids[pos]
+                    if epred is not None and not epred(e):
+                        continue
+                    nbrs.setdefault(far[e], []).append(e)
+                caches[i][v] = nbrs
+            return nbrs
+
+        return neighbor_map
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        if any(leg.edge_var is not None for leg in self.legs):
+            # Explicit edge-variable combinations take the row path.
+            return Operator.columnar_batches(self, ctx)
+        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+
+    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        """Columnar star closing: bound-leaf columns are extracted once per
+        batch; each row contributes ``multiplicity`` replicas per common
+        neighbor through a parent-position vector (no row tuples)."""
+        leg_state = self._leg_state()
+        vpred = self._vertex_check()
+        caches: list[dict[int, dict[int, list[int]]]] = [{} for _ in leg_state]
+        neighbor_map = self._neighbor_map_fn(leg_state, caches)
+        nlegs = len(leg_state)
+        sizer = ChunkSizer(ctx)
+        for cb in self.child.columnar_batches(ctx):
+            leg_cols = [cb.column(state[1]) for state in leg_state]
+            parents: list[int] = []
+            neighbors: list[int] = []
+            flushed = 0
+            for j in range(len(cb)):
+                per_leg = [neighbor_map(i, leg_cols[i][j]) for i in range(nlegs)]
+                order = sorted(range(nlegs), key=lambda i: len(per_leg[i]))
+                smallest = per_leg[order[0]]
+                rest = order[1:]
+                for nbr in smallest:
+                    if any(nbr not in per_leg[i] for i in rest):
+                        continue
+                    if vpred is not None and not vpred(nbr):
+                        continue
+                    multiplicity = 1
+                    for m in per_leg:
+                        multiplicity *= len(m[nbr])
+                    parents.extend([j] * multiplicity)
+                    neighbors.extend([nbr] * multiplicity)
+                if len(parents) >= sizer.size:
+                    flushed += len(parents)
+                    yield replicate_columnar(cb, parents, [neighbors])
+                    parents, neighbors = [], []
+            sizer.observe(len(cb), flushed + len(parents))
+            if parents:
+                yield replicate_columnar(cb, parents, [neighbors])
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        leg_state = self._leg_state()
+        vpred = self._vertex_check()
         emit_edges = [leg.edge_var is not None for leg in self.legs]
         any_edges = any(emit_edges)
         # Neighbor maps are cached per (leg, vertex): input rows revisit the
@@ -452,18 +715,7 @@ class ExpandIntersect(GraphOperator):
             yield from self._stream_two_legs(ctx, leg_state, caches)
             return
 
-        def neighbor_map(i: int, v: int) -> dict[int, list[int]]:
-            leg, from_idx, adjacency, far, epred = leg_state[i]
-            nbrs = caches[i].get(v)
-            if nbrs is None:
-                nbrs = {}
-                for pos in range(adjacency.offsets[v], adjacency.offsets[v + 1]):
-                    e = adjacency.edge_rowids[pos]
-                    if epred is not None and not epred(e):
-                        continue
-                    nbrs.setdefault(far[e], []).append(e)
-                caches[i][v] = nbrs
-            return nbrs
+        neighbor_map = self._neighbor_map_fn(leg_state, caches)
 
         def expand(row: tuple, out: list) -> None:
             # Build neighbor -> [edges] per leg; smallest first.
@@ -497,7 +749,7 @@ class ExpandIntersect(GraphOperator):
                     extended = row + (nbr,)
                     out.extend([extended] * multiplicity)
 
-        yield from expand_batches(self.child.batches(ctx), expand, ctx.batch_size)
+        yield from expand_batches(self.child.batches(ctx), expand, ctx)
 
     def _stream_two_legs(
         self, ctx: ExecutionContext, leg_state, caches
@@ -534,7 +786,7 @@ class ExpandIntersect(GraphOperator):
                 else:
                     out.extend([extended] * multiplicity)
 
-        yield from expand_batches(self.child.batches(ctx), expand, ctx.batch_size)
+        yield from expand_batches(self.child.batches(ctx), expand, ctx)
 
     def _label(self) -> str:
         legs = ", ".join(f"{leg.from_var}-[{leg.edge_label}]" for leg in self.legs)
@@ -579,10 +831,8 @@ class EdgeTripleScan(GraphOperator):
         if edge_var is not None:
             self.output_vars.append(GraphVar(edge_var, "e", edge_label))
 
-    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        return emit_batches(ctx, self._label(), self._stream(ctx))
-
-    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
+    def _sources(self):
+        """(src_rowids, dst_rowids, epred, spred, dpred) for this scan."""
         em = self.mapping.edge(self.edge_label)
         edge_table = self.mapping.edge_table(self.edge_label)
         if self.index is not None:
@@ -616,6 +866,42 @@ class EdgeTripleScan(GraphOperator):
             if self.dst_predicate is not None
             else None
         )
+        return src_rowids, dst_rowids, epred, spred, dpred
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+
+    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        """Zero-copy triple scan: the EV columns (or the EVJoin-derived
+        rowid lists) are shared across all batches; filters shrink the
+        per-chunk selection vector."""
+        src_rowids, dst_rowids, epred, spred, dpred = self._sources()
+        columns: list = [src_rowids, dst_rowids]
+        n = self.mapping.edge_table(self.edge_label).num_rows
+        if self.edge_var is not None:
+            columns.append(range(n))
+        size = ctx.batch_size
+        for start in range(0, n, size):
+            chunk = range(start, min(start + size, n))
+            if epred is None and spred is None and dpred is None:
+                yield ColumnarBatch(columns, n, chunk)
+                continue
+            sel = [
+                e
+                for e in chunk
+                if (epred is None or epred(e))
+                and (spred is None or spred(src_rowids[e]))
+                and (dpred is None or dpred(dst_rowids[e]))
+            ]
+            if sel:
+                yield ColumnarBatch(columns, n, sel)
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        edge_table = self.mapping.edge_table(self.edge_label)
+        src_rowids, dst_rowids, epred, spred, dpred = self._sources()
         with_edge = self.edge_var is not None
         n = edge_table.num_rows
         size = ctx.batch_size
@@ -689,10 +975,7 @@ class PatternHashJoin(GraphOperator):
     def children(self) -> list[Operator]:
         return [self.left, self.right]
 
-    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        return emit_batches(ctx, self._label(), self._stream(ctx))
-
-    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
+    def _join_setup(self):
         l_idx = [self.left.var_index(n) for n in self.join_vars]
         r_idx = [self.right.var_index(n) for n in self.join_vars]
         keep = self.right_keep
@@ -705,6 +988,74 @@ class PatternHashJoin(GraphOperator):
             if not keep
             else (lambda row: tuple(row[i] for i in keep))
         )
+        return l_idx, r_idx, left_key, right_key, trim
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+
+    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        """Columnar pattern join with the same adaptive build-side choice as
+        the row path.  Both *buffered* inputs materialize as row tuples
+        (they are exactly the state the memory budget charges — the NoEI
+        OOMs trip here); the streaming probe side stays columnar, with keys
+        extracted whole-column-at-a-time."""
+        l_idx, _, left_key, right_key, trim = self._join_setup()
+        size = ctx.batch_size
+        right_buffer = ctx.buffer(f"{self._label()} build")
+        left_buffer = ctx.buffer(f"{self._label()} lookahead")
+        try:
+            right_rows: list[tuple] = []
+            for cb in self.right.columnar_batches(ctx):
+                batch = cb.to_rows()
+                right_rows.extend(batch)
+                right_buffer.grow(len(batch))
+            left_stream = self.left.columnar_batches(ctx)
+            left_prefix: list[tuple] = []
+            left_is_smaller = True
+            for cb in left_stream:
+                batch = cb.to_rows()
+                left_prefix.extend(batch)
+                if len(left_prefix) > len(right_rows):
+                    left_is_smaller = False
+                    left_buffer.release()
+                    break
+                left_buffer.grow(len(batch))
+            if left_is_smaller:
+                table = build_hash_table(chunked(left_prefix, size), left_key, None)
+                lookup = table.get
+                out: list[tuple] = []
+                for rrow in right_rows:
+                    matches = lookup(right_key(rrow))
+                    if not matches:
+                        continue
+                    extra = trim(rrow)
+                    out.extend([lrow + extra for lrow in matches])
+                    if len(out) >= size:
+                        yield ColumnarBatch.from_rows(out)
+                        out = []
+                if out:
+                    yield ColumnarBatch.from_rows(out)
+                return
+            table = build_hash_table(
+                chunked(right_rows, size), right_key, None, value_of=trim
+            )
+            del right_rows
+
+            def left_batches() -> Iterator[ColumnarBatch]:
+                for chunk in chunked(left_prefix, size):
+                    yield ColumnarBatch.from_rows(chunk)
+                yield from left_stream
+
+            yield from probe_hash_table_columnar(left_batches(), table, l_idx, ctx)
+        finally:
+            right_buffer.release()
+            left_buffer.release()
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        _, _, left_key, right_key, trim = self._join_setup()
         size = ctx.batch_size
         right_buffer = ctx.buffer(f"{self._label()} build")
         left_buffer = ctx.buffer(f"{self._label()} lookahead")
@@ -764,6 +1115,19 @@ class PatternHashJoin(GraphOperator):
         return f"PATTERN_HASH_JOIN on ({', '.join(self.join_vars)})"
 
 
+def _filter_var_columnar(
+    source: Iterator[ColumnarBatch], idx: int, check
+) -> Iterator[ColumnarBatch]:
+    """Refine selections by a per-rowid check on one bound-variable column."""
+    for cb in source:
+        column = cb.column(idx)
+        keep = [j for j, rowid in enumerate(column) if check(rowid)]
+        if len(keep) == len(column):
+            yield cb
+        elif keep:
+            yield cb.take(keep)
+
+
 class VertexFilter(GraphOperator):
     """Attribute predicate over a bound vertex variable."""
 
@@ -785,6 +1149,16 @@ class VertexFilter(GraphOperator):
             ctx,
             self._label(),
             filter_batches(self.child.batches(ctx), lambda row: check(row[idx])),
+        )
+
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        idx = self.child.var_index(self.var)
+        label = self.child.output_vars[idx].label
+        check = rowid_predicate(self.mapping.vertex_table(label), self.predicate)
+        return emit_columnar(
+            ctx,
+            self._label(),
+            _filter_var_columnar(self.child.columnar_batches(ctx), idx, check),
         )
 
     def _label(self) -> str:
@@ -812,6 +1186,16 @@ class EdgeFilter(GraphOperator):
             ctx,
             self._label(),
             filter_batches(self.child.batches(ctx), lambda row: check(row[idx])),
+        )
+
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        idx = self.child.var_index(self.var)
+        label = self.child.output_vars[idx].label
+        check = rowid_predicate(self.mapping.edge_table(label), self.predicate)
+        return emit_columnar(
+            ctx,
+            self._label(),
+            _filter_var_columnar(self.child.columnar_batches(ctx), idx, check),
         )
 
     def _label(self) -> str:
@@ -845,6 +1229,24 @@ class AllDistinct(GraphOperator):
         return emit_batches(
             ctx, self._label(), filter_batches(self.child.batches(ctx), distinct)
         )
+
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+
+    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        indices = self._indices
+        n = len(indices)
+        for cb in self.child.columnar_batches(ctx):
+            checked = [(cb.column(i), label) for i, label in indices]
+            keep = [
+                j
+                for j in range(len(cb))
+                if len({(label, column[j]) for column, label in checked}) == n
+            ]
+            if len(keep) == len(cb):
+                yield cb
+            elif keep:
+                yield cb.take(keep)
 
     def _label(self) -> str:
         return f"ALL_DISTINCT ({self.kind})"

@@ -32,21 +32,30 @@ from typing import Any, Iterator, Sequence
 from repro.errors import PlanError
 from repro.exec.context import ExecutionContext
 from repro.exec.kernels import (
+    ChunkSizer,
     build_hash_table,
+    build_hash_table_columnar,
     chunked,
     emit_batches,
+    emit_columnar,
     expand_batches,
     filter_batches,
+    filter_columnar,
     map_batches,
     probe_hash_table,
+    probe_hash_table_columnar,
+    replicate_columnar,
     scalar_key,
     tuple_key,
 )
 from repro.exec.operator import Batch, Operator
+from repro.exec.vector import ColumnarBatch, gather
 from repro.relational.expr import (
     Expr,
     compile_expr,
+    compile_expr_columnar,
     compile_predicate,
+    compile_predicate_columnar,
     referenced_columns,
 )
 from repro.relational.logical import AggregateSpec
@@ -151,6 +160,44 @@ class SeqScan(PhysicalOperator):
             self.output_columns.append(f"{alias}.{ROWID_COLUMN}")
         self.output_columns.extend(name for name, _ in self.pointer_columns)
 
+    def _base_layout(self) -> dict[str, int]:
+        """Layout of the full base row (unqualified and alias-qualified)."""
+        base_layout: dict[str, int] = {}
+        for i, c in enumerate(self.table.schema.column_names):
+            base_layout[c] = i
+            base_layout[f"{self.alias}.{c}"] = i
+        return base_layout
+
+    def _output_column_storage(self) -> list:
+        """The output columns as shared base-table storage (zero copy)."""
+        out: list = [self.table.column(c) for c in self.projected]
+        if self.emit_rowid:
+            out.append(range(self.table.num_rows))
+        out.extend(values for _, values in self.pointer_columns)
+        return out
+
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        return emit_columnar(ctx, self._label(), self._scan_columnar(ctx))
+
+    def _scan_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        """Zero-copy chunked scan: every batch shares the table's column
+        lists; only the selection vector (a range, or the surviving rowids
+        after the pushed-down filter) is per-chunk state."""
+        size = ctx.batch_size
+        n = self.table.num_rows
+        out_columns = self._output_column_storage()
+        if self.predicate is None:
+            for start in range(0, n, size):
+                yield ColumnarBatch(out_columns, n, range(start, min(start + size, n)))
+            return
+        selector = compile_predicate_columnar(self.predicate, self._base_layout())
+        base_columns = [self.table.column(c) for c in self.table.schema.column_names]
+        for start in range(0, n, size):
+            chunk = range(start, min(start + size, n))
+            sel = selector(base_columns, chunk, n)
+            if sel is None or len(sel):
+                yield ColumnarBatch(out_columns, n, chunk if sel is None else sel)
+
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         return emit_batches(ctx, self._label(), self._scan(ctx))
 
@@ -164,11 +211,7 @@ class SeqScan(PhysicalOperator):
         if self.predicate is not None:
             # Evaluate the predicate against the full base row, then project;
             # the predicate may reference non-projected columns.
-            base_layout: dict[str, int] = {}
-            for i, c in enumerate(self.table.schema.column_names):
-                base_layout[c] = i
-                base_layout[f"{self.alias}.{c}"] = i
-            pred = compile_predicate(self.predicate, base_layout)
+            pred = compile_predicate(self.predicate, self._base_layout())
             all_columns = [
                 self.table.column(c) for c in self.table.schema.column_names
             ]
@@ -212,6 +255,15 @@ class FilterOp(PhysicalOperator):
             ctx, self._label(), filter_batches(self.child.batches(ctx), pred)
         )
 
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        # Selection-vector refinement: no rows move, no closures per row.
+        selector = compile_predicate_columnar(self.predicate, self.child.layout())
+        return emit_columnar(
+            ctx,
+            self._label(),
+            filter_columnar(self.child.columnar_batches(ctx), selector),
+        )
+
     def _label(self) -> str:
         return f"SELECTION ({self.predicate})"
 
@@ -244,6 +296,26 @@ class ProjectOp(PhysicalOperator):
         return emit_batches(
             ctx, self._label(), map_batches(self.child.batches(ctx), transform)
         )
+
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        return emit_columnar(ctx, self._label(), self._project_columnar(ctx))
+
+    def _project_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        layout = self.child.layout()
+        indices = _column_indices(self.exprs, self.child.output_columns)
+        source = self.child.columnar_batches(ctx)
+        if indices is not None:
+            # Rename-only projection: reorder shared column references and
+            # keep the selection vector — a true zero-copy gather.
+            for cb in source:
+                yield ColumnarBatch(
+                    [cb.columns[i] for i in indices], cb.length, cb.selection
+                )
+            return
+        evaluators = [compile_expr_columnar(e, layout) for e, _ in self.exprs]
+        for cb in source:
+            columns = [ev(cb.columns, cb.selection, cb.length) for ev in evaluators]
+            yield ColumnarBatch(columns, len(cb), None)
 
     def _label(self) -> str:
         return "PROJECTION " + ", ".join(a for _, a in self.exprs)
@@ -279,9 +351,13 @@ class HashJoin(PhysicalOperator):
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         return emit_batches(ctx, self._label(), self._stream(ctx))
 
-    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
+    def _key_indices(self) -> tuple[list[int], list[int]]:
         l_idx = [_resolve(self.left.output_columns, k) for k in self.left_keys]
         r_idx = [_resolve(self.right.output_columns, k) for k in self.right_keys]
+        return l_idx, r_idx
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        l_idx, r_idx = self._key_indices()
         if len(r_idx) == 1:
             build_key, probe_key = scalar_key(r_idx[0]), scalar_key(l_idx[0])
         else:
@@ -297,6 +373,27 @@ class HashJoin(PhysicalOperator):
                 return
             pred = compile_predicate(self.residual, self.layout())
             yield from filter_batches(probe, pred)
+        finally:
+            buffer.release()
+
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+
+    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        l_idx, r_idx = self._key_indices()
+        buffer = ctx.buffer(f"{self._label()} build")
+        try:
+            table = build_hash_table_columnar(
+                self.right.columnar_batches(ctx), r_idx, buffer
+            )
+            probe = probe_hash_table_columnar(
+                self.left.columnar_batches(ctx), table, l_idx, ctx
+            )
+            if self.residual is None:
+                yield from probe
+                return
+            pred = compile_predicate_columnar(self.residual, self.layout())
+            yield from filter_columnar(probe, pred)
         finally:
             buffer.release()
 
@@ -348,9 +445,7 @@ class NestedLoopJoin(PhysicalOperator):
                 def expand(lrow: tuple, out: list) -> None:
                     out.extend([lrow + rrow for rrow in right_rows])
 
-            yield from expand_batches(
-                self.left.batches(ctx), expand, ctx.batch_size
-            )
+            yield from expand_batches(self.left.batches(ctx), expand, ctx)
         finally:
             buffer.release()
 
@@ -397,6 +492,45 @@ class RowIdJoin(PhysicalOperator):
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+
+    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        """Columnar pointer-follow: the pointer column is extracted once per
+        batch and the fetched columns are whole-column gathers through it."""
+        ptr = _resolve(self.child.output_columns, self.pointer_column)
+        columns = [self.table.column(c) for c in self.projected]
+        check = (
+            rowid_checker(self.table, self.predicate)
+            if self.predicate is not None
+            else None
+        )
+        for cb in self.child.columnar_batches(ctx):
+            pointers = cb.column(ptr)
+            if check is None:
+                keep = None
+                if any(p is None or p < 0 for p in pointers):
+                    keep = [
+                        j for j, p in enumerate(pointers) if p is not None and p >= 0
+                    ]
+            else:
+                keep = [
+                    j
+                    for j, p in enumerate(pointers)
+                    if p is not None and p >= 0 and check(p)
+                ]
+            if keep is not None:
+                if not keep:
+                    continue
+                cb = cb.take(keep)
+                pointers = [pointers[j] for j in keep]
+            fetched = [gather(column, pointers) for column in columns]
+            if self.emit_rowid:
+                fetched.append(list(pointers))
+            out = cb.gathered_columns()
+            out.extend(fetched)
+            yield ColumnarBatch(out, len(pointers), None)
 
     def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         ptr = _resolve(self.child.output_columns, self.pointer_column)
@@ -526,6 +660,50 @@ class CsrJoin(PhysicalOperator):
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         return emit_batches(ctx, self._label(), self._stream(ctx))
 
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        if self.predicate is not None:
+            # Predicated CSR joins drop to the row protocol (rare plans).
+            return Operator.columnar_batches(self, ctx)
+        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+
+    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        """Columnar CSR expansion: accumulate a parent-position vector and
+        the adjacent edge rowids, then assemble output batches as gathers —
+        no per-edge row tuples.  Flush thresholds adapt to observed
+        fan-out."""
+        vid = _resolve(self.child.output_columns, self.vertex_rowid_column)
+        columns = [self.edge_table.column(c) for c in self.projected]
+        far = self.far_pointer[1] if self.far_pointer is not None else None
+        offsets, edges = self.csr_offsets, self.csr_edges
+        sizer = ChunkSizer(ctx)
+
+        def assemble(cb: ColumnarBatch, parents: list, edge_ids: list) -> ColumnarBatch:
+            new_columns = [[c[e] for e in edge_ids] for c in columns]
+            if far is not None:
+                new_columns.append([far[e] for e in edge_ids])
+            return replicate_columnar(cb, parents, new_columns)
+
+        for cb in self.child.columnar_batches(ctx):
+            vertices = cb.column(vid)
+            parents: list[int] = []
+            edge_ids: list[int] = []
+            flushed = 0
+            for j, v in enumerate(vertices):
+                if v is None:
+                    continue
+                lo, hi = offsets[v], offsets[v + 1]
+                if lo == hi:
+                    continue
+                parents.extend([j] * (hi - lo))
+                edge_ids.extend(edges[lo:hi])
+                if len(parents) >= sizer.size:
+                    flushed += len(parents)
+                    yield assemble(cb, parents, edge_ids)
+                    parents, edge_ids = [], []
+            sizer.observe(len(vertices), flushed + len(parents))
+            if parents:
+                yield assemble(cb, parents, edge_ids)
+
     def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         vid = _resolve(self.child.output_columns, self.vertex_rowid_column)
         columns = [self.edge_table.column(c) for c in self.projected]
@@ -536,15 +714,17 @@ class CsrJoin(PhysicalOperator):
         )
         far = self.far_pointer[1] if self.far_pointer is not None else None
         offsets, edges = self.csr_offsets, self.csr_edges
-        size = ctx.batch_size
+        sizer = ChunkSizer(ctx)
         out: list[tuple] = []
         if check is None and far is not None and len(columns) <= 2:
             # Fast paths for the dominant shapes (edge carries at most its
             # two FK columns plus the far pointer); inline comprehensions —
-            # this is the predefined-join hot path.
+            # this is the predefined-join hot path.  Flushing follows the
+            # fan-out-adaptive contract of expand_batches.
             if len(columns) == 2:
                 ca, cb = columns
                 for batch in self.child.batches(ctx):
+                    carry, flushed = len(out), 0
                     for row in batch:
                         v = row[vid]
                         if v is None:  # this shape used the guarded slow path
@@ -555,12 +735,15 @@ class CsrJoin(PhysicalOperator):
                                 for e in edges[offsets[v] : offsets[v + 1]]
                             ]
                         )
-                        if len(out) >= size:
+                        if len(out) >= sizer.size:
+                            flushed += len(out)
                             yield out
                             out = []
+                    sizer.observe(len(batch), flushed + len(out) - carry)
             elif columns:
                 c0 = columns[0]
                 for batch in self.child.batches(ctx):
+                    carry, flushed = len(out), 0
                     for row in batch:
                         v = row[vid]
                         out.extend(
@@ -569,11 +752,14 @@ class CsrJoin(PhysicalOperator):
                                 for e in edges[offsets[v] : offsets[v + 1]]
                             ]
                         )
-                        if len(out) >= size:
+                        if len(out) >= sizer.size:
+                            flushed += len(out)
                             yield out
                             out = []
+                    sizer.observe(len(batch), flushed + len(out) - carry)
             else:
                 for batch in self.child.batches(ctx):
+                    carry, flushed = len(out), 0
                     for row in batch:
                         v = row[vid]
                         out.extend(
@@ -582,13 +768,16 @@ class CsrJoin(PhysicalOperator):
                                 for e in edges[offsets[v] : offsets[v + 1]]
                             ]
                         )
-                        if len(out) >= size:
+                        if len(out) >= sizer.size:
+                            flushed += len(out)
                             yield out
                             out = []
+                    sizer.observe(len(batch), flushed + len(out) - carry)
             if out:
                 yield out
             return
         for batch in self.child.batches(ctx):
+            carry, flushed = len(out), 0
             for row in batch:
                 v = row[vid]
                 if v is None:
@@ -602,9 +791,11 @@ class CsrJoin(PhysicalOperator):
                         out.append(row + fetched + (far[e],))
                     else:
                         out.append(row + fetched)
-                if len(out) >= size:
+                if len(out) >= sizer.size:
+                    flushed += len(out)
                     yield out
                     out = []
+            sizer.observe(len(batch), flushed + len(out) - carry)
         if out:
             yield out
 
@@ -681,6 +872,81 @@ class AggregateOp(PhysicalOperator):
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         return emit_batches(ctx, self._label(), self._stream(ctx))
 
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+
+    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        """Columnar aggregation: group keys and aggregate arguments are
+        extracted as whole columns, so the per-row work is dict maintenance
+        only.  ``COUNT(*)`` over a single group column degenerates to a
+        bare counting loop over that column."""
+        layout = self.child.layout()
+        group_evs = [compile_expr_columnar(e, layout) for e, _ in self.group_by]
+        agg_evs = [
+            compile_expr_columnar(a.arg, layout) if a.arg is not None else None
+            for a in self.aggregates
+        ]
+        accumulators = [_make_accumulator(a.func) for a in self.aggregates]
+        initials = [init for init, _, _ in accumulators]
+        updates = [update for _, update, _ in accumulators]
+        finals = [final for _, _, final in accumulators]
+        count_star_only = len(self.aggregates) == 1 and (
+            self.aggregates[0].func == "COUNT" and self.aggregates[0].arg is None
+        )
+        single_group = len(group_evs) == 1
+        buffer = ctx.buffer(self._label())
+        try:
+            if count_star_only and single_group:
+                counts: dict[Any, int] = {}
+                get = counts.get
+                for cb in self.child.columnar_batches(ctx):
+                    keys = group_evs[0](cb.columns, cb.selection, cb.length)
+                    before = len(counts)
+                    for key in keys:
+                        counts[key] = get(key, 0) + 1
+                    buffer.grow(len(counts) - before)
+                out_rows = [(key, count) for key, count in counts.items()]
+            else:
+                groups: dict[Any, list[Any]] = {}
+                for cb in self.child.columnar_batches(ctx):
+                    n = len(cb)
+                    gcols = [ev(cb.columns, cb.selection, cb.length) for ev in group_evs]
+                    acols = [
+                        ev(cb.columns, cb.selection, cb.length) if ev is not None else None
+                        for ev in agg_evs
+                    ]
+                    if single_group:
+                        keys = gcols[0]
+                    elif gcols:
+                        keys = list(zip(*gcols))
+                    else:
+                        keys = [()] * n
+                    for j, key in enumerate(keys):
+                        cells = groups.get(key)
+                        if cells is None:
+                            cells = list(initials)
+                            groups[key] = cells
+                            buffer.grow(1)
+                        for i, update in enumerate(updates):
+                            acol = acols[i]
+                            cells[i] = update(cells[i], acol[j] if acol is not None else 1)
+                if not groups and not self.group_by:
+                    groups[()] = list(initials)
+                if single_group:
+                    out_rows = [
+                        (key,) + tuple(f(c) for f, c in zip(finals, cells))
+                        for key, cells in groups.items()
+                    ]
+                else:
+                    out_rows = [
+                        key + tuple(f(c) for f, c in zip(finals, cells))
+                        for key, cells in groups.items()
+                    ]
+            for chunk in chunked(out_rows, ctx.batch_size):
+                yield ColumnarBatch.from_rows(chunk)
+        finally:
+            buffer.release()
+
     def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         layout = self.child.layout()
         group_evs = [compile_expr(e, layout) for e, _ in self.group_by]
@@ -734,6 +1000,37 @@ class SortOp(PhysicalOperator):
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+
+    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        # A sort is a full pipeline breaker either way; the columnar value
+        # is upstream (the buffered input arrives through vectorized
+        # operators) plus key columns computed without per-row closures.
+        buffer = ctx.buffer(self._label())
+        try:
+            rows: list[tuple] = []
+            key_parts: list[list] = [[] for _ in self.keys]
+            layout = self.child.layout()
+            evs = [compile_expr_columnar(e, layout) for e, _ in self.keys]
+            for cb in self.child.columnar_batches(ctx):
+                batch_rows = cb.to_rows()
+                rows.extend(batch_rows)
+                buffer.grow(len(batch_rows))
+                for part, ev in zip(key_parts, evs):
+                    part.extend(ev(cb.columns, cb.selection, cb.length))
+            order = list(range(len(rows)))
+            for (_, ascending), part in reversed(list(zip(self.keys, key_parts))):
+                order.sort(
+                    key=lambda i: _null_safe_key(part[i]),
+                    reverse=not ascending,
+                )
+            ordered = [rows[i] for i in order]
+            for chunk in chunked(ordered, ctx.batch_size):
+                yield ColumnarBatch.from_rows(chunk)
+        finally:
+            buffer.release()
 
     def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         buffer = ctx.buffer(self._label())
@@ -802,15 +1099,89 @@ class TopKOp(PhysicalOperator):
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         return emit_batches(ctx, self._label(), self._stream(ctx))
 
+    def _selection_setup(self, k: int):
+        """(select, tiebreak, uniform) for the configured key directions."""
+        all_asc = all(asc for _, asc in self.keys)
+        all_desc = all(not asc for _, asc in self.keys)
+        if all_asc or all_desc:
+            select = (
+                (lambda cands: heapq.nsmallest(k, cands))
+                if all_asc
+                else (lambda cands: heapq.nlargest(k, cands))
+            )
+            return select, (1 if all_asc else -1), True
+        return (lambda cands: heapq.nsmallest(k, cands)), 1, False
+
+    def _prune_threshold(self, ctx: ExecutionContext, k: int) -> int:
+        # Prune once candidates double past k — or sooner when a tighter
+        # memory budget is in force, so any LIMIT that fits the budget
+        # (k <= budget) streams without tripping it.
+        threshold = max(2 * k, ctx.batch_size)
+        if ctx.memory_budget_rows is not None:
+            threshold = min(threshold, ctx.memory_budget_rows + 1)
+        return threshold
+
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+
+    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        """Columnar top-k: sort keys are computed as whole columns, rows
+        materialize per batch only to live in the candidate heap (they are
+        genuinely buffered state)."""
+        k = self.limit
+        if k <= 0:
+            return
+        layout = self.child.layout()
+        evs = [compile_expr_columnar(e, layout) for e, _ in self.keys]
+        select, tiebreak, uniform = self._selection_setup(k)
+        threshold = self._prune_threshold(ctx, k)
+        ascs = [asc for _, asc in self.keys]
+        buffer = ctx.buffer(self._label())
+        try:
+            candidates: list[tuple] = []  # (key, ±arrival, row)
+            arrival = 0
+            for cb in self.child.columnar_batches(ctx):
+                rows = cb.to_rows()
+                key_cols = [ev(cb.columns, cb.selection, cb.length) for ev in evs]
+                if uniform and len(key_cols) == 1:
+                    keys: Any = map(_null_safe_key, key_cols[0])
+                elif uniform:
+                    keys = (
+                        tuple(_null_safe_key(v) for v in parts)
+                        for parts in zip(*key_cols)
+                    )
+                else:
+                    keys = (
+                        tuple(
+                            _null_safe_key(v) if asc else _Descending(_null_safe_key(v))
+                            for v, asc in zip(parts, ascs)
+                        )
+                        for parts in zip(*key_cols)
+                    )
+                for key, row in zip(keys, rows):
+                    candidates.append((key, tiebreak * arrival, row))
+                    arrival += 1
+                if len(candidates) >= threshold:
+                    candidates = select(candidates)
+                delta = len(candidates) - buffer.rows
+                if delta >= 0:
+                    buffer.grow(delta)
+                else:
+                    buffer.shrink(-delta)
+            top = select(candidates)
+            for chunk in chunked([entry[2] for entry in top], ctx.batch_size):
+                yield ColumnarBatch.from_rows(chunk)
+        finally:
+            buffer.release()
+
     def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         k = self.limit
         if k <= 0:
             return
         layout = self.child.layout()
         evs = [(compile_expr(e, layout), asc) for e, asc in self.keys]
-        all_asc = all(asc for _, asc in evs)
-        all_desc = all(not asc for _, asc in evs)
-        if all_asc or all_desc:
+        select, tiebreak, uniform = self._selection_setup(k)
+        if uniform:
             # Uniform direction: plain comparable key tuples, selected with
             # nsmallest/nlargest.  The arrival counter breaks ties — negated
             # for nlargest so earlier rows still win — and shields rows
@@ -822,12 +1193,6 @@ class TopKOp(PhysicalOperator):
                 key_of = lambda row: tuple(  # noqa: E731
                     _null_safe_key(ev(row)) for ev, _ in evs
                 )
-            select = (
-                (lambda cands: heapq.nsmallest(k, cands))
-                if all_asc
-                else (lambda cands: heapq.nlargest(k, cands))
-            )
-            tiebreak = 1 if all_asc else -1
         else:
 
             def key_of(row: tuple) -> tuple:
@@ -838,14 +1203,7 @@ class TopKOp(PhysicalOperator):
                     for ev, asc in evs
                 )
 
-            select = lambda cands: heapq.nsmallest(k, cands)  # noqa: E731
-            tiebreak = 1
-        # Prune once candidates double past k — or sooner when a tighter
-        # memory budget is in force, so any LIMIT that fits the budget
-        # (k <= budget) streams without tripping it.
-        threshold = max(2 * k, ctx.batch_size)
-        if ctx.memory_budget_rows is not None:
-            threshold = min(threshold, ctx.memory_budget_rows + 1)
+        threshold = self._prune_threshold(ctx, k)
         buffer = ctx.buffer(self._label())
         try:
             candidates: list[tuple] = []  # (key, ±arrival, row)
@@ -899,6 +1257,24 @@ class LimitOp(PhysicalOperator):
             ctx.emit(len(batch), label)
             yield batch
 
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        remaining = self.limit
+        if remaining <= 0:
+            return
+        label = self._label()
+        for cb in self.child.columnar_batches(ctx):
+            n = len(cb)
+            if not n:
+                continue
+            if n >= remaining:
+                out = cb.head(remaining)
+                ctx.emit(len(out), label)
+                yield out
+                return
+            remaining -= n
+            ctx.emit(n, label)
+            yield cb
+
     def _label(self) -> str:
         return f"LIMIT {self.limit}"
 
@@ -915,6 +1291,26 @@ class DistinctOp(PhysicalOperator):
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         return emit_batches(ctx, self._label(), self._stream(ctx))
+
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+
+    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        # Dedup hashes whole rows, so rows materialize here (the seen-set
+        # is genuinely row-shaped state); survivors re-enter the columnar
+        # flow immediately.
+        buffer = ctx.buffer(self._label())
+        try:
+            seen: set[tuple] = set()
+            add = seen.add
+            for cb in self.child.columnar_batches(ctx):
+                rows = cb.to_rows()
+                fresh = [row for row in rows if not (row in seen or add(row))]
+                if fresh:
+                    buffer.grow(len(fresh))
+                    yield ColumnarBatch.from_rows(fresh)
+        finally:
+            buffer.release()
 
     def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         buffer = ctx.buffer(self._label())

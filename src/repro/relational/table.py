@@ -41,6 +41,12 @@ class Table:
         self.columns: dict[str, list[Any]] = {c.name: [] for c in schema.columns}
         self._column_list: list[list[Any]] = [self.columns[c.name] for c in schema.columns]
         self._pk_index: dict[Any, int] | None = None
+        pk = schema.primary_key
+        self._pk_pos: int | None = (
+            next(i for i, c in enumerate(schema.columns) if c.name == pk)
+            if pk is not None
+            else None
+        )
         if rows is not None:
             self.extend(rows, validate=validate)
 
@@ -62,8 +68,9 @@ class Table:
             ]
         for column, value in zip(self._column_list, row):
             column.append(value)
-        self._pk_index = None
-        return len(self._column_list[0]) - 1
+        rowid = len(self._column_list[0]) - 1
+        self._index_appended(row, rowid)
+        return rowid
 
     def extend(self, rows: Iterable[Sequence[Any]], validate: bool = True) -> None:
         """Bulk append: transpose once, then extend column-wise.
@@ -93,9 +100,37 @@ class Table:
                 check = col.dtype.validate
                 values = [check(v) for v in values]
             validated.append(values)
+        first_rowid = len(self._column_list[0])
         for column, values in zip(self._column_list, validated):
             column.extend(values)
-        self._pk_index = None
+        index = self._pk_index
+        if index is not None:
+            assert self._pk_pos is not None
+            for offset, value in enumerate(validated[self._pk_pos]):
+                if value in index:
+                    # Defer the duplicate error to the next pk_index()
+                    # rebuild, exactly as the lazy path reports it.
+                    self._pk_index = None
+                    return
+                index[value] = first_rowid + offset
+
+    def _index_appended(self, row: Sequence[Any], rowid: int) -> None:
+        """Maintain the cached pk index incrementally on append.
+
+        Discarding the cache on every append made interleaved append/lookup
+        loops O(n^2); inserting the new key keeps them linear.  A duplicate
+        key drops the cache so the next :meth:`pk_index` rebuild raises,
+        preserving the lazy path's error semantics.
+        """
+        index = self._pk_index
+        if index is None:
+            return
+        assert self._pk_pos is not None
+        value = row[self._pk_pos]
+        if value in index:
+            self._pk_index = None
+        else:
+            index[value] = rowid
 
     # ------------------------------------------------------------------ #
     # access
@@ -142,13 +177,14 @@ class Table:
         if pk is None:
             raise SchemaError(f"table {self.schema.name!r} has no primary key")
         if self._pk_index is None:
-            self._pk_index = {}
+            index: dict[Any, int] = {}
             for rowid, value in enumerate(self.columns[pk]):
-                if value in self._pk_index:
+                if value in index:
                     raise SchemaError(
                         f"duplicate primary key {value!r} in table {self.schema.name!r}"
                     )
-                self._pk_index[value] = rowid
+                index[value] = rowid
+            self._pk_index = index
         return self._pk_index
 
     def pk_lookup(self, key: Any) -> int | None:

@@ -234,3 +234,76 @@ def test_bulk_extend_coerces_types():
     schema = TableSchema("f", [Column("x", DataType.FLOAT)])
     table = Table(schema, rows=[(1,), (2.5,)])
     assert table.column("x") == [1.0, 2.5]
+
+
+# --------------------------------------------------------------------- #
+# incremental pk-index maintenance
+# --------------------------------------------------------------------- #
+
+
+def test_pk_index_survives_interleaved_appends():
+    table = make_table([(0, 0)])
+    index_before = table.pk_index()
+    for i in range(1, 50):
+        table.append((i, i * 2))
+        # The cached dict is maintained in place, not rebuilt from scratch.
+        assert table.pk_index() is index_before
+        assert table.pk_lookup(i) == i
+    table.extend([(i, i) for i in range(50, 60)])
+    assert table.pk_index() is index_before
+    assert table.pk_lookup(57) == 57
+
+
+def test_pk_index_duplicate_append_still_raises_lazily():
+    table = make_table([(1, 1), (2, 2)])
+    table.pk_index()
+    table.append((1, 9))  # duplicate key: accepted, like the lazy path
+    with pytest.raises(SchemaError):
+        table.pk_index()
+
+
+# --------------------------------------------------------------------- #
+# adaptive expansion batch sizing
+# --------------------------------------------------------------------- #
+
+
+def test_expansion_batch_size_shrinks_with_fanout():
+    from repro.exec import ExecutionContext
+
+    ctx = ExecutionContext()
+    assert ctx.expansion_batch_size(100, 100) == ctx.batch_size
+    assert ctx.expansion_batch_size(100, 50) == ctx.batch_size
+    # 10x fan-out: target shrinks ~10x, never below the floor.
+    assert ctx.expansion_batch_size(100, 1000) == ctx.batch_size // 10
+    assert ctx.expansion_batch_size(1, 10_000_000) == ctx.min_batch_size
+    ctx.adaptive_batch_sizing = False
+    assert ctx.expansion_batch_size(100, 1000) == ctx.batch_size
+    # A batch_size below the floor is itself the floor: adaptation must
+    # never hand back chunks larger than the configured ceiling.
+    from repro.exec import ExecutionContext as Ctx
+
+    tiny = Ctx(batch_size=8)
+    assert tiny.expansion_batch_size(10, 1000) == 8
+    assert tiny.expansion_batch_size(10, 11) == 8
+
+
+def test_adaptive_sizing_bounds_inflight_chunks_without_changing_results(fig2):
+    catalog, mapping, index = fig2
+    from repro.exec import ExecutionContext
+    from repro.graph.physical import Expand, ScanVertex
+
+    def run(adaptive: bool):
+        plan = Expand(
+            ScanVertex(mapping, "a", "Person"),
+            index,
+            mapping,
+            "a",
+            "b",
+            "Person",
+            "Knows",
+            "out",
+        )
+        ctx = ExecutionContext(batch_size=4, adaptive_batch_sizing=adaptive)
+        return sorted(row for batch in plan.batches(ctx) for row in batch)
+
+    assert run(True) == run(False)
