@@ -5,7 +5,8 @@ root).  Each query runs through three execution profiles of the *same*
 physical plan:
 
 * **columnar** — the vectorized runtime (struct-of-arrays batches,
-  selection vectors, column-at-a-time kernels); the engine default;
+  selection vectors, column-at-a-time kernels over typed storage vector
+  views); the engine default;
 * **row** — the legacy row-tuple batch protocol (the PR-1 engine), kept as
   the baseline the columnar speedups are measured against;
 * **materialized** — every operator wrapped in a :class:`MaterializeOp`
@@ -15,6 +16,20 @@ Queries cover the hot-loop spectrum: a deep relational pipeline
 (scan -> expand -> join -> aggregate), an ``ORDER BY ... LIMIT`` TopK
 query (IC2), a filter-heavy scan (selection-vector refinement), and a
 high-fan-out two-hop expansion (adaptive chunk sizing).
+
+Per-query times are the **minimum** over ``REPETITIONS`` runs — the robust
+estimator for sub-millisecond measurements on shared runners (scheduler
+noise only ever adds time).  ``PR2_COLUMNAR_MS`` records the PR-2 runtime
+(commit f1653ee, before typed array-backed storage) **re-measured on the
+same machine with this same estimator at the default scale**, so
+``speedup_vs_pr2_columnar`` is a like-for-like ratio; it is only emitted
+when the run uses the default scale (CI's tiny-scale smoke skips it).
+
+Alongside the query profiles, a storage microbench section tracks the
+typed-storage substrate itself: bulk-load throughput (``Table.extend``
+into ``array.array`` vs plain-list columns), pk-index build + lookup, and
+the same filter-scan query executed against typed-numpy / typed-no-numpy /
+list-backed catalogs.
 """
 
 from __future__ import annotations
@@ -23,14 +38,37 @@ import json
 import pathlib
 import time
 
-from benchmarks.conftest import RESULTS_DIR, save_report
+from benchmarks.conftest import RESULTS_DIR, bench_scale, save_report
 from repro.core.sqlpgq import parse_and_bind
-from repro.exec import execute_plan, materialize_plan
+from repro.exec import execute_plan, materialize_plan, set_numpy_enabled
+from repro.graph.index import build_graph_index
+from repro.relational.column import set_storage_backend
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
 from repro.systems import make_system
+from repro.workloads.ldbc import LdbcParams, generate_ldbc
 from repro.workloads.ldbc import ic_queries
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_exec.json"
+
+REPETITIONS = 25
+
+#: The scale the PR2 baselines were measured at; speedups vs PR2 are only
+#: comparable (and only reported) at this scale.
+DEFAULT_SCALE = 0.6
+
+# Columnar times of the PR-2 runtime (commit f1653ee), re-measured on the
+# tracked runner with this same min-over-REPETITIONS estimator at
+# DEFAULT_SCALE; the tracked acceptance bar for this engine is >= 2x on
+# filter_scan and deep_pipeline.
+PR2_COLUMNAR_MS = {
+    "deep_pipeline": 1.5263,
+    "orderby_limit": 0.5023,
+    "filter_scan": 0.1142,
+    "fanout_expand": 5.6390,
+}
 
 PIPELINE_SQL = """
 SELECT g.fn AS fn, COUNT(*) AS cnt FROM GRAPH_TABLE (snb
@@ -61,26 +99,30 @@ GROUP BY g.a
 TOPK_SQL_NAME = "IC2"  # MATCH ... ORDER BY cdate DESC LIMIT 20
 
 
-def _measure(catalog, sql: str, repetitions: int = 3) -> dict:
-    """Run one query in all three profiles; report medians."""
+def _measure(catalog, sql: str, repetitions: int = REPETITIONS) -> dict:
+    """Run one query in all three profiles; report per-profile minima."""
     system = make_system("relgo", catalog, "snb")
     query = parse_and_bind(sql, catalog)
 
     def run(columnar: bool, materialized: bool = False) -> dict:
+        # Optimize once, execute repeatedly: this bench tracks *executor*
+        # throughput, so repetitions rerun the same physical plan (plans
+        # are stateless across executions — the parity suite relies on the
+        # same property).
         times, result = [], None
+        optimized = system.optimize(query)
+        plan = (
+            materialize_plan(optimized.physical)
+            if materialized
+            else optimized.physical
+        )
         for _ in range(repetitions):
-            optimized = system.optimize(query)
-            plan = (
-                materialize_plan(optimized.physical)
-                if materialized
-                else optimized.physical
-            )
             started = time.perf_counter()
             result = execute_plan(plan, columnar=columnar)
             times.append(time.perf_counter() - started)
         assert result is not None
         return {
-            "time_ms": sorted(times)[len(times) // 2] * 1000,
+            "time_ms": min(times) * 1000,
             "rows_produced": result.rows_produced,
             "peak_buffered_rows": result.peak_buffered_rows,
             "result_rows": len(result),
@@ -101,33 +143,193 @@ def _measure(catalog, sql: str, repetitions: int = 3) -> dict:
     }
 
 
+# --------------------------------------------------------------------- #
+# storage microbenches
+# --------------------------------------------------------------------- #
+
+
+def _bulk_rows(n: int) -> list[tuple]:
+    return [
+        (i, f"content {i}", 20 + (i * 13) % 180, f"{2020 + i % 5:04d}-06-15")
+        for i in range(n)
+    ]
+
+
+def _post_schema() -> TableSchema:
+    return TableSchema(
+        "bench_post",
+        [
+            Column("id", DataType.INT),
+            Column("content", DataType.STRING),
+            Column("length", DataType.INT),
+            Column("creation_date", DataType.DATE),
+        ],
+        primary_key="id",
+    )
+
+
+def _time_best(fn, repetitions: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best * 1000
+
+
+def _bench_bulk_load(rows: list[tuple]) -> dict:
+    def load() -> Table:
+        return Table(_post_schema(), rows=rows, validate=False)
+
+    typed_ms = _time_best(load)
+    set_storage_backend("list")
+    try:
+        list_ms = _time_best(load)
+    finally:
+        set_storage_backend(None)
+    return {
+        "rows": len(rows),
+        "typed_ms": typed_ms,
+        "list_ms": list_ms,
+        "typed_speedup": list_ms / max(typed_ms, 1e-9),
+    }
+
+
+def _bench_pk_lookup(rows: list[tuple]) -> dict:
+    keys = [row[0] for row in rows[:: max(1, len(rows) // 20_000)]]
+
+    def build_and_probe(table: Table) -> int:
+        table._pk_index = None  # force an index rebuild
+        lookup = table.pk_lookup
+        hits = 0
+        for key in keys:
+            if lookup(key) is not None:
+                hits += 1
+        return hits
+
+    typed_table = Table(_post_schema(), rows=rows, validate=False)
+    typed_ms = _time_best(lambda: build_and_probe(typed_table))
+    set_storage_backend("list")
+    try:
+        list_table = Table(_post_schema(), rows=rows, validate=False)
+    finally:
+        set_storage_backend(None)
+    list_ms = _time_best(lambda: build_and_probe(list_table))
+    return {
+        "rows": len(rows),
+        "lookups": len(keys),
+        "typed_ms": typed_ms,
+        "list_ms": list_ms,
+        "typed_speedup": list_ms / max(typed_ms, 1e-9),
+    }
+
+
+def _bench_storage_query(scale: float) -> dict:
+    """The filter-scan query against each storage backend's own catalog."""
+
+    def run_mode(mode: str) -> float:
+        set_numpy_enabled(mode == "numpy")
+        set_storage_backend("list" if mode == "list" else "typed")
+        try:
+            catalog, mapping = generate_ldbc(LdbcParams.scaled(scale, seed=7))
+            catalog.register_graph_index(build_graph_index(mapping))
+            system = make_system("relgo", catalog, "snb")
+            query = parse_and_bind(FILTER_SCAN_SQL, catalog)
+            times = []
+            for _ in range(REPETITIONS):
+                optimized = system.optimize(query)
+                started = time.perf_counter()
+                execute_plan(optimized.physical, columnar=True)
+                times.append(time.perf_counter() - started)
+            return min(times) * 1000
+        finally:
+            set_numpy_enabled(None)
+            set_storage_backend(None)
+
+    numpy_ms = run_mode("numpy")
+    array_ms = run_mode("array")
+    list_ms = run_mode("list")
+    return {
+        "query": "filter_scan",
+        "numpy_ms": numpy_ms,
+        "array_ms": array_ms,
+        "list_ms": list_ms,
+        "numpy_vs_list": list_ms / max(numpy_ms, 1e-9),
+    }
+
+
 def test_bench_exec_streaming(benchmark, ldbc10):
+    scale = bench_scale()
+    bulk_rows = _bulk_rows(max(2_000, int(200_000 * scale)))
+
     def run():
         return {
-            "deep_pipeline": _measure(ldbc10, PIPELINE_SQL),
-            "orderby_limit": _measure(ldbc10, ic_queries()[TOPK_SQL_NAME]),
-            "filter_scan": _measure(ldbc10, FILTER_SCAN_SQL),
-            "fanout_expand": _measure(ldbc10, FANOUT_SQL),
+            "queries": {
+                "deep_pipeline": _measure(ldbc10, PIPELINE_SQL),
+                "orderby_limit": _measure(ldbc10, ic_queries()[TOPK_SQL_NAME]),
+                "filter_scan": _measure(ldbc10, FILTER_SCAN_SQL),
+                "fanout_expand": _measure(ldbc10, FANOUT_SQL),
+            },
+            "microbench": {
+                "bulk_load": _bench_bulk_load(bulk_rows),
+                "pk_lookup": _bench_pk_lookup(bulk_rows),
+                "storage_query": _bench_storage_query(scale),
+            },
         }
 
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    results = measured["queries"]
+    micro = measured["microbench"]
+    for name, r in results.items():
+        baseline = PR2_COLUMNAR_MS.get(name)
+        if baseline is not None and scale == DEFAULT_SCALE:
+            r["pr2_columnar_ms"] = baseline
+            r["speedup_vs_pr2_columnar"] = baseline / max(
+                r["columnar"]["time_ms"], 1e-9
+            )
     doc = {
         "benchmark": "exec_streaming",
         "dataset": "ldbc10",
+        "scale": scale,
+        "timing": f"min over {REPETITIONS} repetitions",
         "queries": results,
+        "microbench": micro,
     }
     OUTPUT.write_text(json.dumps(doc, indent=2) + "\n")
     lines = ["Executor columnar vs row vs materialized (LDBC10)", "=" * 50]
     for name, r in results.items():
+        vs_pr2 = (
+            f", {r['speedup_vs_pr2_columnar']:.2f}x vs PR2 columnar"
+            if "speedup_vs_pr2_columnar" in r
+            else ""
+        )
         lines.append(
-            f"{name}: columnar {r['columnar']['time_ms']:.1f} ms vs "
-            f"row {r['row']['time_ms']:.1f} ms "
-            f"-> {r['columnar_speedup']:.2f}x "
-            f"(materialized {r['materialized']['time_ms']:.1f} ms; "
+            f"{name}: columnar {r['columnar']['time_ms']:.2f} ms vs "
+            f"row {r['row']['time_ms']:.2f} ms "
+            f"-> {r['columnar_speedup']:.2f}x{vs_pr2} "
+            f"(materialized {r['materialized']['time_ms']:.2f} ms; "
             f"peak buffer {r['columnar']['peak_buffered_rows']} / "
             f"{r['row']['peak_buffered_rows']} / "
             f"{r['materialized']['peak_buffered_rows']} rows)"
         )
+    lines.append("-" * 50)
+    bl = micro["bulk_load"]
+    lines.append(
+        f"bulk_load ({bl['rows']} rows): typed {bl['typed_ms']:.2f} ms vs "
+        f"list {bl['list_ms']:.2f} ms -> {bl['typed_speedup']:.2f}x"
+    )
+    pk = micro["pk_lookup"]
+    lines.append(
+        f"pk_lookup ({pk['lookups']} probes over {pk['rows']} rows): typed "
+        f"{pk['typed_ms']:.2f} ms vs list {pk['list_ms']:.2f} ms "
+        f"-> {pk['typed_speedup']:.2f}x"
+    )
+    sq = micro["storage_query"]
+    lines.append(
+        f"storage_query (filter_scan): numpy {sq['numpy_ms']:.3f} ms, "
+        f"array {sq['array_ms']:.3f} ms, list {sq['list_ms']:.3f} ms "
+        f"-> numpy {sq['numpy_vs_list']:.2f}x vs list"
+    )
     save_report("exec_streaming", "\n".join(lines))
     for r in results.values():
         # Both protocols execute the same plan: identical results, identical
@@ -140,13 +342,17 @@ def test_bench_exec_streaming(benchmark, ldbc10):
         )
         # Streaming must never do more per-operator work than materialized,
         # and columnar must not be meaningfully slower than the row engine
-        # anywhere (very loose bound: orderby_limit runs near parity and
-        # these are sub-millisecond medians on noisy CI runners).
+        # anywhere (very loose bound: these are sub-millisecond minima on
+        # noisy CI runners).
         assert r["rows_produced_ratio"] <= 1.0
         assert r["columnar_speedup"] > 0.5
     # The vectorized hot loops must beat the row engine clearly on the
-    # scan/filter/expand-bound queries (recorded speedups are 2-4.5x; the
+    # scan/filter/expand-bound queries (recorded speedups are 3-9x; the
     # bound leaves room for runner noise).
     for hot in ("deep_pipeline", "filter_scan", "fanout_expand"):
         assert results[hot]["columnar_speedup"] > 1.2, hot
     assert results["orderby_limit"]["rows_produced_ratio"] < 1.0
+    # Typed bulk loads pay an unboxing cost filling C buffers (recorded at
+    # ~0.7x of plain-list appends) in exchange for the query-side wins
+    # above; the bound only guards against a storage-layer regression.
+    assert micro["bulk_load"]["typed_speedup"] > 0.5

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.errors import BindError
 from repro.graph.index import GraphIndex
 from repro.exec.kernels import emit_batches, emit_columnar
-from repro.exec.vector import ColumnarBatch, gather
+from repro.exec.vector import ColumnarBatch, take
 from repro.graph.optimizer import GraphPlan, LoweringConfig, lower_plan
 from repro.graph.physical import GraphOperator
 from repro.graph.rgmapping import RGMapping
@@ -138,25 +138,32 @@ class ScanGraphTableOp(PhysicalOperator):
         self.output_columns = [f"{clause.alias}.{c.alias}" for c in clause.columns]
 
     def batches(self, ctx: ExecutionContext):
-        return emit_batches(ctx, self._label(), self._stream(ctx))
+        return emit_batches(ctx, self.cached_label(), self._stream(ctx))
 
     def columnar_batches(self, ctx: ExecutionContext):
-        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
     def _stream_columnar(self, ctx: ExecutionContext):
         """Columnar π̂ flattening: each projected attribute is one gather of
         the base attribute column through the bound variable's rowid column
-        — no per-row tuples anywhere on the graph-to-relational bridge."""
-        fetchers = [self._fetcher(c) for c in self.clause.columns]
+        — no per-row tuples anywhere on the graph-to-relational bridge, and
+        a native ndarray fancy-index when the base column has a typed
+        vector view."""
+        fetchers = [self._fetcher(c, vectorized=True) for c in self.clause.columns]
         for cb in self.graph_op.columnar_batches(ctx):
             n = len(cb)
+            rowid_cols: dict[int, object] = {}
             columns = []
             for f in fetchers:
                 if f.kind == "label":
                     columns.append([f.constant] * n)
                 else:
                     assert f.values is not None
-                    columns.append(gather(f.values, cb.column(f.var_position)))
+                    rowids = rowid_cols.get(f.var_position)
+                    if rowids is None:
+                        rowids = cb.column_vector(f.var_position)
+                        rowid_cols[f.var_position] = rowids
+                    columns.append(take(f.values, rowids))
             yield ColumnarBatch(columns, n, None)
 
     def _stream(self, ctx: ExecutionContext):
@@ -175,7 +182,7 @@ class ScanGraphTableOp(PhysicalOperator):
                     columns.append([values[row[pos]] for row in graph_batch])
             yield list(zip(*columns)) if columns else [() for _ in graph_batch]
 
-    def _fetcher(self, column: MatchColumn) -> _ColumnFetcher:
+    def _fetcher(self, column: MatchColumn, vectorized: bool = False) -> _ColumnFetcher:
         var_names = [v.name for v in self.graph_op.output_vars]
         if column.var not in var_names:
             raise BindError(
@@ -190,6 +197,10 @@ class ScanGraphTableOp(PhysicalOperator):
         else:
             table = self.mapping.edge_table(var.label)
             key = table.schema.primary_key
+        # The columnar stream gathers through vector views (ndarray
+        # fancy-indexing); the row stream indexes the raw storage so row
+        # tuples always carry plain Python values.
+        source = table.vector if vectorized else table.column
         if column.special == "label":
             return _ColumnFetcher(position, "label", constant=var.label)
         if column.special == "id":
@@ -197,8 +208,8 @@ class ScanGraphTableOp(PhysicalOperator):
                 raise BindError(
                     f"relation {table.schema.name!r} has no key column for id()"
                 )
-            return _ColumnFetcher(position, "id", values=table.column(key))
-        return _ColumnFetcher(position, "attr", values=table.column(column.attr or ""))
+            return _ColumnFetcher(position, "id", values=source(key))
+        return _ColumnFetcher(position, "attr", values=source(column.attr or ""))
 
     def explain(self, indent: int = 0) -> str:
         pad = "  " * indent

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from repro.exec import vector
 from repro.exec.context import Buffer, ExecutionContext
-from repro.exec.vector import ColumnarBatch, gather
+from repro.exec.vector import ColumnarBatch, gather, take
 
 Batch = list
 
@@ -344,13 +345,60 @@ def replicate_columnar(
     ``parents`` holds, per output row, the position of the visible input
     row it extends; ``new_columns`` are dense sequences aligned with
     ``parents`` (the per-output-row new values).  The result is a compact
-    batch (no selection vector).
+    batch (no selection vector); ndarray inputs stay ndarrays, so chained
+    expansions gather natively.
     """
     sel = cb.selection
-    raw = parents if sel is None else gather(sel, parents)
-    cols = [gather(c, raw) for c in cb.columns]
+    raw = parents if sel is None else take(sel, parents)
+    cols = [take(c, raw) for c in cb.columns]
     cols.extend(new_columns)
     return ColumnarBatch(cols, len(parents), None)
+
+
+def csr_expand_vectors(vertices, offsets, edges):
+    """Whole-batch CSR expansion in numpy: ``(parents, edge_ids)``.
+
+    ``vertices`` are the bound rowids of one batch (any int sequence);
+    ``offsets``/``edges`` must be ndarrays.  Output row ``t`` extends input
+    row ``parents[t]`` with adjacent edge ``edge_ids[t]`` — the same pairs
+    the per-row Python walk produces, computed as three gathers: degrees,
+    replicated group starts, and one fancy-index into the CSR edge array.
+    Returns None when the batch expands to nothing.
+    """
+    np = vector._np
+    v = vector.as_index_array(vertices)
+    if not len(v):
+        return None
+    lo = offsets[v]
+    deg = offsets[v + 1] - lo
+    total = int(deg.sum())
+    if not total:
+        return None
+    parents = np.repeat(np.arange(len(v), dtype=np.intp), deg)
+    group_starts = np.concatenate(([0], np.cumsum(deg[:-1])))
+    positions = np.arange(total, dtype=np.intp) + np.repeat(lo - group_starts, deg)
+    return parents, edges[positions]
+
+
+def csr_expand_filtered(vertices, offsets, edges, edge_mask=None):
+    """:func:`csr_expand_vectors` plus the optional edge-mask refinement.
+
+    The shared head of every vectorized expansion site (graph EXPAND /
+    EXPAND_EDGE, closing EXPAND, relational CsrJoin): expand the batch,
+    drop expansions whose edge fails ``edge_mask``, and collapse the
+    nothing-survived case to None so callers skip the batch uniformly.
+    """
+    expanded = csr_expand_vectors(vertices, offsets, edges)
+    if expanded is None:
+        return None
+    parents, edge_ids = expanded
+    if edge_mask is not None:
+        keep = edge_mask[edge_ids]
+        if not keep.all():
+            parents, edge_ids = parents[keep], edge_ids[keep]
+            if not len(parents):
+                return None
+    return parents, edge_ids
 
 
 def chunk_columnar(cb: ColumnarBatch, size: int) -> Iterator[ColumnarBatch]:

@@ -73,6 +73,19 @@ class Operator:
     def children(self) -> list["Operator"]:
         return []
 
+    def cached_label(self) -> str:
+        """Memoized :meth:`_label`.
+
+        Labels can stringify whole predicate trees; the emit wrappers ask
+        for them on every execution, so the text is computed once per
+        operator instance (operators are immutable after construction).
+        """
+        cached = getattr(self, "_label_text", None)
+        if cached is None:
+            cached = self._label()
+            self._label_text = cached
+        return cached
+
     def explain(self, indent: int = 0) -> str:
         pad = "  " * indent
         lines = [pad + self._label()]

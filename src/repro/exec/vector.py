@@ -22,6 +22,7 @@ keeping the package free of hard dependencies.
 
 from __future__ import annotations
 
+from array import array as _array
 from typing import Sequence
 
 try:  # pragma: no cover - exercised via the CI numpy leg
@@ -50,6 +51,20 @@ def set_numpy_enabled(enabled: bool | None) -> None:
     _numpy_enabled = (_np is not None) if enabled is None else bool(enabled)
 
 
+def as_index_array(indices: Sequence[int]):
+    """``indices`` as an ndarray suitable for fancy-indexing.
+
+    ``range`` converts via ``np.arange`` — ``np.asarray`` would fall back
+    to the per-element sequence protocol, which costs more than the gather
+    it feeds.
+    """
+    if isinstance(indices, _np.ndarray):
+        return indices
+    if type(indices) is range:
+        return _np.arange(indices.start, indices.stop, indices.step, dtype=_np.intp)
+    return _np.asarray(indices, dtype=_np.intp)
+
+
 def gather(values: Sequence, indices: Sequence[int]) -> list:
     """``[values[i] for i in indices]`` with a numpy fast path.
 
@@ -57,9 +72,21 @@ def gather(values: Sequence, indices: Sequence[int]) -> list:
     ``tolist()`` so no numpy scalars leak into row tuples or hash keys).
     """
     if _numpy_enabled and _np is not None and isinstance(values, _np.ndarray):
-        if isinstance(indices, _np.ndarray):
-            return values[indices].tolist()
-        return values[_np.asarray(indices, dtype=_np.intp)].tolist()
+        return values[as_index_array(indices)].tolist()
+    return [values[i] for i in indices]
+
+
+def take(values: Sequence, indices: Sequence[int]) -> Sequence:
+    """:func:`gather` that stays in the array domain.
+
+    When ``values`` is an ndarray (and numpy is enabled) the result is an
+    ndarray, so chained gathers — CSR expansion, pointer follows,
+    replication — never round-trip through Python lists.  Non-array inputs
+    behave exactly like :func:`gather`.  Use :func:`gather` instead at row
+    boundaries, where plain Python values are required.
+    """
+    if _numpy_enabled and _np is not None and isinstance(values, _np.ndarray):
+        return values[as_index_array(indices)]
     return [values[i] for i in indices]
 
 
@@ -68,6 +95,101 @@ def as_values(values: Sequence) -> Sequence:
     if _np is not None and isinstance(values, _np.ndarray):
         return values.tolist()
     return values
+
+
+def is_ndarray(values) -> bool:
+    """True when ``values`` is an ndarray and the numpy paths are active."""
+    return _numpy_enabled and _np is not None and isinstance(values, _np.ndarray)
+
+
+#: Widest string (in characters) a column may hold and still vectorize:
+#: '<U' arrays cost 4 * max_len bytes per row, so one long outlier value
+#: would multiply the cached view's memory by max_len / avg_len.
+_MAX_VECTOR_STR_CHARS = 256
+
+
+def vector_view(values: Sequence) -> Sequence:
+    """The read-optimized representation of a column.
+
+    With numpy enabled, typed ``array.array`` buffers convert in one
+    ``memcpy`` and cleanly-typed lists (no ``None``, uniform scalar or
+    string type) convert by copy; anything that would land in an
+    ``object`` dtype — or numpy itself being disabled — returns the input
+    unchanged.  The result is always a *copy*: it never locks the source
+    buffer against future appends, so callers may cache it and tables stay
+    appendable (caches are invalidated on append).
+
+    Conversions that cannot round-trip the exact values are rejected:
+
+    * string columns containing NULs (``'\\x00'`` is truncated by '<U'
+      arrays) or values longer than :data:`_MAX_VECTOR_STR_CHARS` (fixed
+      width would blow up memory) stay as lists;
+    * int values that numpy would coerce to ``float64`` (beyond int64
+      range, e.g. after an overflow promotion) stay as lists, so the
+      columnar path never sees rounded ints.
+    """
+    if not _numpy_enabled or _np is None:
+        return values
+    if isinstance(values, _np.ndarray):
+        return values
+    if isinstance(values, _array):
+        return _np.array(values)
+    if type(values) is list:
+        if values and type(values[0]) is str:
+            # Pre-scan string columns before allocating the fixed-width
+            # array: rejects NULs, oversized values and mixed types in one
+            # pass without building a throwaway '<U' copy.
+            for v in values:
+                if (
+                    type(v) is not str
+                    or len(v) > _MAX_VECTOR_STR_CHARS
+                    or "\x00" in v
+                ):
+                    return values
+        try:
+            view = _np.asarray(values)
+        except (TypeError, ValueError, OverflowError):
+            return values
+        # Accept the view only when the dtype provably round-trips the
+        # source values: numpy happily coerces mixed lists to a common
+        # dtype ([1, 'a'] -> '<U21', [True, 2] -> int64, big ints ->
+        # float64), which would silently change what the columnar path
+        # sees versus the row path.
+        kind = view.dtype.kind
+        if kind == "U":
+            if type(values[0]) is not str:  # stringified non-str values
+                return values
+        elif kind in "iu":
+            if not all(type(v) is int for v in values):
+                return values
+        elif kind == "b":
+            if not all(type(v) is bool for v in values):
+                return values
+        elif kind == "f":
+            if not all(type(v) is float for v in values):
+                return values
+        else:  # object, datetime, complex, ... — no vectorized story
+            return values
+        return view
+    return values
+
+
+def index_vector(n: int) -> Sequence[int]:
+    """``range(n)`` as the best gatherable domain (ndarray when enabled)."""
+    if _numpy_enabled and _np is not None:
+        return _np.arange(n, dtype=_np.intp)
+    return range(n)
+
+
+def cached_vector(cache: dict, key, values: Sequence) -> Sequence:
+    """Memoized :func:`vector_view` for immutable columns (index arrays)."""
+    if not _numpy_enabled or _np is None:
+        return values
+    view = cache.get(key)
+    if view is None:
+        view = vector_view(values)
+        cache[key] = view
+    return view
 
 
 class ColumnarBatch:
@@ -142,6 +264,17 @@ class ColumnarBatch:
             return as_values(self.columns[i])
         return gather(self.columns[i], self.selection)
 
+    def column_vector(self, i: int) -> Sequence:
+        """Column ``i``'s visible values in the array domain when possible.
+
+        Unlike :meth:`column`, an ndarray column stays an ndarray (values
+        may be numpy scalars); use only inside vectorized kernels, never to
+        build row tuples.
+        """
+        if self.selection is None:
+            return self.columns[i]
+        return take(self.columns[i], self.selection)
+
     def gathered_columns(self) -> list:
         """All columns with the selection applied (dense, row-aligned)."""
         return [self.column(i) for i in range(len(self.columns))]
@@ -166,7 +299,7 @@ class ColumnarBatch:
         if sel is None:
             new_sel: Sequence[int] = positions
         else:
-            new_sel = gather(sel, positions)
+            new_sel = take(sel, positions)
         return ColumnarBatch(self.columns, self.length, new_sel)
 
     def head(self, k: int) -> "ColumnarBatch":
@@ -183,7 +316,12 @@ class ColumnarBatch:
 __all__ = [
     "ColumnarBatch",
     "gather",
+    "take",
     "as_values",
+    "is_ndarray",
+    "vector_view",
+    "index_vector",
+    "cached_vector",
     "numpy_available",
     "numpy_enabled",
     "set_numpy_enabled",

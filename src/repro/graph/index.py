@@ -13,19 +13,41 @@ relationships between relations without materializing a graph:
   this yields each vertex's adjacent edges *and* neighbors, which is what
   the EXPAND_EDGE / GET_VERTEX / EXPAND_INTERSECT physical operators walk.
 
+All index arrays are **typed** (``array.array('q')``): indexing still
+yields plain Python ints for the row-protocol walks, while the
+``*_vector()`` accessors expose cached numpy views so the columnar
+expansion kernels gather adjacency natively.  The CSR build itself runs as
+a numpy stable argsort when numpy is enabled, falling back to the classic
+count-and-fill pass.
+
 Directions: ``"out"`` adjacency lists the edges whose *source* is the
 vertex; ``"in"`` lists edges whose *target* is the vertex.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.errors import CatalogError, SchemaError
+from repro.exec import vector
 from repro.graph.rgmapping import RGMapping
 
 OUT = "out"
 IN = "in"
+
+
+def typed_rowids(values) -> array:
+    """An int sequence as a typed ``array.array('q')`` rowid column."""
+    if isinstance(values, array) and values.typecode == "q":
+        return values
+    np = vector._np
+    if np is not None and isinstance(values, np.ndarray):
+        out = array("q")
+        out.frombytes(values.astype("int64", copy=False).tobytes())
+        return out
+    return array("q", values)
 
 
 @dataclass
@@ -33,10 +55,11 @@ class EdgeIndex:
     """EV-index of one edge relation: endpoint rowids per edge tuple."""
 
     edge_label: str
-    src_rowids: list[int]
-    dst_rowids: list[int]
+    src_rowids: Sequence[int]
+    dst_rowids: Sequence[int]
+    _vectors: dict = field(default_factory=dict, repr=False, compare=False)
 
-    def endpoint_rowids(self, direction: str) -> list[int]:
+    def endpoint_rowids(self, direction: str) -> Sequence[int]:
         """Rowids of the *far* endpooint when traversing in ``direction``.
 
         Traversing ``out`` (vertex is the source) lands on targets;
@@ -44,8 +67,19 @@ class EdgeIndex:
         """
         return self.dst_rowids if direction == OUT else self.src_rowids
 
-    def near_rowids(self, direction: str) -> list[int]:
+    def near_rowids(self, direction: str) -> Sequence[int]:
         return self.src_rowids if direction == OUT else self.dst_rowids
+
+    def endpoint_vector(self, direction: str) -> Sequence[int]:
+        """Vectorized (cached ndarray) view of :meth:`endpoint_rowids`."""
+        return vector.cached_vector(
+            self._vectors, ("far", direction), self.endpoint_rowids(direction)
+        )
+
+    def near_vector(self, direction: str) -> Sequence[int]:
+        return vector.cached_vector(
+            self._vectors, ("near", direction), self.near_rowids(direction)
+        )
 
 
 @dataclass
@@ -59,14 +93,22 @@ class Adjacency:
     vertex_label: str
     edge_label: str
     direction: str
-    offsets: list[int]
-    edge_rowids: list[int]
+    offsets: Sequence[int]
+    edge_rowids: Sequence[int]
+    _vectors: dict = field(default_factory=dict, repr=False, compare=False)
 
-    def edges_of(self, vertex_rowid: int) -> list[int]:
+    def edges_of(self, vertex_rowid: int) -> Sequence[int]:
         return self.edge_rowids[self.offsets[vertex_rowid] : self.offsets[vertex_rowid + 1]]
 
     def degree(self, vertex_rowid: int) -> int:
         return self.offsets[vertex_rowid + 1] - self.offsets[vertex_rowid]
+
+    def vectors(self) -> tuple[Sequence[int], Sequence[int]]:
+        """``(offsets, edge_rowids)`` as cached vectorized views."""
+        return (
+            vector.cached_vector(self._vectors, "offsets", self.offsets),
+            vector.cached_vector(self._vectors, "edges", self.edge_rowids),
+        )
 
     @property
     def num_edges(self) -> int:
@@ -113,27 +155,28 @@ def build_graph_index(mapping: RGMapping) -> GraphIndex:
     process": each edge tuple's foreign keys are resolved to endpoint rowids
     through the vertex tables' primary-key indexes (raising on dangling
     references, since ``λˢ``/``λᵗ`` must be total), then CSR adjacency is
-    built by the classic count-and-fill pass.
+    built by a numpy stable argsort when available, else the classic
+    count-and-fill pass.
     """
     index = GraphIndex(graph_name=mapping.name)
     for edge_label, em in sorted(mapping.edges.items()):
         edge_table = mapping.catalog.table(em.table_name)
         src_table = mapping.catalog.table(mapping.vertex(em.source_label).table_name)
         dst_table = mapping.catalog.table(mapping.vertex(em.target_label).table_name)
-        src_rowids: list[int] = []
-        dst_rowids: list[int] = []
-        src_fk = edge_table.column(em.source_key)
-        dst_fk = edge_table.column(em.target_key)
-        for rowid in range(edge_table.num_rows):
-            src = src_table.pk_lookup(src_fk[rowid])
-            dst = dst_table.pk_lookup(dst_fk[rowid])
-            if src is None or dst is None:
-                raise SchemaError(
-                    f"edge {edge_label!r} tuple {rowid} has a dangling endpoint; "
-                    f"λ-functions must be total"
-                )
-            src_rowids.append(src)
-            dst_rowids.append(dst)
+        src_map = src_table.pk_index()
+        dst_map = dst_table.pk_index()
+        try:
+            src_rowids = typed_rowids(
+                map(src_map.__getitem__, edge_table.column(em.source_key))
+            )
+            dst_rowids = typed_rowids(
+                map(dst_map.__getitem__, edge_table.column(em.target_key))
+            )
+        except KeyError as dangling:
+            raise SchemaError(
+                f"edge {edge_label!r} has a dangling endpoint key "
+                f"{dangling.args[0]!r}; λ-functions must be total"
+            ) from None
         index.ev[edge_label] = EdgeIndex(edge_label, src_rowids, dst_rowids)
         index.ve[(em.source_label, edge_label, OUT)] = _build_csr(
             src_rowids, src_table.num_rows, edge_label, em.source_label, OUT
@@ -145,20 +188,40 @@ def build_graph_index(mapping: RGMapping) -> GraphIndex:
 
 
 def _build_csr(
-    endpoint_rowids: list[int],
+    endpoint_rowids: Sequence[int],
     num_vertices: int,
     edge_label: str,
     vertex_label: str,
     direction: str,
 ) -> Adjacency:
+    np = vector._np
+    if np is not None and vector.numpy_enabled():
+        ends = np.asarray(endpoint_rowids, dtype=np.int64)
+        counts = np.bincount(ends, minlength=num_vertices) if len(ends) else (
+            np.zeros(num_vertices, dtype=np.int64)
+        )
+        offsets_v = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets_v[1:])
+        # Stable sort by endpoint == the count-and-fill order (edge rowids
+        # ascending within each vertex's slice).
+        edges_v = np.argsort(ends, kind="stable").astype(np.int64)
+        adjacency = Adjacency(
+            vertex_label,
+            edge_label,
+            direction,
+            typed_rowids(offsets_v),
+            typed_rowids(edges_v),
+        )
+        adjacency._vectors = {"offsets": offsets_v, "edges": edges_v}
+        return adjacency
     counts = [0] * num_vertices
     for v in endpoint_rowids:
         counts[v] += 1
-    offsets = [0] * (num_vertices + 1)
+    offsets = array("q", bytes(8 * (num_vertices + 1)))
     for i, c in enumerate(counts):
         offsets[i + 1] = offsets[i] + c
-    cursor = offsets[:-1].copy()
-    edge_rowids = [0] * len(endpoint_rowids)
+    cursor = offsets[:-1]
+    edge_rowids = array("q", bytes(8 * len(endpoint_rowids)))
     for edge_rowid, v in enumerate(endpoint_rowids):
         edge_rowids[cursor[v]] = edge_rowid
         cursor[v] += 1

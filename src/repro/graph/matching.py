@@ -67,11 +67,43 @@ def rowid_selection(table: Table, predicate: Expr):
     layout: dict[str, int] = {}
     for i, name in enumerate(names):
         tail = name.rsplit(".", 1)[-1]
-        arrays.append(table.column(tail))
+        # Vectorized views: typed columns filter via numpy boolean masks.
+        arrays.append(table.vector(tail))
         layout[name] = i
     selector = compile_predicate_columnar(predicate, layout)
     length = table.num_rows
     return lambda candidates: selector(arrays, candidates, length)
+
+
+def rowid_mask(table: Table, predicate: Expr):
+    """``predicate`` evaluated over *every* rowid of ``table`` as a numpy
+    boolean mask, or None when the vectorized path is unavailable.
+
+    Expansion operators filter whole traversal batches with one fancy-index
+    into this mask (``mask[targets]``) instead of a per-rowid Python call;
+    the one-time cost is a single vectorized pass over the base table.
+    Vectorizability is decided *structurally* via
+    :func:`~repro.relational.expr.compile_predicate_mask`: predicates with
+    no fully-vectorized shape (LIKE/IN forms, NULL-bearing or list-backed
+    columns) decline, so a whole-table Python pass is never paid and
+    callers keep their per-rowid checks.
+    """
+    from repro.exec import vector
+    from repro.relational.expr import compile_predicate_mask
+
+    if vector._np is None or not vector.numpy_enabled():
+        return None
+    names = sorted(referenced_columns(predicate))
+    arrays = []
+    layout: dict[str, int] = {}
+    for i, name in enumerate(names):
+        tail = name.rsplit(".", 1)[-1]
+        arrays.append(table.vector(tail))
+        layout[name] = i
+    mask_fn = compile_predicate_mask(predicate, layout)
+    if mask_fn is None:
+        return None
+    return mask_fn(arrays, table.num_rows)
 
 
 def match_pattern(

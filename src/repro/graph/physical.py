@@ -48,6 +48,7 @@ from repro.exec.kernels import (
     ChunkSizer,
     build_hash_table,
     chunked,
+    csr_expand_filtered,
     emit_batches,
     emit_columnar,
     expand_batches,
@@ -59,9 +60,16 @@ from repro.exec.kernels import (
     tuple_key,
 )
 from repro.exec.operator import Batch, Operator
-from repro.exec.vector import ColumnarBatch
-from repro.graph.index import GraphIndex
-from repro.graph.matching import rowid_predicate, rowid_selection
+from repro.exec.vector import (
+    ColumnarBatch,
+    as_values,
+    index_vector,
+    is_ndarray,
+    take,
+    vector_view,
+)
+from repro.graph.index import Adjacency, GraphIndex
+from repro.graph.matching import rowid_mask, rowid_predicate, rowid_selection
 from repro.graph.rgmapping import RGMapping
 from repro.relational.expr import Expr
 
@@ -104,7 +112,7 @@ class ScanVertex(GraphOperator):
         self.output_vars = [GraphVar(var, "v", label)]
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        return emit_batches(ctx, self._label(), self._scan(ctx))
+        return emit_batches(ctx, self.cached_label(), self._scan(ctx))
 
     def _scan(self, ctx: ExecutionContext) -> Iterator[Batch]:
         table = self.mapping.vertex_table(self.label)
@@ -123,7 +131,7 @@ class ScanVertex(GraphOperator):
                 yield [(i,) for i in range(start, stop) if check(i)]
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        return emit_columnar(ctx, self._label(), self._scan_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._scan_columnar(ctx))
 
     def _scan_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         """Zero-copy vertex scan: the single rowid column *is* ``range(n)``
@@ -132,7 +140,7 @@ class ScanVertex(GraphOperator):
         table = self.mapping.vertex_table(self.label)
         n = table.num_rows
         size = ctx.batch_size
-        rowids = range(n)
+        rowids = index_vector(n)
         selector = (
             rowid_selection(table, self.predicate)
             if self.predicate is not None
@@ -140,9 +148,15 @@ class ScanVertex(GraphOperator):
         )
         for start in range(0, n, size):
             chunk = range(start, min(start + size, n))
-            sel = chunk if selector is None else selector(chunk)
-            if sel is None:
+            if selector is None:
                 sel = chunk
+            else:
+                # A chunk spanning the whole relation evaluates as
+                # ``candidates=None`` — full-column compares, no per-chunk
+                # index gather.
+                sel = selector(None if len(chunk) == n else chunk)
+                if sel is None:
+                    sel = chunk
             if len(sel):
                 yield ColumnarBatch([rowids], n, sel)
 
@@ -155,22 +169,72 @@ def _expand_columnar(
     source: Iterator[ColumnarBatch],
     ctx: ExecutionContext,
     from_idx: int,
-    offsets,
-    edge_rowids,
-    far,
+    adjacency: "Adjacency",
+    edge_index,
+    direction: str,
+    trim_edge: bool,
     epred=None,
     vpred=None,
+    emask=None,
+    vmask=None,
 ) -> Iterator[ColumnarBatch]:
     """Shared columnar adjacency expansion.
 
     Walks each input batch's bound-vertex column once, accumulating a
     parent-position vector plus the new column's values — adjacent edge
-    rowids when ``far`` is None (EXPAND_EDGE), or far endpoints (fused
-    EXPAND).  ``epred`` / ``vpred`` are optional per-rowid checks on the
-    traversed edge / target vertex.  Output batches are assembled as
-    whole-column gathers and the flush threshold adapts to observed
-    fan-out.
+    rowids when ``trim_edge`` is False (EXPAND_EDGE), or far endpoints of
+    ``edge_index`` (fused EXPAND).  ``epred`` / ``vpred`` are optional
+    per-rowid checks on the traversed edge / target vertex; ``emask`` /
+    ``vmask`` are their whole-table boolean-mask equivalents (see
+    :func:`~repro.graph.matching.rowid_mask`) when numpy is available.
+
+    When the CSR vector views are ndarrays and every predicate has a mask,
+    the whole batch expands as one repeat/cumsum/fancy-index pass
+    (:func:`~repro.exec.kernels.csr_expand_vectors`) and predicates filter
+    the expansion with one fancy-index per mask — the traversal hot loop of
+    the typed-storage engine, with no per-vertex Python work.  Vectorized
+    output is chunked at the full ``ctx.batch_size``: the chunks are
+    column-backed (scalar-sized in-flight state), so the adaptive fan-out
+    shrinking that bounds the Python walk's tuple chunks would only
+    fragment the numpy work.
+
+    The scalar fallback walks the index's *raw typed arrays* (never the
+    ndarray views), so its list-built output columns hold plain Python
+    ints — numpy scalars must not leak into row tuples.
     """
+    offsets_v, edges_v = adjacency.vectors()
+    far_v = edge_index.endpoint_vector(direction) if trim_edge else None
+    np_ready = (
+        (epred is None or emask is not None)
+        and (vpred is None or vmask is not None)
+        and is_ndarray(offsets_v)
+        and is_ndarray(edges_v)
+        and (not trim_edge or is_ndarray(far_v))
+    )
+    if np_ready:
+        for cb in source:
+            # Bound-vertex columns are rowids by construction (never NULL),
+            # so the batch converts to an index array directly.
+            vertices = cb.column_vector(from_idx)
+            expanded = csr_expand_filtered(vertices, offsets_v, edges_v, emask)
+            if expanded is None:
+                continue
+            parents, edge_ids = expanded
+            new_column = edge_ids if far_v is None else far_v[edge_ids]
+            if vmask is not None and far_v is not None:
+                keep = vmask[new_column]
+                if not keep.all():
+                    parents, new_column = parents[keep], new_column[keep]
+            total = len(parents)
+            size = ctx.batch_size
+            for start in range(0, total, size):
+                stop = min(start + size, total)
+                yield replicate_columnar(
+                    cb, parents[start:stop], [new_column[start:stop]]
+                )
+        return
+    offsets, edge_rowids = adjacency.offsets, adjacency.edge_rowids
+    far = edge_index.endpoint_rowids(direction) if trim_edge else None
     sizer = ChunkSizer(ctx)
     for cb in source:
         vertices = cb.column(from_idx)
@@ -284,26 +348,27 @@ class ExpandEdge(GraphOperator):
         )
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         from_idx = self.child.var_index(self.from_var)
         from_label = self.child.output_vars[from_idx].label
         adjacency = self.index.adjacency(from_label, self.edge_label, self.direction)
-        offsets, edge_rowids = adjacency.offsets, adjacency.edge_rowids
-        epred = None
+        epred = emask = None
         if self.edge_predicate is not None:
-            epred = rowid_predicate(
-                self.mapping.edge_table(self.edge_label), self.edge_predicate
-            )
+            edge_table = self.mapping.edge_table(self.edge_label)
+            epred = rowid_predicate(edge_table, self.edge_predicate)
+            emask = rowid_mask(edge_table, self.edge_predicate)
         yield from _expand_columnar(
             self.child.columnar_batches(ctx),
             ctx,
             from_idx,
-            offsets,
-            edge_rowids,
-            far=None,
+            adjacency,
+            None,
+            self.direction,
+            trim_edge=False,
             epred=epred,
+            emask=emask,
         )
 
     def _label(self) -> str:
@@ -338,7 +403,7 @@ class GetVertex(GraphOperator):
         return [self.child]
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        return emit_batches(ctx, self._label(), self._stream(ctx))
+        return emit_batches(ctx, self.cached_label(), self._stream(ctx))
 
     def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         edge_idx = self.child.var_index(self.edge_var)
@@ -362,28 +427,33 @@ class GetVertex(GraphOperator):
                 yield out
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         edge_idx = self.child.var_index(self.edge_var)
         edge_label = self.child.output_vars[edge_idx].label
-        far = self.index.edge_index(edge_label).endpoint_rowids(self.direction)
+        far = self.index.edge_index(edge_label).endpoint_vector(self.direction)
         vpred = None
         if self.vertex_predicate is not None:
             vpred = rowid_predicate(
                 self.mapping.vertex_table(self.to_label), self.vertex_predicate
             )
         for cb in self.child.columnar_batches(ctx):
-            edge_col = cb.column(edge_idx)
-            targets = [far[e] for e in edge_col]
+            # One gather through the EV column — native when both the bound
+            # edge column and the index array live in the array domain.
+            targets = take(far, cb.column_vector(edge_idx))
             if vpred is not None:
+                # Normalize to Python values first: the filtered list below
+                # becomes an output column, and numpy scalars must not leak
+                # into row tuples.
+                targets = as_values(targets)
                 keep = [j for j, t in enumerate(targets) if vpred(t)]
                 if not keep:
                     continue
                 if len(keep) < len(targets):
                     cb = cb.take(keep)
                     targets = [targets[j] for j in keep]
-            columns = cb.gathered_columns()
+            columns = [cb.column_vector(i) for i in range(cb.width)]
             columns.append(targets)
             yield ColumnarBatch(columns, len(targets), None)
 
@@ -477,7 +547,7 @@ class Expand(GraphOperator):
                 if out:
                     yield out
 
-            return emit_batches(ctx, self._label(), stream())
+            return emit_batches(ctx, self.cached_label(), stream())
 
         def expand(row: tuple, out: list) -> None:
             v = row[from_idx]
@@ -502,38 +572,79 @@ class Expand(GraphOperator):
         )
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         from_idx = self.child.var_index(self.from_var)
         from_label = self.child.output_vars[from_idx].label
         adjacency = self.index.adjacency(from_label, self.edge_label, self.direction)
-        offsets, edge_rowids = adjacency.offsets, adjacency.edge_rowids
-        far = self.index.edge_index(self.edge_label).endpoint_rowids(self.direction)
-        epred = None
+        edge_index = self.index.edge_index(self.edge_label)
+        epred = emask = None
         if self.edge_predicate is not None:
-            epred = rowid_predicate(
-                self.mapping.edge_table(self.edge_label), self.edge_predicate
-            )
+            edge_table = self.mapping.edge_table(self.edge_label)
+            epred = rowid_predicate(edge_table, self.edge_predicate)
+            emask = rowid_mask(edge_table, self.edge_predicate)
         source = self.child.columnar_batches(ctx)
         if not self.closing:
             # Traversal hot path: one row per adjacent edge, neighbor
             # column only.
-            vpred = None
+            vpred = vmask = None
             if self.vertex_predicate is not None:
-                vpred = rowid_predicate(
-                    self.mapping.vertex_table(self.to_label), self.vertex_predicate
-                )
+                vertex_table = self.mapping.vertex_table(self.to_label)
+                vpred = rowid_predicate(vertex_table, self.vertex_predicate)
+                vmask = rowid_mask(vertex_table, self.vertex_predicate)
             yield from _expand_columnar(
-                source, ctx, from_idx, offsets, edge_rowids, far, epred, vpred
+                source,
+                ctx,
+                from_idx,
+                adjacency,
+                edge_index,
+                self.direction,
+                trim_edge=True,
+                epred=epred,
+                vpred=vpred,
+                emask=emask,
+                vmask=vmask,
             )
             return
         to_idx = self.child.var_index(self.to_var)
+        offsets_v, edges_v = adjacency.vectors()
+        far_v = edge_index.endpoint_vector(self.direction)
+        np_ready = (
+            (epred is None or emask is not None)
+            and is_ndarray(offsets_v)
+            and is_ndarray(edges_v)
+            and is_ndarray(far_v)
+        )
+        # The scalar walk reads the raw typed arrays: plain Python values
+        # only, whatever the batch's columns are backed by.
+        offsets, edge_rowids = adjacency.offsets, adjacency.edge_rowids
+        far = edge_index.endpoint_rowids(self.direction)
         for cb in source:
+            if np_ready:
+                bounds = vector_view(cb.column_vector(to_idx))
+                if is_ndarray(bounds):
+                    # Vectorized closing: expand the whole batch, then keep
+                    # the expansions whose far endpoint equals the
+                    # already-bound target (multiplicity = one kept
+                    # position per parallel edge, exactly as the scalar
+                    # walk counts hits).
+                    vertices = cb.column_vector(from_idx)
+                    expanded = csr_expand_filtered(
+                        vertices, offsets_v, edges_v, emask
+                    )
+                    if expanded is None:
+                        continue
+                    parents, edge_ids = expanded
+                    hit = far_v[edge_ids] == bounds[parents]
+                    keep = parents[hit]
+                    if len(keep):
+                        yield cb.take(keep).compact()
+                    continue
             vertices = cb.column(from_idx)
-            bounds = cb.column(to_idx)
-            keep: list[int] = []
-            for j, (v, bound) in enumerate(zip(vertices, bounds)):
+            bounds_l = cb.column(to_idx)
+            keep_l: list[int] = []
+            for j, (v, bound) in enumerate(zip(vertices, bounds_l)):
                 hits = 0
                 for e in edge_rowids[offsets[v] : offsets[v + 1]]:
                     if epred is not None and not epred(e):
@@ -541,11 +652,11 @@ class Expand(GraphOperator):
                     if far[e] == bound:
                         hits += 1
                 if hits == 1:
-                    keep.append(j)
+                    keep_l.append(j)
                 elif hits:
-                    keep.extend([j] * hits)
-            if keep:
-                yield cb.take(keep).compact()
+                    keep_l.extend([j] * hits)
+            if keep_l:
+                yield cb.take(keep_l).compact()
 
     def _label(self) -> str:
         kind = "EXPAND(closing)" if self.closing else "EXPAND"
@@ -652,13 +763,13 @@ class ExpandIntersect(GraphOperator):
         return neighbor_map
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        return emit_batches(ctx, self._label(), self._stream(ctx))
+        return emit_batches(ctx, self.cached_label(), self._stream(ctx))
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         if any(leg.edge_var is not None for leg in self.legs):
             # Explicit edge-variable combinations take the row path.
             return Operator.columnar_batches(self, ctx)
-        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         """Columnar star closing: bound-leaf columns are extracted once per
@@ -869,20 +980,24 @@ class EdgeTripleScan(GraphOperator):
         return src_rowids, dst_rowids, epred, spred, dpred
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        return emit_batches(ctx, self._label(), self._stream(ctx))
+        return emit_batches(ctx, self.cached_label(), self._stream(ctx))
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         """Zero-copy triple scan: the EV columns (or the EVJoin-derived
         rowid lists) are shared across all batches; filters shrink the
         per-chunk selection vector."""
         src_rowids, dst_rowids, epred, spred, dpred = self._sources()
-        columns: list = [src_rowids, dst_rowids]
+        if self.index is not None:
+            ev = self.index.edge_index(self.edge_label)
+            columns: list = [ev.near_vector("out"), ev.endpoint_vector("out")]
+        else:
+            columns = [vector_view(src_rowids), vector_view(dst_rowids)]
         n = self.mapping.edge_table(self.edge_label).num_rows
         if self.edge_var is not None:
-            columns.append(range(n))
+            columns.append(index_vector(n))
         size = ctx.batch_size
         for start in range(0, n, size):
             chunk = range(start, min(start + size, n))
@@ -991,10 +1106,10 @@ class PatternHashJoin(GraphOperator):
         return l_idx, r_idx, left_key, right_key, trim
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        return emit_batches(ctx, self._label(), self._stream(ctx))
+        return emit_batches(ctx, self.cached_label(), self._stream(ctx))
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         """Columnar pattern join with the same adaptive build-side choice as
@@ -1231,7 +1346,7 @@ class AllDistinct(GraphOperator):
         )
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         indices = self._indices

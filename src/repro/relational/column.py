@@ -1,0 +1,129 @@
+"""Typed column storage backends.
+
+A :class:`~repro.relational.table.Table` column lives in one of three
+physical representations, selected per column from the schema dtype:
+
+* ``array.array`` — the **typed** backend for INT (``'q'``) and FLOAT
+  (``'d'``) columns: a dense C buffer of machine scalars.  Indexing and
+  slicing return plain Python values, so the row-tuple protocol is
+  unchanged, while the buffer converts to a numpy ``ndarray`` in one
+  ``memcpy`` for the vectorized kernels.
+* ``list`` — the **object fallback** for strings, dates, booleans, and any
+  typed column that observes a ``None`` (NULL) or a value its C type cannot
+  hold.  Promotion is one-way and loss-free: the typed buffer is expanded
+  back into a plain list, so semantics never change, only speed.
+* ``numpy.ndarray`` — never the *storage* (numpy stays an optional
+  dependency and append-heavy loads favour ``array.array``), but the
+  *read-optimized view* the columnar kernels gather from; see
+  :func:`repro.exec.vector.vector_view` and ``Table.vector``.
+
+The backend is process-global: ``set_storage_backend("list")`` (or the
+``REPRO_STORAGE=list`` environment variable) forces every new column onto
+plain lists, which is how the parity suite and CI pin the pure-list
+reference behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Any, Sequence
+
+from repro.relational.types import DataType
+
+TYPED = "typed"
+LIST = "list"
+
+_ENV_VAR = "REPRO_STORAGE"
+
+
+def _default_backend() -> str:
+    value = os.environ.get(_ENV_VAR, TYPED).strip().lower()
+    return LIST if value == LIST else TYPED
+
+
+_backend = _default_backend()
+
+
+def storage_backend() -> str:
+    """The active storage backend: ``"typed"`` or ``"list"``."""
+    return _backend
+
+
+def set_storage_backend(name: str | None) -> None:
+    """Select the storage backend for columns created afterwards.
+
+    ``None`` restores the default (the ``REPRO_STORAGE`` environment
+    variable, falling back to ``"typed"``).  Existing tables keep the
+    storage they were built with.
+    """
+    global _backend
+    if name is None:
+        _backend = _default_backend()
+        return
+    if name not in (TYPED, LIST):
+        raise ValueError(f"unknown storage backend {name!r}")
+    _backend = name
+
+
+def make_storage(dtype: DataType) -> list | array:
+    """Fresh, empty storage for one column of ``dtype``."""
+    if _backend == LIST:
+        return []
+    typecode = dtype.array_typecode()
+    if typecode is None:
+        return []
+    return array(typecode)
+
+
+def append_value(storage: list | array, value: Any) -> list | array:
+    """Append ``value``, promoting a typed buffer to a list when it cannot
+    hold the value (NULL, wrong type, out of range).  Returns the storage
+    to keep using — a new list after promotion, the input otherwise."""
+    if type(storage) is list:
+        storage.append(value)
+        return storage
+    try:
+        storage.append(value)
+        return storage
+    except (TypeError, OverflowError):
+        promoted = storage.tolist()
+        promoted.append(value)
+        return promoted
+
+
+def extend_values(storage: list | array, values: Sequence[Any]) -> list | array:
+    """Bulk :func:`append_value`: one C-level ``extend`` on the clean path.
+
+    ``array.extend`` consumes its input incrementally, so on failure the
+    promoted list is rebuilt from the pre-call prefix — a bad value mid-batch
+    cannot duplicate the values consumed before it.
+    """
+    if type(storage) is list:
+        storage.extend(values)
+        return storage
+    before = len(storage)
+    try:
+        storage.extend(values)
+        return storage
+    except (TypeError, OverflowError):
+        promoted = storage.tolist()[:before]
+        promoted.extend(values)
+        return promoted
+
+
+def is_typed(storage: Any) -> bool:
+    """True when ``storage`` is a typed (``array.array``) buffer."""
+    return isinstance(storage, array)
+
+
+__all__ = [
+    "TYPED",
+    "LIST",
+    "storage_backend",
+    "set_storage_backend",
+    "make_storage",
+    "append_value",
+    "extend_values",
+    "is_typed",
+]

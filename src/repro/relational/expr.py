@@ -454,14 +454,70 @@ def _refined(kept: list, sel: "Sequence[int] | None", n: int):
     return sel if len(kept) == len(sel) else kept
 
 
+#: Memo for compiled columnar evaluators/selectors.  Compiled closures are
+#: pure functions of ``(columns, selection, length)`` — they close over
+#: layout *indices* only and re-check numpy enablement per call — so one
+#: compilation serves every execution of the same (expr, layout) shape.
+#: Exprs are frozen dataclasses (hashable); unhashable literals skip the
+#: cache.  Bounded by wholesale clear: plan shapes per process are few.
+_COMPILE_CACHE: dict = {}
+_COMPILE_CACHE_LIMIT = 1024
+
+
+def _literal_types(expr: Expr, out: list) -> None:
+    """Collect the concrete types of every literal value in tree order.
+
+    Python equality conflates ``True == 1 == 1.0``, so two exprs can be
+    ``==`` (and hash-equal) while compiling to closures that emit
+    *differently-typed* values; the cache key must tell them apart.
+    """
+    if isinstance(expr, Literal):
+        out.append(type(expr.value))
+    elif isinstance(expr, (Comparison, Arith)):
+        _literal_types(expr.left, out)
+        _literal_types(expr.right, out)
+    elif isinstance(expr, BoolOp):
+        for arg in expr.args:
+            _literal_types(arg, out)
+    elif isinstance(expr, Not):
+        _literal_types(expr.arg, out)
+    elif isinstance(expr, (Like, IsNull)):
+        _literal_types(expr.arg, out)
+    elif isinstance(expr, InList):
+        _literal_types(expr.arg, out)
+        out.extend(type(v) for v in expr.values)
+
+
+def _compile_cached(kind: str, expr: Expr, layout: Mapping[str, int], build):
+    try:
+        literal_types: list = []
+        _literal_types(expr, literal_types)
+        key = (kind, expr, tuple(literal_types), tuple(sorted(layout.items())))
+        cached = _COMPILE_CACHE.get(key)
+    except TypeError:  # unhashable literal somewhere in the expression
+        return build(expr, layout)
+    if cached is None:
+        cached = build(expr, layout)
+        if len(_COMPILE_CACHE) >= _COMPILE_CACHE_LIMIT:
+            _COMPILE_CACHE.clear()
+        _COMPILE_CACHE[key] = cached
+    return cached
+
+
 def compile_expr_columnar(
     expr: Expr, layout: Mapping[str, int]
 ) -> ColumnarEvaluator:
-    """Compile ``expr`` into a column-at-a-time evaluator.
+    """Compile ``expr`` into a column-at-a-time evaluator (memoized).
 
     The returned callable maps ``(columns, selection, length)`` to a dense
     list holding the expression's value per visible row.
     """
+    return _compile_cached("expr", expr, layout, _compile_expr_columnar)
+
+
+def _compile_expr_columnar(
+    expr: Expr, layout: Mapping[str, int]
+) -> ColumnarEvaluator:
     from repro.exec.vector import as_values, gather
 
     if isinstance(expr, Literal):
@@ -562,26 +618,50 @@ def compile_predicate_columnar(
 ) -> SelectionEvaluator:
     """Compile ``expr`` into a selection-vector refiner (WHERE semantics).
 
-    The returned callable maps ``(columns, selection, length)`` to the
-    refined selection: the subset of visible row indices where the
-    predicate evaluates to TRUE (NULL and FALSE filter out).  When every
-    visible row passes, the input ``selection`` object itself is returned
-    so callers can detect the all-selected fast path with an identity
-    check.
+    The returned callable (memoized per (expr, layout) shape) maps
+    ``(columns, selection, length)`` to the refined selection: the subset
+    of visible row indices where the predicate evaluates to TRUE (NULL and
+    FALSE filter out).  When every visible row passes, the input
+    ``selection`` object itself is returned so callers can detect the
+    all-selected fast path with an identity check.
     """
+    return _compile_cached("pred", expr, layout, _compile_predicate_columnar)
+
+
+def _compile_predicate_columnar(
+    expr: Expr, layout: Mapping[str, int]
+) -> SelectionEvaluator:
     if isinstance(expr, BoolOp) and expr.op == "AND":
         # Conjunction chain: each conjunct refines the survivors of the
         # previous one, so later (often more expensive) conjuncts only see
         # already-filtered rows.
         parts = [compile_predicate_columnar(a, layout) for a in expr.args]
+        masks = [getattr(p, "_numpy_mask", None) for p in parts]
+        all_maskable = all(m is not None for m in masks)
 
         def _and(cols: Sequence, sel, n: int):
+            if all_maskable and sel is None:
+                # Dense input and every conjunct is a vectorizable
+                # column-vs-literal: AND the boolean masks directly and
+                # materialize survivor indices once, instead of a
+                # flatnonzero + index-gather round per conjunct.
+                combined = _combined_mask(masks, cols, n)
+                if combined is not _NO_NUMPY_PATH:
+                    from repro.exec import vector
+
+                    if combined.all():
+                        return None
+                    return vector._np.flatnonzero(combined)
             for part in parts:
                 sel = part(cols, sel, n)
                 if sel is not None and len(sel) == 0:
                     return sel
             return sel
 
+        if all_maskable:
+            _and._numpy_mask = lambda cols, n: _combined_mask(  # type: ignore[attr-defined]
+                masks, cols, n
+            )
         return _and
     if isinstance(expr, Comparison):
         fn = _COMPARISON_OPS[expr.op]
@@ -597,6 +677,9 @@ def compile_predicate_columnar(
 
             def _col_col(cols: Sequence, sel, n: int):
                 ca, cb = cols[li], cols[ri]
+                np_sel = _numpy_selection_pair(ca, cb, sel, n, fn)
+                if np_sel is not _NO_NUMPY_PATH:
+                    return np_sel
                 kept = [
                     i
                     for i in _candidates(sel, n)
@@ -606,6 +689,26 @@ def compile_predicate_columnar(
                 ]
                 return _refined(kept, sel, n)
 
+            def _col_col_mask(cols: Sequence, n: int):
+                from repro.exec import vector
+
+                np = vector._np
+                ca, cb = cols[li], cols[ri]
+                if (
+                    np is None
+                    or not vector.numpy_enabled()
+                    or not isinstance(ca, np.ndarray)
+                    or not isinstance(cb, np.ndarray)
+                    or ca.dtype == object
+                    or cb.dtype == object
+                ):
+                    return _NO_NUMPY_PATH
+                try:
+                    return fn(ca[:n], cb[:n])
+                except (TypeError, ValueError):
+                    return _NO_NUMPY_PATH
+
+            _col_col._numpy_mask = _col_col_mask  # type: ignore[attr-defined]
             return _col_col
     if isinstance(expr, InList) and isinstance(expr.arg, ColumnRef):
         idx = _resolve_layout(expr.arg.name, layout)
@@ -689,7 +792,60 @@ def _selection_vs_literal(
         ]
         return _refined(kept, sel, n)
 
+    def _mask(cols: Sequence, n: int):
+        """Dense boolean mask over rows [0, n), or _NO_NUMPY_PATH."""
+        from repro.exec import vector
+
+        np = vector._np
+        column = cols[idx]
+        if (
+            np is None
+            or not vector.numpy_enabled()
+            or not isinstance(column, np.ndarray)
+            or column.dtype == object
+        ):
+            return _NO_NUMPY_PATH
+        try:
+            return fn(column[:n], k)
+        except (TypeError, ValueError):
+            return _NO_NUMPY_PATH
+
+    _cmp_lit._numpy_mask = _mask  # type: ignore[attr-defined]
     return _cmp_lit
+
+
+def _combined_mask(mask_fns, cols: Sequence, n: int):
+    """AND of per-conjunct dense masks; _NO_NUMPY_PATH when any declines."""
+    combined = None
+    for mask_fn in mask_fns:
+        mask = mask_fn(cols, n)
+        if mask is _NO_NUMPY_PATH:
+            return _NO_NUMPY_PATH
+        combined = mask if combined is None else combined & mask
+    return combined
+
+
+def compile_predicate_mask(expr: Expr, layout: Mapping[str, int]):
+    """``expr`` as a dense boolean-mask evaluator, or None.
+
+    Returns ``(columns, n) -> bool ndarray | None`` when every piece of the
+    predicate compiles to a vectorizable mask shape (column-vs-literal /
+    column-vs-column comparisons and conjunctions thereof); None when the
+    predicate has no fully-vectorized form, so callers can keep per-row
+    checks instead of paying a whole-relation Python pass.  The evaluator
+    itself returns None when the columns turn out not to be ndarrays at
+    run time.
+    """
+    pred = compile_predicate_columnar(expr, layout)
+    mask_fn = getattr(pred, "_numpy_mask", None)
+    if mask_fn is None:
+        return None
+
+    def run(cols: Sequence, n: int):
+        mask = mask_fn(cols, n)
+        return None if mask is _NO_NUMPY_PATH else mask
+
+    return run
 
 
 #: Sentinel distinguishing "no numpy fast path applies" from a legitimate
@@ -701,8 +857,9 @@ def _numpy_selection(column, sel, n: int, fn, k):
     """Vectorized comparison when the column is a numpy array.
 
     Returns the refined selection (following the :func:`_refined`
-    conventions), or :data:`_NO_NUMPY_PATH` when the caller must use the
-    pure-Python fallback.
+    conventions; refined selections stay ndarrays so downstream gathers
+    never leave the array domain), or :data:`_NO_NUMPY_PATH` when the
+    caller must use the pure-Python fallback.
     """
     from repro.exec import vector
 
@@ -715,13 +872,42 @@ def _numpy_selection(column, sel, n: int, fn, k):
         if sel is None:
             mask = fn(column[:n], k)
             kept = np.flatnonzero(mask)
-            return None if len(kept) == n else kept.tolist()
-        cand = sel if isinstance(sel, np.ndarray) else np.asarray(sel, dtype=np.intp)
+            return None if len(kept) == n else kept
+        cand = vector.as_index_array(sel)
         mask = fn(column[cand], k)
         if mask.all():
             return sel
-        return cand[mask].tolist()
+        return cand[mask]
     except (TypeError, ValueError):  # incomparable dtype: use the fallback
+        return _NO_NUMPY_PATH
+
+
+def _numpy_selection_pair(ca, cb, sel, n: int, fn):
+    """Vectorized column-vs-column comparison (both columns ndarrays).
+
+    Typed ndarray columns cannot hold NULLs, so the mask needs no
+    NULL-handling; anything else falls back to the pure-Python loop.
+    """
+    from repro.exec import vector
+
+    np = vector._np
+    if np is None or not vector.numpy_enabled():
+        return _NO_NUMPY_PATH
+    if not (isinstance(ca, np.ndarray) and isinstance(cb, np.ndarray)):
+        return _NO_NUMPY_PATH
+    if ca.dtype == object or cb.dtype == object:
+        return _NO_NUMPY_PATH
+    try:
+        if sel is None:
+            mask = fn(ca[:n], cb[:n])
+            kept = np.flatnonzero(mask)
+            return None if len(kept) == n else kept
+        cand = vector.as_index_array(sel)
+        mask = fn(ca[cand], cb[cand])
+        if mask.all():
+            return sel
+        return cand[mask]
+    except (TypeError, ValueError):  # incomparable dtypes: use the fallback
         return _NO_NUMPY_PATH
 
 

@@ -48,8 +48,16 @@ from repro.exec.kernels import (
     scalar_key,
     tuple_key,
 )
+from repro.exec.kernels import csr_expand_filtered
 from repro.exec.operator import Batch, Operator
-from repro.exec.vector import ColumnarBatch, gather
+from repro.exec.vector import (
+    ColumnarBatch,
+    gather,
+    index_vector,
+    is_ndarray,
+    take,
+    vector_view,
+)
 from repro.relational.expr import (
     Expr,
     compile_expr,
@@ -108,6 +116,20 @@ def _column_indices(
     return indices
 
 
+def _plain_ref_index(expr: "Expr", columns: Sequence[str]) -> int | None:
+    """Index of ``expr`` among ``columns`` when it is a plain column
+    reference; None when it is computed or unresolvable (callers then use
+    the generic evaluator path)."""
+    from repro.relational.expr import ColumnRef
+
+    if not isinstance(expr, ColumnRef):
+        return None
+    try:
+        return _resolve(columns, expr.name)
+    except PlanError:
+        return None
+
+
 def _resolve(columns: Sequence[str], name: str) -> int:
     """Index of ``name`` among ``columns``; tolerates unqualified names."""
     try:
@@ -155,6 +177,7 @@ class SeqScan(PhysicalOperator):
         )
         self.emit_rowid = emit_rowid
         self.pointer_columns = pointer_columns or []
+        self._pointer_views: dict = {}
         self.output_columns = [f"{alias}.{c}" for c in self.projected]
         if emit_rowid:
             self.output_columns.append(f"{alias}.{ROWID_COLUMN}")
@@ -169,15 +192,23 @@ class SeqScan(PhysicalOperator):
         return base_layout
 
     def _output_column_storage(self) -> list:
-        """The output columns as shared base-table storage (zero copy)."""
-        out: list = [self.table.column(c) for c in self.projected]
+        """The output columns as shared base-table storage (zero copy when
+        numpy is off; the table's cached vectorized views otherwise).
+        Pointer-column views are memoized per operator so repeated
+        executions of one plan never re-copy the EV arrays."""
+        from repro.exec.vector import cached_vector
+
+        out: list = [self.table.vector(c) for c in self.projected]
         if self.emit_rowid:
-            out.append(range(self.table.num_rows))
-        out.extend(values for _, values in self.pointer_columns)
+            out.append(index_vector(self.table.num_rows))
+        out.extend(
+            cached_vector(self._pointer_views, name, values)
+            for name, values in self.pointer_columns
+        )
         return out
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        return emit_columnar(ctx, self._label(), self._scan_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._scan_columnar(ctx))
 
     def _scan_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         """Zero-copy chunked scan: every batch shares the table's column
@@ -191,15 +222,17 @@ class SeqScan(PhysicalOperator):
                 yield ColumnarBatch(out_columns, n, range(start, min(start + size, n)))
             return
         selector = compile_predicate_columnar(self.predicate, self._base_layout())
-        base_columns = [self.table.column(c) for c in self.table.schema.column_names]
+        base_columns = [self.table.vector(c) for c in self.table.schema.column_names]
         for start in range(0, n, size):
             chunk = range(start, min(start + size, n))
-            sel = selector(base_columns, chunk, n)
+            # A chunk spanning the whole table evaluates as
+            # ``selection=None`` — full-column compares, no index gather.
+            sel = selector(base_columns, None if len(chunk) == n else chunk, n)
             if sel is None or len(sel):
                 yield ColumnarBatch(out_columns, n, chunk if sel is None else sel)
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        return emit_batches(ctx, self._label(), self._scan(ctx))
+        return emit_batches(ctx, self.cached_label(), self._scan(ctx))
 
     def _scan(self, ctx: ExecutionContext) -> Iterator[Batch]:
         size = ctx.batch_size
@@ -298,7 +331,7 @@ class ProjectOp(PhysicalOperator):
         )
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        return emit_columnar(ctx, self._label(), self._project_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._project_columnar(ctx))
 
     def _project_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         layout = self.child.layout()
@@ -349,7 +382,7 @@ class HashJoin(PhysicalOperator):
         return [self.left, self.right]
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        return emit_batches(ctx, self._label(), self._stream(ctx))
+        return emit_batches(ctx, self.cached_label(), self._stream(ctx))
 
     def _key_indices(self) -> tuple[list[int], list[int]]:
         l_idx = [_resolve(self.left.output_columns, k) for k in self.left_keys]
@@ -377,7 +410,7 @@ class HashJoin(PhysicalOperator):
             buffer.release()
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         l_idx, r_idx = self._key_indices()
@@ -423,7 +456,7 @@ class NestedLoopJoin(PhysicalOperator):
         return [self.left, self.right]
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        return emit_batches(ctx, self._label(), self._stream(ctx))
+        return emit_batches(ctx, self.cached_label(), self._stream(ctx))
 
     def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         buffer = ctx.buffer(f"{self._label()} build")
@@ -491,44 +524,66 @@ class RowIdJoin(PhysicalOperator):
         return [self.child]
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        return emit_batches(ctx, self._label(), self._stream(ctx))
+        return emit_batches(ctx, self.cached_label(), self._stream(ctx))
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         """Columnar pointer-follow: the pointer column is extracted once per
-        batch and the fetched columns are whole-column gathers through it."""
+        batch and the fetched columns are whole-column gathers through it —
+        native ndarray fancy-indexing when the table exposes vector views."""
         ptr = _resolve(self.child.output_columns, self.pointer_column)
-        columns = [self.table.column(c) for c in self.projected]
+        columns = [self.table.vector(c) for c in self.projected]
         check = (
             rowid_checker(self.table, self.predicate)
             if self.predicate is not None
             else None
         )
         for cb in self.child.columnar_batches(ctx):
-            pointers = cb.column(ptr)
-            if check is None:
-                keep = None
-                if any(p is None or p < 0 for p in pointers):
-                    keep = [
-                        j for j, p in enumerate(pointers) if p is not None and p >= 0
-                    ]
+            pointers = cb.column_vector(ptr)
+            if check is None and is_ndarray(pointers):
+                # Typed pointer columns hold no NULLs; negatives are the
+                # defensive no-match encoding.
+                mask = pointers >= 0
+                if not mask.all():
+                    keep = mask.nonzero()[0]
+                    if not len(keep):
+                        continue
+                    cb = cb.take(keep)
+                    pointers = pointers[keep]
             else:
-                keep = [
-                    j
-                    for j, p in enumerate(pointers)
-                    if p is not None and p >= 0 and check(p)
-                ]
-            if keep is not None:
-                if not keep:
-                    continue
-                cb = cb.take(keep)
-                pointers = [pointers[j] for j in keep]
-            fetched = [gather(column, pointers) for column in columns]
+                # as_values-style normalization: ndarray pointers must
+                # become Python ints here, because this branch's output
+                # (including the emit_rowid column) is built from plist.
+                if type(pointers) is list:
+                    plist = pointers
+                elif hasattr(pointers, "tolist"):
+                    plist = pointers.tolist()
+                else:
+                    plist = list(pointers)
+                if check is None:
+                    keep = None
+                    if any(p is None or p < 0 for p in plist):
+                        keep = [
+                            j for j, p in enumerate(plist) if p is not None and p >= 0
+                        ]
+                else:
+                    keep = [
+                        j
+                        for j, p in enumerate(plist)
+                        if p is not None and p >= 0 and check(p)
+                    ]
+                if keep is not None:
+                    if not keep:
+                        continue
+                    cb = cb.take(keep)
+                    plist = [plist[j] for j in keep]
+                pointers = plist
+            fetched = [take(column, pointers) for column in columns]
             if self.emit_rowid:
-                fetched.append(list(pointers))
-            out = cb.gathered_columns()
+                fetched.append(pointers)
+            out = [cb.column_vector(i) for i in range(cb.width)]
             out.extend(fetched)
             yield ColumnarBatch(out, len(pointers), None)
 
@@ -658,35 +713,55 @@ class CsrJoin(PhysicalOperator):
         return [self.child]
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        return emit_batches(ctx, self._label(), self._stream(ctx))
+        return emit_batches(ctx, self.cached_label(), self._stream(ctx))
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         if self.predicate is not None:
             # Predicated CSR joins drop to the row protocol (rare plans).
             return Operator.columnar_batches(self, ctx)
-        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         """Columnar CSR expansion: accumulate a parent-position vector and
         the adjacent edge rowids, then assemble output batches as gathers —
-        no per-edge row tuples.  Flush thresholds adapt to observed
-        fan-out."""
+        no per-edge row tuples.  With numpy, the whole batch expands as one
+        repeat/cumsum/fancy-index pass over the typed CSR arrays.  Flush
+        thresholds adapt to observed fan-out."""
         vid = _resolve(self.child.output_columns, self.vertex_rowid_column)
-        columns = [self.edge_table.column(c) for c in self.projected]
-        far = self.far_pointer[1] if self.far_pointer is not None else None
-        offsets, edges = self.csr_offsets, self.csr_edges
+        columns = [self.edge_table.vector(c) for c in self.projected]
+        far = (
+            vector_view(self.far_pointer[1]) if self.far_pointer is not None else None
+        )
+        offsets = vector_view(self.csr_offsets)
+        edges = vector_view(self.csr_edges)
+        np_ready = is_ndarray(offsets) and is_ndarray(edges)
         sizer = ChunkSizer(ctx)
 
-        def assemble(cb: ColumnarBatch, parents: list, edge_ids: list) -> ColumnarBatch:
-            new_columns = [[c[e] for e in edge_ids] for c in columns]
+        def assemble(cb: ColumnarBatch, parents, edge_ids) -> ColumnarBatch:
+            new_columns = [take(c, edge_ids) for c in columns]
             if far is not None:
-                new_columns.append([far[e] for e in edge_ids])
+                new_columns.append(take(far, edge_ids))
             return replicate_columnar(cb, parents, new_columns)
 
         for cb in self.child.columnar_batches(ctx):
-            vertices = cb.column(vid)
-            parents: list[int] = []
-            edge_ids: list[int] = []
+            vertices = cb.column_vector(vid)
+            if np_ready and is_ndarray(vertices):
+                # Vertex rowid columns in the array domain cannot hold
+                # NULLs, so the batch expands wholesale; output chunks stay
+                # at the full batch size (column-backed chunks are cheap —
+                # see _expand_columnar in repro.graph.physical).
+                expanded = csr_expand_filtered(vertices, offsets, edges)
+                if expanded is None:
+                    continue
+                parents, edge_ids = expanded
+                total = len(parents)
+                size = ctx.batch_size
+                for start in range(0, total, size):
+                    stop = min(start + size, total)
+                    yield assemble(cb, parents[start:stop], edge_ids[start:stop])
+                continue
+            parents_l: list[int] = []
+            edge_ids_l: list[int] = []
             flushed = 0
             for j, v in enumerate(vertices):
                 if v is None:
@@ -694,15 +769,15 @@ class CsrJoin(PhysicalOperator):
                 lo, hi = offsets[v], offsets[v + 1]
                 if lo == hi:
                     continue
-                parents.extend([j] * (hi - lo))
-                edge_ids.extend(edges[lo:hi])
-                if len(parents) >= sizer.size:
-                    flushed += len(parents)
-                    yield assemble(cb, parents, edge_ids)
-                    parents, edge_ids = [], []
-            sizer.observe(len(vertices), flushed + len(parents))
-            if parents:
-                yield assemble(cb, parents, edge_ids)
+                parents_l.extend([j] * (hi - lo))
+                edge_ids_l.extend(edges[lo:hi])
+                if len(parents_l) >= sizer.size:
+                    flushed += len(parents_l)
+                    yield assemble(cb, parents_l, edge_ids_l)
+                    parents_l, edge_ids_l = [], []
+            sizer.observe(len(vertices), flushed + len(parents_l))
+            if parents_l:
+                yield assemble(cb, parents_l, edge_ids_l)
 
     def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         vid = _resolve(self.child.output_columns, self.vertex_rowid_column)
@@ -806,6 +881,23 @@ class CsrJoin(PhysicalOperator):
         )
 
 
+def _np_unique_counts(column):
+    """``np.unique(..., return_counts=True)`` as plain Python values."""
+    from repro.exec import vector
+
+    uniques, tallies = vector._np.unique(column, return_counts=True)
+    return uniques.tolist(), tallies.tolist()
+
+
+def _has_nan(column) -> bool:
+    """True when a float ndarray contains NaN (non-float kinds: False)."""
+    from repro.exec import vector
+
+    if column.dtype.kind != "f":
+        return False
+    return bool(vector._np.isnan(column).any())
+
+
 _MISSING = object()
 
 
@@ -870,10 +962,10 @@ class AggregateOp(PhysicalOperator):
         return [self.child]
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        return emit_batches(ctx, self._label(), self._stream(ctx))
+        return emit_batches(ctx, self.cached_label(), self._stream(ctx))
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         """Columnar aggregation: group keys and aggregate arguments are
@@ -894,16 +986,40 @@ class AggregateOp(PhysicalOperator):
             self.aggregates[0].func == "COUNT" and self.aggregates[0].arg is None
         )
         single_group = len(group_evs) == 1
+        group_ref_idx = None
+        if count_star_only and single_group:
+            group_ref_idx = _plain_ref_index(
+                self.group_by[0][0], self.child.output_columns
+            )
         buffer = ctx.buffer(self._label())
         try:
             if count_star_only and single_group:
                 counts: dict[Any, int] = {}
                 get = counts.get
                 for cb in self.child.columnar_batches(ctx):
-                    keys = group_evs[0](cb.columns, cb.selection, cb.length)
                     before = len(counts)
-                    for key in keys:
-                        counts[key] = get(key, 0) + 1
+                    column = (
+                        cb.column_vector(group_ref_idx)
+                        if group_ref_idx is not None
+                        else None
+                    )
+                    if (
+                        column is not None
+                        and is_ndarray(column)
+                        and not _has_nan(column)
+                    ):
+                        # Grouping on a plain ndarray column: one C-level
+                        # sort-and-count per batch, then a dict merge over
+                        # the (few) distinct keys.  NaN-bearing batches take
+                        # the dict loop instead — np.unique collapses NaNs
+                        # into one group, Python dict identity does not.
+                        uniques, tallies = _np_unique_counts(column)
+                        for key, tally in zip(uniques, tallies):
+                            counts[key] = get(key, 0) + tally
+                    else:
+                        keys = group_evs[0](cb.columns, cb.selection, cb.length)
+                        for key in keys:
+                            counts[key] = get(key, 0) + 1
                     buffer.grow(len(counts) - before)
                 out_rows = [(key, count) for key, count in counts.items()]
             else:
@@ -999,10 +1115,10 @@ class SortOp(PhysicalOperator):
         return [self.child]
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        return emit_batches(ctx, self._label(), self._stream(ctx))
+        return emit_batches(ctx, self.cached_label(), self._stream(ctx))
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         # A sort is a full pipeline breaker either way; the columnar value
@@ -1075,6 +1191,12 @@ class _Descending:
         return isinstance(other, _Descending) and other.value == self.value
 
 
+def _first_decorated(value: Any, asc: bool):
+    """One sort-key component decorated the way candidate keys are."""
+    key = _null_safe_key(value)
+    return key if asc else _Descending(key)
+
+
 class TopKOp(PhysicalOperator):
     """Streaming ``ORDER BY ... LIMIT k``: a bounded top-k selection.
 
@@ -1097,7 +1219,7 @@ class TopKOp(PhysicalOperator):
         return [self.child]
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        return emit_batches(ctx, self._label(), self._stream(ctx))
+        return emit_batches(ctx, self.cached_label(), self._stream(ctx))
 
     def _selection_setup(self, k: int):
         """(select, tiebreak, uniform) for the configured key directions."""
@@ -1122,47 +1244,211 @@ class TopKOp(PhysicalOperator):
         return threshold
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
+
+    def _admission_filter(self):
+        """``(admit, make_keys)`` for late-materializing candidate intake.
+
+        ``make_keys(key_cols, positions)`` decorates the rows at
+        ``positions`` into heap-comparable keys (bare null-safe keys for a
+        single sort key, tuples otherwise, with descending components
+        wrapped for mixed directions).  ``admit(key_cols, bound)`` returns
+        the positions whose decorated key can still enter the top-k given
+        ``bound``, the decorated key of the current k-th best: the
+        tiebreak is arrival order and every unseen row arrives later, so
+        admission requires *strictly* beating the bound (``<`` under
+        nsmallest, ``>`` under the uniform-descending nlargest).  A None
+        bound admits everything.
+        """
+        all_asc = all(asc for _, asc in self.keys)
+        all_desc = all(not asc for _, asc in self.keys)
+        ascs = [asc for _, asc in self.keys]
+
+        if len(self.keys) == 1:
+            # A single key is always "uniform": bare decorated values.
+            def make_single(key_cols, positions):
+                col = key_cols[0]
+                return [_null_safe_key(col[j]) for j in positions]
+
+            if all_asc:
+
+                def admit_asc(key_cols, bound):
+                    col = key_cols[0]
+                    if bound is None:
+                        return range(len(col))
+                    return [
+                        j
+                        for j, v in enumerate(col)
+                        if _null_safe_key(v) < bound
+                    ]
+
+                return admit_asc, make_single
+
+            def admit_desc(key_cols, bound):
+                col = key_cols[0]
+                if bound is None:
+                    return range(len(col))
+                return [
+                    j for j, v in enumerate(col) if _null_safe_key(v) > bound
+                ]
+
+            return admit_desc, make_single
+
+        def decorate(parts):
+            if all_asc or all_desc:
+                return tuple(_null_safe_key(v) for v in parts)
+            return tuple(
+                _null_safe_key(v) if asc else _Descending(_null_safe_key(v))
+                for v, asc in zip(parts, ascs)
+            )
+
+        def make_multi(key_cols, positions):
+            return [decorate([col[j] for col in key_cols]) for j in positions]
+
+        beats = (lambda key, bound: key > bound) if all_desc else (
+            lambda key, bound: key < bound
+        )
+
+        def admit_multi(key_cols, bound):
+            n = len(key_cols[0])
+            if bound is None:
+                return range(n)
+            # Prefilter on the first key alone (non-strictly: a tie there
+            # can still win on later keys), then compare full keys.
+            first = key_cols[0]
+            b0 = bound[0]
+            if all_desc:
+                coarse = (
+                    j
+                    for j in range(n)
+                    if not (_null_safe_key(first[j]) < b0)
+                )
+            else:
+                coarse = (
+                    j
+                    for j in range(n)
+                    if not (b0 < _first_decorated(first[j], ascs[0]))
+                )
+            return [
+                j
+                for j in coarse
+                if beats(decorate([col[j] for col in key_cols]), bound)
+            ]
+
+        return admit_multi, make_multi
+
+    def _admit_vectorized(self, cb: ColumnarBatch, key_ref_idx, bound, asc: bool):
+        """Numpy admission for a single plain-column sort key.
+
+        When the key column is an ndarray (hence NULL-free) and a bound is
+        set, the strict beats-the-k-th-best test is one vectorized
+        comparison.  Before any bound exists (the first batch), an
+        ``np.partition`` pivot preselects the within-batch top-k *candidate
+        set* — rows strictly worse than the batch's k-th best value can
+        never reach the heap, so only the contenders decorate and
+        materialize.  Returns ``(n, positions, decorated_keys)`` or None
+        when the generic path must run (computed keys, list columns, or
+        incomparable dtypes).
+        """
+        if key_ref_idx is None:
+            return None
+        column = cb.column_vector(key_ref_idx)
+        if not is_ndarray(column):
+            return None
+        if _has_nan(column):
+            # NaN poisons both the partition pivot (a NaN pivot admits
+            # nothing) and ordered comparisons; the generic decorated path
+            # shares the row protocol's semantics for such keys.
+            return None
+        n = len(column)
+        k = self.limit
+        if bound is None:
+            if n <= k:
+                return n, range(n), [(True, v) for v in column.tolist()]
+            from repro.exec import vector
+
+            np = vector._np
+            try:
+                if asc:
+                    pivot = np.partition(column, k - 1)[k - 1]
+                    mask = column <= pivot
+                else:
+                    pivot = np.partition(column, n - k)[n - k]
+                    mask = column >= pivot
+            except TypeError:
+                return None
+            # Keep pivot ties (>= / <=): the heap resolves them by arrival.
+            positions = mask.nonzero()[0]
+            keys = [(True, v) for v in column[positions].tolist()]
+            return n, positions, keys
+        has_value, bound_value = bound
+        if not has_value:
+            # The k-th best is NULL: under ASC nothing beats it (ties lose
+            # by arrival); under DESC every non-NULL value does.
+            if asc:
+                return n, [], []
+            return n, range(n), [(True, v) for v in column.tolist()]
+        try:
+            mask = (column < bound_value) if asc else (column > bound_value)
+        except TypeError:
+            return None
+        positions = mask.nonzero()[0]
+        if not len(positions):
+            return n, positions, []
+        keys = [(True, v) for v in column[positions].tolist()]
+        return n, positions, keys
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        """Columnar top-k: sort keys are computed as whole columns, rows
-        materialize per batch only to live in the candidate heap (they are
-        genuinely buffered state)."""
+        """Columnar top-k with late materialization: sort keys are computed
+        as whole columns, and once ``k`` candidates are buffered the key of
+        the current k-th best becomes an **admission bound** — rows that
+        cannot beat it are dropped straight off the key column, so row
+        tuples materialize (into the candidate heap, the genuinely buffered
+        state) only for the shrinking stream of contenders."""
         k = self.limit
         if k <= 0:
             return
         layout = self.child.layout()
         evs = [compile_expr_columnar(e, layout) for e, _ in self.keys]
-        select, tiebreak, uniform = self._selection_setup(k)
+        select, tiebreak, _ = self._selection_setup(k)
         threshold = self._prune_threshold(ctx, k)
-        ascs = [asc for _, asc in self.keys]
+        admit, make_keys = self._admission_filter()
+        key_ref_idx = None
+        if len(self.keys) == 1:
+            key_ref_idx = _plain_ref_index(self.keys[0][0], self.child.output_columns)
+        asc0 = self.keys[0][1]
         buffer = ctx.buffer(self._label())
         try:
             candidates: list[tuple] = []  # (key, ±arrival, row)
             arrival = 0
+            bound = None  # decorated key of the k-th best candidate
             for cb in self.child.columnar_batches(ctx):
-                rows = cb.to_rows()
-                key_cols = [ev(cb.columns, cb.selection, cb.length) for ev in evs]
-                if uniform and len(key_cols) == 1:
-                    keys: Any = map(_null_safe_key, key_cols[0])
-                elif uniform:
-                    keys = (
-                        tuple(_null_safe_key(v) for v in parts)
-                        for parts in zip(*key_cols)
-                    )
+                keyed = self._admit_vectorized(cb, key_ref_idx, bound, asc0)
+                if keyed is not None:
+                    n, positions, keys = keyed
                 else:
+                    key_cols = [ev(cb.columns, cb.selection, cb.length) for ev in evs]
+                    n = len(key_cols[0])
+                    positions = admit(key_cols, bound)
                     keys = (
-                        tuple(
-                            _null_safe_key(v) if asc else _Descending(_null_safe_key(v))
-                            for v, asc in zip(parts, ascs)
-                        )
-                        for parts in zip(*key_cols)
+                        make_keys(key_cols, positions) if len(positions) else []
                     )
-                for key, row in zip(keys, rows):
-                    candidates.append((key, tiebreak * arrival, row))
-                    arrival += 1
+                if len(positions):
+                    rows = cb.take(positions).to_rows()
+                    base = arrival
+                    for key, j, row in zip(keys, positions, rows):
+                        candidates.append((key, tiebreak * (base + j), row))
+                arrival += n
                 if len(candidates) >= threshold:
                     candidates = select(candidates)
+                    if len(candidates) == k:
+                        bound = candidates[-1][0]
+                elif bound is None and len(candidates) >= k:
+                    # Establish the admission bound as soon as k candidates
+                    # exist — pruning the stream early matters more than
+                    # deferring the first k log k selection.
+                    candidates = select(candidates)
+                    bound = candidates[-1][0]
                 delta = len(candidates) - buffer.rows
                 if delta >= 0:
                     buffer.grow(delta)
@@ -1290,10 +1576,10 @@ class DistinctOp(PhysicalOperator):
         return [self.child]
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        return emit_batches(ctx, self._label(), self._stream(ctx))
+        return emit_batches(ctx, self.cached_label(), self._stream(ctx))
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        return emit_columnar(ctx, self._label(), self._stream_columnar(ctx))
+        return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         # Dedup hashes whole rows, so rows materialize here (the seen-set

@@ -1,10 +1,21 @@
 """Columnar table storage.
 
-A :class:`Table` stores each column as a Python list; row ``i`` of the table
-is the ``i``-th element of every column list.  The position ``i`` is the
-tuple's **rowid**, the stable physical identifier that the graph index
-(EV-index / VE-index, Sec 3.2.1 of the paper) points at and that RGMapping
-uses as the element identifier of mapped vertices and edges.
+A :class:`Table` stores each column in typed storage selected from its
+schema dtype (see :mod:`repro.relational.column`): a dense ``array.array``
+buffer for INT/FLOAT columns, a plain Python list otherwise — and any typed
+column that observes a NULL or a value outside its C type is promoted back
+to a list, so storage never changes semantics.  Row ``i`` of the table is
+the ``i``-th element of every column; the position ``i`` is the tuple's
+**rowid**, the stable physical identifier that the graph index (EV-index /
+VE-index, Sec 3.2.1 of the paper) points at and that RGMapping uses as the
+element identifier of mapped vertices and edges.
+
+For the vectorized execution path, :meth:`Table.vector` exposes each column
+as a cached numpy ``ndarray`` copy (when numpy is enabled and the column is
+cleanly typed), which is what lights up the columnar kernels' gather and
+selection fast paths end-to-end.  The cache is invalidated on every append,
+and the views are copies — they never lock the storage buffers against
+further loading.
 
 Rows are append-only: the engine is an analytical substrate for optimizer
 experiments, so updates/deletes (which would invalidate rowids and the graph
@@ -17,6 +28,8 @@ from collections.abc import Iterable, Iterator, Sequence
 from typing import Any
 
 from repro.errors import SchemaError
+from repro.exec import vector as _vector
+from repro.relational.column import append_value, extend_values, make_storage
 from repro.relational.schema import TableSchema
 
 
@@ -38,8 +51,13 @@ class Table:
         validate: bool = True,
     ):
         self.schema = schema
-        self.columns: dict[str, list[Any]] = {c.name: [] for c in schema.columns}
-        self._column_list: list[list[Any]] = [self.columns[c.name] for c in schema.columns]
+        self.columns: dict[str, Sequence[Any]] = {
+            c.name: make_storage(c.dtype) for c in schema.columns
+        }
+        self._column_list: list[Sequence[Any]] = [
+            self.columns[c.name] for c in schema.columns
+        ]
+        self._vectors: dict[str, Sequence[Any]] = {}
         self._pk_index: dict[Any, int] | None = None
         pk = schema.primary_key
         self._pk_pos: int | None = (
@@ -54,6 +72,12 @@ class Table:
     # loading
     # ------------------------------------------------------------------ #
 
+    def _replace_storage(self, position: int, storage: Sequence[Any]) -> None:
+        """Install a promoted column (typed buffer -> object list)."""
+        name = self.schema.columns[position].name
+        self.columns[name] = storage
+        self._column_list[position] = storage
+
     def append(self, row: Sequence[Any], validate: bool = True) -> int:
         """Append one row; returns its rowid."""
         if len(row) != len(self._column_list):
@@ -66,8 +90,12 @@ class Table:
                 col.dtype.validate(value)
                 for col, value in zip(self.schema.columns, row)
             ]
-        for column, value in zip(self._column_list, row):
-            column.append(value)
+        for position, value in enumerate(row):
+            column = self._column_list[position]
+            updated = append_value(column, value)
+            if updated is not column:
+                self._replace_storage(position, updated)
+        self._vectors.clear()
         rowid = len(self._column_list[0]) - 1
         self._index_appended(row, rowid)
         return rowid
@@ -76,7 +104,8 @@ class Table:
         """Bulk append: transpose once, then extend column-wise.
 
         One arity pass and one per-column validate pass replace the
-        per-row/per-value work of repeated :meth:`append`, which is what the
+        per-row/per-value work of repeated :meth:`append`; on typed columns
+        the final extend is a single C-level buffer fill, which is what the
         workload generators' bulk loads spend their time in.
         """
         rows = rows if isinstance(rows, list) else list(rows)
@@ -101,17 +130,28 @@ class Table:
                 values = [check(v) for v in values]
             validated.append(values)
         first_rowid = len(self._column_list[0])
-        for column, values in zip(self._column_list, validated):
-            column.extend(values)
+        for position, values in enumerate(validated):
+            column = self._column_list[position]
+            updated = extend_values(column, values)
+            if updated is not column:
+                self._replace_storage(position, updated)
+        self._vectors.clear()
         index = self._pk_index
         if index is not None:
             assert self._pk_pos is not None
-            for offset, value in enumerate(validated[self._pk_pos]):
-                if value in index:
-                    # Defer the duplicate error to the next pk_index()
-                    # rebuild, exactly as the lazy path reports it.
+            new_keys = validated[self._pk_pos]
+            # Scan for duplicates (against the index or within the batch)
+            # before touching the cached dict: a duplicate defers the error
+            # to the next pk_index() rebuild — exactly the lazy path's
+            # semantics — and the dict callers may already hold is never
+            # left partially updated.
+            fresh: set[Any] = set()
+            for value in new_keys:
+                if value in index or value in fresh:
                     self._pk_index = None
                     return
+                fresh.add(value)
+            for offset, value in enumerate(new_keys):
                 index[value] = first_rowid + offset
 
     def _index_appended(self, row: Sequence[Any], rowid: int) -> None:
@@ -145,11 +185,35 @@ class Table:
     def __len__(self) -> int:
         return self.num_rows
 
-    def column(self, name: str) -> list[Any]:
-        """The raw column list (shared, do not mutate)."""
+    def column(self, name: str) -> Sequence[Any]:
+        """The raw column storage (shared, do not mutate).
+
+        A ``list`` or typed ``array.array``; indexing and slicing always
+        yield plain Python values, so this is what row-protocol operators
+        and per-rowid predicates read.
+        """
         if name not in self.columns:
             raise SchemaError(f"no column {name!r} in table {self.schema.name!r}")
         return self.columns[name]
+
+    def vector(self, name: str) -> Sequence[Any]:
+        """The column as its best vectorized representation.
+
+        With numpy enabled this is a cached ndarray copy (typed buffers
+        convert via one memcpy, clean object columns — e.g. dates — by
+        copy); otherwise, or when the column holds NULLs/mixed types, the
+        raw storage of :meth:`column`.  The cache is dropped on append, and
+        the view never locks the storage against further loading.
+        """
+        if name not in self.columns:
+            raise SchemaError(f"no column {name!r} in table {self.schema.name!r}")
+        if not _vector.numpy_enabled():
+            return self.columns[name]
+        view = self._vectors.get(name)
+        if view is None:
+            view = _vector.vector_view(self.columns[name])
+            self._vectors[name] = view
+        return view
 
     def row(self, rowid: int) -> tuple[Any, ...]:
         """Materialize one row as a tuple, in schema column order."""

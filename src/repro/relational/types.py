@@ -41,6 +41,20 @@ class DataType(enum.Enum):
             return (bool,)
         return (str,)  # DATE is stored as an ISO string
 
+    def array_typecode(self) -> str | None:
+        """The ``array.array`` typecode backing this type's typed storage.
+
+        INT maps to a signed 64-bit buffer and FLOAT to a C double —
+        exactly the value domains :meth:`validate` admits.  Types whose
+        values are Python objects (strings, dates, booleans) return None
+        and stay in plain lists.
+        """
+        if self is DataType.INT:
+            return "q"
+        if self is DataType.FLOAT:
+            return "d"
+        return None
+
     def validate(self, value: Any) -> Any:
         """Return ``value`` coerced for this type, or raise :class:`SchemaError`.
 

@@ -68,86 +68,92 @@ def _zipf_weights(n: int, exponent: float = 0.85) -> list[float]:
 def generate_imdb(
     params: JobParams | None = None, graph_name: str = "imdb"
 ) -> tuple[Catalog, RGMapping]:
+    """Rows accumulate per table and bulk-load with one ``Table.extend``
+    each, filling typed column storage via C-level buffer extends; the rng
+    call sequence matches the historical per-row loader exactly."""
     params = params or JobParams()
     rng = random.Random(params.seed)
     catalog = Catalog()
     _create_tables(catalog)
 
     # -- dimension tables -------------------------------------------------- #
-    info_type = catalog.table("info_type")
-    for i, info in enumerate(INFO_TYPES):
-        info_type.append((i, info), validate=False)
-    company_type = catalog.table("company_type")
-    for i, kind in enumerate(COMPANY_KINDS):
-        company_type.append((i, kind), validate=False)
-    keyword = catalog.table("keyword")
-    for i in range(params.keywords):
-        text = (
-            SPECIAL_KEYWORDS[i]
-            if i < len(SPECIAL_KEYWORDS)
-            else f"kw-{i}"
-        )
-        keyword.append((i, text), validate=False)
-    company = catalog.table("company_name")
+    catalog.table("info_type").extend(
+        list(enumerate(INFO_TYPES)), validate=False
+    )
+    catalog.table("company_type").extend(
+        list(enumerate(COMPANY_KINDS)), validate=False
+    )
+    catalog.table("keyword").extend(
+        [
+            (i, SPECIAL_KEYWORDS[i] if i < len(SPECIAL_KEYWORDS) else f"kw-{i}")
+            for i in range(params.keywords)
+        ],
+        validate=False,
+    )
+    company_rows = []
     for i in range(params.companies):
         code = COUNTRY_CODES[min(int(rng.expovariate(1.4)), len(COUNTRY_CODES) - 1)]
-        company.append((i, f"Studio {i}", code), validate=False)
+        company_rows.append((i, f"Studio {i}", code))
+    catalog.table("company_name").extend(company_rows, validate=False)
 
     # -- titles / names ------------------------------------------------------#
-    title = catalog.table("title")
+    title_rows = []
     for i in range(params.titles):
         year = 1950 + min(int(rng.expovariate(0.03)), 74)
-        title.append((i, f"Movie {i:05d}", 2024 - (year - 1950), 1), validate=False)
-    name = catalog.table("name")
+        title_rows.append((i, f"Movie {i:05d}", 2024 - (year - 1950), 1))
+    catalog.table("title").extend(title_rows, validate=False)
+    name_rows = []
     for i in range(params.names):
         letter = chr(ord("A") + (i % 26))
         gender = "m" if rng.random() < 0.6 else "f"
-        name.append((i, f"{letter}. Actor{i:05d}", gender), validate=False)
+        name_rows.append((i, f"{letter}. Actor{i:05d}", gender))
+    catalog.table("name").extend(name_rows, validate=False)
 
     title_weights = _zipf_weights(params.titles)
     name_weights = _zipf_weights(params.names)
 
     # -- cast_info (vertex) + derived edges ----------------------------------#
-    cast_info = catalog.table("cast_info")
-    ci_name = catalog.table("cast_info_name")
-    ci_title = catalog.table("cast_info_title")
+    cast_rows, ci_name_rows, ci_title_rows = [], [], []
     total_cast = int(params.titles * params.cast_per_title)
     for i in range(total_cast):
         t = rng.choices(range(params.titles), weights=title_weights)[0]
         n = rng.choices(range(params.names), weights=name_weights)[0]
-        cast_info.append((i, rng.randint(1, 10), f"role note {i % 7}"), validate=False)
-        ci_name.append((i, i, n), validate=False)
-        ci_title.append((i, i, t), validate=False)
+        cast_rows.append((i, rng.randint(1, 10), f"role note {i % 7}"))
+        ci_name_rows.append((i, i, n))
+        ci_title_rows.append((i, i, t))
+    catalog.table("cast_info").extend(cast_rows, validate=False)
+    catalog.table("cast_info_name").extend(ci_name_rows, validate=False)
+    catalog.table("cast_info_title").extend(ci_title_rows, validate=False)
 
     # -- movie_keyword (edge) -------------------------------------------------#
-    movie_keyword = catalog.table("movie_keyword")
     kw_weights = _zipf_weights(params.keywords, exponent=1.0)
+    mk_rows = []
     total_mk = int(params.titles * params.keywords_per_title)
     for i in range(total_mk):
         t = rng.choices(range(params.titles), weights=title_weights)[0]
         k = rng.choices(range(params.keywords), weights=kw_weights)[0]
-        movie_keyword.append((i, t, k), validate=False)
+        mk_rows.append((i, t, k))
+    catalog.table("movie_keyword").extend(mk_rows, validate=False)
 
     # -- movie_companies (vertex) + derived edges ------------------------------#
-    movie_companies = catalog.table("movie_companies")
-    mc_title = catalog.table("movie_companies_title")
-    mc_company = catalog.table("movie_companies_company")
-    mc_type = catalog.table("movie_companies_type")
+    mc_rows, mc_title_rows, mc_company_rows, mc_type_rows = [], [], [], []
     company_weights = _zipf_weights(params.companies)
     total_mc = int(params.titles * params.companies_per_title)
     for i in range(total_mc):
         t = rng.choices(range(params.titles), weights=title_weights)[0]
         c = rng.choices(range(params.companies), weights=company_weights)[0]
         kind = 0 if rng.random() < 0.7 else 1
-        movie_companies.append((i, f"note {i % 11}"), validate=False)
-        mc_title.append((i, i, t), validate=False)
-        mc_company.append((i, i, c), validate=False)
-        mc_type.append((i, i, kind), validate=False)
+        mc_rows.append((i, f"note {i % 11}"))
+        mc_title_rows.append((i, i, t))
+        mc_company_rows.append((i, i, c))
+        mc_type_rows.append((i, i, kind))
+    catalog.table("movie_companies").extend(mc_rows, validate=False)
+    catalog.table("movie_companies_title").extend(mc_title_rows, validate=False)
+    catalog.table("movie_companies_company").extend(mc_company_rows, validate=False)
+    catalog.table("movie_companies_type").extend(mc_type_rows, validate=False)
 
     # -- movie_info / movie_info_idx (vertices) + derived edges ----------------#
-    movie_info = catalog.table("movie_info")
-    mi_title = catalog.table("movie_info_title")
-    mi_type = catalog.table("movie_info_type")
+    mi_rows, mi_title_rows, mi_type_rows = [], [], []
     total_mi = int(params.titles * params.infos_per_title)
     for i in range(total_mi):
         t = rng.choices(range(params.titles), weights=title_weights)[0]
@@ -158,13 +164,14 @@ def generate_imdb(
             info = rng.choice(["English", "German", "French", "Japanese"])
         else:
             info = str(rng.randint(1, 99999))
-        movie_info.append((i, info), validate=False)
-        mi_title.append((i, i, t), validate=False)
-        mi_type.append((i, i, it), validate=False)
+        mi_rows.append((i, info))
+        mi_title_rows.append((i, i, t))
+        mi_type_rows.append((i, i, it))
+    catalog.table("movie_info").extend(mi_rows, validate=False)
+    catalog.table("movie_info_title").extend(mi_title_rows, validate=False)
+    catalog.table("movie_info_type").extend(mi_type_rows, validate=False)
 
-    movie_info_idx = catalog.table("movie_info_idx")
-    midx_title = catalog.table("movie_info_idx_title")
-    midx_type = catalog.table("movie_info_idx_type")
+    midx_rows, midx_title_rows, midx_type_rows = [], [], []
     rating_type = INFO_TYPES.index("rating")
     votes_type = INFO_TYPES.index("votes")
     count = 0
@@ -172,15 +179,18 @@ def generate_imdb(
         if rng.random() > params.idx_fraction:
             continue
         rating = f"{rng.uniform(1.0, 9.9):.1f}"
-        movie_info_idx.append((count, rating), validate=False)
-        midx_title.append((count, count, t), validate=False)
-        midx_type.append((count, count, rating_type), validate=False)
+        midx_rows.append((count, rating))
+        midx_title_rows.append((count, count, t))
+        midx_type_rows.append((count, count, rating_type))
         count += 1
         votes = str(rng.randint(10, 99999))
-        movie_info_idx.append((count, votes), validate=False)
-        midx_title.append((count, count, t), validate=False)
-        midx_type.append((count, count, votes_type), validate=False)
+        midx_rows.append((count, votes))
+        midx_title_rows.append((count, count, t))
+        midx_type_rows.append((count, count, votes_type))
         count += 1
+    catalog.table("movie_info_idx").extend(midx_rows, validate=False)
+    catalog.table("movie_info_idx_title").extend(midx_title_rows, validate=False)
+    catalog.table("movie_info_idx_type").extend(midx_type_rows, validate=False)
 
     mapping = _create_mapping(catalog, graph_name)
     catalog.register_graph(mapping)

@@ -90,7 +90,14 @@ def _zipf_weights(n: int, exponent: float = 0.8) -> list[float]:
 def generate_ldbc(
     params: LdbcParams | None = None, graph_name: str = "snb"
 ) -> tuple[Catalog, RGMapping]:
-    """Build the catalog, load synthetic data, and register the RGMapping."""
+    """Build the catalog, load synthetic data, and register the RGMapping.
+
+    Rows are accumulated per table and bulk-loaded with one
+    :meth:`~repro.relational.table.Table.extend` per table, so typed column
+    storage fills via single C-level buffer extends instead of per-row
+    appends.  The rng call sequence is identical to the historical per-row
+    loader — datasets are byte-for-byte stable across the change.
+    """
     params = params or LdbcParams()
     rng = random.Random(params.seed)
     catalog = Catalog()
@@ -98,35 +105,40 @@ def generate_ldbc(
     _create_tables(catalog)
 
     # -- places / tags --------------------------------------------------- #
-    place_table = catalog.table("place")
-    for i in range(params.places):
-        place_table.append((i, COUNTRIES[i % len(COUNTRIES)]), validate=False)
-    tag_table = catalog.table("tag")
-    for i in range(params.tags):
-        stem = TAG_STEMS[i % len(TAG_STEMS)]
-        tag_table.append((i, f"{stem}_{i}"), validate=False)
+    catalog.table("place").extend(
+        [(i, COUNTRIES[i % len(COUNTRIES)]) for i in range(params.places)],
+        validate=False,
+    )
+    catalog.table("tag").extend(
+        [
+            (i, f"{TAG_STEMS[i % len(TAG_STEMS)]}_{i}")
+            for i in range(params.tags)
+        ],
+        validate=False,
+    )
 
     # -- persons ----------------------------------------------------------#
-    person_table = catalog.table("person")
-    located = catalog.table("is_located_in")
+    person_rows: list[tuple] = []
+    located_rows: list[tuple] = []
     n = params.persons
     for i in range(n):
-        person_table.append(
+        person_rows.append(
             (
                 i,
                 FIRST_NAMES[i % len(FIRST_NAMES)],
                 LAST_NAMES[(i * 7) % len(LAST_NAMES)],
                 _date(rng, 1950, 2005),
                 _date(rng, 2019, 2023),
-            ),
-            validate=False,
+            )
         )
-        located.append((len(located), i, rng.randrange(params.places)), validate=False)
+        located_rows.append((i, i, rng.randrange(params.places)))
+    catalog.table("person").extend(person_rows, validate=False)
+    catalog.table("is_located_in").extend(located_rows, validate=False)
 
     popularity = _zipf_weights(n)
 
     # -- knows (symmetric, power-law) ------------------------------------ #
-    knows_table = catalog.table("knows")
+    knows_rows: list[tuple] = []
     knows_pairs: set[tuple[int, int]] = set()
     target_edges = (n * params.avg_friends) // 2
     attempts = 0
@@ -139,16 +151,16 @@ def generate_ldbc(
         knows_pairs.add((min(a, b), max(a, b)))
     for a, b in sorted(knows_pairs):
         date = _date(rng)
-        knows_table.append((len(knows_table), a, b, date), validate=False)
-        knows_table.append((len(knows_table), b, a, date), validate=False)
+        knows_rows.append((len(knows_rows), a, b, date))
+        knows_rows.append((len(knows_rows), b, a, date))
+    catalog.table("knows").extend(knows_rows, validate=False)
 
     # -- forums ------------------------------------------------------------#
-    forum_table = catalog.table("forum")
-    member_table = catalog.table("has_member")
+    forum_rows: list[tuple] = []
+    member_rows: list[tuple] = []
     for i in range(params.forums):
-        forum_table.append(
-            (i, f"Forum {TAG_STEMS[i % len(TAG_STEMS)]} {i}", _date(rng)),
-            validate=False,
+        forum_rows.append(
+            (i, f"Forum {TAG_STEMS[i % len(TAG_STEMS)]} {i}", _date(rng))
         )
         member_count = max(2, int(rng.expovariate(1.0 / params.members_per_forum)))
         members = {
@@ -156,63 +168,62 @@ def generate_ldbc(
             for _ in range(member_count)
         }
         for person in sorted(members):
-            member_table.append(
-                (len(member_table), i, person, _date(rng)), validate=False
-            )
+            member_rows.append((len(member_rows), i, person, _date(rng)))
+    catalog.table("forum").extend(forum_rows, validate=False)
+    catalog.table("has_member").extend(member_rows, validate=False)
 
     # -- posts --------------------------------------------------------------#
-    post_table = catalog.table("post")
-    creator_table = catalog.table("has_creator")
-    container_table = catalog.table("container_of")
-    has_tag_table = catalog.table("has_tag")
+    post_rows: list[tuple] = []
+    creator_rows: list[tuple] = []
+    container_rows: list[tuple] = []
+    has_tag_rows: list[tuple] = []
     num_posts = int(n * params.posts_per_person)
     for i in range(num_posts):
         creator = rng.choices(range(n), weights=popularity)[0]
         forum = rng.randrange(params.forums)
-        post_table.append(
-            (i, f"post content {i}", 20 + (i * 13) % 180, _date(rng)),
-            validate=False,
-        )
-        creator_table.append((len(creator_table), i, creator), validate=False)
-        container_table.append((len(container_table), forum, i), validate=False)
+        post_rows.append((i, f"post content {i}", 20 + (i * 13) % 180, _date(rng)))
+        creator_rows.append((i, i, creator))
+        container_rows.append((i, forum, i))
         for _ in range(rng.randint(0, int(2 * params.tags_per_post))):
-            has_tag_table.append(
-                (len(has_tag_table), i, rng.randrange(params.tags)), validate=False
-            )
+            has_tag_rows.append((len(has_tag_rows), i, rng.randrange(params.tags)))
+    catalog.table("post").extend(post_rows, validate=False)
+    catalog.table("has_creator").extend(creator_rows, validate=False)
+    catalog.table("container_of").extend(container_rows, validate=False)
+    catalog.table("has_tag").extend(has_tag_rows, validate=False)
 
     # -- comments ------------------------------------------------------------#
-    comment_table = catalog.table("comment")
-    comment_creator = catalog.table("comment_creator")
-    reply_of = catalog.table("reply_of")
+    comment_rows: list[tuple] = []
+    comment_creator_rows: list[tuple] = []
+    reply_rows: list[tuple] = []
     num_comments = int(num_posts * params.comments_per_post)
     post_weights = _zipf_weights(num_posts) if num_posts else []
     for i in range(num_comments):
         creator = rng.choices(range(n), weights=popularity)[0]
         post = rng.choices(range(num_posts), weights=post_weights)[0]
-        comment_table.append(
-            (i, f"comment {i}", _date(rng)), validate=False
-        )
-        comment_creator.append((len(comment_creator), i, creator), validate=False)
-        reply_of.append((len(reply_of), i, post), validate=False)
+        comment_rows.append((i, f"comment {i}", _date(rng)))
+        comment_creator_rows.append((i, i, creator))
+        reply_rows.append((i, i, post))
+    catalog.table("comment").extend(comment_rows, validate=False)
+    catalog.table("comment_creator").extend(comment_creator_rows, validate=False)
+    catalog.table("reply_of").extend(reply_rows, validate=False)
 
     # -- likes -----------------------------------------------------------------#
-    likes_table = catalog.table("likes")
+    likes_rows: list[tuple] = []
     total_likes = int(n * params.likes_per_person)
     for _ in range(total_likes):
         person = rng.choices(range(n), weights=popularity)[0]
         post = rng.choices(range(num_posts), weights=post_weights)[0]
-        likes_table.append(
-            (len(likes_table), person, post, _date(rng)), validate=False
-        )
+        likes_rows.append((len(likes_rows), person, post, _date(rng)))
+    catalog.table("likes").extend(likes_rows, validate=False)
 
     # -- interests ----------------------------------------------------------------#
-    interest_table = catalog.table("has_interest")
+    interest_rows: list[tuple] = []
     for person in range(n):
         for _ in range(rng.randint(1, int(2 * params.interests_per_person))):
-            interest_table.append(
-                (len(interest_table), person, rng.randrange(params.tags)),
-                validate=False,
+            interest_rows.append(
+                (len(interest_rows), person, rng.randrange(params.tags))
             )
+    catalog.table("has_interest").extend(interest_rows, validate=False)
 
     mapping = _create_mapping(catalog, graph_name)
     catalog.register_graph(mapping)

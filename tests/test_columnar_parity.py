@@ -5,7 +5,10 @@ Two halves:
 * **Workload parity** — executing the same optimized physical plan through
   the columnar protocol and the row protocol must return byte-identical
   ``sorted_rows()`` (and identical ``rows_produced``) across the LDBC and
-  JOB workload queries, for converged and graph-agnostic plans alike.
+  JOB workload queries, for converged and graph-agnostic plans alike — and
+  it must hold under every **storage backend**: numpy-accelerated typed
+  storage, the pure-Python ``array.array`` backend (numpy disabled), and
+  the plain-list fallback.
 * **Selection-vector unit tests** — :class:`repro.exec.ColumnarBatch` edge
   cases (empty selection, the all-selected fast path, selection
   composition) and NULL-key join semantics, plus the numpy-accelerated
@@ -31,6 +34,7 @@ from repro.exec.kernels import (
     rows_to_columnar,
 )
 from repro.graph.index import build_graph_index
+from repro.relational.column import set_storage_backend
 from repro.relational.expr import and_, col, compile_predicate_columnar, gt, lit, lt
 from repro.systems import make_system
 from repro.workloads.job import JobParams, generate_imdb
@@ -40,19 +44,40 @@ from repro.workloads.ldbc.queries import ic_queries, qc_queries, qr_queries
 
 
 # --------------------------------------------------------------------- #
-# workload parity
+# workload parity (x storage backends)
 # --------------------------------------------------------------------- #
+
+# Each backend builds its own catalogs and runs every parity query under
+# its storage/acceleration combination:
+#   numpy — typed array.array storage with ndarray vector views (the fast
+#           path this PR lights up end-to-end);
+#   array — the same typed storage with numpy disabled (pure-Python
+#           fallbacks over C buffers);
+#   list  — plain-list storage, numpy disabled (the reference semantics).
+STORAGE_BACKENDS = ["numpy", "array", "list"]
+
+
+@pytest.fixture(scope="module", params=STORAGE_BACKENDS)
+def storage_backend(request):
+    mode = request.param
+    if mode == "numpy" and not numpy_available():
+        pytest.skip("numpy not installed")
+    set_numpy_enabled(mode == "numpy")
+    set_storage_backend("list" if mode == "list" else "typed")
+    yield mode
+    set_numpy_enabled(None)
+    set_storage_backend(None)
 
 
 @pytest.fixture(scope="module")
-def ldbc_small():
+def ldbc_small(storage_backend):
     catalog, mapping = generate_ldbc(LdbcParams.scaled(0.3, seed=5))
     catalog.register_graph_index(build_graph_index(mapping))
     return catalog
 
 
 @pytest.fixture(scope="module")
-def imdb_small():
+def imdb_small(storage_backend):
     catalog, mapping = generate_imdb(JobParams.scaled(0.3, seed=5))
     catalog.register_graph_index(build_graph_index(mapping))
     return catalog
@@ -200,11 +225,15 @@ needs_numpy = pytest.mark.skipif(not numpy_available(), reason="numpy not instal
 def test_numpy_gather_returns_plain_python_values():
     import numpy as np
 
-    cb = ColumnarBatch([np.arange(100, 110)], 10, [3, 0, 7])
-    values = cb.column(0)
-    assert values == [103, 100, 107]
-    assert all(type(v) is int for v in values)
-    assert all(type(v) is int for row in cb.to_rows() for v in row)
+    try:
+        set_numpy_enabled(True)
+        cb = ColumnarBatch([np.arange(100, 110)], 10, [3, 0, 7])
+        values = cb.column(0)
+        assert values == [103, 100, 107]
+        assert all(type(v) is int for v in values)
+        assert all(type(v) is int for row in cb.to_rows() for v in row)
+    finally:
+        set_numpy_enabled(None)
 
 
 @needs_numpy
@@ -221,6 +250,57 @@ def test_numpy_selection_matches_pure_python():
         assert list(accelerated) == list(expected)
         partial = pred([np.asarray(data)], [1, 2, 4], len(data))
         assert list(partial) == [2, 4]
+    finally:
+        set_numpy_enabled(None)
+
+
+@needs_numpy
+def test_scalar_expand_fallback_feeds_vectorized_closing_expand(fig2):
+    # A LIKE-shaped edge predicate has no numpy mask, so the first Expand
+    # takes the scalar walk; its output column must hold plain Python ints
+    # (never numpy scalars) and must compose with the vectorized closing
+    # Expand downstream (regression: TypeError at bounds[parents], and
+    # np.int64 leaking into row tuples).
+    from repro.exec import ExecutionContext
+    from repro.graph.physical import Expand, ScanVertex
+    from repro.relational.expr import col, starts_with
+
+    catalog, mapping, index = fig2
+    try:
+        set_numpy_enabled(True)
+        open_hop = Expand(
+            ScanVertex(mapping, "a", "Person"),
+            index,
+            mapping,
+            "a",
+            "b",
+            "Person",
+            "Knows",
+            "out",
+            edge_predicate=starts_with(col("date"), "2023-01"),
+        )
+        closing = Expand(
+            open_hop,
+            index,
+            mapping,
+            "b",
+            "a",
+            "Person",
+            "Knows",
+            "out",
+            closing=True,
+        )
+        columnar = [
+            row
+            for cb in closing.columnar_batches(ExecutionContext())
+            for row in cb.to_rows()
+        ]
+        rows = [
+            row for batch in closing.batches(ExecutionContext()) for row in batch
+        ]
+        assert sorted(columnar) == sorted(rows)
+        assert columnar, "the pattern must match something"
+        assert all(type(v) is int for row in columnar for v in row)
     finally:
         set_numpy_enabled(None)
 

@@ -233,7 +233,7 @@ def test_bulk_extend_validates():
 def test_bulk_extend_coerces_types():
     schema = TableSchema("f", [Column("x", DataType.FLOAT)])
     table = Table(schema, rows=[(1,), (2.5,)])
-    assert table.column("x") == [1.0, 2.5]
+    assert list(table.column("x")) == [1.0, 2.5]
 
 
 # --------------------------------------------------------------------- #

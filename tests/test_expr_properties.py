@@ -138,3 +138,16 @@ def test_null_semantics():
     # AND short-circuits on False even with NULLs present.
     pred = BoolOp("AND", (Comparison("=", ref, Literal(1)), Literal(False)))
     assert compile_expr(pred, layout)((None,)) is False
+
+
+def test_columnar_compile_cache_distinguishes_equal_hashing_literals():
+    # Literal(True) == Literal(1) == Literal(1.0) under Python equality, so
+    # the compile memo must key on literal types too: each evaluator has
+    # to emit its own literal's exact value and type (regression test).
+    from repro.relational.expr import compile_expr_columnar
+
+    for value in (True, 1, 1.0):
+        ev = compile_expr_columnar(Literal(value), {})
+        out = ev([], None, 2)
+        assert out == [value, value]
+        assert all(type(v) is type(value) for v in out)
