@@ -148,22 +148,38 @@ class ScanGraphTableOp(PhysicalOperator):
         the base attribute column through the bound variable's rowid column
         — no per-row tuples anywhere on the graph-to-relational bridge, and
         a native ndarray fancy-index when the base column has a typed
-        vector view."""
+        vector view.  Typed base columns therefore reach downstream
+        consumers — in particular the grouped-aggregation engine's
+        factorize / segment-reduction fast paths — still in the array
+        domain.  Gathers are deduplicated per (variable, base column), so a
+        projection naming the same attribute (or the same label constant)
+        twice gathers once and shares the result."""
         fetchers = [self._fetcher(c, vectorized=True) for c in self.clause.columns]
         for cb in self.graph_op.columnar_batches(ctx):
             n = len(cb)
             rowid_cols: dict[int, object] = {}
+            gathered: dict[tuple[int, int], object] = {}
+            constants: dict[str, list] = {}
             columns = []
             for f in fetchers:
                 if f.kind == "label":
-                    columns.append([f.constant] * n)
-                else:
-                    assert f.values is not None
+                    column = constants.get(f.constant)
+                    if column is None:
+                        column = [f.constant] * n
+                        constants[f.constant] = column
+                    columns.append(column)
+                    continue
+                assert f.values is not None
+                key = (f.var_position, id(f.values))
+                column = gathered.get(key)
+                if column is None:
                     rowids = rowid_cols.get(f.var_position)
                     if rowids is None:
                         rowids = cb.column_vector(f.var_position)
                         rowid_cols[f.var_position] = rowids
-                    columns.append(take(f.values, rowids))
+                    column = take(f.values, rowids)
+                    gathered[key] = column
+                columns.append(column)
             yield ColumnarBatch(columns, n, None)
 
     def _stream(self, ctx: ExecutionContext):

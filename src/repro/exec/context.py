@@ -164,7 +164,14 @@ class QueryResult:
 
 def _sort_key(row: tuple) -> tuple:
     # None sorts before everything; mixed types sort by type name first.
-    return tuple((v is not None, type(v).__name__, v) for v in row)
+    # NaN is ranked by a flag and then *neutralized*: ``NaN < x`` and
+    # ``x < NaN`` are both False, so leaving the NaN in the key would stall
+    # the tuple comparison at that element and make canonical order depend
+    # on arrival order — which differs between the row and columnar engines.
+    return tuple(
+        (v is not None, type(v).__name__, v != v, 0.0 if v != v else v)
+        for v in row
+    )
 
 
 def execute_plan(

@@ -1,0 +1,1012 @@
+"""Vectorized grouping: NaN-canonical keys, factorize + segment reductions.
+
+This module is the grouping engine behind ``AggregateOp`` and ``DistinctOp``
+(and the NaN-canonical key helpers the graph side's ``AllDistinct`` shares).
+It replaces the per-row Python-dict walk — the last scalar holdout of the
+columnar runtime — with a three-step array pipeline per batch:
+
+1. **Factorize** each key column to dense group codes.  ndarray columns go
+   through one C-level ``np.unique(return_inverse=True)``; object columns
+   (strings with NULLs, promoted storage, computed expressions) take a
+   loss-free dict walk that produces the same codes.
+2. **Combine** multi-key codes by mixed-radix arithmetic into a single code
+   column, then re-factorize it — group keys decode back out of the radix,
+   so per-row tuples are never built.
+3. **Segment-reduce** the aggregate arguments: COUNT via ``np.bincount``,
+   SUM/AVG/MIN/MAX via one stable argsort of the codes plus
+   ``ufunc.reduceat`` over the sorted values.  NULL-bearing argument
+   columns (plain lists) reduce through an equivalent skip-NULL loop.
+
+Batches then merge into the streaming state by *group*, not by row, so the
+Python-dict work scales with the number of distinct keys per batch.
+
+**Key semantics** (shared by every engine/backend combination):
+
+* NULL (``None``) is a regular grouping value: all NULL keys form one
+  group, as SQL's ``GROUP BY`` / ``DISTINCT`` treatment of NULLs requires.
+* Float ``NaN`` keys are **canonicalized** to a single module-level NaN
+  (:data:`NAN`) before they are hashed or compared.  ``NaN != NaN`` would
+  otherwise put every NaN row in its own group (dict identity) while
+  ``np.unique`` collapses them — the semantics bug this module fixes;
+  Postgres and DuckDB both group NaNs together.
+* Aggregates skip NULLs; an aggregate over no non-NULL input is NULL
+  (COUNT: 0).  For MIN/MAX over floats, NaN orders **above** every other
+  value (the Postgres rule): ``MIN`` only returns NaN when all inputs are
+  NaN, ``MAX`` returns NaN when any input is.  This is what the segment
+  reductions (``np.fmin`` / ``np.maximum``) compute natively, and the
+  row-path accumulators mirror it so the engines agree by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import PlanError
+from repro.exec import vector
+from repro.exec.vector import is_ndarray
+
+#: The canonical NaN key.  Python dicts and sets shortcut equality with an
+#: identity check, so routing every NaN through this one object makes NaN
+#: keys hash- and lookup-stable even though ``NaN != NaN``.
+NAN = float("nan")
+
+#: Sentinel for "no non-NULL value seen yet" in MIN/MAX cells.
+MISSING = object()
+
+#: Mixed-radix code combination stays in exact int64; beyond this radix the
+#: per-batch key space cannot be combined losslessly, so grouping falls back
+#: to the per-row tuple walk for that batch (≥7 near-full-cardinality keys —
+#: not a shape any tracked workload produces).
+_MAX_RADIX = 1 << 62
+
+
+def canonical(value: Any) -> Any:
+    """``value`` with NaN replaced by the canonical :data:`NAN` object.
+
+    Only NaN-like values are not self-equal, so the test is one C-level
+    comparison for every ordinary key (ints, strings, None, dates).
+    """
+    if value != value:
+        return NAN
+    return value
+
+
+def canonical_row(row: tuple) -> tuple:
+    """``row`` with every NaN element canonicalized (same object when clean)."""
+    for v in row:
+        if v != v:
+            return tuple(canonical(v) for v in row)
+    return row
+
+
+def sequence_has_nan(values: Sequence) -> bool:
+    """True when a column holds any NaN (C-level scan for float ndarrays).
+
+    Non-float ndarrays answer in O(1); generic sequences pay one comparison
+    per element — still far cheaper than canonicalizing every row.
+    """
+    if is_ndarray(values):
+        if values.dtype.kind != "f":
+            return False
+        return bool(vector._np.isnan(values).any())
+    for v in values:
+        if v != v:
+            return True
+    return False
+
+
+def canonical_column(values: Sequence) -> Sequence:
+    """A column as plain Python values with every NaN canonicalized.
+
+    Row-boundary helper: the result is safe to zip into key tuples that
+    hash/compare without per-row canonicalization.  Clean inputs come back
+    untouched (the input object for lists, ``tolist`` for ndarrays); dirty
+    float ndarrays pay one ``tolist`` plus O(#NaN) patches.
+    """
+    if is_ndarray(values):
+        if values.dtype.kind != "f":
+            return vector.as_values(values)
+        np = vector._np
+        mask = np.isnan(values)
+        vals = values.tolist()
+        if mask.any():
+            for i in np.flatnonzero(mask).tolist():
+                vals[i] = NAN
+        return vals
+    for v in values:
+        if v != v:
+            return [NAN if v != v else v for v in values]
+    return values
+
+
+def bindings_equal(a: Any, b: Any) -> bool:
+    """Grouping-key equality: identity-or-equality after canonicalization.
+
+    Matches dict/set key semantics (two canonical NaNs are the same object,
+    hence equal) — the scalar counterpart of one factorized group code.
+    """
+    a = canonical(a)
+    b = canonical(b)
+    return a is b or a == b
+
+
+# --------------------------------------------------------------------- #
+# factorization
+# --------------------------------------------------------------------- #
+
+
+def factorize(values: Sequence, n: int) -> tuple[Sequence[int], list]:
+    """Dense group codes for one key column: ``(codes, uniques)``.
+
+    ``codes[j]`` is the group code of row ``j`` (``0 <= code < len(uniques)``)
+    and ``uniques[code]`` is the group's key as a plain Python value (NaN
+    canonicalized).  ndarray columns factorize via one ``np.unique``; every
+    other sequence takes the loss-free dict walk (which is also the NULL /
+    mixed-type reference semantics).  Code order follows np.unique's sorted
+    order on the array path and first-appearance order on the dict path —
+    callers must not rely on either.
+    """
+    if is_ndarray(values) and values.dtype.kind in "biufU":
+        np = vector._np
+        uniques_arr, codes = np.unique(values, return_inverse=True)
+        first_nan = _nan_tail(uniques_arr)
+        if first_nan >= 0:
+            if first_nan < len(uniques_arr) - 1:
+                codes = np.minimum(codes, first_nan)
+            return codes, uniques_arr[:first_nan].tolist() + [NAN]
+        return codes, uniques_arr.tolist()
+    code_of: dict = {}
+    codes_l: list[int] = []
+    uniques_list: list = []
+    append = codes_l.append
+    for v in values:
+        if v != v:
+            v = NAN
+        code = code_of.get(v)
+        if code is None:
+            code = len(uniques_list)
+            code_of[v] = code
+            uniques_list.append(v)
+        append(code)
+    return codes_l, uniques_list
+
+
+def _nan_tail(uniques) -> int:
+    """Index of the first NaN in an ``np.unique`` output array, or -1.
+
+    NaNs sort to the end of np.unique's output.  Newer numpy already
+    collapses them to a single entry; older releases keep one per
+    occurrence — callers fold everything from this index on into one
+    canonical NaN group, version-independently.
+    """
+    if uniques.dtype.kind == "f" and len(uniques) and uniques[-1] != uniques[-1]:
+        return int(vector._np.isnan(uniques).argmax())
+    return -1
+
+
+def _collapse_nan_counts(uniq, counts):
+    """Apply the NaN-collapse rule to a ``(uniques, counts)`` pair:
+    ``(nan_free_uniques, counts, first_nan_index_or_-1)`` with all NaN
+    tallies folded into one trailing count."""
+    first_nan = _nan_tail(uniq)
+    if first_nan < 0:
+        return uniq, counts, -1
+    np = vector._np
+    counts = np.concatenate((counts[:first_nan], [counts[first_nan:].sum()]))
+    return uniq[:first_nan], counts, first_nan
+
+
+def _unique_counts_canonical(column) -> tuple[list, Sequence[int]]:
+    """``np.unique(..., return_counts=True)`` with the NaN-collapse rule:
+    ``(keys, counts)`` where keys are plain Python values, all NaNs folded
+    into one trailing canonical :data:`NAN` entry."""
+    uniq, counts = vector._np.unique(column, return_counts=True)
+    uniq, counts, first_nan = _collapse_nan_counts(uniq, counts)
+    keys = uniq.tolist()
+    if first_nan >= 0:
+        keys.append(NAN)
+    return keys, counts
+
+
+def combine_codes(
+    factorized: list[tuple[Sequence[int], list]], n: int
+):
+    """Fold per-column codes into one dense code column plus decoded keys.
+
+    Returns ``(codes, keys)`` where ``codes`` is an intp ndarray of
+    batch-local group ids and ``keys[g]`` is group ``g``'s key — the bare
+    unique value for a single key column, a tuple for several.  Returns
+    None when the mixed-radix space would overflow exact int64 (the caller
+    then walks the batch per row).  Requires numpy.
+    """
+    np = vector._np
+    if len(factorized) == 1:
+        codes, uniques = factorized[0]
+        if not isinstance(codes, np.ndarray):
+            codes = np.asarray(codes, dtype=np.intp)
+        return codes, uniques
+    radix = 1
+    for _, uniques in factorized:
+        radix *= len(uniques)
+        if radix > _MAX_RADIX:
+            return None
+    combined = None
+    for codes, uniques in factorized:
+        if not isinstance(codes, np.ndarray):
+            codes = np.asarray(codes, dtype=np.int64)
+        else:
+            codes = codes.astype(np.int64, copy=False)
+        combined = codes if combined is None else combined * len(uniques) + codes
+    uniq, codes_out = np.unique(combined, return_inverse=True)
+    # Decode each combined code back to its per-column unique values.
+    key_parts: list[list] = []
+    rem = uniq
+    for _, uniques in reversed(factorized):
+        card = len(uniques)
+        idx = rem % card
+        rem = rem // card
+        key_parts.append([uniques[i] for i in idx.tolist()])
+    key_parts.reverse()
+    return codes_out, list(zip(*key_parts))
+
+
+# --------------------------------------------------------------------- #
+# accumulators (row-path cells; also the merge cells of the batch engine)
+# --------------------------------------------------------------------- #
+
+
+def make_accumulator(func: str):
+    """``(initial_cell, update, final)`` for one aggregate function.
+
+    Cells are O(1) running state — count / (count, sum) / best-so-far — so
+    aggregation buffers scale with the number of groups, not input rows.
+    NULLs are skipped; an aggregate over no non-NULL input is NULL
+    (COUNT: 0).  MIN/MAX order NaN above every non-NaN value (the Postgres
+    rule), which keeps the per-row path batch-order-independent and equal
+    to the segment reductions.
+    """
+    if func == "COUNT":
+        return (
+            0,
+            lambda cell, v: cell + 1 if v is not None else cell,
+            lambda cell: cell,
+        )
+    if func in ("SUM", "AVG"):
+        def update(cell, v):
+            return cell if v is None else (cell[0] + 1, cell[1] + v)
+
+        if func == "SUM":
+            final = lambda cell: cell[1] if cell[0] else None  # noqa: E731
+        else:
+            final = lambda cell: cell[1] / cell[0] if cell[0] else None  # noqa: E731
+        return (0, 0), update, final
+    if func == "MIN":
+        def update(cell, v):
+            if v is None or cell is MISSING:
+                return cell if v is None else v
+            if cell != cell:  # NaN is the greatest: anything displaces it
+                return v
+            if v != v:  # ... and never displaces a non-NaN minimum
+                return cell
+            return v if v < cell else cell
+
+        return MISSING, update, lambda cell: None if cell is MISSING else cell
+    if func == "MAX":
+        def update(cell, v):
+            if v is None or cell is MISSING:
+                return cell if v is None else v
+            if v != v:  # NaN is the greatest: it wins any MAX
+                return v
+            if cell != cell:
+                return cell
+            return v if v > cell else cell
+
+        return MISSING, update, lambda cell: None if cell is MISSING else cell
+    raise PlanError(f"unknown aggregate function {func!r}")
+
+
+def _merge_fn(func: str, update) -> Callable[[Any, Any], Any]:
+    """Merge two cells of ``func`` (associative; both sides may be partial)."""
+    if func == "COUNT":
+        return lambda a, b: a + b
+    if func in ("SUM", "AVG"):
+        return lambda a, b: (a[0] + b[0], a[1] + b[1])
+
+    # MIN/MAX: a partial cell is either MISSING or a plain value, and the
+    # per-row update rule is exactly the pairwise merge rule.
+    def merge(a, b):
+        if b is MISSING:
+            return a
+        return update(a, b)
+
+    return merge
+
+
+# --------------------------------------------------------------------- #
+# segment reductions
+# --------------------------------------------------------------------- #
+
+#: ndarray dtype kinds the ufunc reductions handle; everything else (e.g.
+#: '<U' strings under MIN/MAX) reduces through the skip-NULL loop.
+_REDUCIBLE_KINDS = "biuf"
+
+#: ``np.add.reduceat`` over int64 wraps silently on overflow, while the
+#: row path's Python ints are exact.  Sums whose accumulated magnitude
+#: could reach this bound leave the vectorized path instead.
+_INT_SUM_BOUND = 1 << 62
+
+
+def _int_sum_peak(values) -> int:
+    """Largest absolute value of an int-kind ndarray, as an exact Python
+    int (``np.abs`` itself wraps on the int64 minimum)."""
+    if not len(values):
+        return 0
+    return max(int(values.max()), -int(values.min()))
+
+
+def _segment_reduce_array(func: str, values, order, starts, counts_list):
+    """Per-group cells for one ndarray argument column (no NULLs possible).
+
+    Returns None when the reduction cannot run exactly (int sums that
+    could overflow int64); the caller then uses the Python-int loop.
+    """
+    np = vector._np
+    if func == "COUNT":
+        return counts_list
+    if (
+        func in ("SUM", "AVG")
+        and values.dtype.kind in "iu"
+        and _int_sum_peak(values) * len(values) >= _INT_SUM_BOUND
+    ):
+        return None
+    sorted_values = values[order]
+    if func in ("SUM", "AVG"):
+        totals = np.add.reduceat(sorted_values, starts).tolist()
+        return list(zip(counts_list, totals))
+    if func == "MIN":
+        # fmin skips NaN, so a group's MIN is NaN only when it is all-NaN.
+        return np.fmin.reduceat(sorted_values, starts).tolist()
+    # MAX: maximum propagates NaN — any NaN in the group wins.
+    return np.maximum.reduceat(sorted_values, starts).tolist()
+
+
+def _segment_reduce_seq(func: str, values, codes_list, num_groups: int):
+    """Per-group cells for a generic argument column (NULLs skipped)."""
+    initial, update, _ = make_accumulator(func)
+    cells = [initial] * num_groups
+    for code, v in zip(codes_list, values):
+        if v is not None:
+            cells[code] = update(cells[code], v)
+    return cells
+
+
+# --------------------------------------------------------------------- #
+# typed single-key global state
+# --------------------------------------------------------------------- #
+
+
+class _SingleKeyArrayGroups:
+    """Fully-typed grouping state for one ndarray key column.
+
+    For single-key grouping whose key and argument columns are all
+    ndarrays, the *global* state — not just the per-batch reduction — stays
+    in the array domain: known keys live in a sorted ndarray, batch keys
+    map to group ids via one ``np.searchsorted``, and per-group cells merge
+    by fancy-indexed arithmetic.  No Python-level work per distinct key,
+    which is what makes high-cardinality grouping (cardinality ~ rows)
+    faster than the per-row dict walk rather than merely equal to it.
+
+    NaN keys cannot live in the sorted search array (``NaN != NaN`` breaks
+    the membership test), so the single NaN group — np.unique sorts NaNs
+    last, and :func:`factorize`'s collapse rule applies here too — is
+    tracked as a sidecar gid.  ``keys`` holds one canonical Python key per
+    gid, in creation order.
+    """
+
+    __slots__ = (
+        "funcs",
+        "keys",
+        "_count_only",
+        "_sorted",
+        "_sgids",
+        "_nan_gid",
+        "_cells",
+        "_sum_bounds",
+    )
+
+    def __init__(self, funcs: Sequence[str]):
+        self.funcs = list(funcs)
+        self._count_only = all(f == "COUNT" for f in funcs)
+        self.keys: list = []
+        self._sorted = None
+        self._sgids = None
+        self._nan_gid = -1
+        self._cells: list | None = None
+        #: Per-aggregate accumulated |sum| ceiling for int arguments: the
+        #: typed totals live in int64 arrays, so once the worst case could
+        #: reach _INT_SUM_BOUND the state demotes (exactly, via tolist) to
+        #: the dict engine's Python-int cells instead of wrapping.
+        self._sum_bounds: dict[int, int] = {}
+
+    @staticmethod
+    def eligible(key_col, arg_cols: list) -> bool:
+        """Whether a batch's columns fit the typed state: ndarray key of a
+        sortable kind, and every argument ndarray-reducible (or COUNT(*))."""
+        if not (is_ndarray(key_col) and key_col.dtype.kind in "biufU"):
+            return False
+        return all(
+            values is None
+            or (is_ndarray(values) and values.dtype.kind in _REDUCIBLE_KINDS)
+            for values in arg_cols
+        )
+
+    def consume(self, key_col, arg_cols: list, n: int) -> bool:
+        """Fold one batch in; False when the batch's shapes are ineligible
+        (the caller then demotes this state to the dict engine)."""
+        if not self.eligible(key_col, arg_cols):
+            return False
+        new_bounds: dict[int, int] = {}
+        for i, (func, values) in enumerate(zip(self.funcs, arg_cols)):
+            if (
+                values is not None
+                and func in ("SUM", "AVG")
+                and values.dtype.kind in "iu"
+            ):
+                ceiling = self._sum_bounds.get(i, 0) + _int_sum_peak(values) * n
+                if ceiling >= _INT_SUM_BOUND:
+                    return False
+                new_bounds[i] = ceiling
+        self._sum_bounds.update(new_bounds)
+        np = vector._np
+        count_only = self._count_only
+        if count_only and self._sorted is not None and self._merge_known(key_col):
+            return True
+        if count_only:
+            # COUNT-style aggregates need no row->group codes at all (an
+            # ndarray argument is NULL-free, so COUNT(x) is the group
+            # size): one sort-and-count per batch, as the retired COUNT(*)
+            # special case did — now for any number of COUNTs.
+            uniq, counts = np.unique(key_col, return_counts=True)
+            uniq, counts, nan_local = _collapse_nan_counts(uniq, counts)
+        else:
+            uniq, codes = np.unique(key_col, return_inverse=True)
+            nan_local = _nan_tail(uniq)
+            if nan_local >= 0:
+                if nan_local < len(uniq) - 1:
+                    codes = np.minimum(codes, nan_local)
+                uniq = uniq[:nan_local]
+        num_local = len(uniq) + (1 if nan_local >= 0 else 0)
+        if not count_only:
+            counts = np.bincount(codes, minlength=num_local)
+        order = starts = None
+        partials: list = []
+        for func, values in zip(self.funcs, arg_cols):
+            if values is None or func == "COUNT":
+                partials.append(("count", counts))
+                continue
+            if order is None:
+                order = np.argsort(codes, kind="stable")
+                starts = np.concatenate(([0], np.cumsum(counts[:-1])))
+            sorted_values = values[order]
+            if func in ("SUM", "AVG"):
+                partials.append(
+                    ("sum", counts, np.add.reduceat(sorted_values, starts))
+                )
+            elif func == "MIN":
+                partials.append(("min", np.fmin.reduceat(sorted_values, starts)))
+            else:
+                partials.append(("max", np.maximum.reduceat(sorted_values, starts)))
+        self._merge(uniq, nan_local, num_local, partials)
+        return True
+
+    def _merge_known(self, key_col) -> bool:
+        """COUNT-only steady-state merge: probe every row against the known
+        sorted keys and bincount the hit gids — no per-batch np.unique sort
+        at all.  False (nothing merged) when any row's key is new, or NaN
+        appears (``NaN == NaN`` fails the hit test); the unique-based slow
+        path then handles the batch.
+        """
+        np = vector._np
+        sorted_keys = self._sorted
+        if sorted_keys.dtype != key_col.dtype:
+            return False
+        pos = np.searchsorted(sorted_keys, key_col)
+        np.minimum(pos, len(sorted_keys) - 1, out=pos)
+        if not (sorted_keys[pos] == key_col).all():
+            return False
+        tallies = np.bincount(self._sgids[pos], minlength=len(self.keys))
+        assert self._cells is not None
+        for cell in self._cells:
+            counts = cell[1]
+            counts += tallies
+        return True
+
+    def _merge(self, uniq, nan_local: int, num_local: int, partials: list) -> None:
+        np = vector._np
+        previous = len(self.keys)
+        gids = np.empty(num_local, dtype=np.intp)
+        if len(uniq):
+            if self._sorted is None:
+                known = np.zeros(len(uniq), dtype=bool)
+            else:
+                if self._sorted.dtype != uniq.dtype:
+                    common = np.result_type(self._sorted, uniq)
+                    self._sorted = self._sorted.astype(common)
+                    uniq = uniq.astype(common)
+                pos = np.searchsorted(self._sorted, uniq)
+                clipped = np.minimum(pos, len(self._sorted) - 1)
+                known = (self._sorted[clipped] == uniq) & (pos < len(self._sorted))
+                if known.any():
+                    gids[: len(uniq)][known] = self._sgids[clipped[known]]
+            fresh = ~known
+            if fresh.any():
+                new_keys = uniq[fresh]
+                new_gids = np.arange(
+                    previous, previous + len(new_keys), dtype=np.intp
+                )
+                gids[: len(uniq)][fresh] = new_gids
+                self.keys.extend(new_keys.tolist())
+                if self._sorted is None:
+                    self._sorted = new_keys.copy()
+                    self._sgids = new_gids
+                else:
+                    at = np.searchsorted(self._sorted, new_keys)
+                    self._sorted = np.insert(self._sorted, at, new_keys)
+                    self._sgids = np.insert(self._sgids, at, new_gids)
+        new_locals = np.flatnonzero(gids[: len(uniq)] >= previous)
+        if nan_local >= 0:
+            if self._nan_gid < 0:
+                self._nan_gid = len(self.keys)
+                self.keys.append(NAN)
+                new_locals = np.concatenate((new_locals, [num_local - 1]))
+            gids[num_local - 1] = self._nan_gid
+        exist_locals = np.flatnonzero(gids < previous)
+        exist_gids = gids[exist_locals]
+        if self._cells is None:
+            self._cells = [self._appended(None, p, new_locals) for p in partials]
+            return
+        for i, partial in enumerate(partials):
+            cell = self._appended(self._cells[i], partial, new_locals)
+            if len(exist_locals):
+                cell = self._scattered(cell, partial, exist_locals, exist_gids)
+            self._cells[i] = cell
+
+    @staticmethod
+    def _appended(cell, partial, new_locals):
+        """Cell arrays extended with the new groups' partial values (the
+        partials themselves, so no identity-element corner cases)."""
+        np = vector._np
+        kind = partial[0]
+        if kind == "sum":
+            _, counts, totals = partial
+            if cell is None:
+                return ("sum", counts[new_locals].copy(), totals[new_locals].copy())
+            _, gcounts, gtotals = cell
+            return (
+                "sum",
+                np.concatenate((gcounts, counts[new_locals])),
+                np.concatenate(
+                    (
+                        gtotals.astype(np.result_type(gtotals, totals), copy=False),
+                        totals[new_locals],
+                    )
+                ),
+            )
+        arr = partial[1]
+        if cell is None:
+            return (kind, arr[new_locals].copy())
+        garr = cell[1].astype(np.result_type(cell[1], arr), copy=False)
+        return (kind, np.concatenate((garr, arr[new_locals])))
+
+    @staticmethod
+    def _scattered(cell, partial, locals_, gids):
+        """Merge existing groups' partials by fancy-indexed arithmetic.
+        Group ids are unique within a batch, so in-place index ops are safe."""
+        np = vector._np
+        kind = cell[0]
+        if kind == "count":
+            cell[1][gids] += partial[1][locals_]
+            return cell
+        if kind == "sum":
+            _, gcounts, gtotals = cell
+            _, counts, totals = partial
+            gcounts[gids] += counts[locals_]
+            gtotals = gtotals.astype(np.result_type(gtotals, totals), copy=False)
+            gtotals[gids] = gtotals[gids] + totals[locals_]
+            return ("sum", gcounts, gtotals)
+        arr = cell[1].astype(np.result_type(cell[1], partial[1]), copy=False)
+        if kind == "min":
+            # fmin: NaN never displaces a real minimum (all-NaN stays NaN).
+            arr[gids] = np.fmin(arr[gids], partial[1][locals_])
+        else:
+            # maximum: NaN propagates — any NaN in the group wins MAX.
+            arr[gids] = np.maximum(arr[gids], partial[1][locals_])
+        return (kind, arr)
+
+    # -- output / demotion ---------------------------------------------- #
+
+    def cell_lists(self) -> list[list]:
+        """Cells as the dict engine's Python representation (per aggregate)."""
+        if self._cells is None:
+            return [[] for _ in self.funcs]
+        out: list[list] = []
+        for kind, *arrays in self._cells:
+            if kind == "count":
+                out.append(arrays[0].tolist())
+            elif kind == "sum":
+                out.append(list(zip(arrays[0].tolist(), arrays[1].tolist())))
+            else:
+                out.append(arrays[0].tolist())
+        return out
+
+    def result_columns(self) -> list[list]:
+        columns: list[list] = [list(self.keys)]
+        if self._cells is None:
+            return columns + [[] for _ in self.funcs]
+        for (kind, *arrays), func in zip(self._cells, self.funcs):
+            if kind == "count":
+                columns.append(arrays[0].tolist())
+            elif kind == "sum":
+                if func == "AVG":
+                    columns.append((arrays[1] / arrays[0]).tolist())
+                else:
+                    # Groups only exist for rows seen, and ndarray argument
+                    # columns carry no NULLs — counts are always positive.
+                    columns.append(arrays[1].tolist())
+            else:
+                columns.append(arrays[0].tolist())
+        return columns
+
+
+# --------------------------------------------------------------------- #
+# streaming grouped aggregation
+# --------------------------------------------------------------------- #
+
+
+class GroupedAggregation:
+    """Streaming multi-key grouped aggregation over columnar batches.
+
+    Feed dense per-batch key/argument columns via :meth:`consume`; read the
+    grouped output column-major via :meth:`result_columns` once the input
+    is drained.  State per group is one key entry plus one O(1) cell per
+    aggregate, so :attr:`num_groups` is exactly what a memory budget should
+    charge.
+
+    Args:
+        num_keys: number of grouping key columns.
+        funcs: one aggregate function name per output aggregate.
+    """
+
+    #: First-batch distinct count from which the typed array state takes
+    #: over: below it, per-batch merges touch so few groups that the dict
+    #: engine's Python work is cheaper than the array state's fixed-cost
+    #: vectorized bookkeeping.
+    _ARRAY_MODE_MIN_GROUPS = 128
+
+    def __init__(self, num_keys: int, funcs: Sequence[str]):
+        self.num_keys = num_keys
+        self.funcs = list(funcs)
+        self._count_only = all(f == "COUNT" for f in funcs)
+        accumulators = [make_accumulator(f) for f in funcs]
+        self._initials = [init for init, _, _ in accumulators]
+        self._updates = [update for _, update, _ in accumulators]
+        self._finals = [final for _, _, final in accumulators]
+        self._merges = [
+            _merge_fn(f, update) for f, (_, update, _) in zip(funcs, accumulators)
+        ]
+        self._gid_of: dict = {}
+        self._key_columns: list[list] = [[] for _ in range(num_keys)]
+        self._cells: list[list] = [[] for _ in funcs]
+        self._array: _SingleKeyArrayGroups | None = None
+        self._array_refused = num_keys != 1
+
+    @property
+    def num_groups(self) -> int:
+        if self._array is not None:
+            return len(self._array.keys)
+        return len(self._gid_of)
+
+    def consume(self, key_cols: list, arg_cols: list, n: int) -> None:
+        """Fold one batch into the grouped state.
+
+        ``key_cols`` are the dense grouping columns (ndarray or sequence,
+        each of ``n`` visible rows); ``arg_cols`` align with the configured
+        aggregates (None for COUNT(*), whose argument is implicit).
+        """
+        if not n:
+            return
+        if self._array is not None:
+            if self._array.consume(key_cols[0], arg_cols, n):
+                return
+            # Ineligible batch shapes (list column, string MIN/MAX, ...):
+            # demote the typed state to the dict engine, permanently.
+            self._demote_array()
+        if vector.numpy_enabled() and self._consume_vectorized(
+            key_cols, arg_cols, n
+        ):
+            return
+        self._consume_rows(key_cols, arg_cols, n)
+
+    def _maybe_promote(
+        self, key_col, arg_cols: list, observed_groups: int, n: int
+    ) -> bool:
+        """Switch an empty state to the typed array engine when the first
+        batch reveals high cardinality; consumes the batch on success."""
+        if (
+            self._array_refused
+            or self._gid_of
+            or observed_groups < self._ARRAY_MODE_MIN_GROUPS
+            or not _SingleKeyArrayGroups.eligible(key_col, arg_cols)
+        ):
+            return False
+        self._array = _SingleKeyArrayGroups(self.funcs)
+        return self._array.consume(key_col, arg_cols, n)
+
+    def _demote_array(self) -> None:
+        array = self._array
+        assert array is not None
+        self._array = None
+        self._array_refused = True
+        self._gid_of = {key: gid for gid, key in enumerate(array.keys)}
+        self._key_columns = [list(array.keys)]
+        self._cells = array.cell_lists()
+
+    # -- vectorized batch path ---------------------------------------- #
+
+    def _consume_vectorized(self, key_cols: list, arg_cols: list, n: int) -> bool:
+        np = vector._np
+        if (
+            self._count_only
+            and self.num_keys == 1
+            and is_ndarray(key_cols[0])
+            and key_cols[0].dtype.kind in "biufU"
+            # COUNT(x) equals the group size only when x cannot hold NULLs
+            # — i.e. it is an ndarray (or the implicit COUNT(*) argument).
+            # A list argument may carry Nones and must count per row.
+            and all(
+                v is None or (is_ndarray(v) and v.dtype.kind != "O")
+                for v in arg_cols
+            )
+        ):
+            # COUNT-style aggregates over one ndarray key need no
+            # row->group codes: one sort-and-count per batch, then a merge
+            # over the batch's (few) distinct keys — the general form of
+            # the retired COUNT(*) special case.
+            keys, counts = _unique_counts_canonical(key_cols[0])
+            if self._maybe_promote(key_cols[0], arg_cols, len(keys), n):
+                return True
+            counts_list = counts.tolist()
+            self._merge(keys, [counts_list] * len(self.funcs))
+            return True
+        if self.num_keys:
+            factorized = [factorize(c, n) for c in key_cols]
+            if self.num_keys == 1 and self._maybe_promote(
+                key_cols[0], arg_cols, len(factorized[0][1]), n
+            ):
+                return True
+            combined = combine_codes(factorized, n)
+            if combined is None:  # mixed-radix overflow: rare, walk the rows
+                return False
+            codes, keys = combined
+            num_groups = len(keys)
+        else:
+            codes = np.zeros(n, dtype=np.intp)
+            keys = [()]
+            num_groups = 1
+        counts = np.bincount(codes, minlength=num_groups)
+        counts_list = counts.tolist()
+        order = starts = codes_list = None
+        partials: list = []
+        for func, values in zip(self.funcs, arg_cols):
+            if values is None:  # COUNT(*)
+                partials.append(counts_list)
+                continue
+            partial = None
+            if is_ndarray(values) and values.dtype.kind in _REDUCIBLE_KINDS:
+                if order is None:
+                    order = np.argsort(codes, kind="stable")
+                    starts = np.concatenate(([0], np.cumsum(counts[:-1])))
+                partial = _segment_reduce_array(
+                    func, values, order, starts, counts_list
+                )
+            if partial is None:  # list column, or an overflow-prone int sum
+                if codes_list is None:
+                    codes_list = (
+                        codes.tolist() if isinstance(codes, np.ndarray) else codes
+                    )
+                # as_values: ndarray inputs must reduce over plain Python
+                # values here (exact big-int sums, no numpy scalars in cells).
+                partial = _segment_reduce_seq(
+                    func, vector.as_values(values), codes_list, num_groups
+                )
+            partials.append(partial)
+        self._merge(keys, partials)
+        return True
+
+    def _merge(self, keys: list, partials: list) -> None:
+        """Fold one batch's per-group partial cells into the global state."""
+        gid_of = self._gid_of
+        get = gid_of.get
+        key_columns = self._key_columns
+        cells = self._cells
+        merges = self._merges
+        single = self.num_keys == 1
+        for g, key in enumerate(keys):
+            gid = get(key)
+            if gid is None:
+                gid = len(gid_of)
+                gid_of[key] = gid
+                if single:
+                    key_columns[0].append(key)
+                else:
+                    for i, v in enumerate(key):
+                        key_columns[i].append(v)
+                for i, partial in enumerate(partials):
+                    cells[i].append(partial[g])
+            else:
+                for i, partial in enumerate(partials):
+                    cells[i][gid] = merges[i](cells[i][gid], partial[g])
+
+    # -- per-row reference path ---------------------------------------- #
+
+    def _consume_rows(self, key_cols: list, arg_cols: list, n: int) -> None:
+        gid_of = self._gid_of
+        get = gid_of.get
+        key_columns = self._key_columns
+        cells = self._cells
+        updates = self._updates
+        initials = self._initials
+        num_keys = self.num_keys
+        key_cols = [canonical_column(c) for c in key_cols]
+        single = key_cols[0] if num_keys == 1 else None
+        for j in range(n):
+            if single is not None:
+                key = single[j]
+            elif num_keys:
+                key = tuple(c[j] for c in key_cols)
+            else:
+                key = ()
+            gid = get(key)
+            if gid is None:
+                gid = len(gid_of)
+                gid_of[key] = gid
+                if single is not None:
+                    key_columns[0].append(key)
+                else:
+                    for i, v in enumerate(key):
+                        key_columns[i].append(v)
+                for i, init in enumerate(initials):
+                    cells[i].append(init)
+            for i, values in enumerate(arg_cols):
+                v = 1 if values is None else values[j]
+                if v is not None:
+                    cells[i][gid] = updates[i](cells[i][gid], v)
+
+    # -- output --------------------------------------------------------- #
+
+    def ensure_group(self) -> None:
+        """Materialize the single global group of a no-key aggregation over
+        empty input (``SELECT COUNT(*) FROM empty`` is one row, not zero)."""
+        if self.num_keys == 0 and not self._gid_of:
+            self._gid_of[()] = 0
+            for i, init in enumerate(self._initials):
+                self._cells[i].append(init)
+
+    def result_columns(self) -> list[list]:
+        """The grouped output, column-major: key columns then one finalized
+        column per aggregate.  Never transposes through row tuples."""
+        if self._array is not None:
+            return self._array.result_columns()
+        out: list[list] = list(self._key_columns)
+        for final, cells in zip(self._finals, self._cells):
+            out.append([final(cell) for cell in cells])
+        return out
+
+
+# --------------------------------------------------------------------- #
+# streaming distinct
+# --------------------------------------------------------------------- #
+
+#: Cumulative batch-local distinct ratio above which StreamingDistinct
+#: stops factorizing (near-unique data: decoding ~n keys per batch costs
+#: more than walking the n rows), and the row count before the ratio is
+#: trusted.
+_DISTINCT_FALLBACK_RATIO = 0.5
+_DISTINCT_FALLBACK_MIN_ROWS = 2048
+
+
+class StreamingDistinct:
+    """Streaming DISTINCT over columnar batches with canonical NaN keys.
+
+    :meth:`positions` returns, per batch, the visible-row positions (in
+    arrival order) whose full row key was never seen before — the batch's
+    survivors.  The vectorized path factorizes every column and dedups on
+    combined group codes, touching Python once per batch-distinct key; the
+    fallback walks row tuples.  Both feed one seen-set of canonicalized
+    keys, so survivors are identical batch-split-independently.
+
+    Factorization only pays off when batches actually repeat keys — on
+    near-unique data (distinct ratio ~1) decoding every batch-distinct key
+    costs more than the row walk it replaces.  The state therefore tracks
+    the cumulative batch-local distinct ratio and drops to the row walk for
+    good once it exceeds :data:`_DISTINCT_FALLBACK_RATIO` (key formats are
+    identical, so switching mid-stream is free).
+    """
+
+    def __init__(self) -> None:
+        self._seen: set = set()
+        self._rows = 0
+        self._batch_distinct = 0
+        self._vectorize = True
+
+    @property
+    def seen_count(self) -> int:
+        return len(self._seen)
+
+    def positions(self, columns: list, n: int) -> list[int]:
+        if not n:
+            return []
+        if self._vectorize and vector.numpy_enabled() and columns:
+            kept = self._positions_vectorized(columns, n)
+            if kept is not None:
+                return kept
+        return self._positions_rows(columns, n)
+
+    def _positions_vectorized(self, columns: list, n: int):
+        np = vector._np
+        combined = combine_codes([factorize(c, n) for c in columns], n)
+        if combined is None:
+            return None
+        codes, keys = combined
+        _, first_positions = np.unique(codes, return_index=True)
+        self._rows += n
+        self._batch_distinct += len(keys)
+        if (
+            self._rows >= _DISTINCT_FALLBACK_MIN_ROWS
+            and self._batch_distinct > self._rows * _DISTINCT_FALLBACK_RATIO
+        ):
+            self._vectorize = False
+        seen = self._seen
+        add = seen.add
+        kept: list[int] = []
+        if len(columns) == 1:
+            keys = [(k,) for k in keys]
+        for key, pos in zip(keys, first_positions.tolist()):
+            if key not in seen:
+                add(key)
+                kept.append(pos)
+        kept.sort()
+        return kept
+
+    def _positions_rows(self, columns: list, n: int) -> list[int]:
+        seen = self._seen
+        add = seen.add
+        kept: list[int] = []
+        if not columns:
+            if () not in seen:
+                add(())
+                kept.append(0)
+            return kept
+        # Column-wise canonicalization (O(#NaN) patches per batch) keeps
+        # the hot dedup loop free of per-row canonicalization calls: the
+        # zipped tuples are already canonical keys.
+        rows: Iterable[tuple] = zip(*(canonical_column(c) for c in columns))
+        return [
+            j for j, row in enumerate(rows) if not (row in seen or add(row))
+        ]
+
+
+__all__ = [
+    "NAN",
+    "MISSING",
+    "canonical",
+    "canonical_row",
+    "canonical_column",
+    "sequence_has_nan",
+    "bindings_equal",
+    "factorize",
+    "combine_codes",
+    "make_accumulator",
+    "GroupedAggregation",
+    "StreamingDistinct",
+]

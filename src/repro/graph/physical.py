@@ -59,6 +59,7 @@ from repro.exec.kernels import (
     scalar_key,
     tuple_key,
 )
+from repro.exec.grouping import bindings_equal
 from repro.exec.operator import Batch, Operator
 from repro.exec.vector import (
     ColumnarBatch,
@@ -1319,7 +1320,18 @@ class EdgeFilter(GraphOperator):
 
 class AllDistinct(GraphOperator):
     """The all-distinct operator: keep rows whose vertex (or edge) bindings
-    are pairwise distinct — upgrades homomorphism to isomorphism semantics."""
+    are pairwise distinct — upgrades homomorphism to isomorphism semantics.
+
+    Distinctness only needs checking between bindings of the *same* label
+    (cross-label bindings address different relations), so the operator
+    precomputes those column pairs.  The columnar path compares whole
+    columns pairwise — one vectorized ``!=`` per pair when the bound
+    columns are integer ndarrays (rowids always are) — instead of building
+    a Python set per row.  Binding equality follows the grouping engine's
+    canonical-key rule (:func:`repro.exec.grouping.bindings_equal`): bound
+    rowids are ints today, but any future float binding compares NaN-safe,
+    matching ``GROUP BY`` / ``DISTINCT`` semantics.
+    """
 
     def __init__(self, child: GraphOperator, kind: str = "v"):
         self.child = child
@@ -1330,16 +1342,26 @@ class AllDistinct(GraphOperator):
             for i, var in enumerate(child.output_vars)
             if var.kind == kind
         ]
+        by_label: dict[str, list[int]] = {}
+        for i, label in self._indices:
+            by_label.setdefault(label, []).append(i)
+        self._pairs = [
+            (a, b)
+            for columns in by_label.values()
+            for pos, a in enumerate(columns)
+            for b in columns[pos + 1 :]
+        ]
 
     def children(self) -> list[Operator]:
         return [self.child]
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        indices = self._indices
-        n = len(indices)
+        pairs = self._pairs
+        if not pairs:
+            return emit_batches(ctx, self.cached_label(), self.child.batches(ctx))
 
         def distinct(row: tuple) -> bool:
-            return len({(label, row[i]) for i, label in indices}) == n
+            return not any(bindings_equal(row[a], row[b]) for a, b in pairs)
 
         return emit_batches(
             ctx, self._label(), filter_batches(self.child.batches(ctx), distinct)
@@ -1349,19 +1371,40 @@ class AllDistinct(GraphOperator):
         return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        indices = self._indices
-        n = len(indices)
+        pairs = self._pairs
+        if not pairs:
+            yield from self.child.columnar_batches(ctx)
+            return
         for cb in self.child.columnar_batches(ctx):
-            checked = [(cb.column(i), label) for i, label in indices]
-            keep = [
+            vectors = {i: cb.column_vector(i) for i in {i for p in pairs for i in p}}
+            if all(
+                is_ndarray(v) and v.dtype.kind in "iu" for v in vectors.values()
+            ):
+                # Integer rowid columns: one whole-column comparison per
+                # pair, AND-ed into a survivor mask (NaN impossible).
+                mask = None
+                for a, b in pairs:
+                    unequal = vectors[a] != vectors[b]
+                    mask = unequal if mask is None else mask & unequal
+                if mask.all():
+                    yield cb
+                    continue
+                keep = mask.nonzero()[0]
+                if len(keep):
+                    yield cb.take(keep)
+                continue
+            checked = {i: as_values(v) for i, v in vectors.items()}
+            keep_l = [
                 j
                 for j in range(len(cb))
-                if len({(label, column[j]) for column, label in checked}) == n
+                if not any(
+                    bindings_equal(checked[a][j], checked[b][j]) for a, b in pairs
+                )
             ]
-            if len(keep) == len(cb):
+            if len(keep_l) == len(cb):
                 yield cb
-            elif keep:
-                yield cb.take(keep)
+            elif keep_l:
+                yield cb.take(keep_l)
 
     def _label(self) -> str:
         return f"ALL_DISTINCT ({self.kind})"

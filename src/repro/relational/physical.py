@@ -49,6 +49,13 @@ from repro.exec.kernels import (
     tuple_key,
 )
 from repro.exec.kernels import csr_expand_filtered
+from repro.exec.grouping import (
+    GroupedAggregation,
+    StreamingDistinct,
+    canonical_row,
+    make_accumulator,
+    sequence_has_nan,
+)
 from repro.exec.operator import Batch, Operator
 from repro.exec.vector import (
     ColumnarBatch,
@@ -881,70 +888,17 @@ class CsrJoin(PhysicalOperator):
         )
 
 
-def _np_unique_counts(column):
-    """``np.unique(..., return_counts=True)`` as plain Python values."""
-    from repro.exec import vector
-
-    uniques, tallies = vector._np.unique(column, return_counts=True)
-    return uniques.tolist(), tallies.tolist()
-
-
-def _has_nan(column) -> bool:
-    """True when a float ndarray contains NaN (non-float kinds: False)."""
-    from repro.exec import vector
-
-    if column.dtype.kind != "f":
-        return False
-    return bool(vector._np.isnan(column).any())
-
-
-_MISSING = object()
-
-
-def _make_accumulator(func: str):
-    """(initial_cell, update, final) for one aggregate function.
-
-    Cells are O(1) running state — count / (count, sum) / best-so-far — so
-    aggregation buffers scale with the number of groups, not input rows.
-    NULLs are skipped; an aggregate over no non-NULL input is NULL (COUNT: 0).
-    """
-    if func == "COUNT":
-        return (
-            0,
-            lambda cell, v: cell + 1 if v is not None else cell,
-            lambda cell: cell,
-        )
-    if func in ("SUM", "AVG"):
-        def update(cell, v):
-            return cell if v is None else (cell[0] + 1, cell[1] + v)
-
-        if func == "SUM":
-            final = lambda cell: cell[1] if cell[0] else None  # noqa: E731
-        else:
-            final = lambda cell: cell[1] / cell[0] if cell[0] else None  # noqa: E731
-        return (0, 0), update, final
-    if func == "MIN":
-        def update(cell, v):
-            if v is None:
-                return cell
-            return v if cell is _MISSING or v < cell else cell
-
-        return _MISSING, update, lambda cell: None if cell is _MISSING else cell
-    if func == "MAX":
-        def update(cell, v):
-            if v is None:
-                return cell
-            return v if cell is _MISSING or v > cell else cell
-
-        return _MISSING, update, lambda cell: None if cell is _MISSING else cell
-    raise PlanError(f"unknown aggregate function {func!r}")
-
-
 class AggregateOp(PhysicalOperator):
     """Hash aggregation with O(1) running state per (group, aggregate).
 
     The buffered state — one cell list per group — is charged per new
     group, so only genuinely wide aggregations trip the memory budget.
+
+    The columnar path runs the factorize + segment-reduction engine of
+    :mod:`repro.exec.grouping` (group keys factorized to dense codes,
+    COUNT/SUM/AVG/MIN/MAX as NULL-aware segment reductions); the row path
+    is the per-row reference it must agree with.  Both canonicalize NaN
+    keys so all NaN rows fall into one group (SQL grouping semantics).
     """
 
     def __init__(
@@ -967,99 +921,60 @@ class AggregateOp(PhysicalOperator):
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
-    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        """Columnar aggregation: group keys and aggregate arguments are
-        extracted as whole columns, so the per-row work is dict maintenance
-        only.  ``COUNT(*)`` over a single group column degenerates to a
-        bare counting loop over that column."""
+    def _column_getters(self, exprs: list["Expr | None"]):
+        """Per-expression batch-column extractors.
+
+        Plain column references read :meth:`ColumnarBatch.column_vector`
+        directly so ndarray columns stay in the array domain (the factorize
+        / segment-reduction fast paths); computed expressions evaluate to
+        dense lists; None (COUNT(*)) passes through.
+        """
         layout = self.child.layout()
-        group_evs = [compile_expr_columnar(e, layout) for e, _ in self.group_by]
-        agg_evs = [
-            compile_expr_columnar(a.arg, layout) if a.arg is not None else None
-            for a in self.aggregates
-        ]
-        accumulators = [_make_accumulator(a.func) for a in self.aggregates]
-        initials = [init for init, _, _ in accumulators]
-        updates = [update for _, update, _ in accumulators]
-        finals = [final for _, _, final in accumulators]
-        count_star_only = len(self.aggregates) == 1 and (
-            self.aggregates[0].func == "COUNT" and self.aggregates[0].arg is None
+        getters = []
+        for expr in exprs:
+            if expr is None:
+                getters.append(None)
+                continue
+            idx = _plain_ref_index(expr, self.child.output_columns)
+            if idx is not None:
+                getters.append(
+                    lambda cb, idx=idx: cb.column_vector(idx)
+                )
+            else:
+                ev = compile_expr_columnar(expr, layout)
+                getters.append(
+                    lambda cb, ev=ev: ev(cb.columns, cb.selection, cb.length)
+                )
+        return getters
+
+    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        """Columnar aggregation through the grouping engine: per batch, key
+        columns factorize to dense group codes and every aggregate runs as
+        a segment reduction, so Python-level work scales with the batch's
+        distinct keys.  Output is emitted column-major straight from the
+        engine's grouped state — no row-tuple transpose."""
+        key_getters = self._column_getters([e for e, _ in self.group_by])
+        arg_getters = self._column_getters([a.arg for a in self.aggregates])
+        engine = GroupedAggregation(
+            len(key_getters), [a.func for a in self.aggregates]
         )
-        single_group = len(group_evs) == 1
-        group_ref_idx = None
-        if count_star_only and single_group:
-            group_ref_idx = _plain_ref_index(
-                self.group_by[0][0], self.child.output_columns
-            )
         buffer = ctx.buffer(self._label())
         try:
-            if count_star_only and single_group:
-                counts: dict[Any, int] = {}
-                get = counts.get
-                for cb in self.child.columnar_batches(ctx):
-                    before = len(counts)
-                    column = (
-                        cb.column_vector(group_ref_idx)
-                        if group_ref_idx is not None
-                        else None
-                    )
-                    if (
-                        column is not None
-                        and is_ndarray(column)
-                        and not _has_nan(column)
-                    ):
-                        # Grouping on a plain ndarray column: one C-level
-                        # sort-and-count per batch, then a dict merge over
-                        # the (few) distinct keys.  NaN-bearing batches take
-                        # the dict loop instead — np.unique collapses NaNs
-                        # into one group, Python dict identity does not.
-                        uniques, tallies = _np_unique_counts(column)
-                        for key, tally in zip(uniques, tallies):
-                            counts[key] = get(key, 0) + tally
-                    else:
-                        keys = group_evs[0](cb.columns, cb.selection, cb.length)
-                        for key in keys:
-                            counts[key] = get(key, 0) + 1
-                    buffer.grow(len(counts) - before)
-                out_rows = [(key, count) for key, count in counts.items()]
-            else:
-                groups: dict[Any, list[Any]] = {}
-                for cb in self.child.columnar_batches(ctx):
-                    n = len(cb)
-                    gcols = [ev(cb.columns, cb.selection, cb.length) for ev in group_evs]
-                    acols = [
-                        ev(cb.columns, cb.selection, cb.length) if ev is not None else None
-                        for ev in agg_evs
-                    ]
-                    if single_group:
-                        keys = gcols[0]
-                    elif gcols:
-                        keys = list(zip(*gcols))
-                    else:
-                        keys = [()] * n
-                    for j, key in enumerate(keys):
-                        cells = groups.get(key)
-                        if cells is None:
-                            cells = list(initials)
-                            groups[key] = cells
-                            buffer.grow(1)
-                        for i, update in enumerate(updates):
-                            acol = acols[i]
-                            cells[i] = update(cells[i], acol[j] if acol is not None else 1)
-                if not groups and not self.group_by:
-                    groups[()] = list(initials)
-                if single_group:
-                    out_rows = [
-                        (key,) + tuple(f(c) for f, c in zip(finals, cells))
-                        for key, cells in groups.items()
-                    ]
-                else:
-                    out_rows = [
-                        key + tuple(f(c) for f, c in zip(finals, cells))
-                        for key, cells in groups.items()
-                    ]
-            for chunk in chunked(out_rows, ctx.batch_size):
-                yield ColumnarBatch.from_rows(chunk)
+            for cb in self.child.columnar_batches(ctx):
+                n = len(cb)
+                key_cols = [get(cb) for get in key_getters]
+                arg_cols = [get(cb) if get is not None else None for get in arg_getters]
+                before = engine.num_groups
+                engine.consume(key_cols, arg_cols, n)
+                buffer.grow(engine.num_groups - before)
+            engine.ensure_group()
+            columns = engine.result_columns()
+            total = engine.num_groups
+            size = ctx.batch_size
+            for start in range(0, total, size):
+                yield ColumnarBatch(
+                    columns, total, range(start, min(start + size, total))
+                )
         finally:
             buffer.release()
 
@@ -1070,7 +985,7 @@ class AggregateOp(PhysicalOperator):
             compile_expr(a.arg, layout) if a.arg is not None else None
             for a in self.aggregates
         ]
-        accumulators = [_make_accumulator(a.func) for a in self.aggregates]
+        accumulators = [make_accumulator(a.func) for a in self.aggregates]
         initials = [init for init, _, _ in accumulators]
         updates = [update for _, update, _ in accumulators]
         finals = [final for _, _, final in accumulators]
@@ -1079,7 +994,10 @@ class AggregateOp(PhysicalOperator):
             groups: dict[tuple, list[Any]] = {}
             for batch in self.child.batches(ctx):
                 for row in batch:
-                    key = tuple(ev(row) for ev in group_evs)
+                    # canonical_row folds every NaN key into one group —
+                    # without it each NaN row would open its own group
+                    # (dict identity), contradicting SQL semantics.
+                    key = canonical_row(tuple(ev(row) for ev in group_evs))
                     cells = groups.get(key)
                     if cells is None:
                         cells = list(initials)
@@ -1174,6 +1092,8 @@ class SortOp(PhysicalOperator):
 
 def _null_safe_key(value: Any) -> tuple:
     return (value is not None, value if value is not None else 0)
+
+
 
 
 class _Descending:
@@ -1355,10 +1275,12 @@ class TopKOp(PhysicalOperator):
         column = cb.column_vector(key_ref_idx)
         if not is_ndarray(column):
             return None
-        if _has_nan(column):
+        if sequence_has_nan(column):
             # NaN poisons both the partition pivot (a NaN pivot admits
             # nothing) and ordered comparisons; the generic decorated path
-            # shares the row protocol's semantics for such keys.
+            # shares the row protocol's semantics for such keys.  (Only
+            # ordered admission still needs a NaN scan — grouping
+            # canonicalizes NaN keys instead of detouring around them.)
             return None
         n = len(column)
         k = self.limit
@@ -1566,7 +1488,14 @@ class LimitOp(PhysicalOperator):
 
 
 class DistinctOp(PhysicalOperator):
-    """Streaming dedup; the seen-set is the charged buffered state."""
+    """Streaming dedup; the seen-set is the charged buffered state.
+
+    Keys are NaN-canonical (all-NaN rows dedup together, matching the
+    grouping engine and SQL semantics).  The columnar path factorizes the
+    batch's columns and dedups on combined group codes
+    (:class:`repro.exec.grouping.StreamingDistinct`); survivors are emitted
+    as a selection over the input batch — no row materialization.
+    """
 
     def __init__(self, child: PhysicalOperator):
         self.child = child
@@ -1582,19 +1511,16 @@ class DistinctOp(PhysicalOperator):
         return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        # Dedup hashes whole rows, so rows materialize here (the seen-set
-        # is genuinely row-shaped state); survivors re-enter the columnar
-        # flow immediately.
+        state = StreamingDistinct()
         buffer = ctx.buffer(self._label())
         try:
-            seen: set[tuple] = set()
-            add = seen.add
             for cb in self.child.columnar_batches(ctx):
-                rows = cb.to_rows()
-                fresh = [row for row in rows if not (row in seen or add(row))]
-                if fresh:
-                    buffer.grow(len(fresh))
-                    yield ColumnarBatch.from_rows(fresh)
+                columns = [cb.column_vector(i) for i in range(cb.width)]
+                kept = state.positions(columns, len(cb))
+                if not kept:
+                    continue
+                buffer.grow(len(kept))
+                yield cb if len(kept) == len(cb) else cb.take(kept)
         finally:
             buffer.release()
 
@@ -1602,11 +1528,19 @@ class DistinctOp(PhysicalOperator):
         buffer = ctx.buffer(self._label())
         try:
             seen: set[tuple] = set()
+            add = seen.add
             for batch in self.child.batches(ctx):
                 out: list[tuple] = []
                 for row in batch:
-                    if row not in seen:
-                        seen.add(row)
+                    # Inline NaN probe: clean rows (the overwhelming case)
+                    # dedup on the tuple itself, no canonicalization call.
+                    key = row
+                    for v in row:
+                        if v != v:
+                            key = canonical_row(row)
+                            break
+                    if key not in seen:
+                        add(key)
                         out.append(row)
                 if out:
                     buffer.grow(len(out))

@@ -105,8 +105,9 @@ class Table:
 
         One arity pass and one per-column validate pass replace the
         per-row/per-value work of repeated :meth:`append`; on typed columns
-        the final extend is a single C-level buffer fill, which is what the
-        workload generators' bulk loads spend their time in.
+        the final extend is a single C-level buffer fill.  Loaders that
+        already hold column-major data should call :meth:`extend_columns`
+        instead and skip the transpose entirely.
         """
         rows = rows if isinstance(rows, list) else list(rows)
         if not rows:
@@ -120,17 +121,54 @@ class Table:
                 )
         if ncols == 0:
             return
-        # Validate every column before mutating any, so a bad value cannot
-        # leave the table with ragged columns.
-        validated: list[list[Any]] = []
-        for i, col in enumerate(self.schema.columns):
-            values = [row[i] for row in rows]
-            if validate:
+        self._load_columns(
+            [[row[i] for row in rows] for i in range(ncols)], validate
+        )
+
+    def extend_columns(
+        self, columns: Sequence[Sequence[Any]], validate: bool = True
+    ) -> None:
+        """Bulk append from pre-built columns — the column-major fast path.
+
+        ``columns`` holds one equal-length value sequence per schema column,
+        in schema order.  Skipping the row-tuple transpose is what makes
+        typed bulk loads cheaper than plain-list appends instead of ~1.4x
+        dearer (see ``BENCH_exec.json`` ``bulk_load``); the workload
+        generators accumulate column-major and load through here.
+        """
+        ncols = len(self._column_list)
+        if len(columns) != ncols:
+            raise SchemaError(
+                f"column count {len(columns)} does not match schema "
+                f"{self.schema.name!r} with {ncols} columns"
+            )
+        if ncols == 0:
+            return
+        length = len(columns[0])
+        for position, values in enumerate(columns):
+            if len(values) != length:
+                raise SchemaError(
+                    f"ragged columns: column {position} has {len(values)} "
+                    f"values, expected {length} (table {self.schema.name!r})"
+                )
+        if not length:
+            return
+        self._load_columns(list(columns), validate)
+
+    def _load_columns(self, columns: list[Sequence[Any]], validate: bool) -> None:
+        """Shared column-major load tail (arity/length already checked).
+
+        Validates every column before mutating any, so a bad value cannot
+        leave the table with ragged columns.  The outer ``columns`` list
+        must be owned by the caller (validation replaces its entries); the
+        per-column value sequences are only read, never mutated.
+        """
+        if validate:
+            for i, col in enumerate(self.schema.columns):
                 check = col.dtype.validate
-                values = [check(v) for v in values]
-            validated.append(values)
+                columns[i] = [check(v) for v in columns[i]]
         first_rowid = len(self._column_list[0])
-        for position, values in enumerate(validated):
+        for position, values in enumerate(columns):
             column = self._column_list[position]
             updated = extend_values(column, values)
             if updated is not column:
@@ -139,7 +177,7 @@ class Table:
         index = self._pk_index
         if index is not None:
             assert self._pk_pos is not None
-            new_keys = validated[self._pk_pos]
+            new_keys = columns[self._pk_pos]
             # Scan for duplicates (against the index or within the batch)
             # before touching the cached dict: a duplicate defers the error
             # to the next pk_index() rebuild — exactly the lazy path's

@@ -23,6 +23,7 @@ from repro.graph.rgmapping import RGMapping
 from repro.relational.catalog import Catalog
 from repro.relational.schema import Column, ForeignKey, TableSchema
 from repro.relational.types import DataType
+from repro.workloads.loader import ColumnLoader
 
 COUNTRY_CODES = ["[us]", "[de]", "[gb]", "[fr]", "[jp]", "[in]", "[it]", "[ca]"]
 INFO_TYPES = [
@@ -68,92 +69,103 @@ def _zipf_weights(n: int, exponent: float = 0.85) -> list[float]:
 def generate_imdb(
     params: JobParams | None = None, graph_name: str = "imdb"
 ) -> tuple[Catalog, RGMapping]:
-    """Rows accumulate per table and bulk-load with one ``Table.extend``
-    each, filling typed column storage via C-level buffer extends; the rng
-    call sequence matches the historical per-row loader exactly."""
+    """Rows accumulate column-major (one ``ColumnLoader`` per table) and
+    bulk-load with one ``Table.extend_columns`` each, filling typed column
+    storage via C-level buffer extends with no row-tuple transpose; the
+    rng call sequence matches the historical per-row loader exactly."""
     params = params or JobParams()
     rng = random.Random(params.seed)
     catalog = Catalog()
     _create_tables(catalog)
 
     # -- dimension tables -------------------------------------------------- #
-    catalog.table("info_type").extend(
-        list(enumerate(INFO_TYPES)), validate=False
+    catalog.table("info_type").extend_columns(
+        [list(range(len(INFO_TYPES))), list(INFO_TYPES)], validate=False
     )
-    catalog.table("company_type").extend(
-        list(enumerate(COMPANY_KINDS)), validate=False
+    catalog.table("company_type").extend_columns(
+        [list(range(len(COMPANY_KINDS))), list(COMPANY_KINDS)], validate=False
     )
-    catalog.table("keyword").extend(
+    catalog.table("keyword").extend_columns(
         [
-            (i, SPECIAL_KEYWORDS[i] if i < len(SPECIAL_KEYWORDS) else f"kw-{i}")
-            for i in range(params.keywords)
+            list(range(params.keywords)),
+            [
+                SPECIAL_KEYWORDS[i] if i < len(SPECIAL_KEYWORDS) else f"kw-{i}"
+                for i in range(params.keywords)
+            ],
         ],
         validate=False,
     )
-    company_rows = []
+    company = ColumnLoader(3)
     for i in range(params.companies):
         code = COUNTRY_CODES[min(int(rng.expovariate(1.4)), len(COUNTRY_CODES) - 1)]
-        company_rows.append((i, f"Studio {i}", code))
-    catalog.table("company_name").extend(company_rows, validate=False)
+        company.add(i, f"Studio {i}", code)
+    company.load_into(catalog, "company_name")
 
     # -- titles / names ------------------------------------------------------#
-    title_rows = []
+    title = ColumnLoader(4)
     for i in range(params.titles):
         year = 1950 + min(int(rng.expovariate(0.03)), 74)
-        title_rows.append((i, f"Movie {i:05d}", 2024 - (year - 1950), 1))
-    catalog.table("title").extend(title_rows, validate=False)
-    name_rows = []
+        title.add(i, f"Movie {i:05d}", 2024 - (year - 1950), 1)
+    title.load_into(catalog, "title")
+    name = ColumnLoader(3)
     for i in range(params.names):
         letter = chr(ord("A") + (i % 26))
         gender = "m" if rng.random() < 0.6 else "f"
-        name_rows.append((i, f"{letter}. Actor{i:05d}", gender))
-    catalog.table("name").extend(name_rows, validate=False)
+        name.add(i, f"{letter}. Actor{i:05d}", gender)
+    name.load_into(catalog, "name")
 
     title_weights = _zipf_weights(params.titles)
     name_weights = _zipf_weights(params.names)
 
     # -- cast_info (vertex) + derived edges ----------------------------------#
-    cast_rows, ci_name_rows, ci_title_rows = [], [], []
+    cast = ColumnLoader(3)
+    ci_name = ColumnLoader(3)
+    ci_title = ColumnLoader(3)
     total_cast = int(params.titles * params.cast_per_title)
     for i in range(total_cast):
         t = rng.choices(range(params.titles), weights=title_weights)[0]
         n = rng.choices(range(params.names), weights=name_weights)[0]
-        cast_rows.append((i, rng.randint(1, 10), f"role note {i % 7}"))
-        ci_name_rows.append((i, i, n))
-        ci_title_rows.append((i, i, t))
-    catalog.table("cast_info").extend(cast_rows, validate=False)
-    catalog.table("cast_info_name").extend(ci_name_rows, validate=False)
-    catalog.table("cast_info_title").extend(ci_title_rows, validate=False)
+        cast.add(i, rng.randint(1, 10), f"role note {i % 7}")
+        ci_name.add(i, i, n)
+        ci_title.add(i, i, t)
+    cast.load_into(catalog, "cast_info")
+    ci_name.load_into(catalog, "cast_info_name")
+    ci_title.load_into(catalog, "cast_info_title")
 
     # -- movie_keyword (edge) -------------------------------------------------#
     kw_weights = _zipf_weights(params.keywords, exponent=1.0)
-    mk_rows = []
+    mk = ColumnLoader(3)
     total_mk = int(params.titles * params.keywords_per_title)
     for i in range(total_mk):
         t = rng.choices(range(params.titles), weights=title_weights)[0]
         k = rng.choices(range(params.keywords), weights=kw_weights)[0]
-        mk_rows.append((i, t, k))
-    catalog.table("movie_keyword").extend(mk_rows, validate=False)
+        mk.add(i, t, k)
+    mk.load_into(catalog, "movie_keyword")
 
     # -- movie_companies (vertex) + derived edges ------------------------------#
-    mc_rows, mc_title_rows, mc_company_rows, mc_type_rows = [], [], [], []
+    mc = ColumnLoader(2)
+    mc_title = ColumnLoader(3)
+    mc_company = ColumnLoader(3)
+    mc_type = ColumnLoader(3)
     company_weights = _zipf_weights(params.companies)
     total_mc = int(params.titles * params.companies_per_title)
     for i in range(total_mc):
         t = rng.choices(range(params.titles), weights=title_weights)[0]
         c = rng.choices(range(params.companies), weights=company_weights)[0]
         kind = 0 if rng.random() < 0.7 else 1
-        mc_rows.append((i, f"note {i % 11}"))
-        mc_title_rows.append((i, i, t))
-        mc_company_rows.append((i, i, c))
-        mc_type_rows.append((i, i, kind))
-    catalog.table("movie_companies").extend(mc_rows, validate=False)
-    catalog.table("movie_companies_title").extend(mc_title_rows, validate=False)
-    catalog.table("movie_companies_company").extend(mc_company_rows, validate=False)
-    catalog.table("movie_companies_type").extend(mc_type_rows, validate=False)
+        mc.add(i, f"note {i % 11}")
+        mc_title.add(i, i, t)
+        mc_company.add(i, i, c)
+        mc_type.add(i, i, kind)
+    mc.load_into(catalog, "movie_companies")
+    mc_title.load_into(catalog, "movie_companies_title")
+    mc_company.load_into(catalog, "movie_companies_company")
+    mc_type.load_into(catalog, "movie_companies_type")
 
     # -- movie_info / movie_info_idx (vertices) + derived edges ----------------#
-    mi_rows, mi_title_rows, mi_type_rows = [], [], []
+    mi = ColumnLoader(2)
+    mi_title = ColumnLoader(3)
+    mi_type = ColumnLoader(3)
     total_mi = int(params.titles * params.infos_per_title)
     for i in range(total_mi):
         t = rng.choices(range(params.titles), weights=title_weights)[0]
@@ -164,33 +176,32 @@ def generate_imdb(
             info = rng.choice(["English", "German", "French", "Japanese"])
         else:
             info = str(rng.randint(1, 99999))
-        mi_rows.append((i, info))
-        mi_title_rows.append((i, i, t))
-        mi_type_rows.append((i, i, it))
-    catalog.table("movie_info").extend(mi_rows, validate=False)
-    catalog.table("movie_info_title").extend(mi_title_rows, validate=False)
-    catalog.table("movie_info_type").extend(mi_type_rows, validate=False)
+        mi.add(i, info)
+        mi_title.add(i, i, t)
+        mi_type.add(i, i, it)
+    mi.load_into(catalog, "movie_info")
+    mi_title.load_into(catalog, "movie_info_title")
+    mi_type.load_into(catalog, "movie_info_type")
 
-    midx_rows, midx_title_rows, midx_type_rows = [], [], []
+    midx = ColumnLoader(2)
+    midx_title = ColumnLoader(3)
+    midx_type = ColumnLoader(3)
     rating_type = INFO_TYPES.index("rating")
     votes_type = INFO_TYPES.index("votes")
-    count = 0
     for t in range(params.titles):
         if rng.random() > params.idx_fraction:
             continue
         rating = f"{rng.uniform(1.0, 9.9):.1f}"
-        midx_rows.append((count, rating))
-        midx_title_rows.append((count, count, t))
-        midx_type_rows.append((count, count, rating_type))
-        count += 1
+        midx.add(midx.count, rating)
+        midx_title.add(midx_title.count, midx_title.count, t)
+        midx_type.add(midx_type.count, midx_type.count, rating_type)
         votes = str(rng.randint(10, 99999))
-        midx_rows.append((count, votes))
-        midx_title_rows.append((count, count, t))
-        midx_type_rows.append((count, count, votes_type))
-        count += 1
-    catalog.table("movie_info_idx").extend(midx_rows, validate=False)
-    catalog.table("movie_info_idx_title").extend(midx_title_rows, validate=False)
-    catalog.table("movie_info_idx_type").extend(midx_type_rows, validate=False)
+        midx.add(midx.count, votes)
+        midx_title.add(midx_title.count, midx_title.count, t)
+        midx_type.add(midx_type.count, midx_type.count, votes_type)
+    midx.load_into(catalog, "movie_info_idx")
+    midx_title.load_into(catalog, "movie_info_idx_title")
+    midx_type.load_into(catalog, "movie_info_idx_type")
 
     mapping = _create_mapping(catalog, graph_name)
     catalog.register_graph(mapping)

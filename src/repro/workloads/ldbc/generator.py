@@ -30,6 +30,7 @@ from repro.graph.rgmapping import RGMapping
 from repro.relational.catalog import Catalog
 from repro.relational.schema import Column, ForeignKey, TableSchema
 from repro.relational.types import DataType
+from repro.workloads.loader import ColumnLoader
 
 FIRST_NAMES = [
     "Jan", "Jun", "Ali", "Ken", "Abe", "Ada", "Eva", "Ian", "Lee", "Mia",
@@ -92,11 +93,13 @@ def generate_ldbc(
 ) -> tuple[Catalog, RGMapping]:
     """Build the catalog, load synthetic data, and register the RGMapping.
 
-    Rows are accumulated per table and bulk-loaded with one
-    :meth:`~repro.relational.table.Table.extend` per table, so typed column
-    storage fills via single C-level buffer extends instead of per-row
-    appends.  The rng call sequence is identical to the historical per-row
-    loader — datasets are byte-for-byte stable across the change.
+    Rows accumulate column-major (one :class:`~repro.workloads.loader.ColumnLoader` per table) and
+    bulk-load with one
+    :meth:`~repro.relational.table.Table.extend_columns` per table, so
+    typed column storage fills via single C-level buffer extends with no
+    row-tuple transpose.  The rng call sequence is identical to the
+    historical per-row loader — datasets are byte-for-byte stable across
+    the change.
     """
     params = params or LdbcParams()
     rng = random.Random(params.seed)
@@ -105,40 +108,41 @@ def generate_ldbc(
     _create_tables(catalog)
 
     # -- places / tags --------------------------------------------------- #
-    catalog.table("place").extend(
-        [(i, COUNTRIES[i % len(COUNTRIES)]) for i in range(params.places)],
+    catalog.table("place").extend_columns(
+        [
+            list(range(params.places)),
+            [COUNTRIES[i % len(COUNTRIES)] for i in range(params.places)],
+        ],
         validate=False,
     )
-    catalog.table("tag").extend(
+    catalog.table("tag").extend_columns(
         [
-            (i, f"{TAG_STEMS[i % len(TAG_STEMS)]}_{i}")
-            for i in range(params.tags)
+            list(range(params.tags)),
+            [f"{TAG_STEMS[i % len(TAG_STEMS)]}_{i}" for i in range(params.tags)],
         ],
         validate=False,
     )
 
     # -- persons ----------------------------------------------------------#
-    person_rows: list[tuple] = []
-    located_rows: list[tuple] = []
+    person = ColumnLoader(5)
+    located = ColumnLoader(3)
     n = params.persons
     for i in range(n):
-        person_rows.append(
-            (
-                i,
-                FIRST_NAMES[i % len(FIRST_NAMES)],
-                LAST_NAMES[(i * 7) % len(LAST_NAMES)],
-                _date(rng, 1950, 2005),
-                _date(rng, 2019, 2023),
-            )
+        person.add(
+            i,
+            FIRST_NAMES[i % len(FIRST_NAMES)],
+            LAST_NAMES[(i * 7) % len(LAST_NAMES)],
+            _date(rng, 1950, 2005),
+            _date(rng, 2019, 2023),
         )
-        located_rows.append((i, i, rng.randrange(params.places)))
-    catalog.table("person").extend(person_rows, validate=False)
-    catalog.table("is_located_in").extend(located_rows, validate=False)
+        located.add(i, i, rng.randrange(params.places))
+    person.load_into(catalog, "person")
+    located.load_into(catalog, "is_located_in")
 
     popularity = _zipf_weights(n)
 
     # -- knows (symmetric, power-law) ------------------------------------ #
-    knows_rows: list[tuple] = []
+    knows = ColumnLoader(4)
     knows_pairs: set[tuple[int, int]] = set()
     target_edges = (n * params.avg_friends) // 2
     attempts = 0
@@ -151,79 +155,75 @@ def generate_ldbc(
         knows_pairs.add((min(a, b), max(a, b)))
     for a, b in sorted(knows_pairs):
         date = _date(rng)
-        knows_rows.append((len(knows_rows), a, b, date))
-        knows_rows.append((len(knows_rows), b, a, date))
-    catalog.table("knows").extend(knows_rows, validate=False)
+        knows.add(knows.count, a, b, date)
+        knows.add(knows.count, b, a, date)
+    knows.load_into(catalog, "knows")
 
     # -- forums ------------------------------------------------------------#
-    forum_rows: list[tuple] = []
-    member_rows: list[tuple] = []
+    forum = ColumnLoader(3)
+    member = ColumnLoader(4)
     for i in range(params.forums):
-        forum_rows.append(
-            (i, f"Forum {TAG_STEMS[i % len(TAG_STEMS)]} {i}", _date(rng))
-        )
+        forum.add(i, f"Forum {TAG_STEMS[i % len(TAG_STEMS)]} {i}", _date(rng))
         member_count = max(2, int(rng.expovariate(1.0 / params.members_per_forum)))
         members = {
             rng.choices(range(n), weights=popularity)[0]
             for _ in range(member_count)
         }
-        for person in sorted(members):
-            member_rows.append((len(member_rows), i, person, _date(rng)))
-    catalog.table("forum").extend(forum_rows, validate=False)
-    catalog.table("has_member").extend(member_rows, validate=False)
+        for p in sorted(members):
+            member.add(member.count, i, p, _date(rng))
+    forum.load_into(catalog, "forum")
+    member.load_into(catalog, "has_member")
 
     # -- posts --------------------------------------------------------------#
-    post_rows: list[tuple] = []
-    creator_rows: list[tuple] = []
-    container_rows: list[tuple] = []
-    has_tag_rows: list[tuple] = []
+    post = ColumnLoader(4)
+    creator = ColumnLoader(3)
+    container = ColumnLoader(3)
+    has_tag = ColumnLoader(3)
     num_posts = int(n * params.posts_per_person)
     for i in range(num_posts):
-        creator = rng.choices(range(n), weights=popularity)[0]
-        forum = rng.randrange(params.forums)
-        post_rows.append((i, f"post content {i}", 20 + (i * 13) % 180, _date(rng)))
-        creator_rows.append((i, i, creator))
-        container_rows.append((i, forum, i))
+        author = rng.choices(range(n), weights=popularity)[0]
+        forum_id = rng.randrange(params.forums)
+        post.add(i, f"post content {i}", 20 + (i * 13) % 180, _date(rng))
+        creator.add(i, i, author)
+        container.add(i, forum_id, i)
         for _ in range(rng.randint(0, int(2 * params.tags_per_post))):
-            has_tag_rows.append((len(has_tag_rows), i, rng.randrange(params.tags)))
-    catalog.table("post").extend(post_rows, validate=False)
-    catalog.table("has_creator").extend(creator_rows, validate=False)
-    catalog.table("container_of").extend(container_rows, validate=False)
-    catalog.table("has_tag").extend(has_tag_rows, validate=False)
+            has_tag.add(has_tag.count, i, rng.randrange(params.tags))
+    post.load_into(catalog, "post")
+    creator.load_into(catalog, "has_creator")
+    container.load_into(catalog, "container_of")
+    has_tag.load_into(catalog, "has_tag")
 
     # -- comments ------------------------------------------------------------#
-    comment_rows: list[tuple] = []
-    comment_creator_rows: list[tuple] = []
-    reply_rows: list[tuple] = []
+    comment = ColumnLoader(3)
+    comment_creator = ColumnLoader(3)
+    reply = ColumnLoader(3)
     num_comments = int(num_posts * params.comments_per_post)
     post_weights = _zipf_weights(num_posts) if num_posts else []
     for i in range(num_comments):
-        creator = rng.choices(range(n), weights=popularity)[0]
-        post = rng.choices(range(num_posts), weights=post_weights)[0]
-        comment_rows.append((i, f"comment {i}", _date(rng)))
-        comment_creator_rows.append((i, i, creator))
-        reply_rows.append((i, i, post))
-    catalog.table("comment").extend(comment_rows, validate=False)
-    catalog.table("comment_creator").extend(comment_creator_rows, validate=False)
-    catalog.table("reply_of").extend(reply_rows, validate=False)
+        author = rng.choices(range(n), weights=popularity)[0]
+        target = rng.choices(range(num_posts), weights=post_weights)[0]
+        comment.add(i, f"comment {i}", _date(rng))
+        comment_creator.add(i, i, author)
+        reply.add(i, i, target)
+    comment.load_into(catalog, "comment")
+    comment_creator.load_into(catalog, "comment_creator")
+    reply.load_into(catalog, "reply_of")
 
     # -- likes -----------------------------------------------------------------#
-    likes_rows: list[tuple] = []
+    likes = ColumnLoader(4)
     total_likes = int(n * params.likes_per_person)
     for _ in range(total_likes):
-        person = rng.choices(range(n), weights=popularity)[0]
-        post = rng.choices(range(num_posts), weights=post_weights)[0]
-        likes_rows.append((len(likes_rows), person, post, _date(rng)))
-    catalog.table("likes").extend(likes_rows, validate=False)
+        p = rng.choices(range(n), weights=popularity)[0]
+        target = rng.choices(range(num_posts), weights=post_weights)[0]
+        likes.add(likes.count, p, target, _date(rng))
+    likes.load_into(catalog, "likes")
 
     # -- interests ----------------------------------------------------------------#
-    interest_rows: list[tuple] = []
-    for person in range(n):
+    interest = ColumnLoader(3)
+    for p in range(n):
         for _ in range(rng.randint(1, int(2 * params.interests_per_person))):
-            interest_rows.append(
-                (len(interest_rows), person, rng.randrange(params.tags))
-            )
-    catalog.table("has_interest").extend(interest_rows, validate=False)
+            interest.add(interest.count, p, rng.randrange(params.tags))
+    interest.load_into(catalog, "has_interest")
 
     mapping = _create_mapping(catalog, graph_name)
     catalog.register_graph(mapping)

@@ -1,0 +1,34 @@
+"""Column-major bulk-load accumulator shared by the workload generators."""
+
+from __future__ import annotations
+
+from repro.relational.catalog import Catalog
+
+
+class ColumnLoader:
+    """Column-major row accumulator for one table.
+
+    ``add(*values)`` appends one logical row directly into per-column
+    lists, so the eventual
+    :meth:`~repro.relational.table.Table.extend_columns` fills typed
+    storage straight from columns — no row tuples, no transpose.
+    ``count`` doubles as the running id for tables whose primary key is
+    the load position.
+    """
+
+    __slots__ = ("columns", "count")
+
+    def __init__(self, width: int):
+        self.columns: list[list] = [[] for _ in range(width)]
+        self.count = 0
+
+    def add(self, *values) -> None:
+        for column, value in zip(self.columns, values):
+            column.append(value)
+        self.count += 1
+
+    def load_into(self, catalog: Catalog, table: str) -> None:
+        catalog.table(table).extend_columns(self.columns, validate=False)
+
+
+__all__ = ["ColumnLoader"]

@@ -368,3 +368,77 @@ def test_columnar_topk_matches_row_path_with_nan_keys():
         rows = [row for b in plan.batches(ExecutionContext()) for row in b]
         assert len(columnar) == 2
         assert repr(columnar) == repr(rows)  # repr: NaN != NaN under ==
+
+
+# --------------------------------------------------------------------- #
+# column-major bulk loading (extend_columns)
+# --------------------------------------------------------------------- #
+
+
+def _columns_of(rows):
+    return [list(c) for c in zip(*rows)]
+
+
+def test_extend_columns_equivalent_to_extend():
+    by_rows = Table(make_schema(), rows=ROWS)
+    by_columns = Table(make_schema())
+    by_columns.extend_columns(_columns_of(ROWS))
+    assert list(by_rows.iter_rows()) == list(by_columns.iter_rows())
+    for name in ("id", "score", "name", "day"):
+        assert type(by_rows.column(name)) is type(by_columns.column(name))
+
+
+def test_extend_columns_validates_and_rejects_bad_values():
+    table = Table(make_schema())
+    bad = _columns_of(ROWS)
+    bad[1][1] = "not a float"
+    with pytest.raises(SchemaError):
+        table.extend_columns(bad)
+    # Validation failed before any storage mutation: table stays empty.
+    assert table.num_rows == 0
+
+
+def test_extend_columns_rejects_wrong_column_count_and_ragged_input():
+    table = Table(make_schema())
+    with pytest.raises(SchemaError):
+        table.extend_columns(_columns_of(ROWS)[:3])
+    ragged = _columns_of(ROWS)
+    ragged[2] = ragged[2][:2]
+    with pytest.raises(SchemaError):
+        table.extend_columns(ragged)
+    assert table.num_rows == 0
+
+
+def test_extend_columns_promotes_null_bearing_typed_column():
+    table = Table(make_schema())
+    columns = _columns_of(ROWS)
+    columns[1][0] = None  # NULL in the FLOAT column
+    table.extend_columns(columns)
+    if storage_backend() == "typed":
+        assert type(table.column("score")) is list
+    assert table.value(0, "score") is None
+    assert table.value(1, "score") == 2.5
+
+
+def test_extend_columns_maintains_cached_pk_index():
+    table = Table(make_schema(), rows=ROWS)
+    index = table.pk_index()
+    table.extend_columns(_columns_of([(3, 9.5, "d", "2020-01-01")]))
+    assert index[3] == 3
+    assert table.pk_lookup(3) == 3
+
+
+def test_extend_columns_duplicate_pk_keeps_lazy_error_semantics():
+    table = Table(make_schema(), rows=ROWS)
+    index = table.pk_index()
+    table.extend_columns(_columns_of([(1, 9.5, "d", "2020-01-01")]))
+    # The shared dict is not polluted; the rebuild raises lazily.
+    assert 1 in index and index[1] == 1
+    with pytest.raises(SchemaError):
+        table.pk_index()
+
+
+def test_extend_columns_empty_is_a_no_op():
+    table = Table(make_schema(), rows=ROWS)
+    table.extend_columns([[], [], [], []])
+    assert table.num_rows == len(ROWS)
