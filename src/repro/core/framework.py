@@ -87,6 +87,11 @@ class RelGoConfig:
     # legacy row-tuple protocol; results are identical (parity-tested), so
     # this is a performance knob kept for columnar-vs-row comparisons.
     columnar: bool = True
+    # Degree of morsel-driven parallelism for plan execution; None reads
+    # REPRO_PARALLELISM at execute time (default 1 = serial).  The
+    # optimizer and its plan traces are unaffected — parallel plans are
+    # rewritten per execution (exchange operators over leaf morsels).
+    parallelism: int | None = None
 
 
 @dataclass
@@ -179,6 +184,7 @@ class RelGoFramework:
             memory_budget_rows=self.config.memory_budget_rows,
             batch_size=self.config.batch_size,
             columnar=self.config.columnar,
+            parallelism=self.config.parallelism,
         )
 
     def execute_iter(self, optimized: OptimizedQuery):
@@ -189,15 +195,24 @@ class RelGoFramework:
         budget; only genuinely buffering operators (hash builds, sorts)
         charge the budget.  Yields lists of row tuples.
         """
-        ctx = ExecutionContext(memory_budget_rows=self.config.memory_budget_rows)
+        from repro.exec.scheduler import parallelize_plan, resolve_parallelism
+
+        parallelism = resolve_parallelism(self.config.parallelism)
+        ctx = ExecutionContext(
+            memory_budget_rows=self.config.memory_budget_rows,
+            parallelism=parallelism,
+        )
         if self.config.batch_size is not None:
             ctx.batch_size = self.config.batch_size
+        plan = optimized.physical
+        if parallelism > 1:
+            plan = parallelize_plan(plan, parallelism, ctx.batch_size)
         if self.config.columnar:
             # Vectorized pull; rows materialize only at this yield boundary.
-            for cb in optimized.physical.columnar_batches(ctx):
+            for cb in plan.columnar_batches(ctx):
                 yield cb.to_rows()
         else:
-            yield from optimized.physical.batches(ctx)
+            yield from plan.batches(ctx)
 
     def run(self, query: SPJMQuery) -> tuple[QueryResult, OptimizedQuery]:
         optimized = self.optimize(query)

@@ -26,6 +26,12 @@ state — which is exactly what the memory budget charges.
   /dedup keys and the factorize + segment-reduction kernels behind
   ``AggregateOp`` / ``DistinctOp`` (``GroupedAggregation``,
   ``StreamingDistinct``).
+* :mod:`repro.exec.scheduler` — morsel-driven parallel execution: the
+  worker pool, the ordered :class:`ExchangeOp` merge, per-worker partial
+  state folds for pipeline breakers, and the plan rewriter
+  (:func:`parallelize_plan`, driven by ``REPRO_PARALLELISM`` /
+  ``RelGoConfig.parallelism``; ``parallelism=1`` preserves serial
+  execution byte for byte).
 """
 
 from repro.exec.context import (
@@ -37,6 +43,12 @@ from repro.exec.context import (
     execute_plan,
 )
 from repro.exec.operator import MaterializeOp, Operator, materialize_plan
+from repro.exec.scheduler import (
+    ExchangeOp,
+    default_parallelism,
+    morsel_ranges,
+    parallelize_plan,
+)
 from repro.exec.vector import (
     ColumnarBatch,
     numpy_available,
@@ -54,6 +66,10 @@ __all__ = [
     "Operator",
     "MaterializeOp",
     "materialize_plan",
+    "ExchangeOp",
+    "default_parallelism",
+    "morsel_ranges",
+    "parallelize_plan",
     "ColumnarBatch",
     "numpy_available",
     "numpy_enabled",

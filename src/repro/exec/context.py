@@ -14,6 +14,7 @@ handle via :meth:`ExecutionContext.buffer` and grow it as rows accumulate.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -37,39 +38,83 @@ class Buffer:
     may exceed the budget" — matching the semantics the OOM reproduction
     was calibrated against.  The context additionally tracks the total and
     peak buffered rows across all live buffers for observability.
+
+    Under a parallel context (``ctx.parallelism > 1``) all mutations go
+    through the context's lock, so buffers may be grown from worker
+    threads (the parallel hash-join build charges one shared buffer from
+    every worker, keeping the cumulative OOM trip point byte-identical to
+    serial execution); serial contexts skip the lock — the default
+    single-threaded hot path pays nothing.  ``tracked=False`` buffers — the
+    per-worker *partial* states of parallel aggregation / distinct / top-k
+    — still enforce the per-buffer budget, but stay out of the
+    ``buffered_rows`` / ``peak_buffered_rows`` aggregates: each partial is
+    a subset of the merged state, which the consumer charges in full, so
+    tracking both would double-count one logical intermediate.
     """
 
-    __slots__ = ("_ctx", "label", "rows")
+    __slots__ = ("_ctx", "label", "rows", "tracked")
 
-    def __init__(self, ctx: "ExecutionContext", label: str):
+    def __init__(self, ctx: "ExecutionContext", label: str, tracked: bool = True):
         self._ctx = ctx
         self.label = label
         self.rows = 0
+        self.tracked = tracked
 
     def grow(self, rows: int) -> None:
         """Account for ``rows`` newly buffered rows; raise OOM over budget."""
         if rows <= 0:
             return
-        self.rows += rows
         ctx = self._ctx
-        ctx.buffered_rows += rows
-        if ctx.buffered_rows > ctx.peak_buffered_rows:
-            ctx.peak_buffered_rows = ctx.buffered_rows
+        if ctx.parallelism > 1:
+            with ctx.lock:
+                self._grow(ctx, rows)
+        else:
+            self._grow(ctx, rows)
+
+    def _grow(self, ctx: "ExecutionContext", rows: int) -> None:
+        self.rows += rows
+        if self.tracked:
+            ctx.buffered_rows += rows
+            if ctx.buffered_rows > ctx.peak_buffered_rows:
+                ctx.peak_buffered_rows = ctx.buffered_rows
         budget = ctx.memory_budget_rows
         if budget is not None and self.rows > budget:
             raise OutOfMemoryError(self.rows, budget)
 
     def shrink(self, rows: int) -> None:
         """Account for ``rows`` buffered rows being dropped (e.g. TopK prune)."""
+        if rows <= 0:
+            return
+        ctx = self._ctx
+        if ctx.parallelism > 1:
+            with ctx.lock:
+                self._shrink(ctx, rows)
+        else:
+            self._shrink(ctx, rows)
+
+    def _shrink(self, ctx: "ExecutionContext", rows: int) -> None:
+        # Clamp under the lock: a read-then-lock clamp would let two
+        # concurrent shrinks of a shared buffer both observe the same
+        # rows and double-decrement the accounting.
         rows = min(rows, self.rows)
         if rows <= 0:
             return
         self.rows -= rows
-        self._ctx.buffered_rows -= rows
+        if self.tracked:
+            ctx.buffered_rows -= rows
 
     def release(self) -> None:
         """Release the whole buffer (operator finished or was cancelled)."""
-        self._ctx.buffered_rows -= self.rows
+        ctx = self._ctx
+        if ctx.parallelism > 1:
+            with ctx.lock:
+                self._release(ctx)
+        else:
+            self._release(ctx)
+
+    def _release(self, ctx: "ExecutionContext") -> None:
+        if self.tracked:
+            ctx.buffered_rows -= self.rows
         self.rows = 0
 
 
@@ -93,6 +138,11 @@ class ExecutionContext:
         min_batch_size: floor for adaptively shrunk chunks.
         buffered_rows / peak_buffered_rows: current and high-water total of
             rows held by live :class:`Buffer` handles.
+        parallelism: degree of morsel-driven parallelism the executed plan
+            may use (1 = serial, today's behavior).  Under a parallel
+            context, counters and buffers are lock-protected so one
+            context is shared by all workers; serial contexts skip the
+            lock entirely.
     """
 
     memory_budget_rows: int | None = None
@@ -104,16 +154,28 @@ class ExecutionContext:
     min_batch_size: int = MIN_BATCH_SIZE
     buffered_rows: int = 0
     peak_buffered_rows: int = 0
+    parallelism: int = 1
+    lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def emit(self, rows: int, label: str = "") -> None:
         """Count ``rows`` rows emitted downstream by operator ``label``."""
+        if self.parallelism > 1:
+            with self.lock:
+                self.rows_produced += rows
+                if label:
+                    self.operator_rows[label] = (
+                        self.operator_rows.get(label, 0) + rows
+                    )
+            return
         self.rows_produced += rows
         if label:
             self.operator_rows[label] = self.operator_rows.get(label, 0) + rows
 
-    def buffer(self, label: str = "") -> Buffer:
+    def buffer(self, label: str = "", tracked: bool = True) -> Buffer:
         """Open a :class:`Buffer` accounting handle for buffered state."""
-        return Buffer(self, label)
+        return Buffer(self, label, tracked)
 
     def expansion_batch_size(self, rows_in: int, rows_out: int) -> int:
         """Target chunk size for an expansion with the observed fan-out.
@@ -179,6 +241,7 @@ def execute_plan(
     memory_budget_rows: int | None = None,
     batch_size: int | None = None,
     columnar: bool = True,
+    parallelism: int | None = None,
 ) -> QueryResult:
     """Run a physical plan to completion and package the result.
 
@@ -191,19 +254,33 @@ def execute_plan(
     result boundary) or the legacy row-tuple path.  Both produce identical
     rows — the parity suite pins this — so the flag is a performance knob,
     kept for the columnar-vs-row executor benchmarks.
+
+    ``parallelism`` enables morsel-driven parallel execution: the plan is
+    rewritten (non-destructively, at this call) with exchange operators
+    over per-morsel chain clones and pulled with a worker pool of that
+    size.  ``None`` reads ``REPRO_PARALLELISM`` (default 1 = serial, the
+    byte-for-byte reference behavior).
     """
-    ctx = ExecutionContext(memory_budget_rows=memory_budget_rows)
+    from repro.exec.scheduler import parallelize_plan, resolve_parallelism
+
+    resolved = resolve_parallelism(parallelism)
+    ctx = ExecutionContext(
+        memory_budget_rows=memory_budget_rows, parallelism=resolved
+    )
     if batch_size is not None:
         ctx.batch_size = batch_size
+    executed = plan
+    if resolved > 1:
+        executed = parallelize_plan(plan, resolved, ctx.batch_size)
     result_buffer = ctx.buffer("RESULT")
     rows: list[tuple] = []
     if columnar:
-        for cb in plan.columnar_batches(ctx):
+        for cb in executed.columnar_batches(ctx):
             batch = cb.to_rows()
             rows.extend(batch)
             result_buffer.grow(len(batch))
     else:
-        for batch in plan.batches(ctx):
+        for batch in executed.batches(ctx):
             rows.extend(batch)
             result_buffer.grow(len(batch))
     return QueryResult(

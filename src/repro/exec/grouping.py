@@ -623,6 +623,51 @@ class _SingleKeyArrayGroups:
             arr[gids] = np.maximum(arr[gids], partial[1][locals_])
         return (kind, arr)
 
+    # -- partial-state merging ------------------------------------------ #
+
+    def merge_state(self, other: "_SingleKeyArrayGroups") -> bool:
+        """Merge another typed state in (the parallel partial-state merge).
+
+        The other state's cells realign from creation order to sorted-key
+        order through its ``_sgids`` permutation and then fold in through
+        the same searchsorted/scatter machinery per-batch partials use.
+        Returns False — nothing merged — when exact int sums could overflow
+        the typed int64 totals; the caller then merges via Python cells.
+        """
+        if other._cells is None:
+            return True
+        np = vector._np
+        merged_bounds: dict[int, int] = dict(self._sum_bounds)
+        for i, ceiling in other._sum_bounds.items():
+            total = merged_bounds.get(i, 0) + ceiling
+            if total >= _INT_SUM_BOUND:
+                return False
+            merged_bounds[i] = total
+        if other._sorted is not None:
+            order = other._sgids
+            uniq = other._sorted
+        else:
+            order = np.empty(0, dtype=np.intp)
+            uniq = np.empty(0, dtype=np.intp)
+        num_local = len(uniq)
+        nan_local = -1
+        if other._nan_gid >= 0:
+            order = np.concatenate(
+                (order, np.asarray([other._nan_gid], dtype=np.intp))
+            )
+            num_local += 1
+            nan_local = num_local - 1
+        partials: list = []
+        for kind, *arrays in other._cells:
+            if kind == "sum":
+                counts, totals = arrays
+                partials.append(("sum", counts[order], totals[order]))
+            else:
+                partials.append((kind, arrays[0][order]))
+        self._sum_bounds = merged_bounds
+        self._merge(uniq, nan_local, num_local, partials)
+        return True
+
     # -- output / demotion ---------------------------------------------- #
 
     def cell_lists(self) -> list[list]:
@@ -846,6 +891,41 @@ class GroupedAggregation:
             else:
                 for i, partial in enumerate(partials):
                     cells[i][gid] = merges[i](cells[i][gid], partial[g])
+
+    # -- partial-state merging (morsel-driven parallel aggregation) ----- #
+
+    def merge_from(self, other: "GroupedAggregation") -> None:
+        """Fold another (partial) aggregation state into this one.
+
+        The other state's per-group cells are exactly the partial cells
+        :meth:`_merge` consumes (the merge functions are associative), so a
+        stream split into per-worker partials and merged in morsel order
+        produces the same groups and aggregates as serial consumption.
+        Typed array partials stay typed: the first one is adopted
+        wholesale and later ones fold in through the scatter-merge
+        machinery (:meth:`_SingleKeyArrayGroups.merge_state`), so merging
+        high-cardinality partials does no Python-per-key work.  ``other``
+        is consumed (possibly demoted in place to read its cells); it must
+        not receive further batches.
+        """
+        if other._array is not None:
+            if (
+                self._array is None
+                and not self._gid_of
+                and not self._array_refused
+            ):
+                # First typed partial into an empty state: adopt it.
+                self._array = other._array
+                other._array = None
+                return
+            if self._array is not None and self._array.merge_state(other._array):
+                return
+            other._demote_array()
+        if not other._gid_of:
+            return
+        if self._array is not None:
+            self._demote_array()
+        self._merge(list(other._gid_of), other._cells)
 
     # -- per-row reference path ---------------------------------------- #
 

@@ -133,7 +133,13 @@ def vector_view(values: Sequence) -> Sequence:
     if isinstance(values, _np.ndarray):
         return values
     if isinstance(values, _array):
-        return _np.array(values)
+        # Snapshot through tobytes() rather than np.array(values): the
+        # latter exports the array's C buffer for the duration of the
+        # copy, and a concurrent append (a Table writer on another thread)
+        # would then die with "BufferError: cannot resize an array that is
+        # exporting buffers".  tobytes() copies atomically under the GIL,
+        # so building a view never locks or crashes writers.
+        return _np.frombuffer(values.tobytes(), dtype=values.typecode)
     if type(values) is list:
         if values and type(values[0]) is str:
             # Pre-scan string columns before allocating the fixed-width

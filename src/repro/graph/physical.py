@@ -61,6 +61,7 @@ from repro.exec.kernels import (
 )
 from repro.exec.grouping import bindings_equal
 from repro.exec.operator import Batch, Operator
+from repro.exec.scheduler import morsel_bounds
 from repro.exec.vector import (
     ColumnarBatch,
     as_values,
@@ -97,7 +98,15 @@ class GraphOperator(Operator):
 
 
 class ScanVertex(GraphOperator):
-    """SCAN: match a single-vertex pattern by scanning its vertex relation."""
+    """SCAN: match a single-vertex pattern by scanning its vertex relation.
+
+    ``row_range`` restricts the scan to a contiguous ``(start, stop)``
+    rowid slice — the morsel-driven scheduler clones the scan per morsel;
+    emitted rowids stay global, so downstream expansions are unaffected.
+    """
+
+    #: Optional ``(start, stop)`` morsel bounds; None scans every vertex.
+    row_range: tuple[int, int] | None = None
 
     def __init__(
         self,
@@ -118,14 +127,15 @@ class ScanVertex(GraphOperator):
     def _scan(self, ctx: ExecutionContext) -> Iterator[Batch]:
         table = self.mapping.vertex_table(self.label)
         n = table.num_rows
+        first, last = morsel_bounds(self.row_range, n)
         size = ctx.batch_size
         check = (
             rowid_predicate(table, self.predicate)
             if self.predicate is not None
             else None
         )
-        for start in range(0, n, size):
-            stop = min(start + size, n)
+        for start in range(first, last, size):
+            stop = min(start + size, last)
             if check is None:
                 yield [(i,) for i in range(start, stop)]
             else:
@@ -140,6 +150,7 @@ class ScanVertex(GraphOperator):
         any, vectorizes over the vertex table's base columns."""
         table = self.mapping.vertex_table(self.label)
         n = table.num_rows
+        first, last = morsel_bounds(self.row_range, n)
         size = ctx.batch_size
         rowids = index_vector(n)
         selector = (
@@ -147,8 +158,8 @@ class ScanVertex(GraphOperator):
             if self.predicate is not None
             else None
         )
-        for start in range(0, n, size):
-            chunk = range(start, min(start + size, n))
+        for start in range(first, last, size):
+            chunk = range(start, min(start + size, last))
             if selector is None:
                 sel = chunk
             else:
@@ -912,7 +923,15 @@ class EdgeTripleScan(GraphOperator):
     it executes the EVJoin of Eq. 3 as two runtime hash joins (building
     pk -> rowid maps over the endpoint tables), which is exactly what a
     relational engine without predefined joins must do.
+
+    ``row_range`` restricts the scan to a contiguous ``(start, stop)``
+    slice of the edge relation (morsel-driven scheduling); the scheduler
+    only splits index-backed scans — the runtime EVJoin derives whole-table
+    endpoint columns, which morsels would recompute.
     """
+
+    #: Optional ``(start, stop)`` morsel bounds; None scans every edge.
+    row_range: tuple[int, int] | None = None
 
     def __init__(
         self,
@@ -997,11 +1016,12 @@ class EdgeTripleScan(GraphOperator):
         else:
             columns = [vector_view(src_rowids), vector_view(dst_rowids)]
         n = self.mapping.edge_table(self.edge_label).num_rows
+        first, last = morsel_bounds(self.row_range, n)
         if self.edge_var is not None:
             columns.append(index_vector(n))
         size = ctx.batch_size
-        for start in range(0, n, size):
-            chunk = range(start, min(start + size, n))
+        for start in range(first, last, size):
+            chunk = range(start, min(start + size, last))
             if epred is None and spred is None and dpred is None:
                 yield ColumnarBatch(columns, n, chunk)
                 continue
@@ -1020,11 +1040,12 @@ class EdgeTripleScan(GraphOperator):
         src_rowids, dst_rowids, epred, spred, dpred = self._sources()
         with_edge = self.edge_var is not None
         n = edge_table.num_rows
+        first, last = morsel_bounds(self.row_range, n)
         size = ctx.batch_size
         if epred is None and spred is None and dpred is None:
             # No filters: assemble the triples at C speed, chunk by chunk.
-            for start in range(0, n, size):
-                stop = min(start + size, n)
+            for start in range(first, last, size):
+                stop = min(start + size, last)
                 if with_edge:
                     yield list(
                         zip(
@@ -1038,8 +1059,8 @@ class EdgeTripleScan(GraphOperator):
                         zip(src_rowids[start:stop], dst_rowids[start:stop])
                     )
             return
-        for start in range(0, n, size):
-            stop = min(start + size, n)
+        for start in range(first, last, size):
+            stop = min(start + size, last)
             out: list[tuple] = []
             for e in range(start, stop):
                 if epred is not None and not epred(e):

@@ -30,7 +30,7 @@ import operator
 from typing import Any, Iterator, Sequence
 
 from repro.errors import PlanError
-from repro.exec.context import ExecutionContext
+from repro.exec.context import Buffer, ExecutionContext
 from repro.exec.kernels import (
     ChunkSizer,
     build_hash_table,
@@ -57,6 +57,7 @@ from repro.exec.grouping import (
     sequence_has_nan,
 )
 from repro.exec.operator import Batch, Operator
+from repro.exec.scheduler import fold_source, morsel_bounds
 from repro.exec.vector import (
     ColumnarBatch,
     gather,
@@ -165,7 +166,15 @@ class SeqScan(PhysicalOperator):
 
     The scan evaluates its predicate chunk by chunk, so a ``LIMIT`` above
     only pays for the prefix of the table it actually pulls.
+
+    ``row_range`` restricts the scan to a contiguous ``(start, stop)``
+    slice of the table — the morsel-driven scheduler clones the scan once
+    per morsel.  Rowids, pointer columns and predicates are unaffected
+    (they are addressed in the table's global row space).
     """
+
+    #: Optional ``(start, stop)`` morsel bounds; None scans the full table.
+    row_range: tuple[int, int] | None = None
 
     def __init__(
         self,
@@ -223,15 +232,18 @@ class SeqScan(PhysicalOperator):
         after the pushed-down filter) is per-chunk state."""
         size = ctx.batch_size
         n = self.table.num_rows
+        first, last = morsel_bounds(self.row_range, n)
         out_columns = self._output_column_storage()
         if self.predicate is None:
-            for start in range(0, n, size):
-                yield ColumnarBatch(out_columns, n, range(start, min(start + size, n)))
+            for start in range(first, last, size):
+                yield ColumnarBatch(
+                    out_columns, n, range(start, min(start + size, last))
+                )
             return
         selector = compile_predicate_columnar(self.predicate, self._base_layout())
         base_columns = [self.table.vector(c) for c in self.table.schema.column_names]
-        for start in range(0, n, size):
-            chunk = range(start, min(start + size, n))
+        for start in range(first, last, size):
+            chunk = range(start, min(start + size, last))
             # A chunk spanning the whole table evaluates as
             # ``selection=None`` — full-column compares, no index gather.
             sel = selector(base_columns, None if len(chunk) == n else chunk, n)
@@ -244,6 +256,7 @@ class SeqScan(PhysicalOperator):
     def _scan(self, ctx: ExecutionContext) -> Iterator[Batch]:
         size = ctx.batch_size
         n = self.table.num_rows
+        first, last = morsel_bounds(self.row_range, n)
         columns = [self.table.column(c) for c in self.projected]
         extras: list[list[Any]] = [values for _, values in self.pointer_columns]
         pred = None
@@ -255,8 +268,8 @@ class SeqScan(PhysicalOperator):
             all_columns = [
                 self.table.column(c) for c in self.table.schema.column_names
             ]
-        for start in range(0, n, size):
-            stop = min(start + size, n)
+        for start in range(first, last, size):
+            stop = min(start + size, last)
             if pred is None:
                 # Assemble column-at-a-time, then zip into rows at C speed.
                 parts: list = [c[start:stop] for c in columns]
@@ -423,9 +436,7 @@ class HashJoin(PhysicalOperator):
         l_idx, r_idx = self._key_indices()
         buffer = ctx.buffer(f"{self._label()} build")
         try:
-            table = build_hash_table_columnar(
-                self.right.columnar_batches(ctx), r_idx, buffer
-            )
+            table = self._build_columnar(ctx, r_idx, buffer)
             probe = probe_hash_table_columnar(
                 self.left.columnar_batches(ctx), table, l_idx, ctx
             )
@@ -436,6 +447,37 @@ class HashJoin(PhysicalOperator):
             yield from filter_columnar(probe, pred)
         finally:
             buffer.release()
+
+    def _build_columnar(self, ctx: ExecutionContext, r_idx, buffer):
+        """Drain the build side into the hash table.
+
+        When the build child is a morsel exchange under a parallel context,
+        each worker builds a private shard from its morsels and the shards
+        merge in morsel order — bucket lists end up in global row order, so
+        probe output is identical to a serial build.  Every worker charges
+        the same shared (lock-protected) buffer: shards are disjoint, so
+        the cumulative charge — and the OOM trip point — matches serial
+        execution exactly.
+        """
+        exchange = fold_source(self.right, ctx)
+        if exchange is None:
+            return build_hash_table_columnar(
+                self.right.columnar_batches(ctx), r_idx, buffer
+            )
+        shards = exchange.fold(
+            ctx,
+            "columnar_batches",
+            lambda i, stream: build_hash_table_columnar(stream, r_idx, buffer),
+        )
+        table = shards[0]
+        for shard in shards[1:]:
+            for key, bucket in shard.items():
+                existing = table.get(key)
+                if existing is None:
+                    table[key] = bucket
+                else:
+                    existing.extend(bucket)
+        return table
 
     def _label(self) -> str:
         keys = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
@@ -952,21 +994,54 @@ class AggregateOp(PhysicalOperator):
         columns factorize to dense group codes and every aggregate runs as
         a segment reduction, so Python-level work scales with the batch's
         distinct keys.  Output is emitted column-major straight from the
-        engine's grouped state — no row-tuple transpose."""
+        engine's grouped state — no row-tuple transpose.
+
+        Over a morsel exchange under a parallel context, each worker folds
+        its morsels into a private :class:`GroupedAggregation` and the
+        partials merge in morsel order (the merge cells are associative;
+        see :meth:`GroupedAggregation.merge_from`).  Per-worker partials
+        charge untracked buffers — each is a subset of the merged state,
+        which this (tracked) buffer charges in full, exactly like serial
+        execution.
+        """
         key_getters = self._column_getters([e for e, _ in self.group_by])
         arg_getters = self._column_getters([a.arg for a in self.aggregates])
-        engine = GroupedAggregation(
-            len(key_getters), [a.func for a in self.aggregates]
-        )
-        buffer = ctx.buffer(self._label())
-        try:
-            for cb in self.child.columnar_batches(ctx):
+        funcs = [a.func for a in self.aggregates]
+        label = self._label()
+
+        def consume(engine: GroupedAggregation, stream, partial: Buffer) -> None:
+            for cb in stream:
                 n = len(cb)
                 key_cols = [get(cb) for get in key_getters]
-                arg_cols = [get(cb) if get is not None else None for get in arg_getters]
+                arg_cols = [
+                    get(cb) if get is not None else None for get in arg_getters
+                ]
                 before = engine.num_groups
                 engine.consume(key_cols, arg_cols, n)
-                buffer.grow(engine.num_groups - before)
+                partial.grow(engine.num_groups - before)
+
+        buffer = ctx.buffer(label)
+        try:
+            exchange = fold_source(self.child, ctx)
+            if exchange is None:
+                engine = GroupedAggregation(len(key_getters), funcs)
+                consume(engine, self.child.columnar_batches(ctx), buffer)
+            else:
+
+                def run(i: int, stream) -> GroupedAggregation:
+                    partial = ctx.buffer(f"{label} partial", tracked=False)
+                    state = GroupedAggregation(len(key_getters), funcs)
+                    try:
+                        consume(state, stream, partial)
+                    finally:
+                        partial.release()
+                    return state
+
+                engine = GroupedAggregation(len(key_getters), funcs)
+                for state in exchange.fold(ctx, "columnar_batches", run):
+                    before = engine.num_groups
+                    engine.merge_from(state)
+                    buffer.grow(engine.num_groups - before)
             engine.ensure_group()
             columns = engine.result_columns()
             total = engine.num_groups
@@ -1320,16 +1395,26 @@ class TopKOp(PhysicalOperator):
         keys = [(True, v) for v in column[positions].tolist()]
         return n, positions, keys
 
-    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
-        """Columnar top-k with late materialization: sort keys are computed
-        as whole columns, and once ``k`` candidates are buffered the key of
-        the current k-th best becomes an **admission bound** — rows that
-        cannot beat it are dropped straight off the key column, so row
-        tuples materialize (into the candidate heap, the genuinely buffered
-        state) only for the shrinking stream of contenders."""
+    def _collect_columnar(
+        self, ctx: ExecutionContext, source, buffer: Buffer, morsel: int = 0
+    ) -> list[tuple]:
+        """Drain ``source`` into a pruned candidate list (the shared body of
+        the serial and per-worker top-k paths).
+
+        Sort keys are computed as whole columns, and once ``k`` candidates
+        are buffered the key of the current k-th best becomes an
+        **admission bound** — rows that cannot beat it are dropped straight
+        off the key column, so row tuples materialize (into the candidate
+        heap, the genuinely buffered state charged to ``buffer``) only for
+        the shrinking stream of contenders.
+
+        Entries are ``(key, (±morsel, ±arrival), row)``: morsels are
+        contiguous input ranges, so the lexicographic (morsel, arrival)
+        pair is the global arrival order — per-worker candidate lists
+        merged by one final selection resolve ties exactly as the serial
+        stream does.
+        """
         k = self.limit
-        if k <= 0:
-            return
         layout = self.child.layout()
         evs = [compile_expr_columnar(e, layout) for e, _ in self.keys]
         select, tiebreak, _ = self._selection_setup(k)
@@ -1339,44 +1424,79 @@ class TopKOp(PhysicalOperator):
         if len(self.keys) == 1:
             key_ref_idx = _plain_ref_index(self.keys[0][0], self.child.output_columns)
         asc0 = self.keys[0][1]
-        buffer = ctx.buffer(self._label())
-        try:
-            candidates: list[tuple] = []  # (key, ±arrival, row)
-            arrival = 0
-            bound = None  # decorated key of the k-th best candidate
-            for cb in self.child.columnar_batches(ctx):
-                keyed = self._admit_vectorized(cb, key_ref_idx, bound, asc0)
-                if keyed is not None:
-                    n, positions, keys = keyed
-                else:
-                    key_cols = [ev(cb.columns, cb.selection, cb.length) for ev in evs]
-                    n = len(key_cols[0])
-                    positions = admit(key_cols, bound)
-                    keys = (
-                        make_keys(key_cols, positions) if len(positions) else []
+        tagged_morsel = tiebreak * morsel
+        candidates: list[tuple] = []  # (key, (±morsel, ±arrival), row)
+        arrival = 0
+        bound = None  # decorated key of the k-th best candidate
+        for cb in source:
+            keyed = self._admit_vectorized(cb, key_ref_idx, bound, asc0)
+            if keyed is not None:
+                n, positions, keys = keyed
+            else:
+                key_cols = [ev(cb.columns, cb.selection, cb.length) for ev in evs]
+                n = len(key_cols[0])
+                positions = admit(key_cols, bound)
+                keys = (
+                    make_keys(key_cols, positions) if len(positions) else []
+                )
+            if len(positions):
+                rows = cb.take(positions).to_rows()
+                base = arrival
+                for key, j, row in zip(keys, positions, rows):
+                    candidates.append(
+                        (key, (tagged_morsel, tiebreak * (base + j)), row)
                     )
-                if len(positions):
-                    rows = cb.take(positions).to_rows()
-                    base = arrival
-                    for key, j, row in zip(keys, positions, rows):
-                        candidates.append((key, tiebreak * (base + j), row))
-                arrival += n
-                if len(candidates) >= threshold:
-                    candidates = select(candidates)
-                    if len(candidates) == k:
-                        bound = candidates[-1][0]
-                elif bound is None and len(candidates) >= k:
-                    # Establish the admission bound as soon as k candidates
-                    # exist — pruning the stream early matters more than
-                    # deferring the first k log k selection.
-                    candidates = select(candidates)
+            arrival += n
+            if len(candidates) >= threshold:
+                candidates = select(candidates)
+                if len(candidates) == k:
                     bound = candidates[-1][0]
-                delta = len(candidates) - buffer.rows
-                if delta >= 0:
-                    buffer.grow(delta)
-                else:
-                    buffer.shrink(-delta)
+            elif bound is None and len(candidates) >= k:
+                # Establish the admission bound as soon as k candidates
+                # exist — pruning the stream early matters more than
+                # deferring the first k log k selection.
+                candidates = select(candidates)
+                bound = candidates[-1][0]
+            delta = len(candidates) - buffer.rows
+            if delta >= 0:
+                buffer.grow(delta)
+            else:
+                buffer.shrink(-delta)
+        return candidates
+
+    def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        k = self.limit
+        if k <= 0:
+            return
+        select, _, _ = self._selection_setup(k)
+        label = self._label()
+        buffer = ctx.buffer(label)
+        try:
+            exchange = fold_source(self.child, ctx)
+            if exchange is None:
+                candidates = self._collect_columnar(
+                    ctx, self.child.columnar_batches(ctx), buffer
+                )
+            else:
+                # Per-worker top-k over the morsel exchange: each worker
+                # prunes its own candidates (untracked O(k) partials) and
+                # one final selection merges them; (morsel, arrival) tags
+                # keep tie-breaking identical to the serial stream.
+                def run(morsel: int, stream) -> list[tuple]:
+                    partial = ctx.buffer(f"{label} partial", tracked=False)
+                    try:
+                        return self._collect_columnar(ctx, stream, partial, morsel)
+                    finally:
+                        partial.release()
+
+                candidates = [
+                    entry
+                    for part in exchange.fold(ctx, "columnar_batches", run)
+                    for entry in part
+                ]
             top = select(candidates)
+            if exchange is not None:
+                buffer.grow(len(top))
             for chunk in chunked([entry[2] for entry in top], ctx.batch_size):
                 yield ColumnarBatch.from_rows(chunk)
         finally:
@@ -1511,10 +1631,48 @@ class DistinctOp(PhysicalOperator):
         return emit_columnar(ctx, self.cached_label(), self._stream_columnar(ctx))
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        exchange = fold_source(self.child, ctx)
+        if exchange is not None:
+            yield from self._parallel_columnar(ctx, exchange)
+            return
         state = StreamingDistinct()
         buffer = ctx.buffer(self._label())
         try:
             for cb in self.child.columnar_batches(ctx):
+                columns = [cb.column_vector(i) for i in range(cb.width)]
+                kept = state.positions(columns, len(cb))
+                if not kept:
+                    continue
+                buffer.grow(len(kept))
+                yield cb if len(kept) == len(cb) else cb.take(kept)
+        finally:
+            buffer.release()
+
+    def _parallel_columnar(
+        self, ctx: ExecutionContext, exchange
+    ) -> Iterator[ColumnarBatch]:
+        """Per-worker partial dedup over a morsel exchange — streaming.
+
+        Each morsel subplan is wrapped in a :class:`_PartialDistinct`
+        stage, so workers emit only their within-morsel first occurrences
+        (compacted) into the exchange's bounded queues; this pass then
+        re-dedups the merged stream.  First occurrences across ordered
+        morsels are the serial first occurrences, so output rows and order
+        match serial execution, and resident survivor state is bounded by
+        the exchange's run-ahead window plus the final seen-set — which
+        charges this operator's tracked buffer exactly as the serial path
+        does (no morsel-count-times-footprint barrier).
+        """
+        from repro.exec.scheduler import ExchangeOp
+
+        pre = ExchangeOp(
+            [_PartialDistinct(plan) for plan in exchange.plans],
+            source_label=exchange.source_label,
+        )
+        state = StreamingDistinct()
+        buffer = ctx.buffer(self._label())
+        try:
+            for cb in pre.columnar_batches(ctx):
                 columns = [cb.column_vector(i) for i in range(cb.width)]
                 kept = state.positions(columns, len(cb))
                 if not kept:
@@ -1550,6 +1708,36 @@ class DistinctOp(PhysicalOperator):
 
     def _label(self) -> str:
         return "DISTINCT"
+
+
+class _PartialDistinct(PhysicalOperator):
+    """Within-stream dedup stage of the parallel DISTINCT.
+
+    Runs on a worker inside the morsel exchange: emits the child stream's
+    first occurrences (compacted, so queued batches never pin full backing
+    columns) and nothing else — no emit counting, no buffer charge.  Its
+    seen-set is morsel-local in-flight state; the consuming
+    :class:`DistinctOp` re-dedups the merged stream and owns the tracked
+    (budget-charged) global seen-set.
+    """
+
+    def __init__(self, child: PhysicalOperator):
+        self.child = child
+        self.output_columns = list(child.output_columns)
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
+        state = StreamingDistinct()
+        for cb in self.child.columnar_batches(ctx):
+            columns = [cb.column_vector(i) for i in range(cb.width)]
+            kept = state.positions(columns, len(cb))
+            if kept:
+                yield cb.take(kept).compact()
+
+    def _label(self) -> str:
+        return "DISTINCT(partial)"
 
 
 class MaterializedInput(PhysicalOperator):
