@@ -53,6 +53,11 @@ def _tracked_times(doc: dict, include_multithread: bool) -> dict[str, float]:
             for key, value in entry.items():
                 if key.endswith("_ms") and key != "serial_ms":
                     times[f"parallel/{name}/{key[: -len('_ms')]}"] = value
+    for name, entry in doc.get("strings", {}).items():
+        if name == "memory_bytes":
+            continue
+        times[f"strings/{name}/dict"] = entry["dict_ms"]
+        times[f"strings/{name}/typed"] = entry["typed_ms"]
     return times
 
 

@@ -146,6 +146,16 @@ def factorize(values: Sequence, n: int) -> tuple[Sequence[int], list]:
     order on the array path and first-appearance order on the dict path —
     callers must not rely on either.
     """
+    dv = vector.dict_vector(values)
+    if dv is not None:
+        # Dictionary columns arrive pre-factorized: their codes are already
+        # dense group codes over the *column's* dictionary, so one unique
+        # over ints compacts them to batch-local codes and the uniques
+        # decode through the dictionary (strings hold no NaN/NULL).
+        np = vector._np
+        uniq_codes, codes = np.unique(dv.codes, return_inverse=True)
+        decode = dv.values
+        return codes, [decode[c] for c in uniq_codes.tolist()]
     if is_ndarray(values) and values.dtype.kind in "biufU":
         np = vector._np
         uniques_arr, codes = np.unique(values, return_inverse=True)
@@ -406,6 +416,7 @@ class _SingleKeyArrayGroups:
     __slots__ = (
         "funcs",
         "keys",
+        "decode",
         "_count_only",
         "_sorted",
         "_sgids",
@@ -418,6 +429,12 @@ class _SingleKeyArrayGroups:
         self.funcs = list(funcs)
         self._count_only = all(f == "COUNT" for f in funcs)
         self.keys: list = []
+        #: Dictionary of a dict-encoded key column (code -> value).  The
+        #: sorted state then holds raw codes — already dense group ids over
+        #: the column's dictionary, stable across batches because the
+        #: dictionary is append-only and shared by every batch view — and
+        #: only newly-seen distinct keys ever decode (into ``keys``).
+        self.decode: list | None = None
         self._sorted = None
         self._sgids = None
         self._nan_gid = -1
@@ -431,8 +448,11 @@ class _SingleKeyArrayGroups:
     @staticmethod
     def eligible(key_col, arg_cols: list) -> bool:
         """Whether a batch's columns fit the typed state: ndarray key of a
-        sortable kind, and every argument ndarray-reducible (or COUNT(*))."""
-        if not (is_ndarray(key_col) and key_col.dtype.kind in "biufU"):
+        sortable kind (or a dictionary vector, whose codes are), and every
+        argument ndarray-reducible (or COUNT(*))."""
+        if vector.dict_vector(key_col) is None and not (
+            is_ndarray(key_col) and key_col.dtype.kind in "biufU"
+        ):
             return False
         return all(
             values is None
@@ -440,10 +460,32 @@ class _SingleKeyArrayGroups:
             for values in arg_cols
         )
 
+    def _key_codes(self, key_col):
+        """The batch key as the ndarray the sorted state orders on:
+        dictionary codes for a dict-encoded key (its dictionary pinned on
+        first sight), the ndarray itself otherwise; None when ineligible."""
+        dv = vector.dict_vector(key_col)
+        if dv is not None:
+            if self.decode is None:
+                self.decode = dv.values
+            elif self.decode is not dv.values:
+                return None
+            return dv.codes
+        if self.decode is not None or not (
+            is_ndarray(key_col) and key_col.dtype.kind in "biufU"
+        ):
+            return None
+        return key_col
+
     def consume(self, key_col, arg_cols: list, n: int) -> bool:
         """Fold one batch in; False when the batch's shapes are ineligible
         (the caller then demotes this state to the dict engine)."""
-        if not self.eligible(key_col, arg_cols):
+        key_col = self._key_codes(key_col)
+        if key_col is None or not all(
+            values is None
+            or (is_ndarray(values) and values.dtype.kind in _REDUCIBLE_KINDS)
+            for values in arg_cols
+        ):
             return False
         new_bounds: dict[int, int] = {}
         for i, (func, values) in enumerate(zip(self.funcs, arg_cols)):
@@ -545,7 +587,11 @@ class _SingleKeyArrayGroups:
                     previous, previous + len(new_keys), dtype=np.intp
                 )
                 gids[: len(uniq)][fresh] = new_gids
-                self.keys.extend(new_keys.tolist())
+                if self.decode is None:
+                    self.keys.extend(new_keys.tolist())
+                else:
+                    decode = self.decode
+                    self.keys.extend(decode[c] for c in new_keys.tolist())
                 if self._sorted is None:
                     self._sorted = new_keys.copy()
                     self._sgids = new_gids
@@ -636,6 +682,15 @@ class _SingleKeyArrayGroups:
         """
         if other._cells is None:
             return True
+        if self.decode is not other.decode:
+            # Sorted codes from different dictionaries do not compare;
+            # parallel partials over one table share the dictionary object,
+            # so a mismatch only happens on an empty self (adopt) or across
+            # unrelated streams (demote and merge decoded).
+            if self._cells is None and self.decode is None:
+                self.decode = other.decode
+            else:
+                return False
         np = vector._np
         merged_bounds: dict[int, int] = dict(self._sum_bounds)
         for i, ceiling in other._sum_bounds.items():
@@ -803,8 +858,6 @@ class GroupedAggregation:
         if (
             self._count_only
             and self.num_keys == 1
-            and is_ndarray(key_cols[0])
-            and key_cols[0].dtype.kind in "biufU"
             # COUNT(x) equals the group size only when x cannot hold NULLs
             # — i.e. it is an ndarray (or the implicit COUNT(*) argument).
             # A list argument may carry Nones and must count per row.
@@ -813,16 +866,27 @@ class GroupedAggregation:
                 for v in arg_cols
             )
         ):
-            # COUNT-style aggregates over one ndarray key need no
-            # row->group codes: one sort-and-count per batch, then a merge
-            # over the batch's (few) distinct keys — the general form of
-            # the retired COUNT(*) special case.
-            keys, counts = _unique_counts_canonical(key_cols[0])
-            if self._maybe_promote(key_cols[0], arg_cols, len(keys), n):
+            # COUNT-style aggregates over one typed key need no row->group
+            # codes: one sort-and-count per batch, then a merge over the
+            # batch's (few) distinct keys — the general form of the retired
+            # COUNT(*) special case.  Dictionary keys count over their int
+            # codes and decode only the batch-distinct survivors.
+            key0 = key_cols[0]
+            dv = vector.dict_vector(key0)
+            if dv is not None:
+                uniq, counts = np.unique(dv.codes, return_counts=True)
+                decode = dv.values
+                keys = [decode[c] for c in uniq.tolist()]
+            elif is_ndarray(key0) and key0.dtype.kind in "biufU":
+                keys, counts = _unique_counts_canonical(key0)
+            else:
+                keys = counts = None
+            if keys is not None:
+                if self._maybe_promote(key0, arg_cols, len(keys), n):
+                    return True
+                counts_list = counts.tolist()
+                self._merge(keys, [counts_list] * len(self.funcs))
                 return True
-            counts_list = counts.tolist()
-            self._merge(keys, [counts_list] * len(self.funcs))
-            return True
         if self.num_keys:
             factorized = [factorize(c, n) for c in key_cols]
             if self.num_keys == 1 and self._maybe_promote(
@@ -1007,10 +1071,16 @@ class StreamingDistinct:
 
     Factorization only pays off when batches actually repeat keys — on
     near-unique data (distinct ratio ~1) decoding every batch-distinct key
-    costs more than the row walk it replaces.  The state therefore tracks
-    the cumulative batch-local distinct ratio and drops to the row walk for
-    good once it exceeds :data:`_DISTINCT_FALLBACK_RATIO` (key formats are
-    identical, so switching mid-stream is free).
+    costs more than the row walk it replaces.  A single key column of
+    sortable typed values (ints/strings, or dictionary codes) therefore
+    keeps its seen-state *typed* instead, mirroring
+    :class:`_SingleKeyArrayGroups`: known keys live in one sorted ndarray
+    and each batch resolves via ``np.unique`` + ``searchsorted`` with no
+    per-key Python work at any distinct ratio.  Multi-column (or
+    non-sortable) keys keep the factorize-then-dedup path with its
+    cumulative-ratio fallback to the row walk
+    (:data:`_DISTINCT_FALLBACK_RATIO`); every path feeds or demotes into
+    one canonical seen-set, so survivors are path-independent.
     """
 
     def __init__(self) -> None:
@@ -1018,19 +1088,96 @@ class StreamingDistinct:
         self._rows = 0
         self._batch_distinct = 0
         self._vectorize = True
+        #: Typed single-column state: sorted ndarray of seen raw keys
+        #: (dictionary codes when ``_typed_decode`` is set), engaged while
+        #: ``_typed_ok`` and demoted into ``_seen`` the first time a batch
+        #: does not fit.
+        self._typed_seen = None
+        self._typed_decode: list | None = None
+        self._typed_mode: str | None = None
+        self._typed_ok = True
 
     @property
     def seen_count(self) -> int:
-        return len(self._seen)
+        count = len(self._seen)
+        if self._typed_seen is not None:
+            count += len(self._typed_seen)
+        return count
 
     def positions(self, columns: list, n: int) -> list[int]:
         if not n:
             return []
-        if self._vectorize and vector.numpy_enabled() and columns:
-            kept = self._positions_vectorized(columns, n)
-            if kept is not None:
-                return kept
+        if vector.numpy_enabled():
+            if self._typed_ok and len(columns) == 1 and not self._seen:
+                kept = self._positions_typed(columns[0])
+                if kept is not None:
+                    return kept
+                self._demote_typed()
+            elif self._typed_seen is not None:
+                self._demote_typed()
+            if self._vectorize and columns:
+                kept = self._positions_vectorized(columns, n)
+                if kept is not None:
+                    return kept
+        elif self._typed_seen is not None:
+            self._demote_typed()
         return self._positions_rows(columns, n)
+
+    def _positions_typed(self, column):
+        """Sorted-ndarray seen state for one typed key column; None when
+        the batch does not fit (the caller then demotes the state).
+
+        Floats are excluded: NaN cannot live in a sorted membership array
+        (``NaN != NaN``), and the canonicalizing paths already handle it.
+        """
+        np = vector._np
+        dv = vector.dict_vector(column)
+        if dv is not None:
+            if self._typed_mode is None:
+                self._typed_mode = "dict"
+                self._typed_decode = dv.values
+            elif self._typed_mode != "dict" or self._typed_decode is not dv.values:
+                return None
+            raw = dv.codes
+        else:
+            if not (is_ndarray(column) and column.dtype.kind in "biuU"):
+                return None
+            if self._typed_mode is None:
+                self._typed_mode = "raw"
+            elif self._typed_mode != "raw":
+                return None
+            raw = column
+        uniq, first_idx = np.unique(raw, return_index=True)
+        seen = self._typed_seen
+        if seen is None:
+            self._typed_seen = uniq
+            return np.sort(first_idx).tolist()
+        if seen.dtype != uniq.dtype:
+            common = np.result_type(seen, uniq)
+            seen = self._typed_seen = seen.astype(common)
+            uniq = uniq.astype(common)
+        pos = np.searchsorted(seen, uniq)
+        clipped = np.minimum(pos, len(seen) - 1)
+        fresh = (seen[clipped] != uniq) | (pos >= len(seen))
+        if not fresh.any():
+            return []
+        self._typed_seen = np.insert(seen, pos[fresh], uniq[fresh])
+        return np.sort(first_idx[fresh]).tolist()
+
+    def _demote_typed(self) -> None:
+        """Fold the typed sorted-seen state into the generic seen-set (key
+        formats match: single-column keys are 1-tuples), permanently."""
+        self._typed_ok = False
+        seen = self._typed_seen
+        if seen is None:
+            return
+        self._typed_seen = None
+        if self._typed_decode is not None:
+            decode = self._typed_decode
+            self._seen.update((decode[c],) for c in seen.tolist())
+            self._typed_decode = None
+        else:
+            self._seen.update((v,) for v in seen.tolist())
 
     def _positions_vectorized(self, columns: list, n: int):
         np = vector._np

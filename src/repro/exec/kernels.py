@@ -249,6 +249,73 @@ def key_columns(cb: ColumnarBatch, indices: list[int]) -> list:
     ]
 
 
+def _single_key_dict(cb: ColumnarBatch, key_indices: list[int]):
+    """The key column as a ``DictVector`` when a single dictionary-encoded
+    key drives this batch, else None (the generic path)."""
+    if len(key_indices) != 1:
+        return None
+    return vector.dict_vector(cb.column_vector(key_indices[0]))
+
+
+class _DictKeyCache:
+    """Per-dictionary memo mapping codes to hash-table state.
+
+    Join kernels keep the hash table keyed by *values* (so partitioned
+    builds merge by key and mixed dict/non-dict sides compose), but
+    per-row work drops to an integer list index: ``slots[code]`` caches
+    whatever the kernel derives from the decoded key (a build bucket, a
+    probe match list).  Dictionaries are append-only with stable codes,
+    so the memo survives across batches; it re-primes when a batch
+    arrives from a different base column (values list identity) and
+    extends when the dictionary grew.  ``_MISS`` marks un-derived slots —
+    ``None`` is a legitimate cached result (a probe miss).
+    """
+
+    __slots__ = ("values", "slots", "derive", "_complete")
+
+    _MISS = object()
+
+    def __init__(self, derive):
+        self.values: list | None = None
+        self.slots: list = []
+        self.derive = derive
+        #: Eager-derivation watermark: slots below it were filled by
+        #: :meth:`prime_eager`, so a steady-state batch (same dictionary,
+        #: unchanged length) re-primes in O(1) instead of rescanning.
+        self._complete = 0
+
+    def prime(self, values: list) -> list:
+        miss = self._MISS
+        if self.values is not values:
+            self.values = values
+            self.slots = [miss] * len(values)
+            self._complete = 0
+        elif len(self.slots) < len(values):
+            self.slots.extend([miss] * (len(values) - len(self.slots)))
+        return self.slots
+
+    def get(self, code: int):
+        slot = self.slots[code]
+        if slot is self._MISS:
+            slot = self.derive(self.values[code])
+            self.slots[code] = slot
+        return slot
+
+    def prime_eager(self, values: list) -> list:
+        """Prime and derive *every* slot up front, so per-row access is a
+        plain ``slots[code]`` list index with no Python-level call.  Only
+        for side-effect-free ``derive`` functions: eager derivation visits
+        dictionary values the batch stream may never contain."""
+        slots = self.prime(values)
+        n = len(slots)
+        if self._complete < n:
+            derive = self.derive
+            for code in range(self._complete, n):
+                slots[code] = derive(values[code])
+            self._complete = n
+        return slots
+
+
 def build_hash_table_columnar(
     batches: Iterable[ColumnarBatch],
     key_indices: list[int],
@@ -258,22 +325,46 @@ def build_hash_table_columnar(
 
     Keys are extracted column-at-a-time; the stored values are materialized
     row tuples (the build side is genuinely buffered state, so tuple
-    materialization here matches what the memory budget charges).
+    materialization here matches what the memory budget charges).  A
+    dictionary-encoded single key skips per-row string hashing: each
+    distinct value is interned into the table once and its bucket is
+    reached through the code thereafter.
     """
     table: dict[Any, list] = {}
+
+    def intern_bucket(key: str) -> list:
+        bucket = table.get(key)
+        if bucket is None:
+            bucket = []
+            table[key] = bucket
+        return bucket
+
+    cache = _DictKeyCache(intern_bucket)
     for cb in batches:
-        keys = key_columns(cb, key_indices)
         values = cb.to_rows()
         count = 0
-        for key, value in zip(keys, values):
-            if key is None:
-                continue
-            bucket = table.get(key)
-            if bucket is None:
-                table[key] = [value]
-            else:
+        dv = _single_key_dict(cb, key_indices)
+        if dv is not None:
+            slots = cache.prime(dv.values)
+            miss = _DictKeyCache._MISS
+            intern = cache.get
+            for code, value in zip(dv.codes.tolist(), values):
+                bucket = slots[code]
+                if bucket is miss:
+                    bucket = intern(code)
                 bucket.append(value)
-            count += 1
+            count = len(values)
+        else:
+            keys = key_columns(cb, key_indices)
+            for key, value in zip(keys, values):
+                if key is None:
+                    continue
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = [value]
+                else:
+                    bucket.append(value)
+                count += 1
         if buffer is not None:
             buffer.grow(count)
     return table
@@ -296,32 +387,70 @@ def probe_hash_table_columnar(
     """
     lookup = table.get
     sizer = ChunkSizer(ctx)
+    # Dictionary-encoded probe keys translate once per distinct value: the
+    # probe column's dictionary is remapped onto the build table's buckets
+    # (the build-side dictionary remap — ``table.get`` is side-effect free,
+    # so every slot derives eagerly).  Each probe batch then resolves as
+    # one vectorized mask gather over its codes: rows that miss the build
+    # table never reach the Python match loop at all.
+    cache = _DictKeyCache(lookup)
+    hit_mask = None
+    hit_src: list | None = None
     for cb in batches:
-        keys = key_columns(cb, key_indices)
+        dv = _single_key_dict(cb, key_indices)
         parents: list[int] = []
         builds: list[tuple] = []
         flushed = 0
-        for j, key in enumerate(keys):
-            if key is None:
-                continue
-            matches = lookup(key)
-            if not matches:
-                continue
-            if len(matches) == 1:
-                parents.append(j)
-                builds.append(matches[0])
-            else:
-                parents.extend([j] * len(matches))
-                builds.extend(matches)
-            if len(parents) >= sizer.size:
-                # Flush mid-batch so high-multiplicity keys cannot balloon
-                # the in-flight (budget-invisible) assembly state.
-                flushed += len(parents)
-                yield from chunk_columnar(
-                    replicate_columnar(cb, parents, transpose_rows(builds)),
-                    sizer.size,
+        if dv is not None:
+            np = vector._np
+            slots = cache.prime_eager(dv.values)
+            if hit_src is not slots or len(hit_mask) != len(slots):
+                hit_mask = np.fromiter(
+                    map(bool, slots), dtype=bool, count=len(slots)
                 )
-                parents, builds = [], []
+                hit_src = slots
+            codes = dv.codes
+            hits = np.flatnonzero(hit_mask[codes])
+            for j, key in zip(hits.tolist(), codes[hits].tolist()):
+                matches = slots[key]
+                if len(matches) == 1:
+                    parents.append(j)
+                    builds.append(matches[0])
+                else:
+                    parents.extend([j] * len(matches))
+                    builds.extend(matches)
+                if len(parents) >= sizer.size:
+                    # Flush mid-batch so high-multiplicity keys cannot
+                    # balloon in-flight (budget-invisible) assembly state.
+                    flushed += len(parents)
+                    yield from chunk_columnar(
+                        replicate_columnar(cb, parents, transpose_rows(builds)),
+                        sizer.size,
+                    )
+                    parents, builds = [], []
+        else:
+            keys = key_columns(cb, key_indices)
+            for j, key in enumerate(keys):
+                if key is None:
+                    continue
+                matches = lookup(key)
+                if not matches:
+                    continue
+                if len(matches) == 1:
+                    parents.append(j)
+                    builds.append(matches[0])
+                else:
+                    parents.extend([j] * len(matches))
+                    builds.extend(matches)
+                if len(parents) >= sizer.size:
+                    # Flush mid-batch so high-multiplicity keys cannot
+                    # balloon in-flight (budget-invisible) assembly state.
+                    flushed += len(parents)
+                    yield from chunk_columnar(
+                        replicate_columnar(cb, parents, transpose_rows(builds)),
+                        sizer.size,
+                    )
+                    parents, builds = [], []
         sizer.observe(len(cb), flushed + len(parents))
         if parents:
             yield from chunk_columnar(

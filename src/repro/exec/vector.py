@@ -51,6 +51,56 @@ def set_numpy_enabled(enabled: bool | None) -> None:
     _numpy_enabled = (_np is not None) if enabled is None else bool(enabled)
 
 
+class DictVector:
+    """Read-optimized view of a dictionary-encoded column.
+
+    Pairs an int64 ``codes`` ndarray (an atomic snapshot of the column's
+    code buffer) with the column's live ``values``/``index`` dictionary,
+    shared by reference: the dictionary is append-only and every code in
+    the snapshot was published *after* its value (see
+    ``repro.relational.column.DictColumn``), so decoding never races a
+    concurrent writer.  Sequence reads decode to plain strings — row-path
+    consumers work unchanged — while the vectorized kernels reach
+    ``codes`` directly and stay in the dense integer domain through
+    selections, gathers and replication.
+    """
+
+    __slots__ = ("codes", "values", "index")
+
+    #: Duck-typed marker shared with ``DictColumn`` (no cross-layer import).
+    is_dictionary = True
+
+    def __init__(self, codes, values: list, index: dict):
+        self.codes = codes
+        self.values = values
+        self.index = index
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return DictVector(self.codes[i], self.values, self.index)
+        return self.values[self.codes[i]]
+
+    def __iter__(self):
+        values = self.values
+        return iter([values[c] for c in self.codes.tolist()])
+
+    def tolist(self) -> list:
+        values = self.values
+        return [values[c] for c in self.codes.tolist()]
+
+
+def dict_vector(values) -> "DictVector | None":
+    """``values`` as a :class:`DictVector` when it is dictionary-encoded
+    (and the numpy paths are active), else ``None`` — the single gate the
+    vectorized kernels use for their code-domain fast paths."""
+    if _numpy_enabled and type(values) is DictVector:
+        return values
+    return None
+
+
 def as_index_array(indices: Sequence[int]):
     """``indices`` as an ndarray suitable for fancy-indexing.
 
@@ -71,8 +121,13 @@ def gather(values: Sequence, indices: Sequence[int]) -> list:
     Always returns a plain Python list (numpy results are converted via
     ``tolist()`` so no numpy scalars leak into row tuples or hash keys).
     """
-    if _numpy_enabled and _np is not None and isinstance(values, _np.ndarray):
-        return values[as_index_array(indices)].tolist()
+    if _numpy_enabled and _np is not None:
+        if isinstance(values, _np.ndarray):
+            return values[as_index_array(indices)].tolist()
+        if type(values) is DictVector:
+            decode = values.values
+            codes = values.codes[as_index_array(indices)]
+            return [decode[c] for c in codes.tolist()]
     return [values[i] for i in indices]
 
 
@@ -85,14 +140,25 @@ def take(values: Sequence, indices: Sequence[int]) -> Sequence:
     behave exactly like :func:`gather`.  Use :func:`gather` instead at row
     boundaries, where plain Python values are required.
     """
-    if _numpy_enabled and _np is not None and isinstance(values, _np.ndarray):
-        return values[as_index_array(indices)]
+    if _numpy_enabled and _np is not None:
+        if isinstance(values, _np.ndarray):
+            return values[as_index_array(indices)]
+        if type(values) is DictVector:
+            # Stay in the code domain: gather the codes, share the
+            # dictionary — selections/joins never decode intermediate rows.
+            return DictVector(
+                values.codes[as_index_array(indices)],
+                values.values,
+                values.index,
+            )
     return [values[i] for i in indices]
 
 
 def as_values(values: Sequence) -> Sequence:
     """A column as plain Python values (ndarray -> list, others pass through)."""
     if _np is not None and isinstance(values, _np.ndarray):
+        return values.tolist()
+    if type(values) is DictVector:
         return values.tolist()
     return values
 
@@ -132,6 +198,18 @@ def vector_view(values: Sequence) -> Sequence:
         return values
     if isinstance(values, _np.ndarray):
         return values
+    if type(values) is DictVector:
+        return values
+    if getattr(values, "is_dictionary", False):
+        # A DictColumn: snapshot the code buffer (tobytes() copies
+        # atomically under the GIL — same rationale as the array branch
+        # below) and share the append-only dictionary by reference.
+        codes = values.codes
+        return DictVector(
+            _np.frombuffer(codes.tobytes(), dtype=codes.typecode),
+            values.values,
+            values.index,
+        )
     if isinstance(values, _array):
         # Snapshot through tobytes() rather than np.array(values): the
         # latter exports the array's C buffer for the duration of the
@@ -321,6 +399,8 @@ class ColumnarBatch:
 
 __all__ = [
     "ColumnarBatch",
+    "DictVector",
+    "dict_vector",
     "gather",
     "take",
     "as_values",

@@ -1,6 +1,6 @@
 """Typed column storage backends.
 
-A :class:`~repro.relational.table.Table` column lives in one of three
+A :class:`~repro.relational.table.Table` column lives in one of four
 physical representations, selected per column from the schema dtype:
 
 * ``array.array`` — the **typed** backend for INT (``'q'``) and FLOAT
@@ -8,45 +8,59 @@ physical representations, selected per column from the schema dtype:
   slicing return plain Python values, so the row-tuple protocol is
   unchanged, while the buffer converts to a numpy ``ndarray`` in one
   ``memcpy`` for the vectorized kernels.
-* ``list`` — the **object fallback** for strings, dates, booleans, and any
-  typed column that observes a ``None`` (NULL) or a value its C type cannot
-  hold.  Promotion is one-way and loss-free: the typed buffer is expanded
-  back into a plain list, so semantics never change, only speed.
+* :class:`DictColumn` — the **dictionary** backend for STRING columns:
+  an ``array.array('q')`` of codes plus a per-column value dictionary
+  (code -> str and str -> code).  Reads decode transparently, so the
+  row protocol is unchanged, while the vectorized kernels operate on the
+  dense integer codes (see :class:`repro.exec.vector.DictVector`):
+  string predicates become integer compares, joins probe on translated
+  codes, and grouping reuses codes as ready-made group ids.  Memory
+  drops to 8 bytes/row + one copy of each distinct value.
+* ``list`` — the **object fallback** for dates, booleans, and any typed
+  or dictionary column that observes a ``None`` (NULL) or a value its
+  representation cannot hold.  Promotion is one-way and loss-free: the
+  typed buffer is expanded back into a plain list, so semantics never
+  change, only speed.
 * ``numpy.ndarray`` — never the *storage* (numpy stays an optional
   dependency and append-heavy loads favour ``array.array``), but the
   *read-optimized view* the columnar kernels gather from; see
   :func:`repro.exec.vector.vector_view` and ``Table.vector``.
 
-The backend is process-global: ``set_storage_backend("list")`` (or the
-``REPRO_STORAGE=list`` environment variable) forces every new column onto
-plain lists, which is how the parity suite and CI pin the pure-list
-reference behaviour.
+The backend is process-global: ``set_storage_backend("typed")`` (or the
+``REPRO_STORAGE=typed`` environment variable) opts string columns out of
+dictionary encoding (the pre-dictionary engine: strings on plain lists),
+and ``"list"`` forces every new column onto plain lists — how the parity
+suite and CI pin the reference behaviours.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 from array import array
 from typing import Any, Sequence
 
 from repro.relational.types import DataType
 
+DICT = "dict"
 TYPED = "typed"
 LIST = "list"
 
 _ENV_VAR = "REPRO_STORAGE"
 
+_BACKENDS = (DICT, TYPED, LIST)
+
 
 def _default_backend() -> str:
-    value = os.environ.get(_ENV_VAR, TYPED).strip().lower()
-    return LIST if value == LIST else TYPED
+    value = os.environ.get(_ENV_VAR, DICT).strip().lower()
+    return value if value in _BACKENDS else DICT
 
 
 _backend = _default_backend()
 
 
 def storage_backend() -> str:
-    """The active storage backend: ``"typed"`` or ``"list"``."""
+    """The active storage backend: ``"dict"``, ``"typed"`` or ``"list"``."""
     return _backend
 
 
@@ -54,32 +68,117 @@ def set_storage_backend(name: str | None) -> None:
     """Select the storage backend for columns created afterwards.
 
     ``None`` restores the default (the ``REPRO_STORAGE`` environment
-    variable, falling back to ``"typed"``).  Existing tables keep the
+    variable, falling back to ``"dict"``).  Existing tables keep the
     storage they were built with.
     """
     global _backend
     if name is None:
         _backend = _default_backend()
         return
-    if name not in (TYPED, LIST):
+    if name not in _BACKENDS:
         raise ValueError(f"unknown storage backend {name!r}")
     _backend = name
 
 
-def make_storage(dtype: DataType) -> list | array:
+class DictColumn:
+    """Dictionary-encoded string column: int64 codes + a value dictionary.
+
+    Mirrors the slice of the ``array.array`` protocol the table layer
+    uses (``append`` / ``extend`` / ``tolist`` / indexing / iteration),
+    decoding on every read, so row-at-a-time code never sees codes.  A
+    non-string value (``None``, mixed types, unhashables) raises
+    ``TypeError`` from ``append``/``extend``, which triggers the same
+    loss-free list promotion as an out-of-range int on a typed buffer.
+
+    Interning is append-only and ordered for lock-free readers: a value
+    is published in :attr:`values` *before* its code is appended to
+    :attr:`codes`, so any code visible in a snapshot of ``codes`` (see
+    ``DictVector``) always resolves against ``values``.  Codes are
+    therefore stable for the lifetime of the column — the property the
+    grouping and join kernels rely on to reuse per-dictionary state
+    across batches.
+    """
+
+    __slots__ = ("codes", "values", "index")
+
+    #: Duck-typed marker (also on ``repro.exec.vector.DictVector``) so the
+    #: exec layer can detect dictionary data without importing this module.
+    is_dictionary = True
+
+    def __init__(self) -> None:
+        self.codes = array("q")
+        self.values: list[str] = []
+        self.index: dict[str, int] = {}
+
+    def append(self, value: Any) -> None:
+        if type(value) is not str:
+            raise TypeError(f"dictionary column cannot hold {value!r}")
+        code = self.index.get(value)
+        if code is None:
+            code = len(self.values)
+            self.values.append(value)
+            self.index[value] = code
+        self.codes.append(code)
+
+    def extend(self, items: Sequence[Any]) -> None:
+        """Bulk append.  Raises ``TypeError`` on the first non-string value
+        with no codes consumed (the dictionary may have interned the clean
+        prefix — harmless, since the caller promotes to a list)."""
+        index = self.index
+        values = self.values
+        codes: list[int] = []
+        for value in items:
+            if type(value) is not str:
+                raise TypeError(f"dictionary column cannot hold {value!r}")
+            code = index.get(value)
+            if code is None:
+                code = len(values)
+                values.append(value)
+                index[value] = code
+            codes.append(code)
+        self.codes.extend(codes)
+
+    def tolist(self) -> list:
+        values = self.values
+        return [values[c] for c in self.codes]
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            values = self.values
+            return [values[c] for c in self.codes[i]]
+        return self.values[self.codes[i]]
+
+    def __iter__(self):
+        values = self.values
+        return iter([values[c] for c in self.codes])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DictColumn({len(self.codes)} rows, "
+            f"{len(self.values)} distinct)"
+        )
+
+
+def make_storage(dtype: DataType) -> list | array | DictColumn:
     """Fresh, empty storage for one column of ``dtype``."""
     if _backend == LIST:
         return []
+    if _backend == DICT and dtype is DataType.STRING:
+        return DictColumn()
     typecode = dtype.array_typecode()
     if typecode is None:
         return []
     return array(typecode)
 
 
-def append_value(storage: list | array, value: Any) -> list | array:
-    """Append ``value``, promoting a typed buffer to a list when it cannot
-    hold the value (NULL, wrong type, out of range).  Returns the storage
-    to keep using — a new list after promotion, the input otherwise."""
+def append_value(storage, value: Any):
+    """Append ``value``, promoting a typed/dict buffer to a list when it
+    cannot hold the value (NULL, wrong type, out of range).  Returns the
+    storage to keep using — a new list after promotion, the input
+    otherwise."""
     if type(storage) is list:
         storage.append(value)
         return storage
@@ -92,12 +191,13 @@ def append_value(storage: list | array, value: Any) -> list | array:
         return promoted
 
 
-def extend_values(storage: list | array, values: Sequence[Any]) -> list | array:
+def extend_values(storage, values: Sequence[Any]):
     """Bulk :func:`append_value`: one C-level ``extend`` on the clean path.
 
     ``array.extend`` consumes its input incrementally, so on failure the
     promoted list is rebuilt from the pre-call prefix — a bad value mid-batch
-    cannot duplicate the values consumed before it.
+    cannot duplicate the values consumed before it.  (``DictColumn.extend``
+    is all-or-nothing, which the same prefix rebuild also handles.)
     """
     if type(storage) is list:
         storage.extend(values)
@@ -117,13 +217,42 @@ def is_typed(storage: Any) -> bool:
     return isinstance(storage, array)
 
 
+def is_dict(storage: Any) -> bool:
+    """True when ``storage`` is a dictionary-encoded column."""
+    return type(storage) is DictColumn
+
+
+def column_nbytes(storage) -> int:
+    """Resident payload bytes of one column's storage.
+
+    * typed buffer: ``itemsize * len`` (the C buffer);
+    * dictionary: 8 bytes per code + each distinct value's object size —
+      the duplication-factor saving the bench reports;
+    * list: an 8-byte slot per row + every row's object size (shared
+      objects are charged per reference, matching what a row-major
+      engine would hold live).
+    """
+    if isinstance(storage, array):
+        return len(storage) * storage.itemsize
+    if type(storage) is DictColumn:
+        codes = storage.codes
+        return len(codes) * codes.itemsize + sum(
+            sys.getsizeof(v) for v in storage.values
+        )
+    return 8 * len(storage) + sum(sys.getsizeof(v) for v in storage)
+
+
 __all__ = [
+    "DICT",
     "TYPED",
     "LIST",
+    "DictColumn",
     "storage_backend",
     "set_storage_backend",
     "make_storage",
     "append_value",
     "extend_values",
     "is_typed",
+    "is_dict",
+    "column_nbytes",
 ]

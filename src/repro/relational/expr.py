@@ -640,7 +640,13 @@ def _compile_predicate_columnar(
         all_maskable = all(m is not None for m in masks)
 
         def _and(cols: Sequence, sel, n: int):
-            if all_maskable and sel is None:
+            # A full-prefix ``range`` selection (how table scans window
+            # into cached whole-column vectors) is just as dense as None.
+            if all_maskable and (
+                sel is None
+                or (type(sel) is range and sel.start == 0 and sel.step == 1)
+                and len(sel) == n
+            ):
                 # Dense input and every conjunct is a vectorizable
                 # column-vs-literal: AND the boolean masks directly and
                 # materialize survivor indices once, instead of a
@@ -650,7 +656,7 @@ def _compile_predicate_columnar(
                     from repro.exec import vector
 
                     if combined.all():
-                        return None
+                        return sel
                     return vector._np.flatnonzero(combined)
             for part in parts:
                 sel = part(cols, sel, n)
@@ -667,10 +673,15 @@ def _compile_predicate_columnar(
         fn = _COMPARISON_OPS[expr.op]
         left, right = expr.left, expr.right
         if isinstance(left, ColumnRef) and isinstance(right, Literal):
-            return _selection_vs_literal(left, right.value, fn, layout)
+            return _selection_vs_literal(left, right.value, fn, layout, expr.op)
         if isinstance(left, Literal) and isinstance(right, ColumnRef):
             flipped = lambda a, b: fn(b, a)  # noqa: E731
-            return _selection_vs_literal(right, left.value, flipped, layout)
+            # ``=``/``<>`` are symmetric, so the dictionary code-compare
+            # fast path keyed on the op stays valid with the operands
+            # flipped; order ops only ever use the flipped ``fn``.
+            return _selection_vs_literal(
+                right, left.value, flipped, layout, expr.op
+            )
         if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
             li = _resolve_layout(left.name, layout)
             ri = _resolve_layout(right.name, layout)
@@ -716,6 +727,9 @@ def _compile_predicate_columnar(
 
         def _in(cols: Sequence, sel, n: int):
             column = cols[idx]
+            dict_sel = _dict_selection_in(column, sel, n, values)
+            if dict_sel is not _NO_NUMPY_PATH:
+                return dict_sel
             kept = [
                 i
                 for i in _candidates(sel, n)
@@ -723,6 +737,22 @@ def _compile_predicate_columnar(
             ]
             return _refined(kept, sel, n)
 
+        def _in_mask(cols: Sequence, n: int):
+            from repro.exec import vector
+
+            dv = vector.dict_vector(cols[idx])
+            if dv is None:
+                return _NO_NUMPY_PATH
+            codes = [
+                c
+                for c in (
+                    dv.index.get(v) for v in values if type(v) is str
+                )
+                if c is not None
+            ]
+            return vector._np.isin(dv.codes[:n], codes)
+
+        _in._numpy_mask = _in_mask  # type: ignore[attr-defined]
         return _in
     if isinstance(expr, Like) and isinstance(expr.arg, ColumnRef):
         idx = _resolve_layout(expr.arg.name, layout)
@@ -730,6 +760,9 @@ def _compile_predicate_columnar(
 
         def _like(cols: Sequence, sel, n: int):
             column = cols[idx]
+            dict_sel = _dict_selection_vs_dictionary(column, sel, n, match)
+            if dict_sel is not _NO_NUMPY_PATH:
+                return dict_sel
             kept = [
                 i
                 for i in _candidates(sel, n)
@@ -737,6 +770,16 @@ def _compile_predicate_columnar(
             ]
             return _refined(kept, sel, n)
 
+        def _like_mask(cols: Sequence, n: int):
+            from repro.exec import vector
+
+            dv = vector.dict_vector(cols[idx])
+            if dv is None:
+                return _NO_NUMPY_PATH
+            mask = _dictionary_value_mask(dv, match, vector._np)
+            return mask[dv.codes[:n]] if mask is not _NO_NUMPY_PATH else mask
+
+        _like._numpy_mask = _like_mask  # type: ignore[attr-defined]
         return _like
     if isinstance(expr, IsNull) and isinstance(expr.arg, ColumnRef):
         idx = _resolve_layout(expr.arg.name, layout)
@@ -744,6 +787,10 @@ def _compile_predicate_columnar(
 
         def _isnull(cols: Sequence, sel, n: int):
             column = cols[idx]
+            if getattr(column, "is_dictionary", False):
+                # Dictionary columns hold no NULLs (a NULL demotes the
+                # whole column to a list before any view is built).
+                return sel if negated else []
             if negated:
                 kept = [i for i in _candidates(sel, n) if column[i] is not None]
             else:
@@ -772,7 +819,11 @@ def _compile_predicate_columnar(
 
 
 def _selection_vs_literal(
-    ref: ColumnRef, k: Any, fn: Callable[[Any, Any], Any], layout: Mapping[str, int]
+    ref: ColumnRef,
+    k: Any,
+    fn: Callable[[Any, Any], Any],
+    layout: Mapping[str, int],
+    op: str,
 ) -> SelectionEvaluator:
     """column-vs-constant comparison: the hottest filter shape."""
     idx = _resolve_layout(ref.name, layout)
@@ -782,6 +833,9 @@ def _selection_vs_literal(
 
     def _cmp_lit(cols: Sequence, sel, n: int):
         column = cols[idx]
+        dict_sel = _dict_selection(column, sel, n, fn, k, op)
+        if dict_sel is not _NO_NUMPY_PATH:
+            return dict_sel
         np_sel = _numpy_selection(column, sel, n, fn, k)
         if np_sel is not _NO_NUMPY_PATH:
             return np_sel
@@ -798,6 +852,9 @@ def _selection_vs_literal(
 
         np = vector._np
         column = cols[idx]
+        dv = vector.dict_vector(column)
+        if dv is not None:
+            return _dict_code_mask(dv, dv.codes[:n], fn, k, op, np)
         if (
             np is None
             or not vector.numpy_enabled()
@@ -812,6 +869,167 @@ def _selection_vs_literal(
 
     _cmp_lit._numpy_mask = _mask  # type: ignore[attr-defined]
     return _cmp_lit
+
+
+# ---------------------------------------------------------------------- #
+# dictionary-encoded fast paths
+# ---------------------------------------------------------------------- #
+#
+# Dictionary columns arrive as ``repro.exec.vector.DictVector``: an int64
+# code ndarray plus the column's value dictionary.  String predicates then
+# never touch the strings row-wise — equality/inequality compare codes
+# against one literal lookup, and anything evaluated *per value* (order
+# comparisons, LIKE) runs once over the dictionary (size = distinct
+# values) and broadcasts to rows by indexing the per-value mask with the
+# codes.  A literal missing from the dictionary is a constant-false (or,
+# for ``<>``, constant-true: dictionary columns hold no NULLs) predicate.
+
+
+def _dict_code_mask(dv, codes, fn, k, op: str, np):
+    """Boolean mask aligned with ``codes``, or _NO_NUMPY_PATH."""
+    if op == "=" or op == "<>":
+        code = dv.index.get(k) if type(k) is str else None
+        if code is None:
+            mask = np.zeros(len(codes), dtype=bool)
+            return ~mask if op == "<>" else mask
+        return (codes != code) if op == "<>" else (codes == code)
+    values = dv.values
+    try:
+        per_value = np.fromiter(
+            (fn(v, k) for v in values), dtype=bool, count=len(values)
+        )
+    except TypeError:  # incomparable literal: keep exact row-path errors
+        return _NO_NUMPY_PATH
+    if not len(per_value):
+        return np.zeros(len(codes), dtype=bool)
+    return per_value[codes]
+
+
+def _dictionary_value_mask(dv, match, np):
+    """``match`` evaluated once per dictionary value, as a code-indexed mask."""
+    values = dv.values
+    if not values:
+        return _NO_NUMPY_PATH
+    return np.fromiter((match(v) for v in values), dtype=bool, count=len(values))
+
+
+def _mask_to_selection(mask, sel, n: int, np, vector):
+    """Shared mask -> refined-selection tail (the _refined conventions)."""
+    if sel is None:
+        kept = np.flatnonzero(mask)
+        return None if len(kept) == n else kept
+    cand = vector.as_index_array(sel)
+    if mask.all():
+        return sel
+    return cand[mask]
+
+
+def _dict_selection(column, sel, n: int, fn, k, op: str):
+    """Comparison on a dictionary column's codes (numpy or pure Python)."""
+    from repro.exec import vector
+
+    if not getattr(column, "is_dictionary", False):
+        return _NO_NUMPY_PATH
+    dv = vector.dict_vector(column)
+    if dv is None:
+        # Raw DictColumn storage (the no-numpy leg): integer-compare the
+        # code buffer in Python — still beats decoding every row.
+        if op != "=" and op != "<>":
+            return _NO_NUMPY_PATH
+        code = column.index.get(k) if type(k) is str else None
+        if code is None:
+            return [] if op == "=" else sel
+        codes = column.codes
+        if op == "=":
+            kept = [i for i in _candidates(sel, n) if codes[i] == code]
+        else:
+            kept = [i for i in _candidates(sel, n) if codes[i] != code]
+        return _refined(kept, sel, n)
+    np = vector._np
+    if op == "=" or op == "<>":
+        # One hash lookup replaces every per-row string compare.
+        code = dv.index.get(k) if type(k) is str else None
+        if code is None:
+            if op == "=":
+                return []
+            return sel  # <> a value the column never holds: all rows pass
+        codes = dv.codes
+        if sel is None:
+            mask = codes[:n] == code if op == "=" else codes[:n] != code
+            kept = np.flatnonzero(mask)
+            return None if len(kept) == n else kept
+        if type(sel) is range and sel.step == 1:
+            # Scan batches window into whole-column vectors with a range
+            # selection: slice the codes (zero-copy) instead of paying an
+            # arange + fancy-index gather per batch.
+            window = codes[sel.start : sel.stop]
+            mask = window == code if op == "=" else window != code
+            if mask.all():
+                return sel
+            kept = np.flatnonzero(mask)
+            return kept + sel.start if sel.start else kept
+        cand = vector.as_index_array(sel)
+        mask = codes[cand] == code if op == "=" else codes[cand] != code
+        if mask.all():
+            return sel
+        return cand[mask]
+    codes = dv.codes[:n] if sel is None else dv.codes[vector.as_index_array(sel)]
+    mask = _dict_code_mask(dv, codes, fn, k, op, np)
+    if mask is _NO_NUMPY_PATH:
+        return _NO_NUMPY_PATH
+    return _mask_to_selection(mask, sel, n, np, vector)
+
+
+def _dict_selection_in(column, sel, n: int, values):
+    """IN-list membership over translated codes (``np.isin`` / int set)."""
+    from repro.exec import vector
+
+    if not getattr(column, "is_dictionary", False):
+        return _NO_NUMPY_PATH
+    index = column.index
+    codes = [
+        c
+        for c in (index.get(v) for v in values if type(v) is str)
+        if c is not None
+    ]
+    if not codes:
+        return []
+    dv = vector.dict_vector(column)
+    if dv is None:
+        wanted = set(codes)
+        col_codes = column.codes
+        kept = [i for i in _candidates(sel, n) if col_codes[i] in wanted]
+        return _refined(kept, sel, n)
+    np = vector._np
+    col_codes = (
+        dv.codes[:n] if sel is None else dv.codes[vector.as_index_array(sel)]
+    )
+    return _mask_to_selection(np.isin(col_codes, codes), sel, n, np, vector)
+
+
+def _dict_selection_vs_dictionary(column, sel, n: int, match):
+    """A per-value predicate (LIKE) broadcast through the codes."""
+    from repro.exec import vector
+
+    if not getattr(column, "is_dictionary", False):
+        return _NO_NUMPY_PATH
+    dv = vector.dict_vector(column)
+    if dv is None:
+        values = column.values
+        wanted = {c for c, v in enumerate(values) if match(v)}
+        if not wanted:
+            return []
+        col_codes = column.codes
+        kept = [i for i in _candidates(sel, n) if col_codes[i] in wanted]
+        return _refined(kept, sel, n)
+    np = vector._np
+    per_value = _dictionary_value_mask(dv, match, np)
+    if per_value is _NO_NUMPY_PATH:
+        return []
+    col_codes = (
+        dv.codes[:n] if sel is None else dv.codes[vector.as_index_array(sel)]
+    )
+    return _mask_to_selection(per_value[col_codes], sel, n, np, vector)
 
 
 def _combined_mask(mask_fns, cols: Sequence, n: int):

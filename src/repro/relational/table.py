@@ -29,7 +29,12 @@ from typing import Any
 
 from repro.errors import SchemaError
 from repro.exec import vector as _vector
-from repro.relational.column import append_value, extend_values, make_storage
+from repro.relational.column import (
+    append_value,
+    column_nbytes,
+    extend_values,
+    make_storage,
+)
 from repro.relational.schema import TableSchema
 
 
@@ -252,6 +257,20 @@ class Table:
             view = _vector.vector_view(self.columns[name])
             self._vectors[name] = view
         return view
+
+    def memory_bytes(self) -> dict[str, int]:
+        """Resident payload bytes per column storage.
+
+        Typed buffers charge their C buffer, dictionary columns charge
+        8 bytes/code + one copy of each distinct value, lists charge a
+        slot plus the object per row (:func:`repro.relational.column.
+        column_nbytes`) — what the bench reports to make the dictionary
+        duplication-factor saving visible.
+        """
+        return {
+            name: column_nbytes(storage)
+            for name, storage in self.columns.items()
+        }
 
     def row(self, rowid: int) -> tuple[Any, ...]:
         """Materialize one row as a tuple, in schema column order."""

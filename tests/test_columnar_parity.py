@@ -49,21 +49,27 @@ from repro.workloads.ldbc.queries import ic_queries, qc_queries, qr_queries
 
 # Each backend builds its own catalogs and runs every parity query under
 # its storage/acceleration combination:
-#   numpy — typed array.array storage with ndarray vector views (the fast
-#           path this PR lights up end-to-end);
+#   dict  — dictionary-encoded string columns over typed buffers with
+#           ndarray code views (the default backend; string predicates,
+#           joins and grouping run on int codes);
+#   numpy — typed array.array storage with strings as plain lists and
+#           ndarray vector views (the pre-dictionary fast path, still the
+#           REPRO_STORAGE=typed opt-out);
 #   array — the same typed storage with numpy disabled (pure-Python
 #           fallbacks over C buffers);
 #   list  — plain-list storage, numpy disabled (the reference semantics).
-STORAGE_BACKENDS = ["numpy", "array", "list"]
+STORAGE_BACKENDS = ["dict", "numpy", "array", "list"]
+
+_BACKEND_OF_MODE = {"dict": "dict", "numpy": "typed", "array": "typed", "list": "list"}
 
 
 @pytest.fixture(scope="module", params=STORAGE_BACKENDS)
 def storage_backend(request):
     mode = request.param
-    if mode == "numpy" and not numpy_available():
+    if mode in ("dict", "numpy") and not numpy_available():
         pytest.skip("numpy not installed")
-    set_numpy_enabled(mode == "numpy")
-    set_storage_backend("list" if mode == "list" else "typed")
+    set_numpy_enabled(mode in ("dict", "numpy"))
+    set_storage_backend(_BACKEND_OF_MODE[mode])
     yield mode
     set_numpy_enabled(None)
     set_storage_backend(None)

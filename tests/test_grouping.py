@@ -421,7 +421,10 @@ def test_typed_state_demotes_on_ineligible_batch():
 
 
 @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
-def test_streaming_distinct_falls_back_on_near_unique_data():
+def test_streaming_distinct_typed_state_on_near_unique_data():
+    # A single sortable key column keeps its seen-state typed (sorted
+    # ndarray + searchsorted) at any distinct ratio — near-unique data no
+    # longer drops to the per-row walk.
     try:
         set_numpy_enabled(True)
         import numpy as np
@@ -431,10 +434,37 @@ def test_streaming_distinct_falls_back_on_near_unique_data():
         for start in range(0, 4096, 1024):
             column = np.arange(start, start + 1024)
             kept.extend(state.positions([column], 1024))
+        assert state._typed_seen is not None  # typed seen-state engaged
+        assert not state._seen
+        assert state.seen_count == 4096
+        # Repeats resolve against the sorted state, first-in-batch wins.
+        assert state.positions([np.asarray([0, 5000, 5000, 4095])], 4) == [1]
+        # A list-backed batch demotes the typed state into the seen-set
+        # (shared key format: 1-tuples), survivors unchanged.
+        assert state.positions([[0, 4095, 6000]], 3) == [2]
+        assert state._typed_seen is None
+        assert state.seen_count == 4098
+    finally:
+        set_numpy_enabled(None)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_streaming_distinct_falls_back_on_near_unique_data():
+    # Multi-column keys still use the factorize path, whose cumulative
+    # distinct-ratio fallback drops near-unique data to the row walk.
+    try:
+        set_numpy_enabled(True)
+        import numpy as np
+
+        state = StreamingDistinct()
+        kept = []
+        for start in range(0, 4096, 1024):
+            column = np.arange(start, start + 1024)
+            kept.extend(state.positions([column, column], 1024))
         assert not state._vectorize  # adaptive fallback engaged
         assert state.seen_count == 4096
         # Fallback path and vectorized path share the seen-key format.
-        assert state.positions([[0, 4095, 5000]], 3) == [2]
+        assert state.positions([[0, 4095, 5000], [0, 4095, 5000]], 3) == [2]
     finally:
         set_numpy_enabled(None)
 

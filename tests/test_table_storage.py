@@ -442,3 +442,149 @@ def test_extend_columns_empty_is_a_no_op():
     table = Table(make_schema(), rows=ROWS)
     table.extend_columns([[], [], [], []])
     assert table.num_rows == len(ROWS)
+
+
+# --------------------------------------------------------------------- #
+# dictionary-encoded string columns (the default backend)
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def dict_backend():
+    set_storage_backend("dict")
+    yield
+    set_storage_backend(None)
+
+
+def _string_table(rows_of_names, backend=None):
+    schema = TableSchema(
+        "s",
+        [Column("id", DataType.INT), Column("name", DataType.STRING)],
+        primary_key="id",
+    )
+    table = Table(schema)
+    table.extend_columns(
+        [list(range(len(rows_of_names))), list(rows_of_names)]
+    )
+    return table
+
+
+def test_dict_backend_is_the_default_and_encodes_strings(dict_backend):
+    from repro.relational.column import DictColumn
+
+    assert storage_backend() == "dict"
+    table = Table(make_schema(), rows=ROWS)
+    name = table.column("name")
+    assert isinstance(name, DictColumn)
+    # Typed columns are unaffected; DATE stays a list (as under typed).
+    assert isinstance(table.column("id"), array)
+    assert type(table.column("day")) is list
+    # Decoding round-trips: indexing, slicing, iteration, tolist.
+    assert name[1] == "b" and list(name[0:2]) == ["a", "b"]
+    assert list(name) == ["a", "b", "c"] == name.tolist()
+    # Repeats share one dictionary entry.
+    table.extend([(3, 0.0, "a", "2024-01-02"), (4, 0.0, "a", "2024-01-03")])
+    assert len(name.values) == 3 and name.codes.tolist() == [0, 1, 2, 0, 0]
+
+
+def test_dict_column_demotes_losslessly_on_null_and_non_string(dict_backend):
+    table = _string_table(["x", "y", "x"])
+    table.append((3, None), validate=False)
+    assert type(table.column("name")) is list
+    assert list(table.column("name")) == ["x", "y", "x", None]
+    # Mixed-type unvalidated bulk load demotes mid-batch, prefix exact.
+    other = _string_table(["p", "q"])
+    other.extend([(2, "r"), (3, 17)], validate=False)
+    assert list(other.column("name")) == ["p", "q", "r", 17]
+
+
+@needs_numpy
+def test_dict_vector_views_and_concurrent_appends(dict_backend):
+    from repro.exec.vector import DictVector
+
+    table = _string_table(["u", "v", "u", "w"])
+    view = table.vector("name")
+    assert isinstance(view, DictVector)
+    assert view.tolist() == ["u", "v", "u", "w"]
+    assert view[2] == "u" and list(view[1:3]) == ["v", "u"]
+    assert table.vector("name") is view  # cached until the next append
+    # Appending — including new dictionary entries — never locks the codes
+    # buffer and leaves already-served code views unaffected.
+    table.append((4, "z"))
+    table.append((5, "u"))
+    assert view.tolist() == ["u", "v", "u", "w"]
+    fresh = table.vector("name")
+    assert fresh is not view
+    assert fresh.tolist() == ["u", "v", "u", "w", "z", "u"]
+    # The dictionary object is shared (append-only): codes stay stable.
+    assert fresh.values is table.column("name").values
+
+
+@needs_numpy
+def test_dict_filter_miss_literals(dict_backend):
+    from repro.exec import execute_plan
+    from repro.relational.expr import IsNull, col, eq, lit, ne
+    from repro.relational.physical import FilterOp, SeqScan
+
+    table = _string_table(["a", "b", "a", "c"])
+    runs = [
+        (eq(col("s.name"), lit("nope")), []),
+        (ne(col("s.name"), lit("nope")), [(0, "a"), (1, "b"), (2, "a"), (3, "c")]),
+        (eq(col("s.name"), lit("b")), [(1, "b")]),
+        (IsNull(col("s.name")), []),
+        (IsNull(col("s.name"), negated=True), [(0, "a"), (1, "b"), (2, "a"), (3, "c")]),
+    ]
+    for predicate, expected in runs:
+        result = execute_plan(FilterOp(SeqScan(table, "s"), predicate))
+        assert result.sorted_rows() == expected
+
+
+def test_dict_join_remaps_between_distinct_dictionaries(dict_backend):
+    # The two sides intern the same values in different orders (different
+    # codes for the same string), and the probe side's dictionary holds
+    # build-side misses: matching must go by value, never by code.
+    from repro.exec import execute_plan
+    from repro.relational.physical import HashJoin, SeqScan
+
+    left = _string_table(["a", "b", "c", "a"])
+    right = _string_table(["c", "x", "a", "c"])
+    plan = HashJoin(SeqScan(left, "l"), SeqScan(right, "r"), ["l.name"], ["r.name"])
+    rows = execute_plan(plan).sorted_rows()
+    assert rows == [
+        (0, "a", 2, "a"),
+        (2, "c", 0, "c"),
+        (2, "c", 3, "c"),
+        (3, "a", 2, "a"),
+    ]
+    # A dict build side probed by a plain-list side (and vice versa) agrees.
+    set_storage_backend("list")
+    try:
+        plain = _string_table(["c", "x", "a", "c"])
+    finally:
+        set_storage_backend("dict")
+    mixed = HashJoin(SeqScan(left, "l"), SeqScan(plain, "r"), ["l.name"], ["r.name"])
+    assert execute_plan(mixed).sorted_rows() == rows
+    flipped = HashJoin(SeqScan(plain, "r"), SeqScan(left, "l"), ["r.name"], ["l.name"])
+    assert len(execute_plan(flipped).rows) == len(rows)
+
+
+def test_dict_memory_accounting_charges_codes_plus_dictionary(dict_backend):
+    import sys
+
+    names = ["alpha", "beta", "gamma"] * 100
+    table = _string_table(names)
+    bytes_by_column = table.memory_bytes()
+    expected = 8 * len(names) + sum(
+        sys.getsizeof(v) for v in ("alpha", "beta", "gamma")
+    )
+    assert bytes_by_column["name"] == expected
+    # The same column as a plain list charges a pointer slot plus the
+    # object per row — strictly more on repetitive data.
+    set_storage_backend("list")
+    try:
+        plain = _string_table(names)
+    finally:
+        set_storage_backend("dict")
+    assert plain.memory_bytes()["name"] > bytes_by_column["name"]
+    # Typed INT storage charges exactly its C buffer.
+    assert bytes_by_column["id"] == 8 * len(names)

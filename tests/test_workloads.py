@@ -144,3 +144,27 @@ def test_qc3_oom_shape(ldbc_tiny):
     assert noei.run(qc_queries()["QC3"], query_name="QC3").status == "OOM"
     relgo = make_system("relgo", catalog, "snb", memory_budget_rows=budget)
     assert relgo.run(qc_queries()["QC3"], query_name="QC3").ok()
+
+
+@pytest.mark.parametrize("backend", ["dict", "typed", "list"])
+def test_qc3_oom_trip_points_storage_independent(backend):
+    """The memory budget charges *rows*, never bytes, so switching the
+    column storage backend (dictionary-encoded strings, typed buffers,
+    plain lists) must leave the Fig 9 OOM trip points exactly where the
+    seed pinned them: same budget, same per-system statuses."""
+    from repro.relational.column import set_storage_backend
+
+    try:
+        set_storage_backend(backend)
+        catalog, mapping = generate_ldbc(LdbcParams(persons=80, forums=10, seed=3))
+        catalog.register_graph_index(build_graph_index(mapping))
+        budget = 20_000
+        statuses = {
+            name: make_system(name, catalog, "snb", memory_budget_rows=budget)
+            .run(qc_queries()["QC3"], query_name="QC3")
+            .status
+            for name in ("kuzu", "relgo_noei", "relgo")
+        }
+    finally:
+        set_storage_backend(None)
+    assert statuses == {"kuzu": "OOM", "relgo_noei": "OOM", "relgo": "ok"}
