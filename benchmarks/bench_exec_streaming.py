@@ -32,6 +32,12 @@ serial engine (the PR-4 baseline), so the recorded speedups are
 like-for-like; every level must return byte-identical canonical rows and
 ``rows_produced``.
 
+A **lifecycle** section measures the query-lifecycle machinery armed
+(query deadline + never-firing fault schedule + bounded memory governor)
+against the bare default on the same plans — results must stay
+byte-identical, and the recorded overhead ratio is the price of arming
+every cooperative check at every batch boundary.
+
 A **strings** section measures the dictionary-encoded string backend (the
 engine default since this PR) against the ``REPRO_STORAGE=typed`` opt-out
 — the PR-5 engine, re-run live in the same process with the same plans,
@@ -437,6 +443,89 @@ def test_bench_parallel_smoke():
 
 
 # --------------------------------------------------------------------- #
+# query lifecycle overhead (armed deadline + faults + governor vs bare)
+# --------------------------------------------------------------------- #
+
+#: A firing schedule no realistic run ever reaches: arms every lifecycle
+#: hook (the CI chaos leg's configuration) without changing behavior.
+NEVER_FIRES = "kind=error,after=1000000000"
+
+
+def _measure_lifecycle(catalog, scale: float, repetitions: int = REPETITIONS) -> dict:
+    """Armed-vs-unarmed lifecycle cost on the executor-bound queries.
+
+    The **bare** leg is the default configuration: no deadline, no fault
+    schedule, unbounded governor — the serial hot path pays one ``is
+    None`` test per batch boundary.  The **armed** leg runs the same plans
+    with a (generous) query deadline, an armed-but-never-firing fault
+    schedule and a bounded memory governor, i.e. every lifecycle check
+    live at every batch boundary.  Results must stay byte-identical; the
+    recorded overhead ratio is the price of turning the machinery on.
+    """
+    from repro.exec import MemoryGovernor
+
+    system = make_system("relgo", catalog, "snb")
+    plans = {
+        "deep_pipeline": system.optimize(
+            parse_and_bind(PIPELINE_SQL, catalog)
+        ).physical,
+        "filter_scan": system.optimize(
+            parse_and_bind(FILTER_SCAN_SQL, catalog)
+        ).physical,
+    }
+    governor = MemoryGovernor(total_rows=1 << 40)
+    out: dict[str, dict] = {}
+    for name, plan in plans.items():
+        def run(armed: bool):
+            times, result = [], None
+            for _ in range(repetitions):
+                started = time.perf_counter()
+                if armed:
+                    result = execute_plan(
+                        plan,
+                        columnar=True,
+                        timeout=300.0,
+                        faults=NEVER_FIRES,
+                        governor=governor,
+                    )
+                else:
+                    result = execute_plan(plan, columnar=True)
+                times.append(time.perf_counter() - started)
+            assert result is not None
+            return min(times) * 1000, result
+
+        bare_ms, bare = run(armed=False)
+        armed_ms, armed = run(armed=True)
+        assert _nan_safe_rows(armed.sorted_rows()) == _nan_safe_rows(
+            bare.sorted_rows()
+        ), name
+        assert armed.rows_produced == bare.rows_produced, name
+        assert armed.peak_buffered_rows == bare.peak_buffered_rows, name
+        out[name] = {
+            "bare_ms": bare_ms,
+            "armed_ms": armed_ms,
+            "armed_overhead": armed_ms / max(bare_ms, 1e-9),
+        }
+    assert governor.active_leases == 0 and governor.leased_rows == 0
+    return out
+
+
+def test_bench_lifecycle_smoke():
+    """Standalone lifecycle-overhead smoke: armed deadline/fault/governor
+    legs must return byte-identical results (asserted inside the sweep)
+    and cost no more than a loose no-pathology factor at smoke scale."""
+    scale = min(bench_scale(), 0.25)
+    catalog, mapping = generate_ldbc(LdbcParams.scaled(scale, seed=7))
+    catalog.register_graph_index(build_graph_index(mapping))
+    results = _measure_lifecycle(catalog, scale, repetitions=5)
+    for name, r in results.items():
+        # Cooperative checks are one attribute test + clock read per batch
+        # boundary; anything beyond 2x on a min-over-reps estimate means a
+        # lock or syscall crept onto the hot path.
+        assert r["armed_overhead"] < 2.0, (name, r)
+
+
+# --------------------------------------------------------------------- #
 # dictionary-encoded string scenarios (dict backend vs typed opt-out)
 # --------------------------------------------------------------------- #
 
@@ -759,6 +848,7 @@ def test_bench_exec_streaming(benchmark, ldbc10):
                 **_measure_groupby(scale),
             },
             "parallel": _measure_parallel(ldbc10, scale),
+            "lifecycle": _measure_lifecycle(ldbc10, scale),
             "strings": _measure_string_scenarios(scale),
             "microbench": {
                 "bulk_load": _bench_bulk_load(bulk_rows),
@@ -770,6 +860,7 @@ def test_bench_exec_streaming(benchmark, ldbc10):
     measured = benchmark.pedantic(run, rounds=1, iterations=1)
     results = measured["queries"]
     parallel = measured["parallel"]
+    lifecycle = measured["lifecycle"]
     strings = measured["strings"]
     micro = measured["microbench"]
     for name, r in results.items():
@@ -794,6 +885,7 @@ def test_bench_exec_streaming(benchmark, ldbc10):
         "timing": f"min over {REPETITIONS} repetitions",
         "queries": results,
         "parallel": parallel,
+        "lifecycle": lifecycle,
         "strings": strings,
         "microbench": micro,
     }
@@ -823,6 +915,12 @@ def test_bench_exec_streaming(benchmark, ldbc10):
         lines.append(
             f"{name}: serial {r['serial_ms']:.2f} ms, {sweep} "
             f"on {r['cores']} core(s)"
+        )
+    lines.append("-" * 50)
+    for name, r in lifecycle.items():
+        lines.append(
+            f"lifecycle {name}: bare {r['bare_ms']:.3f} ms vs armed "
+            f"{r['armed_ms']:.3f} ms -> {r['armed_overhead']:.3f}x overhead"
         )
     lines.append("-" * 50)
     for name in ("string_filter", "string_join", "string_groupby"):
@@ -910,6 +1008,10 @@ def test_bench_exec_streaming(benchmark, ldbc10):
     # (recorded speedups depend on the runner's core count).
     for name, r in parallel.items():
         assert r[f"speedup_p{PARALLEL_LEVELS[-1]}"] > 0.2, (name, r)
+    # Arming deadline + fault schedule + governor must stay cheap: the
+    # cooperative checks are attribute tests and clock reads, never locks.
+    for name, r in lifecycle.items():
+        assert r["armed_overhead"] < 2.0, (name, r)
     # Typed bulk loads pay an unboxing cost filling C buffers (recorded at
     # ~0.7x of plain-list appends) in exchange for the query-side wins
     # above; the column-major path must erase that transpose penalty.  The

@@ -58,6 +58,9 @@ def _tracked_times(doc: dict, include_multithread: bool) -> dict[str, float]:
             continue
         times[f"strings/{name}/dict"] = entry["dict_ms"]
         times[f"strings/{name}/typed"] = entry["typed_ms"]
+    for name, entry in doc.get("lifecycle", {}).items():
+        times[f"lifecycle/{name}/bare"] = entry["bare_ms"]
+        times[f"lifecycle/{name}/armed"] = entry["armed_ms"]
     return times
 
 

@@ -92,6 +92,11 @@ class RelGoConfig:
     # optimizer and its plan traces are unaffected — parallel plans are
     # rewritten per execution (exchange operators over leaf morsels).
     parallelism: int | None = None
+    # Per-query execution deadline in seconds; None reads
+    # REPRO_QUERY_TIMEOUT at execute time (default: no deadline).  Expiry
+    # raises QueryTimeout at the next batch boundary with full teardown —
+    # distinct from optimizer_timeout, the paper's OT knob.
+    query_timeout: float | None = None
 
 
 @dataclass
@@ -178,41 +183,71 @@ class RelGoFramework:
         optimized.optimization_time = time.perf_counter() - started
         return optimized
 
-    def execute(self, optimized: OptimizedQuery) -> QueryResult:
+    def execute(self, optimized: OptimizedQuery, handle=None) -> QueryResult:
         return execute_plan(
             optimized.physical,
             memory_budget_rows=self.config.memory_budget_rows,
             batch_size=self.config.batch_size,
             columnar=self.config.columnar,
             parallelism=self.config.parallelism,
+            timeout=self.config.query_timeout,
+            handle=handle,
         )
 
-    def execute_iter(self, optimized: OptimizedQuery):
+    def execute_iter(self, optimized: OptimizedQuery, handle=None):
         """Stream result batches without materializing the full result.
 
         Unlike :meth:`execute`, nothing is retained across batches, so
         arbitrarily large results can be consumed under a fixed memory
         budget; only genuinely buffering operators (hash builds, sorts)
         charge the budget.  Yields lists of row tuples.
+
+        The full query lifecycle applies: the config's ``query_timeout``
+        (or a caller-owned ``handle``) cancels cooperatively between
+        batches, the per-query budget is leased from the process governor,
+        and a consumer that abandons the iterator (``break``, ``close()``,
+        or an exception in the loop body) triggers deterministic teardown
+        — the operator stream is closed and the lease released in this
+        generator's ``finally``, not at GC time.
         """
+        from repro.exec.context import QueryHandle, close_stream, resolve_timeout
+        from repro.exec.faults import resolve_faults
+        from repro.exec.governor import resolve_governor
         from repro.exec.scheduler import parallelize_plan, resolve_parallelism
 
+        if handle is None:
+            deadline = resolve_timeout(self.config.query_timeout)
+            if deadline is not None:
+                handle = QueryHandle(deadline)
         parallelism = resolve_parallelism(self.config.parallelism)
         ctx = ExecutionContext(
             memory_budget_rows=self.config.memory_budget_rows,
             parallelism=parallelism,
+            handle=handle,
+            faults=resolve_faults(None),
         )
         if self.config.batch_size is not None:
             ctx.batch_size = self.config.batch_size
-        plan = optimized.physical
-        if parallelism > 1:
-            plan = parallelize_plan(plan, parallelism, ctx.batch_size)
-        if self.config.columnar:
-            # Vectorized pull; rows materialize only at this yield boundary.
-            for cb in plan.columnar_batches(ctx):
-                yield cb.to_rows()
-        else:
-            yield from plan.batches(ctx)
+        lease = resolve_governor(None).lease(ctx.memory_budget_rows, label="query")
+        stream = None
+        try:
+            ctx.memory_budget_rows = lease.budget_rows
+            plan = optimized.physical
+            if parallelism > 1:
+                plan = parallelize_plan(plan, parallelism, ctx.batch_size)
+            if self.config.columnar:
+                # Vectorized pull; rows materialize only at this yield
+                # boundary.
+                stream = plan.columnar_batches(ctx)
+                for cb in stream:
+                    yield cb.to_rows()
+            else:
+                stream = plan.batches(ctx)
+                yield from stream
+        finally:
+            if stream is not None:
+                close_stream(stream)
+            lease.release()
 
     def run(self, query: SPJMQuery) -> tuple[QueryResult, OptimizedQuery]:
         optimized = self.optimize(query)

@@ -53,14 +53,83 @@ class OutOfMemoryError(ExecutionError):
     (standing in for the paper's 256 GB RAM limit); plans that materialize
     exploding intermediates — e.g. the 4-clique query without
     EXPAND_INTERSECT — trip this error exactly like the paper's OOM entries.
+
+    ``label`` names the buffered intermediate that tripped (e.g.
+    ``"HASH_JOIN (…) build"``) for failure forensics; the trip condition
+    itself is label-independent, so the paper's calibrated OOM entries are
+    unaffected.
     """
 
-    def __init__(self, rows: int, budget: int):
+    def __init__(self, rows: int, budget: int, label: str = ""):
+        where = f" ({label})" if label else ""
         super().__init__(
-            f"intermediate result of {rows} rows exceeds the executor budget of {budget} rows"
+            f"intermediate result{where} of {rows} rows exceeds the executor "
+            f"budget of {budget} rows"
         )
         self.rows = rows
         self.budget = budget
+        self.label = label
+
+
+class QueryCancelled(ExecutionError):
+    """The query's cancellation token was triggered (cooperative stop).
+
+    Raised at the next batch boundary after :meth:`QueryHandle.cancel`; by
+    the time it surfaces, operator ``finally`` blocks have run and every
+    tracked buffer has been released.
+    """
+
+    def __init__(self, reason: str = "query cancelled"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class QueryTimeout(QueryCancelled):
+    """The query ran past its deadline (``RelGoConfig.query_timeout`` /
+    ``REPRO_QUERY_TIMEOUT`` / ``execute_plan(timeout=)``).
+
+    Subclasses :class:`QueryCancelled` so "stop the query" handling catches
+    both; distinct from :class:`OptimizationTimeout`, which is the paper's
+    OT entry for the *optimizer* budget.
+    """
+
+    def __init__(self, elapsed: float, deadline: float):
+        ExecutionError.__init__(
+            self,
+            f"query ran {elapsed:.3f}s, deadline was {deadline:.3f}s",
+        )
+        self.reason = "query deadline exceeded"
+        self.elapsed = elapsed
+        self.deadline = deadline
+
+
+class AdmissionError(ExecutionError):
+    """The memory governor could not grant a budget lease.
+
+    Raised by :meth:`MemoryGovernor.lease` when a query's requested budget
+    does not fit in the global pool (immediately if it can never fit,
+    otherwise after the admission timeout expires waiting for running
+    queries to release their leases).
+    """
+
+    def __init__(self, requested: int, total: int, leased: int):
+        super().__init__(
+            f"cannot lease {requested} budget rows: {leased} of {total} "
+            f"already leased"
+        )
+        self.requested = requested
+        self.total = total
+        self.leased = leased
+
+
+class InjectedFault(ExecutionError):
+    """An error deliberately raised by the fault-injection harness.
+
+    Only ever raised when ``REPRO_FAULTS`` (or an explicit
+    :class:`~repro.exec.faults.FaultInjector`) arms an ``error`` fault; the
+    distinct type lets the fault-matrix tests assert that *their* failure —
+    not some secondary effect — surfaced at the top.
+    """
 
 
 class OptimizationTimeout(ReproError):

@@ -32,6 +32,21 @@ state — which is exactly what the memory budget charges.
   (:func:`parallelize_plan`, driven by ``REPRO_PARALLELISM`` /
   ``RelGoConfig.parallelism``; ``parallelism=1`` preserves serial
   execution byte for byte).
+* :mod:`repro.exec.governor` — :class:`MemoryGovernor`, the process-level
+  pool concurrent queries lease their per-query budgets from (default:
+  unbounded — single-query semantics and the paper's OOM trip points are
+  untouched).
+* :mod:`repro.exec.faults` — the fault-injection harness
+  (:class:`FaultInjector`, armed via ``REPRO_FAULTS``): deliberate
+  errors/OOMs/delays/cancellations at emit/grow/exchange boundaries, used
+  by the fault-matrix tests and the CI chaos leg to exercise unwind paths.
+
+The query lifecycle layer lives in :mod:`repro.exec.context`:
+:class:`QueryHandle` (cooperative cancellation token + deadline, checked
+at batch boundaries — ``REPRO_QUERY_TIMEOUT`` / ``execute_plan(timeout=)``)
+raises :class:`~repro.errors.QueryTimeout` / ``QueryCancelled``, and
+teardown is deterministic — streams are explicitly closed so operator
+``finally`` blocks release every buffer whichever way a query ends.
 """
 
 from repro.exec.context import (
@@ -39,8 +54,25 @@ from repro.exec.context import (
     MIN_BATCH_SIZE,
     Buffer,
     ExecutionContext,
+    QueryHandle,
     QueryResult,
+    close_stream,
     execute_plan,
+    resolve_timeout,
+)
+from repro.exec.faults import (
+    Fault,
+    FaultInjector,
+    parse_faults,
+    plan_boundaries,
+    resolve_faults,
+)
+from repro.exec.governor import (
+    MemoryGovernor,
+    MemoryLease,
+    global_governor,
+    resolve_governor,
+    set_global_governor,
 )
 from repro.exec.operator import MaterializeOp, Operator, materialize_plan
 from repro.exec.scheduler import (
@@ -61,8 +93,21 @@ __all__ = [
     "MIN_BATCH_SIZE",
     "Buffer",
     "ExecutionContext",
+    "QueryHandle",
     "QueryResult",
+    "close_stream",
     "execute_plan",
+    "resolve_timeout",
+    "Fault",
+    "FaultInjector",
+    "parse_faults",
+    "plan_boundaries",
+    "resolve_faults",
+    "MemoryGovernor",
+    "MemoryLease",
+    "global_governor",
+    "resolve_governor",
+    "set_global_governor",
     "Operator",
     "MaterializeOp",
     "materialize_plan",

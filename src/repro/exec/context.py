@@ -14,14 +14,17 @@ handle via :meth:`ExecutionContext.buffer` and grow it as rows accumulate.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import OutOfMemoryError
+from repro.errors import OutOfMemoryError, QueryCancelled, QueryTimeout
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.exec.faults import FaultInjector
+    from repro.exec.governor import MemoryGovernor
     from repro.exec.operator import Operator
 
 #: Target number of rows per batch flowing between operators.
@@ -29,6 +32,107 @@ DEFAULT_BATCH_SIZE = 1024
 
 #: Floor for adaptively shrunk expansion chunks.
 MIN_BATCH_SIZE = 64
+
+
+class QueryHandle:
+    """Cooperative cancellation token + optional deadline for one query.
+
+    The handle is checked at batch boundaries (``ctx.emit``,
+    :meth:`Buffer.grow`, the exchange's put/get loops), never mid-kernel:
+    cancellation therefore unwinds through the normal generator machinery —
+    operator ``finally`` blocks run, buffers release, worker threads exit —
+    rather than killing threads.  A context without a handle pays a single
+    ``is None`` test per boundary, so the default serial hot path is
+    unchanged.
+
+    Thread-safe by construction: the mutable state is two booleans flipped
+    under the GIL, read by every worker.  ``cancel()`` may be called from
+    any thread (or from a signal handler); every thread of the query raises
+    at its next boundary.
+    """
+
+    __slots__ = ("start", "deadline_seconds", "_deadline", "_cancelled", "_timed_out", "_reason")
+
+    def __init__(self, deadline_seconds: float | None = None):
+        self.start = time.monotonic()
+        self.deadline_seconds = deadline_seconds
+        self._deadline = (
+            None if deadline_seconds is None else self.start + deadline_seconds
+        )
+        self._cancelled = False
+        self._timed_out = False
+        self._reason = "query cancelled"
+
+    def cancel(self, reason: str = "query cancelled") -> None:
+        """Request cooperative cancellation; idempotent, any thread."""
+        self._reason = reason
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (None when no deadline is armed)."""
+        if self._deadline is None:
+            return None
+        return self._deadline - time.monotonic()
+
+    def check(self) -> None:
+        """Raise :class:`QueryTimeout` / :class:`QueryCancelled` if due.
+
+        The first thread to observe an expired deadline marks the handle
+        timed out *and* cancelled, so every other worker stops at its next
+        boundary and raises the same error type.
+        """
+        if self._cancelled:
+            if self._timed_out:
+                raise QueryTimeout(
+                    time.monotonic() - self.start, self.deadline_seconds or 0.0
+                )
+            raise QueryCancelled(self._reason)
+        deadline = self._deadline
+        if deadline is not None and time.monotonic() > deadline:
+            self._timed_out = True
+            self._cancelled = True
+            raise QueryTimeout(
+                time.monotonic() - self.start, self.deadline_seconds or 0.0
+            )
+
+    def wait(self, seconds: float, poll: float = 0.01) -> None:
+        """Sleep up to ``seconds``, waking early (and raising) on
+        cancellation/deadline — the interruptible sleep injected delays and
+        cooperative backoff loops use, so a sleeping worker never outlives
+        its query."""
+        end = time.monotonic() + seconds
+        while True:
+            self.check()
+            left = end - time.monotonic()
+            if left <= 0:
+                return
+            time.sleep(min(poll, left))
+
+
+def resolve_timeout(value: float | None) -> float | None:
+    """An explicit per-query deadline in seconds, or the environment default.
+
+    The single resolution rule of every execution entry point:
+    ``value`` wins when given; otherwise ``REPRO_QUERY_TIMEOUT`` (empty =
+    no deadline).  Non-positive values disable the deadline; a malformed
+    env var raises rather than silently disarming the knob.
+    """
+    if value is not None:
+        return value if value > 0 else None
+    raw = os.environ.get("REPRO_QUERY_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    try:
+        parsed = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_QUERY_TIMEOUT must be a number of seconds, got {raw!r}"
+        ) from None
+    return parsed if parsed > 0 else None
 
 
 class Buffer:
@@ -65,6 +169,14 @@ class Buffer:
         if rows <= 0:
             return
         ctx = self._ctx
+        # Batch-boundary lifecycle checks (outside the accounting lock, so
+        # a raising check can never leave it held): both are a single
+        # ``is None`` test when the query has no deadline/handle and no
+        # injector armed — the default serial hot path is unchanged.
+        if ctx.handle is not None:
+            ctx.handle.check()
+        if ctx.faults is not None:
+            ctx.faults.on_grow(ctx, self.label, rows)
         if ctx.parallelism > 1:
             with ctx.lock:
                 self._grow(ctx, rows)
@@ -79,7 +191,7 @@ class Buffer:
                 ctx.peak_buffered_rows = ctx.buffered_rows
         budget = ctx.memory_budget_rows
         if budget is not None and self.rows > budget:
-            raise OutOfMemoryError(self.rows, budget)
+            raise OutOfMemoryError(self.rows, budget, self.label)
 
     def shrink(self, rows: int) -> None:
         """Account for ``rows`` buffered rows being dropped (e.g. TopK prune)."""
@@ -143,6 +255,11 @@ class ExecutionContext:
             context, counters and buffers are lock-protected so one
             context is shared by all workers; serial contexts skip the
             lock entirely.
+        handle: the query's :class:`QueryHandle` (cancellation token +
+            deadline), checked at batch boundaries; None (the default)
+            costs one ``is None`` test per boundary.
+        faults: an armed :class:`~repro.exec.faults.FaultInjector`, or
+            None (the default — same single-test cost).
     """
 
     memory_budget_rows: int | None = None
@@ -155,12 +272,18 @@ class ExecutionContext:
     buffered_rows: int = 0
     peak_buffered_rows: int = 0
     parallelism: int = 1
+    handle: "QueryHandle | None" = None
+    faults: "FaultInjector | None" = None
     lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
 
     def emit(self, rows: int, label: str = "") -> None:
         """Count ``rows`` rows emitted downstream by operator ``label``."""
+        if self.handle is not None:
+            self.handle.check()
+        if self.faults is not None:
+            self.faults.on_emit(self, label, rows)
         if self.parallelism > 1:
             with self.lock:
                 self.rows_produced += rows
@@ -236,12 +359,31 @@ def _sort_key(row: tuple) -> tuple:
     )
 
 
+def close_stream(stream: Any) -> None:
+    """Close a batch iterator if it supports it (generators always do).
+
+    Explicit closing is the engine's teardown primitive: it raises
+    ``GeneratorExit`` at the suspended yield, which runs every operator's
+    ``finally`` block down the pipeline — buffers release, worker crews
+    stop — deterministically, instead of whenever GC finalizes the
+    abandoned iterator.
+    """
+    close = getattr(stream, "close", None)
+    if close is not None:
+        close()
+
+
 def execute_plan(
     plan: "Operator",
     memory_budget_rows: int | None = None,
     batch_size: int | None = None,
     columnar: bool = True,
     parallelism: int | None = None,
+    timeout: float | None = None,
+    handle: QueryHandle | None = None,
+    governor: "MemoryGovernor | None" = None,
+    faults: Any = None,
+    ctx: ExecutionContext | None = None,
 ) -> QueryResult:
     """Run a physical plan to completion and package the result.
 
@@ -260,33 +402,81 @@ def execute_plan(
     over per-morsel chain clones and pulled with a worker pool of that
     size.  ``None`` reads ``REPRO_PARALLELISM`` (default 1 = serial, the
     byte-for-byte reference behavior).
+
+    Lifecycle knobs:
+
+    * ``timeout`` — per-query deadline in seconds (None reads
+      ``REPRO_QUERY_TIMEOUT``); expiry raises :class:`QueryTimeout` at the
+      next batch boundary.
+    * ``handle`` — a caller-owned :class:`QueryHandle` for cooperative
+      cancellation from another thread; overrides ``timeout``.
+    * ``governor`` — the :class:`MemoryGovernor` to lease this query's
+      budget from (None = the process-global governor, unbounded by
+      default, so per-query budget semantics — and the paper's OOM trip
+      points — are unchanged).
+    * ``faults`` — a :class:`FaultInjector` or spec string (None reads
+      ``REPRO_FAULTS``).
+    * ``ctx`` — a caller-owned :class:`ExecutionContext`; when given, the
+      budget/batch/parallelism/handle/faults arguments above are ignored
+      in favor of the context's own fields (tests and the serving tier
+      use this to observe ``buffered_rows`` after teardown).
+
+    Teardown is unconditional: however the pull ends — completion, OOM,
+    timeout, cancellation, injected fault — the batch iterator is closed
+    (running operator ``finally`` blocks), the RESULT buffer is released,
+    and the budget lease returns to the governor.  After a failure the
+    context's ``buffered_rows`` is zero and no worker threads remain.
     """
+    from repro.exec.faults import resolve_faults
+    from repro.exec.governor import resolve_governor
     from repro.exec.scheduler import parallelize_plan, resolve_parallelism
 
-    resolved = resolve_parallelism(parallelism)
-    ctx = ExecutionContext(
-        memory_budget_rows=memory_budget_rows, parallelism=resolved
-    )
-    if batch_size is not None:
-        ctx.batch_size = batch_size
-    executed = plan
-    if resolved > 1:
-        executed = parallelize_plan(plan, resolved, ctx.batch_size)
+    if ctx is None:
+        if handle is None:
+            deadline = resolve_timeout(timeout)
+            if deadline is not None:
+                handle = QueryHandle(deadline)
+        ctx = ExecutionContext(
+            memory_budget_rows=memory_budget_rows,
+            parallelism=resolve_parallelism(parallelism),
+            handle=handle,
+            faults=resolve_faults(faults),
+        )
+        if batch_size is not None:
+            ctx.batch_size = batch_size
+    lease = resolve_governor(governor).lease(ctx.memory_budget_rows, label="query")
     result_buffer = ctx.buffer("RESULT")
-    rows: list[tuple] = []
-    if columnar:
-        for cb in executed.columnar_batches(ctx):
-            batch = cb.to_rows()
-            rows.extend(batch)
-            result_buffer.grow(len(batch))
-    else:
-        for batch in executed.batches(ctx):
-            rows.extend(batch)
-            result_buffer.grow(len(batch))
-    return QueryResult(
-        columns=list(plan.output_columns),
-        rows=rows,
-        execution_time=ctx.elapsed,
-        rows_produced=ctx.rows_produced,
-        peak_buffered_rows=ctx.peak_buffered_rows,
-    )
+    stream = None
+    try:
+        # The lease carries the requested per-query budget through
+        # unchanged (a governor admits or denies, it never shrinks), so
+        # under the default unbounded governor this assignment is the
+        # identity and the paper's OOM trip points are untouched.
+        ctx.memory_budget_rows = lease.budget_rows
+        executed = plan
+        if ctx.parallelism > 1:
+            executed = parallelize_plan(plan, ctx.parallelism, ctx.batch_size)
+        rows: list[tuple] = []
+        if columnar:
+            stream = executed.columnar_batches(ctx)
+            for cb in stream:
+                batch = cb.to_rows()
+                rows.extend(batch)
+                result_buffer.grow(len(batch))
+        else:
+            stream = executed.batches(ctx)
+            for batch in stream:
+                rows.extend(batch)
+                result_buffer.grow(len(batch))
+        return QueryResult(
+            columns=list(plan.output_columns),
+            rows=rows,
+            execution_time=ctx.elapsed,
+            rows_produced=ctx.rows_produced,
+            peak_buffered_rows=ctx.peak_buffered_rows,
+        )
+    finally:
+        if stream is not None:
+            close_stream(stream)
+        result_buffer.release()
+        lease.release()

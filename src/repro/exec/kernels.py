@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.exec import vector
-from repro.exec.context import Buffer, ExecutionContext
+from repro.exec.context import Buffer, ExecutionContext, close_stream
 from repro.exec.vector import ColumnarBatch, gather, take
 
 Batch = list
@@ -29,12 +29,21 @@ Batch = list
 def emit_batches(
     ctx: ExecutionContext, label: str, stream: Iterable[Batch]
 ) -> Iterator[Batch]:
-    """Count each non-empty batch of ``stream`` against ``label`` and pass it on."""
-    for batch in stream:
-        if not batch:
-            continue
-        ctx.emit(len(batch), label)
-        yield batch
+    """Count each non-empty batch of ``stream`` against ``label`` and pass it on.
+
+    ``stream`` is closed on any exit — including an ``emit``-raised
+    cancellation/fault — so the close cascades into suspended upstream
+    generators and their ``finally`` blocks release buffers deterministically
+    rather than at GC time.
+    """
+    try:
+        for batch in stream:
+            if not batch:
+                continue
+            ctx.emit(len(batch), label)
+            yield batch
+    finally:
+        close_stream(stream)
 
 
 def chunked(rows: list, size: int) -> Iterator[Batch]:
@@ -93,21 +102,26 @@ def build_hash_table(
     that was buffered for an adaptive build-side choice).
     """
     table: dict[Any, list] = {}
-    for batch in batches:
-        kept = 0
-        for row in batch:
-            key = key_of(row)
-            if key is None:
-                continue
-            value = row if value_of is None else value_of(row)
-            bucket = table.get(key)
-            if bucket is None:
-                table[key] = [value]
-            else:
-                bucket.append(value)
-            kept += 1
-        if buffer is not None:
-            buffer.grow(kept)
+    try:
+        for batch in batches:
+            kept = 0
+            for row in batch:
+                key = key_of(row)
+                if key is None:
+                    continue
+                value = row if value_of is None else value_of(row)
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = [value]
+                else:
+                    bucket.append(value)
+                kept += 1
+            if buffer is not None:
+                buffer.grow(kept)
+    finally:
+        # A mid-build budget trip (or injected fault) must not leave the
+        # build stream suspended: close it so upstream finallys run now.
+        close_stream(batches)
     return table
 
 
@@ -207,13 +221,16 @@ def expand_batches(
 def emit_columnar(
     ctx: ExecutionContext, label: str, stream: Iterable[ColumnarBatch]
 ) -> Iterator[ColumnarBatch]:
-    """Columnar counterpart of :func:`emit_batches`."""
-    for cb in stream:
-        n = len(cb)
-        if not n:
-            continue
-        ctx.emit(n, label)
-        yield cb
+    """Columnar counterpart of :func:`emit_batches` (same close guarantee)."""
+    try:
+        for cb in stream:
+            n = len(cb)
+            if not n:
+                continue
+            ctx.emit(n, label)
+            yield cb
+    finally:
+        close_stream(stream)
 
 
 def filter_columnar(
@@ -340,33 +357,36 @@ def build_hash_table_columnar(
         return bucket
 
     cache = _DictKeyCache(intern_bucket)
-    for cb in batches:
-        values = cb.to_rows()
-        count = 0
-        dv = _single_key_dict(cb, key_indices)
-        if dv is not None:
-            slots = cache.prime(dv.values)
-            miss = _DictKeyCache._MISS
-            intern = cache.get
-            for code, value in zip(dv.codes.tolist(), values):
-                bucket = slots[code]
-                if bucket is miss:
-                    bucket = intern(code)
-                bucket.append(value)
-            count = len(values)
-        else:
-            keys = key_columns(cb, key_indices)
-            for key, value in zip(keys, values):
-                if key is None:
-                    continue
-                bucket = table.get(key)
-                if bucket is None:
-                    table[key] = [value]
-                else:
+    try:
+        for cb in batches:
+            values = cb.to_rows()
+            count = 0
+            dv = _single_key_dict(cb, key_indices)
+            if dv is not None:
+                slots = cache.prime(dv.values)
+                miss = _DictKeyCache._MISS
+                intern = cache.get
+                for code, value in zip(dv.codes.tolist(), values):
+                    bucket = slots[code]
+                    if bucket is miss:
+                        bucket = intern(code)
                     bucket.append(value)
-                count += 1
-        if buffer is not None:
-            buffer.grow(count)
+                count = len(values)
+            else:
+                keys = key_columns(cb, key_indices)
+                for key, value in zip(keys, values):
+                    if key is None:
+                        continue
+                    bucket = table.get(key)
+                    if bucket is None:
+                        table[key] = [value]
+                    else:
+                        bucket.append(value)
+                    count += 1
+            if buffer is not None:
+                buffer.grow(count)
+    finally:
+        close_stream(batches)
     return table
 
 

@@ -131,10 +131,13 @@ class MaterializeOp(Operator):
         return {name: i for i, name in enumerate(self.output_columns)}
 
     def batches(self, ctx: "ExecutionContext") -> Iterator[Batch]:
+        from repro.exec.context import close_stream
+
         buffer = ctx.buffer(self._label())
+        source = self.child.batches(ctx)
         try:
             rows: list[tuple] = []
-            for batch in self.child.batches(ctx):
+            for batch in source:
                 rows.extend(batch)
                 buffer.grow(len(batch))
             size = ctx.batch_size
@@ -143,6 +146,7 @@ class MaterializeOp(Operator):
                 ctx.emit(len(batch), self._label())
                 yield batch
         finally:
+            close_stream(source)
             buffer.release()
 
     def _label(self) -> str:

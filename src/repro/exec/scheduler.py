@@ -55,9 +55,14 @@ import itertools
 import os
 import queue
 import threading
+import time
 from typing import Callable, Iterator, Sequence
 
 from repro.exec.operator import Operator
+
+#: How long teardown keeps joining stopped workers before giving up on
+#: them (daemon threads; only a non-cooperative body can exceed this).
+REAP_GRACE_SECONDS = 5.0
 
 #: Each worker should see a few morsels so the pool load-balances skewed
 #: chains, but not so many that per-morsel overhead dominates.
@@ -118,6 +123,36 @@ class _WorkerCrew:
     def join(self, timeout: float | None = None) -> None:
         for thread in self.threads:
             thread.join(timeout)
+
+    def join_interruptible(self, ctx=None, poll: float = 0.05) -> None:
+        """Wait for the crew, staying responsive to errors and deadlines.
+
+        Unlike a bare ``join()``, this loop re-checks after every ``poll``
+        interval: a captured worker error ends the wait immediately (the
+        caller re-raises it), and the query's cancellation handle — if any
+        — is honored in the *calling* thread, so a hung or slow worker can
+        never pin the consumer past the query's deadline.
+        """
+        handle = getattr(ctx, "handle", None)
+        while self.alive():
+            if self.errors:
+                return
+            if handle is not None:
+                handle.check()
+            self.join(poll)
+
+    def stop_and_reap(self, grace: float = REAP_GRACE_SECONDS) -> None:
+        """Signal stop and join every worker, bounded by ``grace`` seconds.
+
+        Cooperative workers observe the stop event (or their query
+        handle) within a batch and exit; a worker that does not is
+        abandoned as a daemon thread rather than blocking teardown
+        forever.
+        """
+        self.stop.set()
+        deadline = time.monotonic() + grace
+        while self.alive() and time.monotonic() < deadline:
+            self.join(0.02)
 
 
 def default_parallelism() -> int:
@@ -233,12 +268,21 @@ class ExchangeOp(Operator):
     # ------------------------------------------------------------------ #
 
     def _pull(self, ctx, protocol: str) -> Iterator:
+        from repro.exec.context import close_stream
+
         plans = self.plans
         workers = min(getattr(ctx, "parallelism", 1), len(plans))
         if workers <= 1:
             for plan in plans:
-                yield from getattr(plan, protocol)(ctx)
+                stream = getattr(plan, protocol)(ctx)
+                try:
+                    yield from stream
+                finally:
+                    close_stream(stream)
             return
+        label = self.cached_label()
+        handle = getattr(ctx, "handle", None)
+        faults = getattr(ctx, "faults", None)
         queues = [queue.Queue(maxsize=EXCHANGE_QUEUE_DEPTH) for _ in plans]
 
         def put(q: "queue.Queue", item) -> bool:
@@ -251,11 +295,21 @@ class ExchangeOp(Operator):
             return False
 
         def body(i: int):
+            # The stream is closed *here*, on the worker that drove it,
+            # whether it was exhausted, abandoned on stop, or raised —
+            # operator ``finally`` blocks (buffer releases) must not wait
+            # for GC.
             q = queues[i]
-            for item in getattr(plans[i], protocol)(ctx):
-                if not put(q, item):
-                    return False
-            return put(q, _DONE)
+            stream = getattr(plans[i], protocol)(ctx)
+            try:
+                for item in stream:
+                    if faults is not None:
+                        faults.on_exchange(ctx, "put", label)
+                    if not put(q, item):
+                        return False
+                return put(q, _DONE)
+            finally:
+                close_stream(stream)
 
         crew = _WorkerCrew(len(plans), workers, "repro-exchange", body)
         crew.start()
@@ -267,6 +321,8 @@ class ExchangeOp(Operator):
                     except queue.Empty:
                         if crew.errors:
                             raise crew.errors[0]
+                        if handle is not None:
+                            handle.check()
                         if not crew.alive() and q.empty():
                             # All workers exited without a sentinel: only
                             # reachable through cancellation races.
@@ -274,12 +330,15 @@ class ExchangeOp(Operator):
                         continue
                     if item is _DONE:
                         break
+                    if faults is not None:
+                        faults.on_exchange(ctx, "get", label)
                     yield item
             if crew.errors:
                 raise crew.errors[0]
         finally:
             crew.stop.set()
-            while crew.alive():
+            deadline = time.monotonic() + REAP_GRACE_SECONDS
+            while crew.alive() and time.monotonic() < deadline:
                 for q in queues:  # unblock producers stuck on full queues
                     try:
                         while True:
@@ -304,22 +363,47 @@ class ExchangeOp(Operator):
         whose emission order is batch-boundary-dependent even serially).
         Exceptions from
         any worker (including ``OutOfMemoryError`` from budget charges in
-        ``run``) re-raise in the calling thread.
+        ``run``) re-raise in the calling thread.  The join is bounded and
+        interruptible: it polls for worker errors and the query's
+        cancellation handle instead of blocking indefinitely, and
+        teardown stops and reaps the crew (with a grace bound) before the
+        first error re-raises — one hung worker can no longer pin the
+        consumer thread forever, and morsel streams are closed on their
+        worker whichever way the fold ends.
         """
+        from repro.exec.context import close_stream
+
         plans = self.plans
         states: list = [None] * len(plans)
         workers = min(getattr(ctx, "parallelism", 1), len(plans))
+        label = self.cached_label()
+        faults = getattr(ctx, "faults", None)
+
+        def consume(i: int, plan: Operator):
+            stream = getattr(plan, protocol)(ctx)
+            try:
+                if faults is not None:
+                    # The fold-mode exchange boundary: one injection point
+                    # per morsel, mirroring the streaming merge's put/get.
+                    faults.on_exchange(ctx, "fold", label)
+                return run(i, stream)
+            finally:
+                close_stream(stream)
+
         if workers <= 1:
             for i, plan in enumerate(plans):
-                states[i] = run(i, getattr(plan, protocol)(ctx))
+                states[i] = consume(i, plan)
             return states
 
         def body(i: int) -> None:
-            states[i] = run(i, getattr(plans[i], protocol)(ctx))
+            states[i] = consume(i, plans[i])
 
         crew = _WorkerCrew(len(plans), workers, "repro-fold", body)
         crew.start()
-        crew.join()
+        try:
+            crew.join_interruptible(ctx)
+        finally:
+            crew.stop_and_reap()
         if crew.errors:
             raise crew.errors[0]
         return states
@@ -479,6 +563,7 @@ def parallelize_plan(
 __all__ = [
     "MORSELS_PER_WORKER",
     "EXCHANGE_QUEUE_DEPTH",
+    "REAP_GRACE_SECONDS",
     "ExchangeOp",
     "default_parallelism",
     "fold_source",

@@ -43,7 +43,7 @@ from itertools import product as iter_product
 from typing import Iterator
 
 from repro.errors import PlanError
-from repro.exec.context import ExecutionContext
+from repro.exec.context import ExecutionContext, close_stream
 from repro.exec.kernels import (
     ChunkSizer,
     build_hash_table,
@@ -1143,9 +1143,12 @@ class PatternHashJoin(GraphOperator):
         size = ctx.batch_size
         right_buffer = ctx.buffer(f"{self._label()} build")
         left_buffer = ctx.buffer(f"{self._label()} lookahead")
+        right_stream = None
+        left_stream = None
         try:
             right_rows: list[tuple] = []
-            for cb in self.right.columnar_batches(ctx):
+            right_stream = self.right.columnar_batches(ctx)
+            for cb in right_stream:
                 batch = cb.to_rows()
                 right_rows.extend(batch)
                 right_buffer.grow(len(batch))
@@ -1188,6 +1191,11 @@ class PatternHashJoin(GraphOperator):
 
             yield from probe_hash_table_columnar(left_batches(), table, l_idx, ctx)
         finally:
+            # A budget trip during either buffering loop leaves that input
+            # suspended in this (traceback-pinned) frame: close both so
+            # upstream finallys release their buffers deterministically.
+            close_stream(right_stream)
+            close_stream(left_stream)
             right_buffer.release()
             left_buffer.release()
 
@@ -1196,9 +1204,12 @@ class PatternHashJoin(GraphOperator):
         size = ctx.batch_size
         right_buffer = ctx.buffer(f"{self._label()} build")
         left_buffer = ctx.buffer(f"{self._label()} lookahead")
+        right_stream = None
+        left_stream = None
         try:
             right_rows: list[tuple] = []
-            for batch in self.right.batches(ctx):
+            right_stream = self.right.batches(ctx)
+            for batch in right_stream:
                 right_rows.extend(batch)
                 right_buffer.grow(len(batch))
             # Bounded lookahead on the left: once it outnumbers the right
@@ -1245,6 +1256,8 @@ class PatternHashJoin(GraphOperator):
 
             yield from probe_hash_table(left_batches(), table, left_key, size)
         finally:
+            close_stream(right_stream)
+            close_stream(left_stream)
             right_buffer.release()
             left_buffer.release()
 

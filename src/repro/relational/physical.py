@@ -30,7 +30,7 @@ import operator
 from typing import Any, Iterator, Sequence
 
 from repro.errors import PlanError
-from repro.exec.context import Buffer, ExecutionContext
+from repro.exec.context import Buffer, ExecutionContext, close_stream
 from repro.exec.kernels import (
     ChunkSizer,
     build_hash_table,
@@ -509,9 +509,11 @@ class NestedLoopJoin(PhysicalOperator):
 
     def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         buffer = ctx.buffer(f"{self._label()} build")
+        build_src = None
         try:
             right_rows: list[tuple] = []
-            for batch in self.right.batches(ctx):
+            build_src = self.right.batches(ctx)
+            for batch in build_src:
                 right_rows.extend(batch)
                 buffer.grow(len(batch))
             if self.condition is not None:
@@ -529,6 +531,9 @@ class NestedLoopJoin(PhysicalOperator):
 
             yield from expand_batches(self.left.batches(ctx), expand, ctx)
         finally:
+            # A budget trip mid-build pins this frame in the traceback; the
+            # explicit close unwinds the suspended build stream now.
+            close_stream(build_src)
             buffer.release()
 
     def _label(self) -> str:
@@ -1021,11 +1026,13 @@ class AggregateOp(PhysicalOperator):
                 partial.grow(engine.num_groups - before)
 
         buffer = ctx.buffer(label)
+        source = None
         try:
             exchange = fold_source(self.child, ctx)
             if exchange is None:
                 engine = GroupedAggregation(len(key_getters), funcs)
-                consume(engine, self.child.columnar_batches(ctx), buffer)
+                source = self.child.columnar_batches(ctx)
+                consume(engine, source, buffer)
             else:
 
                 def run(i: int, stream) -> GroupedAggregation:
@@ -1051,6 +1058,7 @@ class AggregateOp(PhysicalOperator):
                     columns, total, range(start, min(start + size, total))
                 )
         finally:
+            close_stream(source)
             buffer.release()
 
     def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
@@ -1065,9 +1073,10 @@ class AggregateOp(PhysicalOperator):
         updates = [update for _, update, _ in accumulators]
         finals = [final for _, _, final in accumulators]
         buffer = ctx.buffer(self._label())
+        source = self.child.batches(ctx)
         try:
             groups: dict[tuple, list[Any]] = {}
-            for batch in self.child.batches(ctx):
+            for batch in source:
                 for row in batch:
                     # canonical_row folds every NaN key into one group —
                     # without it each NaN row would open its own group
@@ -1090,6 +1099,7 @@ class AggregateOp(PhysicalOperator):
             ]
             yield from chunked(out, ctx.batch_size)
         finally:
+            close_stream(source)
             buffer.release()
 
     def _label(self) -> str:
@@ -1118,12 +1128,13 @@ class SortOp(PhysicalOperator):
         # is upstream (the buffered input arrives through vectorized
         # operators) plus key columns computed without per-row closures.
         buffer = ctx.buffer(self._label())
+        source = self.child.columnar_batches(ctx)
         try:
             rows: list[tuple] = []
             key_parts: list[list] = [[] for _ in self.keys]
             layout = self.child.layout()
             evs = [compile_expr_columnar(e, layout) for e, _ in self.keys]
-            for cb in self.child.columnar_batches(ctx):
+            for cb in source:
                 batch_rows = cb.to_rows()
                 rows.extend(batch_rows)
                 buffer.grow(len(batch_rows))
@@ -1139,13 +1150,15 @@ class SortOp(PhysicalOperator):
             for chunk in chunked(ordered, ctx.batch_size):
                 yield ColumnarBatch.from_rows(chunk)
         finally:
+            close_stream(source)
             buffer.release()
 
     def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         buffer = ctx.buffer(self._label())
+        source = self.child.batches(ctx)
         try:
             rows: list[tuple] = []
-            for batch in self.child.batches(ctx):
+            for batch in source:
                 rows.extend(batch)
                 buffer.grow(len(batch))
             layout = self.child.layout()
@@ -1158,6 +1171,7 @@ class SortOp(PhysicalOperator):
                 )
             yield from chunked(rows, ctx.batch_size)
         finally:
+            close_stream(source)
             buffer.release()
 
     def _label(self) -> str:
@@ -1471,12 +1485,12 @@ class TopKOp(PhysicalOperator):
         select, _, _ = self._selection_setup(k)
         label = self._label()
         buffer = ctx.buffer(label)
+        source = None
         try:
             exchange = fold_source(self.child, ctx)
             if exchange is None:
-                candidates = self._collect_columnar(
-                    ctx, self.child.columnar_batches(ctx), buffer
-                )
+                source = self.child.columnar_batches(ctx)
+                candidates = self._collect_columnar(ctx, source, buffer)
             else:
                 # Per-worker top-k over the morsel exchange: each worker
                 # prunes its own candidates (untracked O(k) partials) and
@@ -1500,6 +1514,7 @@ class TopKOp(PhysicalOperator):
             for chunk in chunked([entry[2] for entry in top], ctx.batch_size):
                 yield ColumnarBatch.from_rows(chunk)
         finally:
+            close_stream(source)
             buffer.release()
 
     def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
@@ -1533,10 +1548,11 @@ class TopKOp(PhysicalOperator):
 
         threshold = self._prune_threshold(ctx, k)
         buffer = ctx.buffer(self._label())
+        source = self.child.batches(ctx)
         try:
             candidates: list[tuple] = []  # (key, ±arrival, row)
             arrival = 0
-            for batch in self.child.batches(ctx):
+            for batch in source:
                 for row in batch:
                     candidates.append((key_of(row), tiebreak * arrival, row))
                     arrival += 1
@@ -1552,6 +1568,7 @@ class TopKOp(PhysicalOperator):
             top = select(candidates)
             yield from chunked([entry[2] for entry in top], ctx.batch_size)
         finally:
+            close_stream(source)
             buffer.release()
 
     def _label(self) -> str:
@@ -1575,33 +1592,43 @@ class LimitOp(PhysicalOperator):
         if remaining <= 0:
             return
         label = self._label()
-        for batch in self.child.batches(ctx):
-            if len(batch) >= remaining:
-                out = batch[:remaining]
-                ctx.emit(len(out), label)
-                yield out
-                return
-            remaining -= len(batch)
-            ctx.emit(len(batch), label)
-            yield batch
+        source = self.child.batches(ctx)
+        try:
+            for batch in source:
+                if len(batch) >= remaining:
+                    out = batch[:remaining]
+                    ctx.emit(len(out), label)
+                    yield out
+                    return
+                remaining -= len(batch)
+                ctx.emit(len(batch), label)
+                yield batch
+        finally:
+            # Covers the satisfied-early return too: upstream breakers see
+            # the close (not an eventual GC) and release their buffers now.
+            close_stream(source)
 
     def columnar_batches(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         remaining = self.limit
         if remaining <= 0:
             return
         label = self._label()
-        for cb in self.child.columnar_batches(ctx):
-            n = len(cb)
-            if not n:
-                continue
-            if n >= remaining:
-                out = cb.head(remaining)
-                ctx.emit(len(out), label)
-                yield out
-                return
-            remaining -= n
-            ctx.emit(n, label)
-            yield cb
+        source = self.child.columnar_batches(ctx)
+        try:
+            for cb in source:
+                n = len(cb)
+                if not n:
+                    continue
+                if n >= remaining:
+                    out = cb.head(remaining)
+                    ctx.emit(len(out), label)
+                    yield out
+                    return
+                remaining -= n
+                ctx.emit(n, label)
+                yield cb
+        finally:
+            close_stream(source)
 
     def _label(self) -> str:
         return f"LIMIT {self.limit}"
@@ -1637,8 +1664,9 @@ class DistinctOp(PhysicalOperator):
             return
         state = StreamingDistinct()
         buffer = ctx.buffer(self._label())
+        source = self.child.columnar_batches(ctx)
         try:
-            for cb in self.child.columnar_batches(ctx):
+            for cb in source:
                 columns = [cb.column_vector(i) for i in range(cb.width)]
                 kept = state.positions(columns, len(cb))
                 if not kept:
@@ -1646,6 +1674,7 @@ class DistinctOp(PhysicalOperator):
                 buffer.grow(len(kept))
                 yield cb if len(kept) == len(cb) else cb.take(kept)
         finally:
+            close_stream(source)
             buffer.release()
 
     def _parallel_columnar(
@@ -1671,8 +1700,9 @@ class DistinctOp(PhysicalOperator):
         )
         state = StreamingDistinct()
         buffer = ctx.buffer(self._label())
+        source = pre.columnar_batches(ctx)
         try:
-            for cb in pre.columnar_batches(ctx):
+            for cb in source:
                 columns = [cb.column_vector(i) for i in range(cb.width)]
                 kept = state.positions(columns, len(cb))
                 if not kept:
@@ -1680,14 +1710,16 @@ class DistinctOp(PhysicalOperator):
                 buffer.grow(len(kept))
                 yield cb if len(kept) == len(cb) else cb.take(kept)
         finally:
+            close_stream(source)
             buffer.release()
 
     def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         buffer = ctx.buffer(self._label())
+        source = self.child.batches(ctx)
         try:
             seen: set[tuple] = set()
             add = seen.add
-            for batch in self.child.batches(ctx):
+            for batch in source:
                 out: list[tuple] = []
                 for row in batch:
                     # Inline NaN probe: clean rows (the overwhelming case)
@@ -1704,6 +1736,7 @@ class DistinctOp(PhysicalOperator):
                     buffer.grow(len(out))
                     yield out
         finally:
+            close_stream(source)
             buffer.release()
 
     def _label(self) -> str:

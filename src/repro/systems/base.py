@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from repro.core.framework import RelGoConfig, RelGoFramework
 from repro.core.spjm import SPJMQuery
 from repro.core.sqlpgq import parse_and_bind
-from repro.errors import OptimizationTimeout, OutOfMemoryError
+from repro.errors import OptimizationTimeout, OutOfMemoryError, QueryCancelled
 from repro.relational.catalog import Catalog
 
 SYSTEM_CONFIGS: dict[str, RelGoConfig] = {
@@ -48,7 +48,7 @@ class SystemResult:
 
     system: str
     query: str
-    status: str  # "ok" | "OOM" | "OT" | "error"
+    status: str  # "ok" | "OOM" | "OT" | "timeout" | "error"
     optimization_time: float = 0.0
     execution_time: float = 0.0
     rows: int = 0
@@ -117,6 +117,13 @@ class System:
             result.rows = len(query_result)
         except OutOfMemoryError as exc:
             result.status = "OOM"
+            result.execution_time = time.perf_counter() - started
+            result.detail = str(exc)
+        except QueryCancelled as exc:
+            # Execution deadline / cancellation (QueryTimeout subclasses
+            # QueryCancelled).  Distinct from "OT", which is the paper's
+            # *optimizer*-budget entry and stays optimizer-only above.
+            result.status = "timeout"
             result.execution_time = time.perf_counter() - started
             result.detail = str(exc)
         return result
