@@ -61,6 +61,12 @@ def _tracked_times(doc: dict, include_multithread: bool) -> dict[str, float]:
     for name, entry in doc.get("lifecycle", {}).items():
         times[f"lifecycle/{name}/bare"] = entry["bare_ms"]
         times[f"lifecycle/{name}/armed"] = entry["armed_ms"]
+    spill = doc.get("spill")
+    if spill:
+        times["spill/in_memory"] = spill["in_memory_ms"]
+        times["spill/armed_idle"] = spill["armed_idle_ms"]
+        for name, entry in spill.get("degradation", {}).items():
+            times[f"spill/{name}"] = entry["time_ms"]
     return times
 
 

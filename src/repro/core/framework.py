@@ -97,6 +97,12 @@ class RelGoConfig:
     # raises QueryTimeout at the next batch boundary with full teardown —
     # distinct from optimizer_timeout, the paper's OT knob.
     query_timeout: float | None = None
+    # Spill-to-disk (out-of-core) execution.  None reads REPRO_SPILL_DIR /
+    # REPRO_SPILL_THRESHOLD at execute time (default: disarmed — the
+    # paper's OOM trip points stay byte-exact); False disarms regardless
+    # of the environment; True / a directory path / a threshold int / a
+    # SpillConfig arms it (see repro.exec.spill.resolve_spill).
+    spill: Any = None
 
 
 @dataclass
@@ -191,6 +197,7 @@ class RelGoFramework:
             columnar=self.config.columnar,
             parallelism=self.config.parallelism,
             timeout=self.config.query_timeout,
+            spill=self.config.spill,
             handle=handle,
         )
 
@@ -207,13 +214,14 @@ class RelGoFramework:
         batches, the per-query budget is leased from the process governor,
         and a consumer that abandons the iterator (``break``, ``close()``,
         or an exception in the loop body) triggers deterministic teardown
-        — the operator stream is closed and the lease released in this
-        generator's ``finally``, not at GC time.
+        — the operator stream is closed, any spill directory removed, and
+        the lease released in this generator's ``finally``, not at GC time.
         """
         from repro.exec.context import QueryHandle, close_stream, resolve_timeout
         from repro.exec.faults import resolve_faults
         from repro.exec.governor import resolve_governor
         from repro.exec.scheduler import parallelize_plan, resolve_parallelism
+        from repro.exec.spill import SpillManager, resolve_spill
 
         if handle is None:
             deadline = resolve_timeout(self.config.query_timeout)
@@ -228,6 +236,11 @@ class RelGoFramework:
         )
         if self.config.batch_size is not None:
             ctx.batch_size = self.config.batch_size
+        spill_config = resolve_spill(self.config.spill)
+        owned_spill = None
+        if spill_config is not None:
+            owned_spill = SpillManager(spill_config).bind(ctx)
+            ctx.spill = owned_spill
         lease = resolve_governor(None).lease(ctx.memory_budget_rows, label="query")
         stream = None
         try:
@@ -247,6 +260,10 @@ class RelGoFramework:
         finally:
             if stream is not None:
                 close_stream(stream)
+            if owned_spill is not None:
+                # Abandoned iterators (break / close / loop-body raise) reap
+                # their spill directory here, same cascade as the lease.
+                owned_spill.close()
             lease.release()
 
     def run(self, query: SPJMQuery) -> tuple[QueryResult, OptimizedQuery]:

@@ -38,8 +38,15 @@ state — which is exactly what the memory budget charges.
   untouched).
 * :mod:`repro.exec.faults` — the fault-injection harness
   (:class:`FaultInjector`, armed via ``REPRO_FAULTS``): deliberate
-  errors/OOMs/delays/cancellations at emit/grow/exchange boundaries, used
-  by the fault-matrix tests and the CI chaos leg to exercise unwind paths.
+  errors/OOMs/delays/cancellations/disk faults at emit/grow/exchange/spill
+  boundaries, used by the fault-matrix tests and the CI chaos leg to
+  exercise unwind paths.
+* :mod:`repro.exec.spill` — spill-to-disk out-of-core execution
+  (:class:`SpillManager`, armed via ``RelGoConfig.spill`` /
+  ``REPRO_SPILL_DIR`` / ``REPRO_SPILL_THRESHOLD``): the buffering pipeline
+  breakers degrade to partitioned disk state instead of tripping the
+  budget OOM.  Disarmed by default — the paper's OOM trip points stay
+  byte-exact.
 
 The query lifecycle layer lives in :mod:`repro.exec.context`:
 :class:`QueryHandle` (cooperative cancellation token + deadline, checked
@@ -81,6 +88,7 @@ from repro.exec.scheduler import (
     morsel_ranges,
     parallelize_plan,
 )
+from repro.exec.spill import SpillConfig, SpillManager, resolve_spill
 from repro.exec.vector import (
     ColumnarBatch,
     numpy_available,
@@ -115,6 +123,9 @@ __all__ = [
     "default_parallelism",
     "morsel_ranges",
     "parallelize_plan",
+    "SpillConfig",
+    "SpillManager",
+    "resolve_spill",
     "ColumnarBatch",
     "numpy_available",
     "numpy_enabled",

@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.exec.faults import FaultInjector
     from repro.exec.governor import MemoryGovernor
     from repro.exec.operator import Operator
+    from repro.exec.spill import SpillManager
 
 #: Target number of rows per batch flowing between operators.
 DEFAULT_BATCH_SIZE = 1024
@@ -260,6 +261,12 @@ class ExecutionContext:
             costs one ``is None`` test per boundary.
         faults: an armed :class:`~repro.exec.faults.FaultInjector`, or
             None (the default — same single-test cost).
+        spill: an armed :class:`~repro.exec.spill.SpillManager`, or None
+            (the default).  When armed, pipeline breakers move buffered
+            state past :meth:`spill_limit` to temp files instead of
+            tripping :class:`OutOfMemoryError` — the budget becomes a
+            working-set knob.  Disarmed execution pays one ``is None``
+            test per breaker, the same contract as ``handle``/``faults``.
     """
 
     memory_budget_rows: int | None = None
@@ -274,6 +281,7 @@ class ExecutionContext:
     parallelism: int = 1
     handle: "QueryHandle | None" = None
     faults: "FaultInjector | None" = None
+    spill: "SpillManager | None" = None
     lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -299,6 +307,29 @@ class ExecutionContext:
     def buffer(self, label: str = "", tracked: bool = True) -> Buffer:
         """Open a :class:`Buffer` accounting handle for buffered state."""
         return Buffer(self, label, tracked)
+
+    def spill_limit(self) -> int | None:
+        """Tracked rows the *query* may keep resident before spilling.
+
+        None when spilling is disarmed (or armed with neither a threshold
+        nor a budget — nothing to degrade toward).  Breakers compare the
+        query-wide :attr:`buffered_rows` (not just their own buffer)
+        against this limit, so concurrently live breakers share one
+        working set instead of claiming a limit each.  The limit never
+        exceeds ``memory_budget_rows``: an operator that spills *before*
+        growing tracked state past this limit can, by construction, never
+        trip the budget's :class:`OutOfMemoryError`.
+        """
+        spill = self.spill
+        if spill is None:
+            return None
+        threshold = spill.threshold_rows
+        budget = self.memory_budget_rows
+        if threshold is None:
+            return budget
+        if budget is None:
+            return threshold
+        return min(threshold, budget)
 
     def expansion_batch_size(self, rows_in: int, rows_out: int) -> int:
         """Target chunk size for an expansion with the observed fan-out.
@@ -383,6 +414,7 @@ def execute_plan(
     handle: QueryHandle | None = None,
     governor: "MemoryGovernor | None" = None,
     faults: Any = None,
+    spill: Any = None,
     ctx: ExecutionContext | None = None,
 ) -> QueryResult:
     """Run a physical plan to completion and package the result.
@@ -416,10 +448,21 @@ def execute_plan(
       points — are unchanged).
     * ``faults`` — a :class:`FaultInjector` or spec string (None reads
       ``REPRO_FAULTS``).
+    * ``spill`` — out-of-core arming (see
+      :func:`~repro.exec.spill.resolve_spill`): ``None`` reads
+      ``REPRO_SPILL_DIR`` / ``REPRO_SPILL_THRESHOLD`` (unset = disarmed,
+      the default — the paper's OOM trip points stay byte-exact);
+      ``False`` disarms regardless of environment; ``True`` / a config /
+      a directory string / a threshold int arm it.  Armed, the pipeline
+      breakers — and this function's own RESULT accumulation — keep at
+      most ``ctx.spill_limit()`` rows resident per buffer and move the
+      rest to per-query temp files, reaped in the ``finally`` below on
+      every exit path.  The assembled result list handed back to the
+      caller is, as always, the caller's own untracked memory.
     * ``ctx`` — a caller-owned :class:`ExecutionContext`; when given, the
-      budget/batch/parallelism/handle/faults arguments above are ignored
-      in favor of the context's own fields (tests and the serving tier
-      use this to observe ``buffered_rows`` after teardown).
+      budget/batch/parallelism/handle/faults/spill arguments above are
+      ignored in favor of the context's own fields (tests and the serving
+      tier use this to observe ``buffered_rows`` after teardown).
 
     Teardown is unconditional: however the pull ends — completion, OOM,
     timeout, cancellation, injected fault — the batch iterator is closed
@@ -430,7 +473,9 @@ def execute_plan(
     from repro.exec.faults import resolve_faults
     from repro.exec.governor import resolve_governor
     from repro.exec.scheduler import parallelize_plan, resolve_parallelism
+    from repro.exec.spill import SpillManager, resolve_spill
 
+    owned_spill: "SpillManager | None" = None
     if ctx is None:
         if handle is None:
             deadline = resolve_timeout(timeout)
@@ -444,6 +489,10 @@ def execute_plan(
         )
         if batch_size is not None:
             ctx.batch_size = batch_size
+        spill_config = resolve_spill(spill)
+        if spill_config is not None:
+            owned_spill = SpillManager(spill_config).bind(ctx)
+            ctx.spill = owned_spill
     lease = resolve_governor(governor).lease(ctx.memory_budget_rows, label="query")
     result_buffer = ctx.buffer("RESULT")
     stream = None
@@ -457,17 +506,42 @@ def execute_plan(
         if ctx.parallelism > 1:
             executed = parallelize_plan(plan, ctx.parallelism, ctx.batch_size)
         rows: list[tuple] = []
+        # Out-of-core RESULT accumulation: once the resident prefix would
+        # exceed the spill limit, every later batch spools to one temp
+        # file (columnar batches as typed frames — the serializer's main
+        # consumer) and reads back in order after the stream completes.
+        # Once spooling starts it never reverts, so row order is exactly
+        # the stream order.
+        limit = ctx.spill_limit()
+        spool = None
         if columnar:
             stream = executed.columnar_batches(ctx)
             for cb in stream:
-                batch = cb.to_rows()
-                rows.extend(batch)
-                result_buffer.grow(len(batch))
+                n = len(cb)
+                if spool is not None or (
+                    limit is not None and ctx.buffered_rows + n > limit
+                ):
+                    if spool is None:
+                        spool = ctx.spill.create_file("RESULT")
+                    spool.append_batch(cb)
+                    continue
+                rows.extend(cb.to_rows())
+                result_buffer.grow(n)
         else:
             stream = executed.batches(ctx)
             for batch in stream:
+                if spool is not None or (
+                    limit is not None and ctx.buffered_rows + len(batch) > limit
+                ):
+                    if spool is None:
+                        spool = ctx.spill.create_file("RESULT")
+                    spool.append_rows(list(batch))
+                    continue
                 rows.extend(batch)
                 result_buffer.grow(len(batch))
+        if spool is not None:
+            for chunk in spool.read_rows():
+                rows.extend(chunk)
         return QueryResult(
             columns=list(plan.output_columns),
             rows=rows,
@@ -479,4 +553,6 @@ def execute_plan(
         if stream is not None:
             close_stream(stream)
         result_buffer.release()
+        if owned_spill is not None:
+            owned_spill.close()
         lease.release()

@@ -11,7 +11,10 @@ same named boundaries where the lifecycle layer checks for cancellation:
 * ``grow``  — ``Buffer.grow`` (every tracked intermediate, labeled with
   the buffer label, e.g. ``"HASH_JOIN (…) build"``);
 * ``exchange`` — the morsel scheduler's queue hand-offs (labels
-  ``"EXCHANGE put"`` / ``"EXCHANGE get"`` / ``"EXCHANGE fold"``).
+  ``"EXCHANGE put"`` / ``"EXCHANGE get"`` / ``"EXCHANGE fold"``);
+* ``spill`` — the out-of-core layer's disk I/O (labels
+  ``"<buffer label> [write]"`` / ``[read]`` / ``[merge]``), where the
+  ``disk`` kind below simulates a full or failing spill device.
 
 A schedule is armed either programmatically (pass a
 :class:`FaultInjector` to ``execute_plan(faults=...)``) or via the
@@ -23,8 +26,12 @@ faults of comma-separated ``key=value`` pairs::
 
 Keys (all optional except ``kind``):
 
-* ``kind``  — ``error`` | ``oom`` | ``delay`` | ``cancel``
-* ``site``  — ``emit`` | ``grow`` | ``exchange`` | ``any`` (default)
+* ``kind``  — ``error`` | ``oom`` | ``delay`` | ``cancel`` | ``disk``
+  (``disk`` raises ``OSError(ENOSPC)``, the real exception class a full
+  spill device produces — out-of-core unwind paths must survive plain
+  environment errors, not just engine-domain ones)
+* ``site``  — ``emit`` | ``grow`` | ``exchange`` | ``spill`` | ``any``
+  (default)
 * ``label`` — substring match against the boundary label ('' = any)
 * ``after`` — fire on the Nth matching hit (default 1; a huge value like
   ``after=1000000000`` arms the harness without ever firing — the CI
@@ -44,6 +51,7 @@ cancellation checks honor.
 
 from __future__ import annotations
 
+import errno
 import os
 import random
 import threading
@@ -64,8 +72,8 @@ __all__ = [
     "plan_boundaries",
 ]
 
-_KINDS = ("error", "oom", "delay", "cancel")
-_SITES = ("emit", "grow", "exchange", "any")
+_KINDS = ("error", "oom", "delay", "cancel", "disk")
+_SITES = ("emit", "grow", "exchange", "spill", "any")
 
 
 class Fault:
@@ -168,6 +176,9 @@ class FaultInjector:
     def on_exchange(self, ctx: "ExecutionContext", point: str, label: str) -> None:
         self._hit(ctx, "exchange", f"{label} [{point}]")
 
+    def on_spill(self, ctx: "ExecutionContext", point: str, label: str) -> None:
+        self._hit(ctx, "spill", f"{label} [{point}]")
+
     # -- firing ---------------------------------------------------------
 
     def _hit(self, ctx: "ExecutionContext", site: str, label: str) -> None:
@@ -189,6 +200,11 @@ class FaultInjector:
             raise OutOfMemoryError(
                 ctx.buffered_rows, ctx.memory_budget_rows or 0, label
             )
+        if fault.kind == "disk":
+            # The real exception class a full spill device raises, on
+            # purpose: the unwind paths must not depend on engine-domain
+            # error types to clean up temp files and buffers.
+            raise OSError(errno.ENOSPC, f"injected disk fault at {site}:{label}")
         if fault.kind == "cancel":
             handle = ctx.handle
             if handle is not None:

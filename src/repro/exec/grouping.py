@@ -991,6 +991,46 @@ class GroupedAggregation:
             self._demote_array()
         self._merge(list(other._gid_of), other._cells)
 
+    # -- spill support (out-of-core aggregation) ------------------------ #
+
+    def export_and_reset(self) -> tuple[list, list]:
+        """Move the whole state out as ``(keys, cells)`` partial frames.
+
+        The return shape is exactly what :meth:`_merge` (and therefore
+        :meth:`absorb`) consumes: group keys in gid order (bare values for
+        single-key states, tuples otherwise) plus one partial-cell list
+        per aggregate.  The engine resets to empty — the out-of-core
+        aggregation spills these frames per hash partition and re-absorbs
+        them partition by partition on drain.
+        """
+        if self._array is not None:
+            self._demote_array()
+        keys = list(self._gid_of)
+        cells = self._cells
+        self._gid_of = {}
+        self._key_columns = [[] for _ in range(self.num_keys)]
+        self._cells = [[] for _ in self.funcs]
+        self._array = None
+        self._array_refused = self.num_keys != 1
+        return keys, cells
+
+    def absorb(self, keys: list, cells: list) -> None:
+        """Fold exported ``(keys, cells)`` partials back in.
+
+        Keys are re-canonicalized: a NaN key that round-tripped through a
+        spill file is a *different* float object, and NaN-key stability
+        rests on the canonical :data:`NAN` identity.
+        """
+        if not keys:
+            return
+        if self._array is not None:
+            self._demote_array()
+        if self.num_keys == 1:
+            keys = [canonical(k) for k in keys]
+        elif self.num_keys:
+            keys = [canonical_row(k) for k in keys]
+        self._merge(keys, cells)
+
     # -- per-row reference path ---------------------------------------- #
 
     def _consume_rows(self, key_cols: list, arg_cols: list, n: int) -> None:
@@ -1103,6 +1143,23 @@ class StreamingDistinct:
         if self._typed_seen is not None:
             count += len(self._typed_seen)
         return count
+
+    def export_keys(self) -> list[tuple]:
+        """Move every seen key out as canonical tuples; reset to empty.
+
+        The out-of-core DISTINCT spills these per hash partition at
+        switchover, so drain-time replay knows which keys were already
+        emitted in the streaming phase.
+        """
+        self._demote_typed()
+        keys = list(self._seen)
+        self._seen = set()
+        self._typed_ok = True
+        self._typed_mode = None
+        self._rows = 0
+        self._batch_distinct = 0
+        self._vectorize = True
+        return keys
 
     def positions(self, columns: list, n: int) -> list[int]:
         if not n:

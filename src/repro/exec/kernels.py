@@ -155,6 +155,245 @@ def probe_hash_table(
         yield out
 
 
+#: Recursion ceiling for grace-join re-partitioning.  A partition whose
+#: build side still exceeds the working-set limit after this many re-salted
+#: splits is dominated by one giant key group; splitting further cannot
+#: help, so it builds in memory (tripping the *budget* only if it genuinely
+#: exceeds it).
+GRACE_MAX_DEPTH = 8
+
+
+def grace_hash_join(
+    build_batches: Iterable[Batch],
+    probe_batches: Iterable[Batch],
+    build_key: Callable[[tuple], Any],
+    probe_key: Callable[[tuple], Any],
+    buffer: Buffer,
+    ctx: ExecutionContext,
+    label: str,
+    value_of: Callable[[tuple], Any] | None = None,
+) -> Iterator[Batch]:
+    """Out-of-core hash join: partitioned build with cold-partition spilling.
+
+    The build side hash-partitions into :func:`spill_partition_count`
+    partitions; while the query's tracked working set fits under
+    ``ctx.spill_limit()`` the pairs stay in memory (charged to
+    ``buffer``), and when a batch would push past the limit the largest
+    partition is evicted to a spill file — so the build cannot trip the
+    budget's OOM however much state the rest of the plan holds.
+    The probe streams matches against the frozen resident partitions
+    immediately (in probe order) and defers rows belonging to spilled
+    partitions to per-partition probe files; each spilled partition then
+    joins independently — re-partitioned recursively under a fresh hash
+    salt while its build side still exceeds the limit — and its matches
+    are emitted partition by partition after the streamed phase.  Output
+    row order therefore differs from the in-memory join (which is
+    order-contractual nowhere); the row *set* is identical, which the
+    spill parity suite pins.
+
+    Build values are picklable tuples (full rows, or ``value_of``-trimmed
+    extras); output rows are ``probe_row + value``.  Every file I/O runs
+    through the manager's ``spill`` fault site, and all files are reaped
+    as their partition drains (and unconditionally at manager close).
+    """
+    from repro.exec.scheduler import spill_partition_count
+    from repro.exec.spill import PartitionWriter, spill_hash
+
+    manager = ctx.spill
+    assert manager is not None
+    limit = ctx.spill_limit()
+    assert limit is not None
+    P = spill_partition_count(ctx.parallelism)
+    resident: list[list] = [[] for _ in range(P)]
+    spilled: dict[int, PartitionWriter] = {}
+
+    def spill_build_partition(p: int, staged: dict[int, list]) -> int:
+        """Move partition ``p`` (resident + staged pairs) to its file;
+        returns how many staged rows stopped needing memory."""
+        writer = spilled.get(p)
+        if writer is None:
+            writer = spilled[p] = PartitionWriter(manager, f"{label} build p{p}")
+        pairs = resident[p]
+        if pairs:
+            writer.extend(pairs)
+            buffer.shrink(len(pairs))
+            resident[p] = []
+        staged_pairs = staged.pop(p, None)
+        if staged_pairs:
+            writer.extend(staged_pairs)
+            return len(staged_pairs)
+        return 0
+
+    try:
+        # Phase 1 — partitioned build with eviction before overflow.
+        for batch in build_batches:
+            staged: dict[int, list] = {}
+            for row in batch:
+                key = build_key(row)
+                if key is None:
+                    continue
+                value = row if value_of is None else value_of(row)
+                p = spill_hash(key) % P
+                writer = spilled.get(p)
+                if writer is not None:
+                    writer.append((key, value))
+                else:
+                    staged.setdefault(p, []).append((key, value))
+            added = sum(len(v) for v in staged.values())
+            while added and ctx.buffered_rows + added > limit:
+                victim = max(
+                    range(P),
+                    key=lambda q: len(resident[q]) + len(staged.get(q, ())),
+                )
+                if not (len(resident[victim]) + len(staged.get(victim, ()))):
+                    break  # nothing left to evict; added == 0 next check
+                added -= spill_build_partition(victim, staged)
+            for p, pairs in staged.items():
+                resident[p].extend(pairs)
+            if added:
+                buffer.grow(added)
+    finally:
+        close_stream(build_batches)
+
+    # Freeze the resident partitions into one probe table (their key sets
+    # are disjoint, so one dict probes them all at in-memory speed).
+    table: dict[Any, list] = {}
+    for p in range(P):
+        for key, value in resident[p]:
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = [value]
+            else:
+                bucket.append(value)
+        resident[p] = []
+    resident_rows = buffer.rows  # the frozen table's charge, released below
+
+    # Phase 2 — streamed probe: resident matches emit now, spilled-partition
+    # probe rows defer to per-partition files.
+    probe_writers: dict[int, PartitionWriter] = {}
+    lookup = table.get
+    size = ctx.batch_size
+    out: list = []
+    try:
+        for batch in probe_batches:
+            for row in batch:
+                key = probe_key(row)
+                if key is None:
+                    continue
+                if spilled:
+                    p = spill_hash(key) % P
+                    if p in spilled:
+                        writer = probe_writers.get(p)
+                        if writer is None:
+                            writer = probe_writers[p] = PartitionWriter(
+                                manager, f"{label} probe p{p}"
+                            )
+                        writer.append(row)
+                        continue
+                matches = lookup(key)
+                if not matches:
+                    continue
+                if len(matches) == 1:
+                    out.append(row + matches[0])
+                else:
+                    out.extend([row + match for match in matches])
+                if len(out) >= size:
+                    yield out
+                    out = []
+    finally:
+        close_stream(probe_batches)
+    if out:
+        yield out
+        out = []
+
+    # The streamed phase is over: drop the resident table and its charge
+    # before terminal partitions build (each charges up to the limit, so
+    # stacking them on the still-resident table could trip the budget the
+    # spill exists to avoid).
+    table.clear()
+    buffer.shrink(resident_rows)
+
+    # Phase 3 — drain spilled partitions, recursing (re-salted) while a
+    # partition's build side still exceeds the working-set limit.
+    stack = [
+        (spilled[p], probe_writers.get(p), 1) for p in sorted(spilled)
+    ]
+    while stack:
+        build_writer, probe_writer, salt = stack.pop()
+        if probe_writer is None or probe_writer.rows == 0:
+            # No probe rows can match this partition: drop it unread.
+            build_writer.delete()
+            if probe_writer is not None:
+                probe_writer.delete()
+            continue
+        # Headroom is what the query's *tracked* working set still allows:
+        # downstream breakers may be holding rows of their own.  A partition
+        # above it re-partitions; with no headroom at all, splitting cannot
+        # help and the terminal build's transient overshoot is accepted.
+        headroom = limit - ctx.buffered_rows
+        if headroom > 0 and build_writer.rows > headroom and salt <= GRACE_MAX_DEPTH:
+            manager.check("merge", f"{label} p:salt{salt}")
+            sub_build: dict[int, PartitionWriter] = {}
+            sub_probe: dict[int, PartitionWriter] = {}
+            for chunk in build_writer.drain():
+                for key, value in chunk:
+                    q = spill_hash(key, salt) % P
+                    writer = sub_build.get(q)
+                    if writer is None:
+                        writer = sub_build[q] = PartitionWriter(
+                            manager, f"{label} build s{salt}p{q}"
+                        )
+                    writer.append((key, value))
+            for chunk in probe_writer.drain():
+                for row in chunk:
+                    q = spill_hash(probe_key(row), salt) % P
+                    if q not in sub_build:
+                        continue
+                    writer = sub_probe.get(q)
+                    if writer is None:
+                        writer = sub_probe[q] = PartitionWriter(
+                            manager, f"{label} probe s{salt}p{q}"
+                        )
+                    writer.append(row)
+            build_writer.delete()
+            probe_writer.delete()
+            stack.extend(
+                (sub_build[q], sub_probe.get(q), salt + 1)
+                for q in sorted(sub_build)
+            )
+            continue
+        # Terminal partition: build in memory (charged), stream its probe.
+        count = build_writer.rows
+        buffer.grow(count)
+        part_table: dict[Any, list] = {}
+        for chunk in build_writer.drain():
+            for key, value in chunk:
+                bucket = part_table.get(key)
+                if bucket is None:
+                    part_table[key] = [value]
+                else:
+                    bucket.append(value)
+        build_writer.delete()
+        part_lookup = part_table.get
+        for chunk in probe_writer.drain():
+            for row in chunk:
+                matches = part_lookup(probe_key(row))
+                if not matches:
+                    continue
+                if len(matches) == 1:
+                    out.append(row + matches[0])
+                else:
+                    out.extend([row + match for match in matches])
+                if len(out) >= size:
+                    yield out
+                    out = []
+        probe_writer.delete()
+        part_table.clear()
+        buffer.shrink(count)
+    if out:
+        yield out
+
+
 class ChunkSizer:
     """Adaptive flush threshold for expansion-heavy operators.
 

@@ -135,9 +135,21 @@ class MaterializeOp(Operator):
 
         buffer = ctx.buffer(self._label())
         source = self.child.batches(ctx)
+        spool = None
         try:
+            limit = ctx.spill_limit()
             rows: list[tuple] = []
             for batch in source:
+                if spool is not None or (
+                    limit is not None and ctx.buffered_rows + len(batch) > limit
+                ):
+                    # Out-of-core: past the working-set limit the remainder
+                    # spools to disk (never reverting to memory, so arrival
+                    # order is preserved: resident prefix, then the spool).
+                    if spool is None:
+                        spool = ctx.spill.create_file(self._label())
+                    spool.append_rows(list(batch))
+                    continue
                 rows.extend(batch)
                 buffer.grow(len(batch))
             size = ctx.batch_size
@@ -145,6 +157,19 @@ class MaterializeOp(Operator):
                 batch = rows[start : start + size]
                 ctx.emit(len(batch), self._label())
                 yield batch
+            if spool is not None:
+                pending: list[tuple] = []
+                for frame in spool.read_rows():
+                    pending.extend(frame)
+                    while len(pending) >= size:
+                        chunk = pending[:size]
+                        del pending[:size]
+                        ctx.emit(len(chunk), self._label())
+                        yield chunk
+                if pending:
+                    ctx.emit(len(pending), self._label())
+                    yield pending
+                spool.delete()
         finally:
             close_stream(source)
             buffer.release()

@@ -223,6 +223,18 @@ def morsel_ranges(
     ]
 
 
+def spill_partition_count(parallelism: int) -> int:
+    """Hash-partition fan-out for spilled breaker state.
+
+    Aligned with the exchange's morsel grid (:data:`MORSELS_PER_WORKER`
+    morsels per worker) so a future radix-partitioned exchange can map
+    spill partitions onto exchange partitions one-to-one, and floored at
+    16 so serial spills still split finely enough that one drained
+    partition fits comfortably under typical working-set limits.
+    """
+    return max(16, parallelism * MORSELS_PER_WORKER)
+
+
 class ExchangeOp(Operator):
     """Merge the batch streams of per-morsel subplans (ordered union).
 
@@ -571,4 +583,5 @@ __all__ = [
     "morsel_ranges",
     "parallelize_plan",
     "resolve_parallelism",
+    "spill_partition_count",
 ]

@@ -53,9 +53,11 @@ from repro.exec.kernels import (
     emit_columnar,
     expand_batches,
     filter_batches,
+    grace_hash_join,
     probe_hash_table,
     probe_hash_table_columnar,
     replicate_columnar,
+    rows_to_columnar,
     scalar_key,
     tuple_key,
 )
@@ -1139,6 +1141,14 @@ class PatternHashJoin(GraphOperator):
         (they are exactly the state the memory budget charges — the NoEI
         OOMs trip here); the streaming probe side stays columnar, with keys
         extracted whole-column-at-a-time."""
+        if ctx.spill_limit() is not None:
+            # Grace join works through the row boundary; wrap its stream.
+            stream = self._stream(ctx)
+            try:
+                yield from rows_to_columnar(stream)
+            finally:
+                close_stream(stream)
+            return
         l_idx, _, left_key, right_key, trim = self._join_setup()
         size = ctx.batch_size
         right_buffer = ctx.buffer(f"{self._label()} build")
@@ -1201,6 +1211,25 @@ class PatternHashJoin(GraphOperator):
 
     def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         _, _, left_key, right_key, trim = self._join_setup()
+        if ctx.spill_limit() is not None:
+            # Out-of-core: the adaptive lookahead would buffer an unbounded
+            # probe prefix, so always grace-build the right side (values
+            # trimmed to right_keep — output stays left ++ right_keep).
+            buffer = ctx.buffer(f"{self._label()} build")
+            try:
+                yield from grace_hash_join(
+                    self.right.batches(ctx),
+                    self.left.batches(ctx),
+                    right_key,
+                    left_key,
+                    buffer,
+                    ctx,
+                    self._label(),
+                    value_of=trim,
+                )
+            finally:
+                buffer.release()
+            return
         size = ctx.batch_size
         right_buffer = ctx.buffer(f"{self._label()} build")
         left_buffer = ctx.buffer(f"{self._label()} lookahead")

@@ -26,7 +26,9 @@ decides when to request them.
 from __future__ import annotations
 
 import heapq
+import itertools
 import operator
+import threading
 from typing import Any, Iterator, Sequence
 
 from repro.errors import PlanError
@@ -41,10 +43,12 @@ from repro.exec.kernels import (
     expand_batches,
     filter_batches,
     filter_columnar,
+    grace_hash_join,
     map_batches,
     probe_hash_table,
     probe_hash_table_columnar,
     replicate_columnar,
+    rows_to_columnar,
     scalar_key,
     tuple_key,
 )
@@ -57,7 +61,8 @@ from repro.exec.grouping import (
     sequence_has_nan,
 )
 from repro.exec.operator import Batch, Operator
-from repro.exec.scheduler import fold_source, morsel_bounds
+from repro.exec.scheduler import fold_source, morsel_bounds, spill_partition_count
+from repro.exec.spill import PartitionWriter, spill_hash
 from repro.exec.vector import (
     ColumnarBatch,
     gather,
@@ -417,10 +422,23 @@ class HashJoin(PhysicalOperator):
             build_key, probe_key = tuple_key(r_idx), tuple_key(l_idx)
         buffer = ctx.buffer(f"{self._label()} build")
         try:
-            table = build_hash_table(self.right.batches(ctx), build_key, buffer)
-            probe = probe_hash_table(
-                self.left.batches(ctx), table, probe_key, ctx.batch_size
-            )
+            if ctx.spill_limit() is not None:
+                probe = grace_hash_join(
+                    self.right.batches(ctx),
+                    self.left.batches(ctx),
+                    build_key,
+                    probe_key,
+                    buffer,
+                    ctx,
+                    self._label(),
+                )
+            else:
+                table = build_hash_table(
+                    self.right.batches(ctx), build_key, buffer
+                )
+                probe = probe_hash_table(
+                    self.left.batches(ctx), table, probe_key, ctx.batch_size
+                )
             if self.residual is None:
                 yield from probe
                 return
@@ -434,6 +452,17 @@ class HashJoin(PhysicalOperator):
 
     def _stream_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnarBatch]:
         l_idx, r_idx = self._key_indices()
+        if ctx.spill_limit() is not None:
+            # Out-of-core joins run the grace kernel through the row
+            # boundary (build values are picklable row tuples either way);
+            # the exchange's merged row stream serves parallel builds, so
+            # partitions spill once, not per worker shard.
+            stream = self._stream(ctx)
+            try:
+                yield from rows_to_columnar(stream)
+            finally:
+                close_stream(stream)
+            return
         buffer = ctx.buffer(f"{self._label()} build")
         try:
             table = self._build_columnar(ctx, r_idx, buffer)
@@ -935,6 +964,97 @@ class CsrJoin(PhysicalOperator):
         )
 
 
+class _AggSpiller:
+    """Hash-partitioned spill routing for out-of-core aggregation.
+
+    Exported :class:`GroupedAggregation` states append as per-partition
+    state frames to lazily created spill files (creation is locked so
+    parallel fold workers routing to the same partition share one file —
+    the frames themselves append under the file's own lock).  Drain
+    re-absorbs one partition at a time: every frame of a group key lands
+    in the same partition, so a partition's merged engine holds that key's
+    complete aggregate.
+    """
+
+    __slots__ = ("_ctx", "_label", "num_keys", "funcs", "_parts", "_lock", "files")
+
+    def __init__(self, ctx: ExecutionContext, label: str, num_keys: int, funcs):
+        self._ctx = ctx
+        self._label = label
+        self.num_keys = num_keys
+        self.funcs = funcs
+        self._parts = spill_partition_count(ctx.parallelism)
+        self._lock = threading.Lock()
+        self.files: dict[int, Any] = {}
+
+    def _file(self, p: int):
+        with self._lock:
+            f = self.files.get(p)
+            if f is None:
+                f = self.files[p] = self._ctx.spill.create_file(
+                    f"{self._label} p{p}"
+                )
+            return f
+
+    def export(self, engine: GroupedAggregation, charged: Buffer) -> None:
+        """Move the engine's whole state out to its partitions' files and
+        give the ``charged`` buffer the rows back."""
+        keys, cells = engine.export_and_reset()
+        if not keys:
+            return
+        parts: dict[int, list[int]] = {}
+        P = self._parts
+        for g, key in enumerate(keys):
+            parts.setdefault(spill_hash(key) % P, []).append(g)
+        for p in sorted(parts):
+            gids = parts[p]
+            self._file(p).append_state(
+                [keys[g] for g in gids],
+                [[col[g] for g in gids] for col in cells],
+            )
+        charged.shrink(len(keys))
+
+    def export_groups(self, groups: dict, charged: Buffer) -> None:
+        """Row-path export: a ``key tuple -> cells`` dict, re-keyed to the
+        engine's frame format (bare values for single-key states)."""
+        if not groups:
+            return
+        single = self.num_keys == 1
+        parts: dict[int, tuple[list, list[list]]] = {}
+        P = self._parts
+        for key, cells in groups.items():
+            ek = key[0] if single else key
+            p = spill_hash(ek) % P
+            entry = parts.get(p)
+            if entry is None:
+                entry = parts[p] = ([], [[] for _ in self.funcs])
+            entry[0].append(ek)
+            for i, cell in enumerate(cells):
+                entry[1][i].append(cell)
+        for p in sorted(parts):
+            keys, cells = parts[p]
+            self._file(p).append_state(keys, cells)
+        charged.shrink(len(groups))
+        groups.clear()
+
+    def drain(self, charged: Buffer):
+        """Yield one re-merged engine per partition.
+
+        Each engine's groups are charged to ``charged`` while resident;
+        the caller shrinks after emitting them.  Files are deleted as
+        their partition completes.
+        """
+        for p in sorted(self.files):
+            f = self.files[p]
+            engine = GroupedAggregation(self.num_keys, self.funcs)
+            for keys, cells in f.read_states():
+                before = engine.num_groups
+                engine.absorb(keys, cells)
+                charged.grow(engine.num_groups - before)
+            f.delete()
+            yield engine
+
+
 class AggregateOp(PhysicalOperator):
     """Hash aggregation with O(1) running state per (group, aggregate).
 
@@ -1013,6 +1133,12 @@ class AggregateOp(PhysicalOperator):
         arg_getters = self._column_getters([a.arg for a in self.aggregates])
         funcs = [a.func for a in self.aggregates]
         label = self._label()
+        limit = ctx.spill_limit()
+        spiller = (
+            _AggSpiller(ctx, label, len(key_getters), funcs)
+            if limit is not None
+            else None
+        )
 
         def consume(engine: GroupedAggregation, stream, partial: Buffer) -> None:
             for cb in stream:
@@ -1022,6 +1148,12 @@ class AggregateOp(PhysicalOperator):
                     get(cb) if get is not None else None for get in arg_getters
                 ]
                 before = engine.num_groups
+                # A batch can open at most n new groups: export the state
+                # to its spill partitions *before* the query's tracked
+                # working set could pass the limit.
+                if spiller is not None and before and ctx.buffered_rows + n > limit:
+                    spiller.export(engine, partial)
+                    before = 0
                 engine.consume(key_cols, arg_cols, n)
                 partial.grow(engine.num_groups - before)
 
@@ -1046,9 +1178,30 @@ class AggregateOp(PhysicalOperator):
 
                 engine = GroupedAggregation(len(key_getters), funcs)
                 for state in exchange.fold(ctx, "columnar_batches", run):
+                    if (
+                        spiller is not None
+                        and engine.num_groups
+                        and ctx.buffered_rows + state.num_groups > limit
+                    ):
+                        spiller.export(engine, buffer)
                     before = engine.num_groups
                     engine.merge_from(state)
                     buffer.grow(engine.num_groups - before)
+            if spiller is not None and spiller.files:
+                # Something spilled: push the resident remainder out too and
+                # drain partition by partition (each re-absorbed state is
+                # charged while resident, then shrunk as it emits).
+                spiller.export(engine, buffer)
+                size = ctx.batch_size
+                for part_engine in spiller.drain(buffer):
+                    columns = part_engine.result_columns()
+                    total = part_engine.num_groups
+                    for start in range(0, total, size):
+                        yield ColumnarBatch(
+                            columns, total, range(start, min(start + size, total))
+                        )
+                    buffer.shrink(total)
+                return
             engine.ensure_group()
             columns = engine.result_columns()
             total = engine.num_groups
@@ -1074,6 +1227,15 @@ class AggregateOp(PhysicalOperator):
         finals = [final for _, _, final in accumulators]
         buffer = ctx.buffer(self._label())
         source = self.child.batches(ctx)
+        limit = ctx.spill_limit()
+        spiller = (
+            _AggSpiller(
+                ctx, self._label(), len(self.group_by),
+                [a.func for a in self.aggregates],
+            )
+            if limit is not None
+            else None
+        )
         try:
             groups: dict[tuple, list[Any]] = {}
             for batch in source:
@@ -1084,6 +1246,8 @@ class AggregateOp(PhysicalOperator):
                     key = canonical_row(tuple(ev(row) for ev in group_evs))
                     cells = groups.get(key)
                     if cells is None:
+                        if spiller is not None and groups and ctx.buffered_rows >= limit:
+                            spiller.export_groups(groups, buffer)
                         cells = list(initials)
                         groups[key] = cells
                         buffer.grow(1)
@@ -1091,6 +1255,14 @@ class AggregateOp(PhysicalOperator):
                         cells[i] = updates[i](
                             cells[i], ev(row) if ev is not None else 1
                         )
+            if spiller is not None and spiller.files:
+                spiller.export_groups(groups, buffer)
+                size = ctx.batch_size
+                for engine in spiller.drain(buffer):
+                    out = list(zip(*engine.result_columns()))
+                    yield from chunked(out, size)
+                    buffer.shrink(engine.num_groups)
+                return
             if not groups and not self.group_by:
                 groups[()] = list(initials)
             out = [
@@ -1130,11 +1302,32 @@ class SortOp(PhysicalOperator):
         buffer = ctx.buffer(self._label())
         source = self.child.columnar_batches(ctx)
         try:
-            rows: list[tuple] = []
-            key_parts: list[list] = [[] for _ in self.keys]
             layout = self.child.layout()
             evs = [compile_expr_columnar(e, layout) for e, _ in self.keys]
+            limit = ctx.spill_limit()
+            rows: list[tuple] = []
+            key_parts: list[list] = [[] for _ in self.keys]
             for cb in source:
+                if limit is not None and ctx.buffered_rows + cb.length > limit:
+                    # Past the working-set cliff: hand everything buffered
+                    # so far (plus the rest of the input) to the external
+                    # merge sort.  Until this point the armed path is the
+                    # disarmed path, so armed-but-under-limit costs only
+                    # this comparison per batch.
+                    def keyed(first=cb):
+                        if rows:
+                            yield list(zip(zip(*key_parts), rows))
+                        for later in itertools.chain((first,), source):
+                            parts = [
+                                ev(later.columns, later.selection, later.length)
+                                for ev in evs
+                            ]
+                            yield list(zip(zip(*parts), later.to_rows()))
+
+                    buffer.shrink(len(rows))  # the external sort re-charges
+                    for chunk in self._external_sort(ctx, buffer, keyed()):
+                        yield ColumnarBatch.from_rows(chunk)
+                    return
                 batch_rows = cb.to_rows()
                 rows.extend(batch_rows)
                 buffer.grow(len(batch_rows))
@@ -1157,11 +1350,28 @@ class SortOp(PhysicalOperator):
         buffer = ctx.buffer(self._label())
         source = self.child.batches(ctx)
         try:
+            layout = self.child.layout()
+            limit = ctx.spill_limit()
             rows: list[tuple] = []
             for batch in source:
+                if limit is not None and ctx.buffered_rows + len(batch) > limit:
+                    # Past the working-set cliff: switch to the external
+                    # merge sort, seeding it with the rows buffered so far.
+                    # Under the limit the armed path stays byte-for-byte
+                    # the disarmed in-memory cascade below.
+                    evs = [compile_expr(e, layout) for e, _ in self.keys]
+
+                    def keyed(first=batch):
+                        for b in itertools.chain((rows,), (first,), source):
+                            yield [
+                                (tuple(ev(row) for ev in evs), row) for row in b
+                            ]
+
+                    buffer.shrink(len(rows))  # the external sort re-charges
+                    yield from self._external_sort(ctx, buffer, keyed())
+                    return
                 rows.extend(batch)
                 buffer.grow(len(batch))
-            layout = self.child.layout()
             # Stable multi-key sort: apply keys from least to most significant.
             for expr, ascending in reversed(self.keys):
                 ev = compile_expr(expr, layout)
@@ -1173,6 +1383,89 @@ class SortOp(PhysicalOperator):
         finally:
             close_stream(source)
             buffer.release()
+
+    def _external_sort(
+        self, ctx: ExecutionContext, buffer: Buffer, batches
+    ) -> Iterator[Batch]:
+        """External merge sort with *exact* order parity.
+
+        ``batches`` yields lists of ``(key_values, row)`` pairs in arrival
+        order.  Items carry a global arrival counter and sort by their
+        fully decorated key — per-component NaN-canonical null-safe keys
+        with descending components wrapped (:func:`_spill_decorated`), the
+        counter last — which for totally ordered key values is precisely
+        the order the in-memory reversed-stable-sort cascade produces.
+        Sorted runs flush to spill files whenever the resident buffer
+        would pass the working-set limit; the k-way ``heapq.merge`` over
+        the runs (plus the final resident run) is then byte-identical to
+        the in-memory sort, because every item's decorated key is
+        globally unique.
+
+        NaN key values are the one exception: ``heapq.merge`` (and any
+        comparison sort) needs a total order, and NaN is incomparable, so
+        the decoration canonicalizes it — all NaN keys tie (resolving by
+        arrival) and order after every non-NaN value ascending, before
+        them descending.  The disarmed in-memory sort leaves NaN
+        comparisons to timsort, whose placement of NaN-keyed rows is a
+        merge-pattern artifact no run-split can reproduce; the armed
+        order is the better-defined of the two.
+        """
+        manager = ctx.spill
+        limit = ctx.spill_limit()
+        ascs = [asc for _, asc in self.keys]
+        label = self._label()
+        size = ctx.batch_size
+
+        def decorate(item):
+            return tuple(
+                _spill_decorated(v, a) for v, a in zip(item[0], ascs)
+            ) + (item[1],)
+
+        runs: list = []
+        pending: list = []
+        seq = 0
+
+        def flush_run() -> None:
+            nonlocal pending
+            pending.sort(key=decorate)
+            run = manager.create_file(f"{label} run{len(runs)}")
+            for start in range(0, len(pending), size):
+                run.append_rows(pending[start : start + size])
+            runs.append(run)
+            buffer.shrink(len(pending))
+            pending = []
+
+        for items in batches:
+            n = len(items)
+            if not n:
+                continue
+            if pending and ctx.buffered_rows + n > limit:
+                flush_run()
+            for kv, row in items:
+                pending.append((kv, seq, row))
+                seq += 1
+            buffer.grow(n)
+        pending.sort(key=decorate)
+        if not runs:
+            yield from chunked([item[2] for item in pending], size)
+            return
+
+        def run_items(run):
+            for frame in run.read_rows():
+                yield from frame
+
+        streams = [run_items(run) for run in runs]
+        streams.append(iter(pending))
+        out: list = []
+        for item in heapq.merge(*streams, key=decorate):
+            out.append(item[2])
+            if len(out) >= size:
+                yield out
+                out = []
+        if out:
+            yield out
+        for run in runs:
+            run.delete()
 
     def _label(self) -> str:
         keys = ", ".join(f"{e} {'ASC' if asc else 'DESC'}" for e, asc in self.keys)
@@ -1203,6 +1496,29 @@ class _Descending:
 def _first_decorated(value: Any, asc: bool):
     """One sort-key component decorated the way candidate keys are."""
     key = _null_safe_key(value)
+    return key if asc else _Descending(key)
+
+
+def _nan_total_key(value: Any) -> tuple:
+    """Null-safe key with NaN canonicalized into a total order.
+
+    NaN is incomparable under ``<``, which makes it poison for
+    ``heapq.merge`` (heap invariants assume transitivity).  The external
+    sort therefore maps every NaN to one sentinel component ordered after
+    all non-NaN values, so run sorting and merging see a genuine total
+    order.  Only :meth:`SortOp._external_sort` uses this — the disarmed
+    in-memory sort keeps :func:`_null_safe_key` byte for byte.
+    """
+    if value is None:
+        return (False, False, 0)
+    if isinstance(value, float) and value != value:
+        return (True, True, 0.0)
+    return (True, False, value)
+
+
+def _spill_decorated(value: Any, asc: bool):
+    """One external-sort key component: NaN-canonical, DESC-wrapped."""
+    key = _nan_total_key(value)
     return key if asc else _Descending(key)
 
 
@@ -1634,6 +1950,86 @@ class LimitOp(PhysicalOperator):
         return f"LIMIT {self.limit}"
 
 
+class _DistinctSpiller:
+    """Spilled phase of out-of-core DISTINCT.
+
+    At switchover the streamed seen-set exports to per-partition key files
+    (those keys were already emitted); every later input row routes — by
+    its canonical key's partition — to a pending file, dedup deferred.
+    Drain replays one partition at a time: the partition's emitted-keys
+    set loads (re-canonicalized, since NaN identity does not survive a
+    pickle round-trip), pending rows replay in arrival order, and unseen
+    rows emit.  A key's occurrences all land in one partition, so the
+    per-partition seen state is complete for its keys.
+    """
+
+    __slots__ = ("_ctx", "_label", "_parts", "keys", "pending")
+
+    def __init__(self, ctx: ExecutionContext, label: str):
+        self._ctx = ctx
+        self._label = label
+        self._parts = spill_partition_count(ctx.parallelism)
+        self.keys: dict[int, PartitionWriter] = {}
+        self.pending: dict[int, PartitionWriter] = {}
+
+    def export_seen(self, seen_keys) -> None:
+        manager = self._ctx.spill
+        for key in seen_keys:
+            p = spill_hash(key) % self._parts
+            writer = self.keys.get(p)
+            if writer is None:
+                writer = self.keys[p] = PartitionWriter(
+                    manager, f"{self._label} keys p{p}"
+                )
+            writer.append(key)
+
+    def route_rows(self, rows) -> None:
+        manager = self._ctx.spill
+        for row in rows:
+            key = canonical_row(row)
+            p = spill_hash(key) % self._parts
+            writer = self.pending.get(p)
+            if writer is None:
+                writer = self.pending[p] = PartitionWriter(
+                    manager, f"{self._label} pending p{p}"
+                )
+            writer.append(row)
+
+    def drain_rows(self, buffer: Buffer) -> Iterator[Batch]:
+        size = self._ctx.batch_size
+        for p in sorted(set(self.keys) | set(self.pending)):
+            key_writer = self.keys.pop(p, None)
+            pending_writer = self.pending.pop(p, None)
+            seen: set[tuple] = set()
+            if key_writer is not None:
+                for frame in key_writer.drain():
+                    seen.update(canonical_row(key) for key in frame)
+                key_writer.delete()
+            if pending_writer is None:
+                continue
+            buffer.grow(len(seen))
+            charged = len(seen)
+            out: list[tuple] = []
+            for frame in pending_writer.drain():
+                for row in frame:
+                    key = canonical_row(row)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    out.append(row)
+                    if len(out) >= size:
+                        buffer.grow(len(out))
+                        charged += len(out)
+                        yield out
+                        out = []
+            if out:
+                buffer.grow(len(out))
+                charged += len(out)
+                yield out
+            pending_writer.delete()
+            buffer.shrink(charged)
+
+
 class DistinctOp(PhysicalOperator):
     """Streaming dedup; the seen-set is the charged buffered state.
 
@@ -1642,6 +2038,12 @@ class DistinctOp(PhysicalOperator):
     batch's columns and dedups on combined group codes
     (:class:`repro.exec.grouping.StreamingDistinct`); survivors are emitted
     as a selection over the input batch — no row materialization.
+
+    Out-of-core: when the seen-set would pass ``ctx.spill_limit()`` the
+    operator switches over — exported keys and all later rows go to hash
+    partitions on disk (:class:`_DistinctSpiller`) and dedup completes
+    partition by partition on drain, so the tracked state never exceeds
+    the working-set limit.
     """
 
     def __init__(self, child: PhysicalOperator):
@@ -1662,17 +2064,35 @@ class DistinctOp(PhysicalOperator):
         if exchange is not None:
             yield from self._parallel_columnar(ctx, exchange)
             return
+        yield from self._columnar_dedup(ctx, self.child.columnar_batches(ctx))
+
+    def _columnar_dedup(
+        self, ctx: ExecutionContext, source: Iterator[ColumnarBatch]
+    ) -> Iterator[ColumnarBatch]:
         state = StreamingDistinct()
         buffer = ctx.buffer(self._label())
-        source = self.child.columnar_batches(ctx)
+        limit = ctx.spill_limit()
+        spiller: _DistinctSpiller | None = None
         try:
             for cb in source:
+                n = len(cb)
+                if spiller is None and limit is not None and ctx.buffered_rows + n > limit:
+                    spiller = _DistinctSpiller(ctx, self._label())
+                    charged = state.seen_count
+                    spiller.export_seen(state.export_keys())
+                    buffer.shrink(charged)
+                if spiller is not None:
+                    spiller.route_rows(cb.to_rows())
+                    continue
                 columns = [cb.column_vector(i) for i in range(cb.width)]
-                kept = state.positions(columns, len(cb))
+                kept = state.positions(columns, n)
                 if not kept:
                     continue
                 buffer.grow(len(kept))
                 yield cb if len(kept) == len(cb) else cb.take(kept)
+            if spiller is not None:
+                for rows in spiller.drain_rows(buffer):
+                    yield ColumnarBatch.from_rows(rows)
         finally:
             close_stream(source)
             buffer.release()
@@ -1698,28 +2118,28 @@ class DistinctOp(PhysicalOperator):
             [_PartialDistinct(plan) for plan in exchange.plans],
             source_label=exchange.source_label,
         )
-        state = StreamingDistinct()
-        buffer = ctx.buffer(self._label())
-        source = pre.columnar_batches(ctx)
-        try:
-            for cb in source:
-                columns = [cb.column_vector(i) for i in range(cb.width)]
-                kept = state.positions(columns, len(cb))
-                if not kept:
-                    continue
-                buffer.grow(len(kept))
-                yield cb if len(kept) == len(cb) else cb.take(kept)
-        finally:
-            close_stream(source)
-            buffer.release()
+        yield from self._columnar_dedup(ctx, pre.columnar_batches(ctx))
 
     def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         buffer = ctx.buffer(self._label())
         source = self.child.batches(ctx)
+        limit = ctx.spill_limit()
+        spiller: _DistinctSpiller | None = None
         try:
             seen: set[tuple] = set()
             add = seen.add
             for batch in source:
+                if spiller is None and limit is not None and ctx.buffered_rows + len(batch) > limit:
+                    spiller = _DistinctSpiller(ctx, self._label())
+                    # Row-path keys may be the raw row tuples themselves
+                    # (clean rows skip canonicalization); canonicalize at
+                    # export so partition routing matches drain-time keys.
+                    spiller.export_seen(canonical_row(key) for key in seen)
+                    buffer.shrink(len(seen))
+                    seen = set()
+                if spiller is not None:
+                    spiller.route_rows(batch)
+                    continue
                 out: list[tuple] = []
                 for row in batch:
                     # Inline NaN probe: clean rows (the overwhelming case)
@@ -1735,6 +2155,8 @@ class DistinctOp(PhysicalOperator):
                 if out:
                     buffer.grow(len(out))
                     yield out
+            if spiller is not None:
+                yield from spiller.drain_rows(buffer)
         finally:
             close_stream(source)
             buffer.release()

@@ -73,6 +73,7 @@ class System:
         config: RelGoConfig | None = None,
         memory_budget_rows: int | None = None,
         optimizer_timeout: float | None = None,
+        spill=False,
     ):
         if config is None:
             config = SYSTEM_CONFIGS[name]
@@ -82,6 +83,10 @@ class System:
             self.config.memory_budget_rows = memory_budget_rows
         if optimizer_timeout is not None and self.config.join_enumeration == "exhaustive":
             self.config.optimizer_timeout = optimizer_timeout
+        # Paper-fidelity default: system wrappers measure the paper's OOM
+        # entries, so spill stays disarmed (even when REPRO_SPILL_* is set
+        # in the environment) unless a caller arms it explicitly.
+        self.config.spill = spill
         self.name = name
         self.framework = RelGoFramework(catalog, graph_name, self.config)
         self.framework.prepare()
@@ -135,13 +140,14 @@ def make_system(
     graph_name: str | None = None,
     memory_budget_rows: int | None = None,
     optimizer_timeout: float | None = None,
+    spill=False,
 ) -> System:
     """Instantiate one of the named systems (including ``kuzu``)."""
     if name == "kuzu":
         from repro.systems.kuzu_like import KuzuLikeSystem
 
         return KuzuLikeSystem(
-            catalog, graph_name, memory_budget_rows=memory_budget_rows
+            catalog, graph_name, memory_budget_rows=memory_budget_rows, spill=spill
         )
     return System(
         name,
@@ -149,6 +155,7 @@ def make_system(
         graph_name,
         memory_budget_rows=memory_budget_rows,
         optimizer_timeout=optimizer_timeout,
+        spill=spill,
     )
 
 

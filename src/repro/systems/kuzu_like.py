@@ -176,6 +176,7 @@ class KuzuLikeSystem(System):
         catalog: Catalog,
         graph_name: str | None = None,
         memory_budget_rows: int | None = None,
+        spill=False,
     ):
         config = RelGoConfig(
             graph_aware=True,
@@ -189,6 +190,7 @@ class KuzuLikeSystem(System):
             graph_name,
             config=config,
             memory_budget_rows=memory_budget_rows,
+            spill=spill,
         )
         # Substitute the graph planner: patch the framework's converged path
         # by overriding optimize() below.

@@ -93,7 +93,7 @@ def test_executor_memory_budget():
     right = SeqScan(table, "b")
     cross = NestedLoopJoin(left, right, None)  # 10k rows
     with pytest.raises(OutOfMemoryError):
-        execute_plan(cross, memory_budget_rows=5000)
+        execute_plan(cross, memory_budget_rows=5000, spill=False)
     result = execute_plan(cross, memory_budget_rows=20000)
     assert len(result) == 10000
 

@@ -93,25 +93,25 @@ def test_streaming_pipeline_does_not_false_trip_budget(big_table):
 def test_oom_on_sort_buffer(big_table):
     plan = LimitOp(SortOp(SeqScan(big_table, "t"), [(col("t.v"), True)]), 5)
     with pytest.raises(OutOfMemoryError):
-        execute_plan(plan, memory_budget_rows=10_000)
+        execute_plan(plan, memory_budget_rows=10_000, spill=False)
 
 
 def test_oom_on_hash_build(big_table):
     small = make_table([(i, i) for i in range(10)])
     join = HashJoin(SeqScan(small, "l"), SeqScan(big_table, "r"), ["l.v"], ["r.v"])
     with pytest.raises(OutOfMemoryError):
-        execute_plan(LimitOp(join, 5), memory_budget_rows=10_000)
+        execute_plan(LimitOp(join, 5), memory_budget_rows=10_000, spill=False)
 
 
 def test_oom_on_materialization_barrier(big_table):
     plan = MaterializeOp(SeqScan(big_table, "t"))
     with pytest.raises(OutOfMemoryError):
-        execute_plan(plan, memory_budget_rows=10_000)
+        execute_plan(plan, memory_budget_rows=10_000, spill=False)
 
 
 def test_oom_on_result_buffer(big_table):
     with pytest.raises(OutOfMemoryError):
-        execute_plan(SeqScan(big_table, "t"), memory_budget_rows=10_000)
+        execute_plan(SeqScan(big_table, "t"), memory_budget_rows=10_000, spill=False)
 
 
 # --------------------------------------------------------------------- #

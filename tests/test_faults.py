@@ -11,6 +11,9 @@ results by a byte.
 
 from __future__ import annotations
 
+import errno
+import os
+
 import pytest
 
 from repro.errors import (
@@ -24,6 +27,8 @@ from repro.exec import (
     Fault,
     FaultInjector,
     QueryHandle,
+    SpillConfig,
+    SpillManager,
     execute_plan,
     parallelize_plan,
     parse_faults,
@@ -38,6 +43,7 @@ from repro.relational.physical import (
     FilterOp,
     HashJoin,
     SeqScan,
+    SortOp,
     TopKOp,
 )
 from repro.systems import make_system
@@ -186,6 +192,68 @@ def test_cancel_fault_without_handle_is_inert(tables):
 
 
 # --------------------------------------------------------------------- #
+# disk faults at the spill sites
+# --------------------------------------------------------------------- #
+
+
+def _spilling_plan(tables):
+    """Every spilling breaker: grace-join build, aggregation, DISTINCT,
+    external sort — all forced out-of-core by a tiny working-set limit."""
+    left, right = tables
+    join = HashJoin(SeqScan(left, "l"), SeqScan(right, "r"), ["l.v"], ["r.v"])
+    agg = AggregateOp(
+        join,
+        [(col("l.v"), "v")],
+        [AggregateSpec("COUNT", None, "c")],
+    )
+    return SortOp(DistinctOp(agg), [(col("c"), False), (col("v"), True)])
+
+
+def _run_spilling_with_fault(plan, fault, tmp_path, columnar):
+    """Armed spill + armed fault on a caller-owned context.
+
+    Whatever happens, the teardown contract holds: every buffer released,
+    every temp file reaped, no worker thread left behind.
+    """
+    ctx = ExecutionContext(faults=FaultInjector([fault]))
+    manager = SpillManager(
+        SpillConfig(directory=str(tmp_path), threshold_rows=64)
+    ).bind(ctx)
+    ctx.spill = manager
+    try:
+        return execute_plan(plan, columnar=columnar, ctx=ctx)
+    finally:
+        manager.close()
+        assert ctx.buffered_rows == 0
+        assert manager.live_files() == 0
+        assert not any(os.scandir(tmp_path))
+        assert_no_repro_threads()
+
+
+@pytest.mark.parametrize("point", ["[write]", "[read]", "[merge]"])
+@pytest.mark.parametrize("columnar", [True, False])
+def test_disk_fault_at_every_spill_site(tables, tmp_path, point, columnar):
+    # ENOSPC at each spill I/O point must surface as the injected OSError
+    # (not a secondary effect) with zero leaked temp files.
+    plan = _spilling_plan(tables)
+    fault = Fault(kind="disk", site="spill", label=point)
+    with pytest.raises(OSError) as exc_info:
+        _run_spilling_with_fault(plan, fault, tmp_path, columnar)
+    assert exc_info.value.errno == errno.ENOSPC
+    assert point in str(exc_info.value)
+
+
+def test_disk_fault_armed_not_firing_keeps_spilled_results(tables, tmp_path):
+    # The chaos-leg shape: a disk fault armed past any realistic hit count
+    # must not change a spilled query's results.
+    plan = _spilling_plan(tables)
+    baseline = execute_plan(plan, spill=False)
+    fault = Fault(kind="disk", site="spill", after=NEVER)
+    result = _run_spilling_with_fault(plan, fault, tmp_path, True)
+    assert _nan_safe(result.sorted_rows()) == _nan_safe(baseline.sorted_rows())
+
+
+# --------------------------------------------------------------------- #
 # armed-but-not-firing must be byte-invisible
 # --------------------------------------------------------------------- #
 
@@ -194,7 +262,12 @@ def test_cancel_fault_without_handle_is_inert(tables):
 @pytest.mark.parametrize("columnar", [True, False])
 def test_armed_not_firing_is_identity(tables, parallelism, columnar):
     plan = _relational_plan(tables)
-    baseline = execute_plan(plan, columnar=columnar, parallelism=parallelism)
+    # spill=False: the fault run's caller-owned ctx never arms spill, so
+    # the baseline must not pick it up from the environment either (the
+    # tier1-spill CI leg sets REPRO_SPILL_THRESHOLD for the whole suite).
+    baseline = execute_plan(
+        plan, columnar=columnar, parallelism=parallelism, spill=False
+    )
     fault = Fault(kind="error", after=NEVER)
     ctx, armed = _run_with_fault(plan, fault, parallelism, columnar)
     assert _nan_safe(armed.rows) == _nan_safe(baseline.rows)

@@ -205,7 +205,7 @@ def test_oom_carries_owning_buffer_label(table):
     small = make_table(10, "l")
     join = HashJoin(SeqScan(small, "l"), SeqScan(table, "r"), ["l.v"], ["r.v"])
     with pytest.raises(OutOfMemoryError) as exc_info:
-        execute_plan(join, memory_budget_rows=10_000)
+        execute_plan(join, memory_budget_rows=10_000, spill=False)
     assert "build" in exc_info.value.label
     assert exc_info.value.label in str(exc_info.value)
     assert exc_info.value.rows > exc_info.value.budget == 10_000
@@ -347,7 +347,7 @@ def test_execute_plan_runs_under_bounded_governor(table):
     # A failing query releases too.
     with pytest.raises(OutOfMemoryError):
         execute_plan(
-            SeqScan(table, "t"), memory_budget_rows=1_000, governor=governor
+            SeqScan(table, "t"), memory_budget_rows=1_000, governor=governor, spill=False
         )
     assert governor.active_leases == 0
     with pytest.raises(AdmissionError):
@@ -447,5 +447,6 @@ def test_default_config_arms_nothing(table):
     # byte-identical results to the seed engine.
     ctx = ExecutionContext()
     assert ctx.handle is None and ctx.faults is None
+    assert ctx.spill is None and ctx.spill_limit() is None
     result = execute_plan(SeqScan(table, "t"))
     assert len(result) == table.num_rows

@@ -284,12 +284,12 @@ def test_oom_on_hash_build_parallel(table):
     small = make_table(10, "l")
     join = HashJoin(SeqScan(small, "l"), SeqScan(table, "r"), ["l.v"], ["r.v"])
     with pytest.raises(OutOfMemoryError):
-        execute_plan(join, memory_budget_rows=10_000, parallelism=PARALLELISM)
+        execute_plan(join, memory_budget_rows=10_000, parallelism=PARALLELISM, spill=False)
 
 
 def test_oom_on_result_buffer_parallel(table):
     with pytest.raises(OutOfMemoryError):
-        execute_plan(SeqScan(table, "t"), memory_budget_rows=10_000, parallelism=PARALLELISM)
+        execute_plan(SeqScan(table, "t"), memory_budget_rows=10_000, parallelism=PARALLELISM, spill=False)
 
 
 def test_streaming_pipeline_does_not_false_trip_budget_parallel(table):
