@@ -942,6 +942,123 @@ def _bench_storage_query(scale: float) -> dict:
     }
 
 
+# --------------------------------------------------------------------- #
+# serving: plan cache + concurrent-session throughput
+# --------------------------------------------------------------------- #
+
+#: One parameterized shape: every execution differs only in the literal,
+#: so after the first optimize the whole workload is rebind + execute.
+SERVING_SQL = (
+    "SELECT g.fn AS fn FROM GRAPH_TABLE (snb "
+    "MATCH (p:person)-[:knows]->(f:person) "
+    "WHERE p.first_name = '{v}' "
+    "COLUMNS (f.first_name AS fn)) g"
+)
+
+SERVING_SESSIONS = 4
+SERVING_QUERIES = 50
+
+
+def _measure_serving(scale: float) -> dict:
+    """Plan-cache speedup (cold optimize vs hot rebind) and session QPS.
+
+    ``cold_ms`` is the full frontend per call (cache cleared each run:
+    fingerprint miss -> parse -> bind -> optimize -> execute); ``hot_ms``
+    is the same query text answered from the cache (fingerprint hit ->
+    rebind -> execute).  Both run on a pre-warmed Database (index,
+    statistics and GLogue built by ``prepare()``), so the ratio isolates
+    exactly what the cache removes.  The throughput phase then runs
+    ``SERVING_SESSIONS`` concurrent sessions x ``SERVING_QUERIES`` queries
+    of that shape with rotating literals against the shared cache.
+    """
+    import threading
+
+    from repro.serving import Database
+    from repro.workloads.ldbc.generator import FIRST_NAMES
+
+    catalog, mapping = generate_ldbc(LdbcParams.scaled(scale, seed=7))
+    catalog.register_graph_index(build_graph_index(mapping))
+    db = Database(catalog=catalog)
+    db.prepare()
+
+    values = list(FIRST_NAMES[:16])
+    session = db.connect()
+    # Result parity: the rebound plan answers exactly like a fresh parse.
+    db.plan_cache.clear()
+    cold_rows = session.execute(SERVING_SQL.format(v=values[0])).sorted_rows()
+    hot_rows = session.execute(SERVING_SQL.format(v=values[0])).sorted_rows()
+    assert cold_rows == hot_rows
+
+    cold_times = []
+    for i in range(min(REPETITIONS, 10)):
+        db.plan_cache.clear()
+        started = time.perf_counter()
+        session.execute(SERVING_SQL.format(v=values[i % len(values)]))
+        cold_times.append(time.perf_counter() - started)
+    hot_times = []
+    for i in range(REPETITIONS):
+        started = time.perf_counter()
+        session.execute(SERVING_SQL.format(v=values[i % len(values)]))
+        hot_times.append(time.perf_counter() - started)
+    session.close()
+    cold_ms = min(cold_times) * 1000
+    hot_ms = min(hot_times) * 1000
+
+    stats = db.plan_cache.stats
+    base_hits, base_misses = stats.hits, stats.misses
+    latencies: list[float] = []
+    lock = threading.Lock()
+
+    def client(worker: int) -> None:
+        with db.connect() as ses:
+            local = []
+            for i in range(SERVING_QUERIES):
+                sql = SERVING_SQL.format(v=values[(worker * 7 + i) % len(values)])
+                t0 = time.perf_counter()
+                ses.execute(sql)
+                local.append(time.perf_counter() - t0)
+            with lock:
+                latencies.extend(local)
+
+    threads = [
+        threading.Thread(target=client, args=(w,)) for w in range(SERVING_SESSIONS)
+    ]
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_start
+
+    latencies.sort()
+    total = len(latencies)
+    hits = stats.hits - base_hits
+    misses = stats.misses - base_misses
+    return {
+        "query": "knows_1hop_param",
+        "scale": scale,
+        "cold_ms": cold_ms,
+        "hot_ms": hot_ms,
+        "plan_cache_speedup": cold_ms / max(hot_ms, 1e-9),
+        "sessions": SERVING_SESSIONS,
+        "queries_per_session": SERVING_QUERIES,
+        "wall_ms": wall * 1000,
+        "p50_ms": latencies[total // 2] * 1000,
+        "p99_ms": latencies[min(total - 1, int(total * 0.99))] * 1000,
+        "qps": total / max(wall, 1e-9),
+        "hit_rate": hits / max(hits + misses, 1),
+        "cache": stats.snapshot(),
+    }
+
+
+def test_bench_serving_smoke():
+    """The serving section alone, at smoke scale (fast CI leg)."""
+    results = _measure_serving(min(bench_scale(), 0.25))
+    assert results["hit_rate"] >= 0.9, results
+    assert results["plan_cache_speedup"] > 1.0, results
+    assert results["qps"] > 0, results
+
+
 def test_bench_exec_streaming(benchmark, ldbc10):
     scale = bench_scale()
     bulk_rows = _bulk_rows(max(2_000, int(200_000 * scale)))
@@ -959,6 +1076,13 @@ def test_bench_exec_streaming(benchmark, ldbc10):
             "lifecycle": _measure_lifecycle(ldbc10, scale),
             "spill": _measure_spill(scale),
             "strings": _measure_string_scenarios(scale),
+            # The plan-cache gate tracks front-end (lex/parse/bind/optimize)
+            # cost against per-query execution; at larger data scales
+            # execution grows while the front-end stays fixed, so the ratio
+            # dilutes with no change in the cache itself.  Pin the serving
+            # section to the tracked 0.25 sub-scale (same as the smoke
+            # test) so the gate measures the cache, not the dataset.
+            "serving": _measure_serving(min(scale, 0.25)),
             "microbench": {
                 "bulk_load": _bench_bulk_load(bulk_rows),
                 "pk_lookup": _bench_pk_lookup(bulk_rows),
@@ -972,6 +1096,7 @@ def test_bench_exec_streaming(benchmark, ldbc10):
     lifecycle = measured["lifecycle"]
     spill = measured["spill"]
     strings = measured["strings"]
+    serving = measured["serving"]
     micro = measured["microbench"]
     for name, r in results.items():
         if scale != DEFAULT_SCALE:
@@ -998,6 +1123,7 @@ def test_bench_exec_streaming(benchmark, ldbc10):
         "lifecycle": lifecycle,
         "spill": spill,
         "strings": strings,
+        "serving": serving,
         "microbench": micro,
     }
     OUTPUT.write_text(json.dumps(doc, indent=2) + "\n")
@@ -1061,6 +1187,19 @@ def test_bench_exec_streaming(benchmark, ldbc10):
         f"dictionary-encoded "
         f"({strings['memory_bytes']['dict']['str_events']['name']} vs "
         f"{strings['memory_bytes']['typed']['str_events']['name']} bytes)"
+    )
+    lines.append("-" * 50)
+    lines.append(
+        f"serving ({serving['query']}): cold {serving['cold_ms']:.3f} ms vs "
+        f"hot {serving['hot_ms']:.3f} ms -> "
+        f"{serving['plan_cache_speedup']:.2f}x plan-cache speedup"
+    )
+    lines.append(
+        f"serving throughput ({serving['sessions']} sessions x "
+        f"{serving['queries_per_session']} queries): "
+        f"{serving['qps']:.0f} qps, p50 {serving['p50_ms']:.3f} ms, "
+        f"p99 {serving['p99_ms']:.3f} ms, "
+        f"hit rate {serving['hit_rate']:.2f}"
     )
     lines.append("-" * 50)
     bl = micro["bulk_load"]
@@ -1155,3 +1294,12 @@ def test_bench_exec_streaming(benchmark, ldbc10):
     assert micro["bulk_load"]["typed_speedup"] > 0.5
     assert micro["bulk_load"]["columns_vs_rows"] > 1.0
     assert micro["bulk_load"]["dict_vs_list"] > 0.15
+    # Serving acceptance gate: a cache hit skips lexer/parser/binder/
+    # optimizer entirely, so the hot path must beat the cold path by >= 3x
+    # at the tracked scale (loose > 1x bound under smoke noise), and the
+    # one-shape throughput workload must run almost entirely on hits (the
+    # only misses are the per-variant first executions).
+    assert serving["plan_cache_speedup"] > 1.0, serving
+    assert serving["hit_rate"] >= 0.9, serving
+    if scale == DEFAULT_SCALE:
+        assert serving["plan_cache_speedup"] >= 3.0, serving

@@ -67,6 +67,12 @@ def _tracked_times(doc: dict, include_multithread: bool) -> dict[str, float]:
         times["spill/armed_idle"] = spill["armed_idle_ms"]
         for name, entry in spill.get("degradation", {}).items():
             times[f"spill/{name}"] = entry["time_ms"]
+    serving = doc.get("serving")
+    if serving:
+        times["serving/cold"] = serving["cold_ms"]
+        times["serving/hot"] = serving["hot_ms"]
+        times["serving/p50"] = serving["p50_ms"]
+        times["serving/p99"] = serving["p99_ms"]
     return times
 
 

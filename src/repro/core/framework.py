@@ -131,10 +131,15 @@ class RelGoFramework:
     ):
         self.catalog = catalog
         self.config = config or RelGoConfig()
-        self.mapping = (
-            catalog.graph(graph_name) if graph_name else catalog.default_graph()
-        )
-        self.graph_name = self.mapping.name
+        if graph_name:
+            self.mapping = catalog.graph(graph_name)
+        elif catalog.graph_names():
+            self.mapping = catalog.default_graph()
+        else:
+            # Relational-only catalog: the framework still optimizes and
+            # executes plain SQL blocks; only graph queries need a mapping.
+            self.mapping = None
+        self.graph_name = None if self.mapping is None else self.mapping.name
         self._glogue: GLogue | None = None
         self._estimator: CardinalityEstimator | None = None
 
@@ -143,6 +148,8 @@ class RelGoFramework:
     # ------------------------------------------------------------------ #
 
     def ensure_index(self) -> GraphIndex:
+        if self.mapping is None:
+            raise CatalogError("no property graph is registered in this catalog")
         index = self.catalog.graph_index(self.graph_name)
         if index is None:
             index = build_graph_index(self.mapping)
@@ -170,9 +177,11 @@ class RelGoFramework:
 
     def prepare(self) -> None:
         """Build the graph index and warm statistics (an offline step)."""
-        self.ensure_index()
+        if self.mapping is not None:
+            self.ensure_index()
         self.catalog.analyze()
-        _ = self.glogue
+        if self.mapping is not None:
+            _ = self.glogue
 
     # ------------------------------------------------------------------ #
     # optimization
@@ -246,8 +255,11 @@ class RelGoFramework:
         try:
             ctx.memory_budget_rows = lease.budget_rows
             plan = optimized.physical
+            from repro.exec.context import pin_plan
+
+            pin_plan(plan, ctx)
             if parallelism > 1:
-                plan = parallelize_plan(plan, parallelism, ctx.batch_size)
+                plan = parallelize_plan(plan, parallelism, ctx.batch_size, ctx=ctx)
             if self.config.columnar:
                 # Vectorized pull; rows materialize only at this yield
                 # boundary.

@@ -14,7 +14,9 @@ from repro.relational.expr import (
     Like,
     Literal,
     Not,
+    ParamLiteral,
     and_,
+    param_slots,
 )
 from repro.core.sqlpgq.ast import (
     AstColumnSpec,
@@ -35,9 +37,44 @@ AGG_FUNCS = ("MIN", "MAX", "COUNT", "SUM", "AVG")
 
 
 class Parser:
-    def __init__(self, text: str):
+    """Recursive-descent parser; ``parameterize=True`` turns on the plan
+    cache's literal extraction.
+
+    In parameterize mode every NUMBER / STRING token is a **parameter
+    slot**, numbered in text order — exactly the order the fingerprint
+    scanner (:mod:`repro.serving.plan_cache`) collects literal values, so
+    slot ``i`` always rebinds to the i-th literal of a matching query
+    text.  Literals in expression position become :class:`ParamLiteral`
+    nodes (rebindable); literals consumed *structurally* — the LIMIT
+    count, LIKE / STARTS WITH patterns, IN-list members — are **baked**
+    into the plan shape and their slots recorded in :attr:`baked_slots`,
+    so the cache keys plan variants by those values.  ``TRUE`` / ``FALSE``
+    / ``NULL`` are keywords, not scanner literals: never slots.
+    """
+
+    def __init__(self, text: str, parameterize: bool = False):
         self.tokens = tokenize(text)
         self.pos = 0
+        self.parameterize = parameterize
+        #: Slots whose values are baked into the plan (cache-variant key).
+        self.baked_slots: set[int] = set()
+        #: Slots carried by ParamLiteral nodes in the parsed statement.
+        self.expr_slots: set[int] = set()
+        self._slot_at: dict[int, int] = {}
+        if parameterize:
+            slot = 0
+            for i, token in enumerate(self.tokens):
+                if token.kind in ("NUMBER", "STRING"):
+                    self._slot_at[i] = slot
+                    slot += 1
+
+    def _consumed_slot(self) -> int:
+        """Slot of the literal token just consumed (parameterize mode)."""
+        return self._slot_at[self.pos - 1]
+
+    def _bake_consumed(self) -> None:
+        if self.parameterize:
+            self.baked_slots.add(self._consumed_slot())
 
     # ------------------------------------------------------------------ #
     # token plumbing
@@ -252,6 +289,7 @@ class Parser:
             token = self.advance()
             if token.kind != "NUMBER":
                 raise self.error("expected LIMIT count")
+            self._bake_consumed()
             limit = int(token.value)
         return AstSelect(
             items, distinct, graph_table, tables, join_conditions,
@@ -275,6 +313,12 @@ class Parser:
         alias = self.parse_optional_alias()
         if alias is None:
             alias = expr.name.split(".")[-1] if isinstance(expr, ColumnRef) else str(expr)
+            if self.parameterize and not isinstance(expr, ColumnRef):
+                # The implicit alias embeds literal values (``a + 5``), so
+                # those slots must not rebind: bake them into the variant
+                # key — a different value gets its own template, keeping
+                # output column names identical to an uncached parse.
+                self.baked_slots.update(param_slots(expr))
         return AstSelectItem(expr, alias)
 
     def parse_optional_alias(self) -> str | None:
@@ -413,6 +457,7 @@ class Parser:
             pattern = self.advance()
             if pattern.kind != "STRING":
                 raise self.error("LIKE expects a string pattern")
+            self._bake_consumed()
             return Like(left, pattern.value)
         if token.is_keyword("STARTS"):
             self.advance()
@@ -420,6 +465,7 @@ class Parser:
             prefix = self.advance()
             if prefix.kind != "STRING":
                 raise self.error("STARTS WITH expects a string")
+            self._bake_consumed()
             return Like(left, prefix.value + "%")
         if token.is_keyword("IN"):
             self.advance()
@@ -468,10 +514,10 @@ class Parser:
         if token.kind == "NUMBER":
             self.advance()
             value = float(token.value) if "." in token.value else int(token.value)
-            return Literal(value)
+            return self._literal(value)
         if token.kind == "STRING":
             self.advance()
-            return Literal(token.value)
+            return self._literal(token.value)
         if token.is_keyword("TRUE"):
             self.advance()
             return Literal(True)
@@ -484,6 +530,10 @@ class Parser:
         if token.is_symbol("-"):
             self.advance()
             inner = self.parse_primary()
+            if isinstance(inner, ParamLiteral):
+                # The slot's raw value must stay scanner-aligned: keep the
+                # parameter intact and negate at evaluation time.
+                return Arith("-", Literal(0), inner)
             if isinstance(inner, Literal) and isinstance(inner.value, (int, float)):
                 return Literal(-inner.value)
             return Arith("-", Literal(0), inner)
@@ -497,14 +547,25 @@ class Parser:
     def parse_literal_value(self):
         token = self.advance()
         if token.kind == "NUMBER":
+            self._bake_consumed()
             return float(token.value) if "." in token.value else int(token.value)
         if token.kind == "STRING":
+            self._bake_consumed()
             return token.value
         if token.is_keyword("TRUE"):
             return True
         if token.is_keyword("FALSE"):
             return False
         raise self.error("expected literal value")
+
+    def _literal(self, value) -> Literal:
+        """A just-consumed expression-position literal: a rebindable
+        :class:`ParamLiteral` in parameterize mode, a plain literal else."""
+        if self.parameterize:
+            slot = self._consumed_slot()
+            self.expr_slots.add(slot)
+            return ParamLiteral(value, slot)
+        return Literal(value)
 
 
 def parse_statement(sql: str):

@@ -141,5 +141,9 @@ class OptimizationTimeout(ReproError):
         self.budget = budget
 
 
+class SessionClosed(ReproError):
+    """A query was submitted on a closed serving session (or database)."""
+
+
 class UnsupportedFeatureError(ReproError):
     """The query uses a feature the reproduction deliberately leaves out."""

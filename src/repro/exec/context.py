@@ -282,6 +282,12 @@ class ExecutionContext:
     handle: "QueryHandle | None" = None
     faults: "FaultInjector | None" = None
     spill: "SpillManager | None" = None
+    #: Pinned append epoch (None until the first table is pinned) and the
+    #: per-table snapshot registry — every operator of one query resolves a
+    #: table through :meth:`pin`, so they all agree on one immutable prefix
+    #: even while writers append (see ``repro.relational.table``).
+    epoch: "int | None" = None
+    snapshots: dict = field(default_factory=dict, repr=False, compare=False)
     lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -307,6 +313,29 @@ class ExecutionContext:
     def buffer(self, label: str = "", tracked: bool = True) -> Buffer:
         """Open a :class:`Buffer` accounting handle for buffered state."""
         return Buffer(self, label, tracked)
+
+    def pin(self, table):
+        """The query's immutable snapshot of ``table`` (memoized).
+
+        The first pin fixes the query's epoch; every later pin — any
+        table, any thread — resolves at that same epoch, so all operators
+        observe one cross-table-consistent prefix.  Entry points pre-pin
+        every table a plan touches (:func:`pin_plan`) from the driver
+        thread before workers start, making worker-side calls lock-free
+        cache hits.
+        """
+        snap = self.snapshots.get(id(table))
+        if snap is None:
+            with self.lock:
+                snap = self.snapshots.get(id(table))
+                if snap is None:
+                    if self.epoch is None:
+                        from repro.relational.table import current_epoch
+
+                        self.epoch = current_epoch()
+                    snap = table.snapshot_at(self.epoch)
+                    self.snapshots[id(table)] = snap
+        return snap
 
     def spill_limit(self) -> int | None:
         """Tracked rows the *query* may keep resident before spilling.
@@ -402,6 +431,53 @@ def close_stream(stream: Any) -> None:
     close = getattr(stream, "close", None)
     if close is not None:
         close()
+
+
+def pin_plan(plan: "Operator", ctx: ExecutionContext) -> None:
+    """Pin every table a physical plan touches, before execution starts.
+
+    Walks the operator tree (duck-typed: relational operators carry a
+    ``table``, graph operators a ``mapping`` and possibly a graph
+    ``index``) and registers each table's snapshot in ``ctx``.  Tables
+    reached through a graph index are additionally clamped to the extents
+    the index build covered, so adjacency walks can never step past a CSR
+    built over fewer rows — graph plans read structure *and* attributes at
+    the index's version.
+
+    Run on the driver thread so parallel morsel workers only ever hit the
+    memoized registry.
+    """
+    seen: set[int] = set()
+
+    def visit(op) -> None:
+        if id(op) in seen:
+            return
+        seen.add(id(op))
+        table = getattr(op, "table", None)
+        if table is not None and hasattr(table, "snapshot_at"):
+            ctx.pin(table)
+        mapping = getattr(op, "mapping", None)
+        if mapping is not None and hasattr(mapping, "vertices"):
+            for vm in mapping.vertices.values():
+                ctx.pin(mapping.catalog.table(vm.table_name))
+            for em in mapping.edges.values():
+                ctx.pin(mapping.catalog.table(em.table_name))
+            index = getattr(op, "index", None)
+            if index is not None and hasattr(index, "vertex_rows"):
+                for label, rows in index.vertex_rows.items():
+                    ctx.pin(mapping.vertex_table(label)).clamp(rows)
+                for label, rows in index.edge_rows.items():
+                    ctx.pin(mapping.edge_table(label)).clamp(rows)
+        # SCAN_GRAPH_TABLE bridges the layers without exposing its graph
+        # plan through children(); descend explicitly so the expansion
+        # operators underneath (which carry the index) clamp their tables.
+        graph_op = getattr(op, "graph_op", None)
+        if graph_op is not None:
+            visit(graph_op)
+        for child in op.children():
+            visit(child)
+
+    visit(plan)
 
 
 def execute_plan(
@@ -502,9 +578,13 @@ def execute_plan(
         # under the default unbounded governor this assignment is the
         # identity and the paper's OOM trip points are untouched.
         ctx.memory_budget_rows = lease.budget_rows
+        # Pin the query's table snapshots before any batch is pulled (and
+        # before the morsel grid is laid out), so concurrent appends are
+        # invisible for the rest of the query.
+        pin_plan(plan, ctx)
         executed = plan
         if ctx.parallelism > 1:
-            executed = parallelize_plan(plan, ctx.parallelism, ctx.batch_size)
+            executed = parallelize_plan(plan, ctx.parallelism, ctx.batch_size, ctx=ctx)
         rows: list[tuple] = []
         # Out-of-core RESULT accumulation: once the resident prefix would
         # exceed the spill limit, every later batch spools to one temp

@@ -477,28 +477,39 @@ def _chain_types() -> tuple:
     )
 
 
-def _leaf_rows(op: Operator) -> int | None:
-    """Row count of a morsel-splittable leaf source, else None."""
+def _leaf_rows(op: Operator, ctx=None) -> int | None:
+    """Row count of a morsel-splittable leaf source, else None.
+
+    With a snapshot-pinning context, the count is the leaf's *pinned*
+    extent — the morsel grid then covers exactly the rows the scan will
+    execute over, so live appends between the rewrite and execution can
+    neither leak into a trailing morsel nor skew the grid.
+    """
     from repro.graph import physical as gph
     from repro.relational import physical as rel
+
+    def rows(table) -> int:
+        if ctx is not None:
+            return ctx.pin(table).num_rows
+        return table.num_rows
 
     if getattr(op, "row_range", None) is not None:
         return None  # already a morsel
     if isinstance(op, rel.SeqScan):
-        return op.table.num_rows
+        return rows(op.table)
     if isinstance(op, gph.ScanVertex):
-        return op.mapping.vertex_table(op.label).num_rows
+        return rows(op.mapping.vertex_table(op.label))
     if isinstance(op, gph.EdgeTripleScan):
         # Without the graph index the scan derives its endpoint-rowid
         # columns at runtime (the EVJoin of Eq. 3); splitting would repeat
         # that whole-table work per morsel, so only index-backed scans split.
         if op.index is not None:
-            return op.mapping.edge_table(op.edge_label).num_rows
+            return rows(op.mapping.edge_table(op.edge_label))
     return None
 
 
 def parallelize_plan(
-    plan: Operator, parallelism: int, batch_size: int
+    plan: Operator, parallelism: int, batch_size: int, ctx=None
 ) -> Operator:
     """Rewrite ``plan`` for morsel-driven execution at ``parallelism``.
 
@@ -538,7 +549,7 @@ def parallelize_plan(
             while isinstance(cur, chain_types):
                 chain.append(cur)
                 cur = cur.child
-            num_rows = _leaf_rows(cur)
+            num_rows = _leaf_rows(cur, ctx)
             if num_rows is not None:
                 ranges = morsel_ranges(num_rows, parallelism, batch_size)
                 if len(ranges) > 1:

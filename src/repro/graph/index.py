@@ -117,11 +117,23 @@ class Adjacency:
 
 @dataclass
 class GraphIndex:
-    """All EV/VE indexes of one property graph."""
+    """All EV/VE indexes of one property graph.
+
+    An index is immutable once built; refreshing after appends means
+    building a *new* index (rebuild-and-swap) whose ``version`` is larger.
+    ``vertex_rows`` / ``edge_rows`` record, per label, the table extents
+    the build covered — the executor clamps its table snapshots to these
+    counts so a query always reads graph structure and tuple attributes at
+    the same version (rows appended after the build are invisible to graph
+    plans until the index is rebuilt).
+    """
 
     graph_name: str
     ev: dict[str, EdgeIndex] = field(default_factory=dict)
     ve: dict[tuple[str, str, str], Adjacency] = field(default_factory=dict)
+    version: int = 0
+    vertex_rows: dict[str, int] = field(default_factory=dict)
+    edge_rows: dict[str, int] = field(default_factory=dict)
 
     def edge_index(self, edge_label: str) -> EdgeIndex:
         try:
@@ -158,7 +170,13 @@ def build_graph_index(mapping: RGMapping) -> GraphIndex:
     built by a numpy stable argsort when available, else the classic
     count-and-fill pass.
     """
-    index = GraphIndex(graph_name=mapping.name)
+    from repro.relational.table import current_epoch
+
+    index = GraphIndex(graph_name=mapping.name, version=current_epoch())
+    for vertex_label, vm in mapping.vertices.items():
+        index.vertex_rows[vertex_label] = mapping.catalog.table(
+            vm.table_name
+        ).num_rows
     for edge_label, em in sorted(mapping.edges.items()):
         edge_table = mapping.catalog.table(em.table_name)
         src_table = mapping.catalog.table(mapping.vertex(em.source_label).table_name)
@@ -178,6 +196,7 @@ def build_graph_index(mapping: RGMapping) -> GraphIndex:
                 f"{dangling.args[0]!r}; λ-functions must be total"
             ) from None
         index.ev[edge_label] = EdgeIndex(edge_label, src_rowids, dst_rowids)
+        index.edge_rows[edge_label] = len(src_rowids)
         index.ve[(em.source_label, edge_label, OUT)] = _build_csr(
             src_rowids, src_table.num_rows, edge_label, em.source_label, OUT
         )

@@ -54,28 +54,29 @@ def rowid_predicate(table: Table, predicate: Expr) -> Callable[[int], bool]:
     return lambda rowid: pred(tuple(a[rowid] for a in arrays))
 
 
-def rowid_selection(table: Table, predicate: Expr):
+def rowid_selection(table: Table, predicate: Expr, num_rows: int | None = None):
     """Columnar sibling of :func:`rowid_predicate`.
 
     Compiles ``predicate`` into ``candidates -> surviving candidates`` over
     rowids of ``table``, evaluated column-at-a-time (the vectorized scan /
     filter path).  Returns the input object unchanged when every candidate
-    survives.
+    survives.  ``num_rows`` caps the evaluated extent (a snapshot-pinned
+    caller passes its pinned count); the default is the live row count.
     """
     names = sorted(referenced_columns(predicate))
     arrays = []
     layout: dict[str, int] = {}
+    length = table.num_rows if num_rows is None else num_rows
     for i, name in enumerate(names):
         tail = name.rsplit(".", 1)[-1]
         # Vectorized views: typed columns filter via numpy boolean masks.
-        arrays.append(table.vector(tail))
+        arrays.append(table.vector(tail, min_rows=length))
         layout[name] = i
     selector = compile_predicate_columnar(predicate, layout)
-    length = table.num_rows
     return lambda candidates: selector(arrays, candidates, length)
 
 
-def rowid_mask(table: Table, predicate: Expr):
+def rowid_mask(table: Table, predicate: Expr, num_rows: int | None = None):
     """``predicate`` evaluated over *every* rowid of ``table`` as a numpy
     boolean mask, or None when the vectorized path is unavailable.
 
@@ -96,14 +97,15 @@ def rowid_mask(table: Table, predicate: Expr):
     names = sorted(referenced_columns(predicate))
     arrays = []
     layout: dict[str, int] = {}
+    length = table.num_rows if num_rows is None else num_rows
     for i, name in enumerate(names):
         tail = name.rsplit(".", 1)[-1]
-        arrays.append(table.vector(tail))
+        arrays.append(table.vector(tail, min_rows=length))
         layout[name] = i
     mask_fn = compile_predicate_mask(predicate, layout)
     if mask_fn is None:
         return None
-    return mask_fn(arrays, table.num_rows)
+    return mask_fn(arrays, length)
 
 
 def match_pattern(

@@ -128,7 +128,7 @@ class ScanVertex(GraphOperator):
 
     def _scan(self, ctx: ExecutionContext) -> Iterator[Batch]:
         table = self.mapping.vertex_table(self.label)
-        n = table.num_rows
+        n = ctx.pin(table).num_rows
         first, last = morsel_bounds(self.row_range, n)
         size = ctx.batch_size
         check = (
@@ -151,12 +151,12 @@ class ScanVertex(GraphOperator):
         and each chunk is a selection over it; the attribute predicate, if
         any, vectorizes over the vertex table's base columns."""
         table = self.mapping.vertex_table(self.label)
-        n = table.num_rows
+        n = ctx.pin(table).num_rows
         first, last = morsel_bounds(self.row_range, n)
         size = ctx.batch_size
         rowids = index_vector(n)
         selector = (
-            rowid_selection(table, self.predicate)
+            rowid_selection(table, self.predicate, num_rows=n)
             if self.predicate is not None
             else None
         )
@@ -964,7 +964,7 @@ class EdgeTripleScan(GraphOperator):
         if edge_var is not None:
             self.output_vars.append(GraphVar(edge_var, "e", edge_label))
 
-    def _sources(self):
+    def _sources(self, ctx):
         """(src_rowids, dst_rowids, epred, spred, dpred) for this scan."""
         em = self.mapping.edge(self.edge_label)
         edge_table = self.mapping.edge_table(self.edge_label)
@@ -974,10 +974,13 @@ class EdgeTripleScan(GraphOperator):
         else:
             # Runtime EVJoin: probe the endpoint tables' primary-key hash
             # indexes (built once per table, like any engine's PK index).
+            # The foreign-key columns are sliced to the pinned extent, so
+            # edges appended after the query's epoch are never resolved.
+            n = ctx.pin(edge_table).num_rows
             src_map = self.mapping.vertex_table(em.source_label).pk_index()
             dst_map = self.mapping.vertex_table(em.target_label).pk_index()
-            src_fk = edge_table.column(em.source_key)
-            dst_fk = edge_table.column(em.target_key)
+            src_fk = edge_table.column(em.source_key)[:n]
+            dst_fk = edge_table.column(em.target_key)[:n]
             src_rowids = list(map(src_map.__getitem__, src_fk))
             dst_rowids = list(map(dst_map.__getitem__, dst_fk))
         epred = (
@@ -1011,13 +1014,16 @@ class EdgeTripleScan(GraphOperator):
         """Zero-copy triple scan: the EV columns (or the EVJoin-derived
         rowid lists) are shared across all batches; filters shrink the
         per-chunk selection vector."""
-        src_rowids, dst_rowids, epred, spred, dpred = self._sources()
+        src_rowids, dst_rowids, epred, spred, dpred = self._sources(ctx)
         if self.index is not None:
             ev = self.index.edge_index(self.edge_label)
             columns: list = [ev.near_vector("out"), ev.endpoint_vector("out")]
         else:
             columns = [vector_view(src_rowids), vector_view(dst_rowids)]
-        n = self.mapping.edge_table(self.edge_label).num_rows
+        n = min(
+            ctx.pin(self.mapping.edge_table(self.edge_label)).num_rows,
+            len(src_rowids),
+        )
         first, last = morsel_bounds(self.row_range, n)
         if self.edge_var is not None:
             columns.append(index_vector(n))
@@ -1039,9 +1045,9 @@ class EdgeTripleScan(GraphOperator):
 
     def _stream(self, ctx: ExecutionContext) -> Iterator[Batch]:
         edge_table = self.mapping.edge_table(self.edge_label)
-        src_rowids, dst_rowids, epred, spred, dpred = self._sources()
+        src_rowids, dst_rowids, epred, spred, dpred = self._sources(ctx)
         with_edge = self.edge_var is not None
-        n = edge_table.num_rows
+        n = min(ctx.pin(edge_table).num_rows, len(src_rowids))
         first, last = morsel_bounds(self.row_range, n)
         size = ctx.batch_size
         if epred is None and spred is None and dpred is None:

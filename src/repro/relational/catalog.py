@@ -31,6 +31,24 @@ class Catalog:
         self._histogram_stats: dict[str, TableStats] = {}
         self._graphs: dict[str, "RGMapping"] = {}
         self._graph_indexes: dict[str, "GraphIndex"] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic schema/statistics epoch.
+
+        Bumped by every change that can invalidate a cached query plan —
+        DDL (tables, graphs, graph indexes) and explicit statistics
+        refresh.  The plan cache stamps each entry with the version it was
+        optimized under and discards entries whose stamp is stale.  Plain
+        data appends do NOT bump it: snapshot pinning already gives cached
+        plans a consistent view, and re-optimizing per append would defeat
+        the cache.
+        """
+        return self._version
+
+    def _bump_version(self) -> None:
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # tables
@@ -46,12 +64,14 @@ class Catalog:
             raise CatalogError(f"table {schema.name!r} already exists")
         table = Table(schema, rows=rows, validate=validate)
         self._tables[schema.name] = table
+        self._bump_version()
         return table
 
     def add_table(self, table: Table) -> None:
         if table.schema.name in self._tables:
             raise CatalogError(f"table {table.schema.name!r} already exists")
         self._tables[table.schema.name] = table
+        self._bump_version()
 
     def table(self, name: str) -> Table:
         try:
@@ -80,6 +100,7 @@ class Catalog:
             self._histogram_stats[name] = collect_stats(
                 table, histogram_buckets=histogram_buckets
             )
+        self._bump_version()
 
     def stats(self, name: str, histograms: bool = False) -> TableStats:
         """Statistics for ``name``; collected lazily if analyze() wasn't run."""
@@ -98,6 +119,7 @@ class Catalog:
         if mapping.name in self._graphs:
             raise CatalogError(f"property graph {mapping.name!r} already exists")
         self._graphs[mapping.name] = mapping
+        self._bump_version()
 
     def graph(self, name: str) -> "RGMapping":
         try:
@@ -121,12 +143,14 @@ class Catalog:
 
     def register_graph_index(self, index: "GraphIndex") -> None:
         self._graph_indexes[index.graph_name] = index
+        self._bump_version()
 
     def graph_index(self, graph_name: str) -> "GraphIndex | None":
         return self._graph_indexes.get(graph_name)
 
     def drop_graph_index(self, graph_name: str) -> None:
         self._graph_indexes.pop(graph_name, None)
+        self._bump_version()
 
     def __repr__(self) -> str:
         return (

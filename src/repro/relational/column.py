@@ -59,6 +59,41 @@ def _default_backend() -> str:
 _backend = _default_backend()
 
 
+#: Bulk loads re-examine a dictionary column's distinct ratio once this many
+#: rows have accumulated; below the floor small tables always stay encoded.
+#: The check runs on the *whole* accumulated column, never a prefix: a
+#: low-cardinality column whose values cycle with a period longer than any
+#: fixed sample (every value in the first lap is new) must not look
+#: unique-heavy just because we peeked early.
+DEMOTE_MIN_ROWS = 1024
+
+#: Distinct-values / rows watermark above which a bulk-loaded STRING column
+#: is demoted to plain list storage: interning a never-repeating content
+#: column costs ~3x on ingest for no query-side win (``bulk_load``'s
+#: ``dict_vs_list``).  Values > 1.0 disable demotion (the ratio never
+#: exceeds 1).
+DEMOTE_DISTINCT_RATIO = 0.6
+
+
+def _demotion_knobs() -> tuple[int, float]:
+    """(min_rows, ratio) — module defaults, overridable per process via
+    ``REPRO_DICT_DEMOTE_MIN_ROWS`` / ``REPRO_DICT_DEMOTE_RATIO``."""
+    raw_rows = os.environ.get("REPRO_DICT_DEMOTE_MIN_ROWS", "").strip()
+    raw_ratio = os.environ.get("REPRO_DICT_DEMOTE_RATIO", "").strip()
+    min_rows = int(raw_rows) if raw_rows else DEMOTE_MIN_ROWS
+    ratio = float(raw_ratio) if raw_ratio else DEMOTE_DISTINCT_RATIO
+    return min_rows, ratio
+
+
+class DictDemotion(TypeError):
+    """Raised by ``DictColumn.extend`` when the cardinality heuristic fires.
+
+    A ``TypeError`` subclass so the standard loss-free promotion in
+    :func:`extend_values` handles it: the column is rebuilt as a plain list
+    and the remaining load skips interning entirely.
+    """
+
+
 def storage_backend() -> str:
     """The active storage backend: ``"dict"``, ``"typed"`` or ``"list"``."""
     return _backend
@@ -123,10 +158,25 @@ class DictColumn:
     def extend(self, items: Sequence[Any]) -> None:
         """Bulk append.  Raises ``TypeError`` on the first non-string value
         with no codes consumed (the dictionary may have interned the clean
-        prefix — harmless, since the caller promotes to a list)."""
+        prefix — harmless, since the caller promotes to a list).
+
+        Bulk loads also apply the **cardinality heuristic**: once the
+        column (existing rows + this batch) reaches the demotion floor, a
+        distinct-values/rows ratio above the watermark raises
+        :class:`DictDemotion` — unique-heavy content columns fall back to
+        plain list storage instead of keeping a dictionary nothing will
+        ever probe.  The ratio is evaluated over the *entire* column after
+        the batch is interned, not a prefix sample: a column whose values
+        repeat with a period longer than the floor (sequential ids cycling
+        through a 2k-value domain, say) is all-new for its whole first lap
+        and would misread as unique-heavy under any early peek.  The check
+        fires exactly once per call and only on this bulk path;
+        row-at-a-time ``append`` never demotes.
+        """
         index = self.index
         values = self.values
         codes: list[int] = []
+        min_rows, ratio = _demotion_knobs()
         for value in items:
             if type(value) is not str:
                 raise TypeError(f"dictionary column cannot hold {value!r}")
@@ -136,6 +186,12 @@ class DictColumn:
                 values.append(value)
                 index[value] = code
             codes.append(code)
+        total = len(self.codes) + len(codes)
+        if total >= min_rows and len(values) > ratio * total:
+            raise DictDemotion(
+                f"distinct ratio {len(values)}/{total} exceeds "
+                f"{ratio} at {total} rows"
+            )
         self.codes.extend(codes)
 
     def tolist(self) -> list:
@@ -246,7 +302,10 @@ __all__ = [
     "DICT",
     "TYPED",
     "LIST",
+    "DEMOTE_MIN_ROWS",
+    "DEMOTE_DISTINCT_RATIO",
     "DictColumn",
+    "DictDemotion",
     "storage_backend",
     "set_storage_backend",
     "make_storage",

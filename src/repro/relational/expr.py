@@ -61,6 +61,24 @@ class Literal(Expr):
         return str(self.value)
 
 
+@dataclass(frozen=True)
+class ParamLiteral(Literal):
+    """A literal lifted into a plan-cache parameter slot.
+
+    Behaves exactly like :class:`Literal` everywhere — evaluation,
+    compilation, ``__str__`` (so implicit output aliases match the
+    uncached parse byte-for-byte) — but additionally remembers which
+    fingerprint slot its value came from, so a cached plan template can be
+    rebound to fresh literals (:func:`substitute_params`) without
+    re-optimizing.  The slot is part of equality/hash: two ``x = ?``
+    predicates over different slots never collapse in ``and_``'s
+    string-keyed dedup *unless* their values also coincide — the one case
+    the cache layer detects via :func:`param_slots` and refuses to cache.
+    """
+
+    slot: int = -1
+
+
 _COMPARISON_OPS: dict[str, Callable[[Any, Any], bool]] = {
     "=": lambda a, b: a == b,
     "<>": lambda a, b: a != b,
@@ -1205,6 +1223,62 @@ def rename_columns(expr: Expr, mapping: Mapping[str, str]) -> Expr:
     if isinstance(expr, IsNull):
         return IsNull(rename_columns(expr.arg, mapping), expr.negated)
     raise PlanError(f"cannot rename columns in {expr!r}")
+
+
+def param_slots(expr: Expr) -> set[int]:
+    """Fingerprint slots of every :class:`ParamLiteral` under ``expr``."""
+    out: set[int] = set()
+    _collect_params(expr, out)
+    return out
+
+
+def _collect_params(expr: Expr, out: set[int]) -> None:
+    if isinstance(expr, ParamLiteral):
+        out.add(expr.slot)
+    elif isinstance(expr, (Comparison, Arith)):
+        _collect_params(expr.left, out)
+        _collect_params(expr.right, out)
+    elif isinstance(expr, BoolOp):
+        for arg in expr.args:
+            _collect_params(arg, out)
+    elif isinstance(expr, (Not, Like, InList, IsNull)):
+        _collect_params(expr.arg, out)
+
+
+def substitute_params(expr: Expr, values: Sequence[Any]) -> Expr:
+    """Bind a plan template's parameter literals to fresh values.
+
+    Every :class:`ParamLiteral` becomes a plain :class:`Literal` holding
+    ``values[slot]``; subtrees without parameters are returned *as the
+    same object*, so rebinding shares everything it can with the cached
+    template.
+    """
+    if isinstance(expr, ParamLiteral):
+        return Literal(values[expr.slot])
+    if isinstance(expr, (Comparison, Arith)):
+        left = substitute_params(expr.left, values)
+        right = substitute_params(expr.right, values)
+        if left is expr.left and right is expr.right:
+            return expr
+        return type(expr)(expr.op, left, right)
+    if isinstance(expr, BoolOp):
+        args = tuple(substitute_params(a, values) for a in expr.args)
+        if all(a is b for a, b in zip(args, expr.args)):
+            return expr
+        return BoolOp(expr.op, args)
+    if isinstance(expr, Not):
+        arg = substitute_params(expr.arg, values)
+        return expr if arg is expr.arg else Not(arg)
+    if isinstance(expr, Like):
+        arg = substitute_params(expr.arg, values)
+        return expr if arg is expr.arg else Like(arg, expr.pattern)
+    if isinstance(expr, InList):
+        arg = substitute_params(expr.arg, values)
+        return expr if arg is expr.arg else InList(arg, expr.values)
+    if isinstance(expr, IsNull):
+        arg = substitute_params(expr.arg, values)
+        return expr if arg is expr.arg else IsNull(arg, expr.negated)
+    return expr
 
 
 def substitute_columns(expr: Expr, mapping: Mapping[str, Expr]) -> Expr:

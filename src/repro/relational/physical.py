@@ -72,7 +72,9 @@ from repro.exec.vector import (
     vector_view,
 )
 from repro.relational.expr import (
+    ColumnRef,
     Expr,
+    _resolve_layout,
     compile_expr,
     compile_expr_columnar,
     compile_predicate,
@@ -212,16 +214,16 @@ class SeqScan(PhysicalOperator):
             base_layout[f"{self.alias}.{c}"] = i
         return base_layout
 
-    def _output_column_storage(self) -> list:
+    def _output_column_storage(self, snap) -> list:
         """The output columns as shared base-table storage (zero copy when
-        numpy is off; the table's cached vectorized views otherwise).
+        numpy is off; the snapshot's vectorized views otherwise).
         Pointer-column views are memoized per operator so repeated
         executions of one plan never re-copy the EV arrays."""
         from repro.exec.vector import cached_vector
 
-        out: list = [self.table.vector(c) for c in self.projected]
+        out: list = [snap.vector(c) for c in self.projected]
         if self.emit_rowid:
-            out.append(index_vector(self.table.num_rows))
+            out.append(index_vector(snap.num_rows))
         out.extend(
             cached_vector(self._pointer_views, name, values)
             for name, values in self.pointer_columns
@@ -236,9 +238,10 @@ class SeqScan(PhysicalOperator):
         lists; only the selection vector (a range, or the surviving rowids
         after the pushed-down filter) is per-chunk state."""
         size = ctx.batch_size
-        n = self.table.num_rows
+        snap = ctx.pin(self.table)
+        n = snap.num_rows
         first, last = morsel_bounds(self.row_range, n)
-        out_columns = self._output_column_storage()
+        out_columns = self._output_column_storage(snap)
         if self.predicate is None:
             for start in range(first, last, size):
                 yield ColumnarBatch(
@@ -246,7 +249,7 @@ class SeqScan(PhysicalOperator):
                 )
             return
         selector = compile_predicate_columnar(self.predicate, self._base_layout())
-        base_columns = [self.table.vector(c) for c in self.table.schema.column_names]
+        base_columns = [snap.vector(c) for c in self.table.schema.column_names]
         for start in range(first, last, size):
             chunk = range(start, min(start + size, last))
             # A chunk spanning the whole table evaluates as
@@ -260,7 +263,7 @@ class SeqScan(PhysicalOperator):
 
     def _scan(self, ctx: ExecutionContext) -> Iterator[Batch]:
         size = ctx.batch_size
-        n = self.table.num_rows
+        n = ctx.pin(self.table).num_rows
         first, last = morsel_bounds(self.row_range, n)
         columns = [self.table.column(c) for c in self.projected]
         extras: list[list[Any]] = [values for _, values in self.pointer_columns]
@@ -617,7 +620,8 @@ class RowIdJoin(PhysicalOperator):
         batch and the fetched columns are whole-column gathers through it —
         native ndarray fancy-indexing when the table exposes vector views."""
         ptr = _resolve(self.child.output_columns, self.pointer_column)
-        columns = [self.table.vector(c) for c in self.projected]
+        snap = ctx.pin(self.table)
+        columns = [snap.vector(c) for c in self.projected]
         check = (
             rowid_checker(self.table, self.predicate)
             if self.predicate is not None
@@ -682,7 +686,7 @@ class RowIdJoin(PhysicalOperator):
         if check is not None and not self.emit_rowid:
             # Evaluate the predicate once per base row (a bitmap over the
             # fetched table), then join with per-batch comprehensions.
-            n = self.table.num_rows
+            n = ctx.pin(self.table).num_rows
             mask = [check(i) for i in range(n)]
             if len(columns) == 1:
                 c0 = columns[0]
@@ -811,7 +815,8 @@ class CsrJoin(PhysicalOperator):
         repeat/cumsum/fancy-index pass over the typed CSR arrays.  Flush
         thresholds adapt to observed fan-out."""
         vid = _resolve(self.child.output_columns, self.vertex_rowid_column)
-        columns = [self.edge_table.vector(c) for c in self.projected]
+        snap = ctx.pin(self.edge_table)
+        columns = [snap.vector(c) for c in self.projected]
         far = (
             vector_view(self.far_pointer[1]) if self.far_pointer is not None else None
         )
@@ -1278,6 +1283,73 @@ class AggregateOp(PhysicalOperator):
         return "AGGREGATE " + ", ".join(str(a) for a in self.aggregates)
 
 
+class _DictKeyAccumulator:
+    """Sort-key accumulator that stays in the dictionary code domain.
+
+    For a bare-column ORDER BY key over a dictionary-encoded vector, the
+    naive evaluator decodes every row to a string and the sort compares
+    strings.  This accumulator instead collects the raw int codes per
+    batch, and at sort time sorts the *dictionary* once (W values, not N
+    rows) into a rank table — the per-row sort keys become dense ints.
+
+    The accumulator is opportunistic: the moment a batch arrives whose
+    vector is not dictionary-encoded (or carries a different dictionary —
+    possible after a union of sources), :meth:`demote` decodes what was
+    collected and the key falls back to the string evaluator.  The spill
+    path demotes unconditionally, keeping the external sort's decorated
+    keys (and its on-disk runs) in the value domain.
+    """
+
+    __slots__ = ("chunks", "values")
+
+    def __init__(self) -> None:
+        self.chunks: list = []  # int code arrays, one per batch
+        self.values: list | None = None  # the shared dictionary
+
+    def add(self, batch: "ColumnarBatch", idx: int) -> bool:
+        """Collect this batch's codes; False demands demotion."""
+        from repro.exec.vector import dict_vector, take
+
+        dv = dict_vector(batch.columns[idx])
+        if dv is None:
+            return False
+        if self.values is None:
+            self.values = dv.values
+        elif dv.values is not self.values:
+            return False
+        if batch.selection is not None:
+            dv = take(dv, batch.selection)
+        elif len(dv) > batch.length:
+            dv = dv[: batch.length]
+        self.chunks.append(dv.codes)
+        return True
+
+    def decoded(self) -> list:
+        """The accumulated keys as plain values (the fallback domain)."""
+        values = self.values
+        out: list = []
+        for codes in self.chunks:
+            out.extend(values[c] for c in codes.tolist())
+        return out
+
+    def ranked(self) -> list:
+        """The accumulated keys as order-preserving dictionary ranks.
+
+        Sorting the W-entry dictionary once gives ``rank[code]`` such that
+        rank order == null-safe value order (dictionary values are unique,
+        so ranks are collision-free); rows then sort by int comparisons.
+        """
+        values = self.values or []
+        order = sorted(range(len(values)), key=lambda c: _null_safe_key(values[c]))
+        rank = [0] * len(values)
+        for r, c in enumerate(order):
+            rank[c] = r
+        out: list = []
+        for codes in self.chunks:
+            out.extend(rank[c] for c in codes.tolist())
+        return out
+
+
 class SortOp(PhysicalOperator):
     """Full sort — a pipeline breaker whose buffer is charged as it fills."""
 
@@ -1307,8 +1379,32 @@ class SortOp(PhysicalOperator):
             limit = ctx.spill_limit()
             rows: list[tuple] = []
             key_parts: list[list] = [[] for _ in self.keys]
+            # Bare-column keys may stay in the dictionary code domain:
+            # per-key accumulators collect raw codes, translated to ranks
+            # once at sort time (dictionary sorted once, not N rows).
+            dict_accs: list[_DictKeyAccumulator | None] = []
+            dict_idx: list[int] = []
+            for expr, _ in self.keys:
+                if isinstance(expr, ColumnRef):
+                    dict_accs.append(_DictKeyAccumulator())
+                    dict_idx.append(_resolve_layout(expr.name, layout))
+                else:
+                    dict_accs.append(None)
+                    dict_idx.append(-1)
+
+            def demote(k: int) -> None:
+                acc = dict_accs[k]
+                assert acc is not None
+                dict_accs[k] = None
+                key_parts[k] = acc.decoded()
+
             for cb in source:
                 if limit is not None and ctx.buffered_rows + cb.length > limit:
+                    # External sort works in the value domain: decode any
+                    # code-domain accumulators before seeding it.
+                    for k, acc in enumerate(dict_accs):
+                        if acc is not None:
+                            demote(k)
                     # Past the working-set cliff: hand everything buffered
                     # so far (plus the rest of the input) to the external
                     # merge sort.  Until this point the armed path is the
@@ -1331,8 +1427,18 @@ class SortOp(PhysicalOperator):
                 batch_rows = cb.to_rows()
                 rows.extend(batch_rows)
                 buffer.grow(len(batch_rows))
-                for part, ev in zip(key_parts, evs):
-                    part.extend(ev(cb.columns, cb.selection, cb.length))
+                for k, ev in enumerate(evs):
+                    acc = dict_accs[k]
+                    if acc is not None:
+                        if acc.add(cb, dict_idx[k]):
+                            continue
+                        # Not (or no longer) dictionary-encoded: decode
+                        # what was accumulated and fall back for good.
+                        demote(k)
+                    key_parts[k].extend(ev(cb.columns, cb.selection, cb.length))
+            for k, acc in enumerate(dict_accs):
+                if acc is not None:
+                    key_parts[k] = acc.ranked()
             order = list(range(len(rows)))
             for (_, ascending), part in reversed(list(zip(self.keys, key_parts))):
                 order.sort(

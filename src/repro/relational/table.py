@@ -20,10 +20,23 @@ further loading.
 Rows are append-only: the engine is an analytical substrate for optimizer
 experiments, so updates/deletes (which would invalidate rowids and the graph
 index) are intentionally unsupported.
+
+**Snapshot versioning (MVCC-lite).**  Appends are *epoch-stamped*: every
+mutation publishes its new row count under a process-wide epoch from
+:func:`current_epoch`'s clock.  A reader pins one epoch at query start and
+resolves each table to the row count that was published at or before that
+epoch (:meth:`Table.snapshot_at`), so concurrent writers can keep appending
+while every operator of the running query agrees on one immutable prefix —
+rows, dictionary entries, and index rowids past the pinned count simply do
+not exist for that query.  Storage is only ever extended (never reordered),
+which is what makes a ``(row_count, epoch)`` pair a complete snapshot.
 """
 
 from __future__ import annotations
 
+import threading
+from array import array
+from bisect import bisect_right
 from collections.abc import Iterable, Iterator, Sequence
 from typing import Any
 
@@ -33,9 +46,101 @@ from repro.relational.column import (
     append_value,
     column_nbytes,
     extend_values,
+    is_dict,
     make_storage,
 )
 from repro.relational.schema import TableSchema
+
+
+class _EpochClock:
+    """The process-wide append epoch: one monotonic counter for all tables.
+
+    A single clock (rather than per-table counters) is what gives
+    *cross-table* consistency: a query that pins epoch E sees, for every
+    table it touches, exactly the appends published at or before E — a
+    writer that inserts a vertex and then an edge can never be observed
+    edge-first, whatever order the reader pins the two tables in.
+    """
+
+    __slots__ = ("_lock", "_now")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._now = 0
+
+    def now(self) -> int:
+        return self._now
+
+    def tick(self) -> int:
+        with self._lock:
+            self._now += 1
+            return self._now
+
+
+_CLOCK = _EpochClock()
+
+
+def current_epoch() -> int:
+    """The latest published append epoch (what new queries pin)."""
+    return _CLOCK.now()
+
+
+class TableSnapshot:
+    """An immutable view of a :class:`Table` prefix, pinned at one epoch.
+
+    ``num_rows`` is the table's published row count as of the pinned epoch
+    (possibly clamped further by the executor, e.g. to a graph index's
+    build-time extent); every accessor bounds itself to that prefix.
+    ``dictionary_watermarks`` records each dictionary column's distinct
+    count at pin time — codes within the snapshot never reference values
+    interned later, so the watermark bounds the dictionary slice a reader
+    can observe.
+    """
+
+    __slots__ = ("table", "num_rows", "epoch", "dictionary_watermarks")
+
+    def __init__(self, table: "Table", num_rows: int, epoch: int):
+        self.table = table
+        self.num_rows = num_rows
+        self.epoch = epoch
+        self.dictionary_watermarks: dict[str, int] = {
+            name: len(storage.values)
+            for name, storage in table.columns.items()
+            if is_dict(storage)
+        }
+
+    def clamp(self, num_rows: int) -> None:
+        """Shrink the snapshot to a smaller prefix (still consistent —
+        prefixes of a consistent prefix are consistent).  The executor uses
+        this to align a table with a graph index built over fewer rows."""
+        if num_rows < self.num_rows:
+            self.num_rows = num_rows
+
+    def column(self, name: str) -> Sequence[Any]:
+        """Raw storage; callers must bound reads to :attr:`num_rows`."""
+        return self.table.column(name)
+
+    def vector(self, name: str) -> Sequence[Any]:
+        """Vectorized view guaranteed to cover the snapshot prefix.
+
+        The view may extend past :attr:`num_rows` (the cache serves the
+        live length); rows beyond the snapshot are never selected because
+        every scan extent is bounded by the pinned count.
+        """
+        return self.table.vector(name, min_rows=self.num_rows)
+
+    def pk_rowid(self, key: Any) -> int | None:
+        """Primary-key lookup restricted to the snapshot prefix."""
+        rowid = self.table.pk_lookup(key)
+        if rowid is None or rowid >= self.num_rows:
+            return None
+        return rowid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TableSnapshot({self.table.schema.name!r}, rows={self.num_rows}, "
+            f"epoch={self.epoch})"
+        )
 
 
 class Table:
@@ -64,6 +169,13 @@ class Table:
         ]
         self._vectors: dict[str, Sequence[Any]] = {}
         self._pk_index: dict[Any, int] | None = None
+        # Epoch marks: parallel arrays of (publish epoch, row count at that
+        # epoch), appended under the write lock after the storage mutation
+        # completes.  A reader pinned at epoch E resolves its prefix by
+        # binary search — rows extended but not yet marked are invisible.
+        self._write_lock = threading.Lock()
+        self._mark_epochs = array("q")
+        self._mark_rows = array("q")
         pk = schema.primary_key
         self._pk_pos: int | None = (
             next(i for i, c in enumerate(schema.columns) if c.name == pk)
@@ -95,14 +207,16 @@ class Table:
                 col.dtype.validate(value)
                 for col, value in zip(self.schema.columns, row)
             ]
-        for position, value in enumerate(row):
-            column = self._column_list[position]
-            updated = append_value(column, value)
-            if updated is not column:
-                self._replace_storage(position, updated)
-        self._vectors.clear()
-        rowid = len(self._column_list[0]) - 1
-        self._index_appended(row, rowid)
+        with self._write_lock:
+            for position, value in enumerate(row):
+                column = self._column_list[position]
+                updated = append_value(column, value)
+                if updated is not column:
+                    self._replace_storage(position, updated)
+            self._vectors.clear()
+            rowid = len(self._column_list[0]) - 1
+            self._index_appended(row, rowid)
+            self._publish(rowid + 1)
         return rowid
 
     def extend(self, rows: Iterable[Sequence[Any]], validate: bool = True) -> None:
@@ -172,30 +286,35 @@ class Table:
             for i, col in enumerate(self.schema.columns):
                 check = col.dtype.validate
                 columns[i] = [check(v) for v in columns[i]]
-        first_rowid = len(self._column_list[0])
-        for position, values in enumerate(columns):
-            column = self._column_list[position]
-            updated = extend_values(column, values)
-            if updated is not column:
-                self._replace_storage(position, updated)
-        self._vectors.clear()
-        index = self._pk_index
-        if index is not None:
-            assert self._pk_pos is not None
-            new_keys = columns[self._pk_pos]
-            # Scan for duplicates (against the index or within the batch)
-            # before touching the cached dict: a duplicate defers the error
-            # to the next pk_index() rebuild — exactly the lazy path's
-            # semantics — and the dict callers may already hold is never
-            # left partially updated.
-            fresh: set[Any] = set()
-            for value in new_keys:
-                if value in index or value in fresh:
-                    self._pk_index = None
-                    return
-                fresh.add(value)
-            for offset, value in enumerate(new_keys):
-                index[value] = first_rowid + offset
+        with self._write_lock:
+            first_rowid = len(self._column_list[0])
+            for position, values in enumerate(columns):
+                column = self._column_list[position]
+                updated = extend_values(column, values)
+                if updated is not column:
+                    self._replace_storage(position, updated)
+            self._vectors.clear()
+            index = self._pk_index
+            if index is not None:
+                assert self._pk_pos is not None
+                new_keys = columns[self._pk_pos]
+                # Scan for duplicates (against the index or within the batch)
+                # before touching the cached dict: a duplicate defers the error
+                # to the next pk_index() rebuild — exactly the lazy path's
+                # semantics — and the dict callers may already hold is never
+                # left partially updated.
+                fresh: set[Any] = set()
+                duplicate = False
+                for value in new_keys:
+                    if value in index or value in fresh:
+                        self._pk_index = None
+                        duplicate = True
+                        break
+                    fresh.add(value)
+                if not duplicate:
+                    for offset, value in enumerate(new_keys):
+                        index[value] = first_rowid + offset
+            self._publish(first_rowid + len(columns[0]))
 
     def _index_appended(self, row: Sequence[Any], rowid: int) -> None:
         """Maintain the cached pk index incrementally on append.
@@ -214,6 +333,45 @@ class Table:
             self._pk_index = None
         else:
             index[value] = rowid
+
+    # ------------------------------------------------------------------ #
+    # snapshot versioning
+    # ------------------------------------------------------------------ #
+
+    def _publish(self, num_rows: int) -> None:
+        """Stamp a completed mutation (caller holds the write lock).
+
+        The storage extension happens *before* the epoch mark, so a reader
+        that resolves ``rows_at(E)`` can always index every row the mark
+        covers — the publication-order rule ``DictColumn`` already follows
+        for values vs codes, lifted to whole tables.
+        """
+        self._mark_epochs.append(_CLOCK.tick())
+        self._mark_rows.append(num_rows)
+
+    @property
+    def version(self) -> int:
+        """The epoch of the last published mutation (0 = never mutated)."""
+        marks = self._mark_epochs
+        return marks[-1] if marks else 0
+
+    def rows_at(self, epoch: int) -> int:
+        """The published row count as of ``epoch``."""
+        marks = self._mark_epochs
+        i = bisect_right(marks, epoch)
+        return self._mark_rows[i - 1] if i else 0
+
+    def snapshot_at(self, epoch: int | None = None) -> TableSnapshot:
+        """Pin an immutable prefix of this table.
+
+        ``epoch`` defaults to :func:`current_epoch` — the freshest
+        consistent state.  Queries pin one epoch for *all* tables they
+        touch (see ``ExecutionContext.pin``), which is what makes
+        cross-table reads epoch-consistent under live writers.
+        """
+        if epoch is None:
+            epoch = current_epoch()
+        return TableSnapshot(self, self.rows_at(epoch), epoch)
 
     # ------------------------------------------------------------------ #
     # access
@@ -239,7 +397,7 @@ class Table:
             raise SchemaError(f"no column {name!r} in table {self.schema.name!r}")
         return self.columns[name]
 
-    def vector(self, name: str) -> Sequence[Any]:
+    def vector(self, name: str, min_rows: int | None = None) -> Sequence[Any]:
         """The column as its best vectorized representation.
 
         With numpy enabled this is a cached ndarray copy (typed buffers
@@ -247,13 +405,18 @@ class Table:
         copy); otherwise, or when the column holds NULLs/mixed types, the
         raw storage of :meth:`column`.  The cache is dropped on append, and
         the view never locks the storage against further loading.
+
+        ``min_rows`` is the snapshot contract: a caller that pinned a
+        row-count prefix passes it so a cached view raced into the cache by
+        another reader *before* a writer's append (and therefore shorter
+        than the pinned prefix) is rebuilt instead of served short.
         """
         if name not in self.columns:
             raise SchemaError(f"no column {name!r} in table {self.schema.name!r}")
         if not _vector.numpy_enabled():
             return self.columns[name]
         view = self._vectors.get(name)
-        if view is None:
+        if view is None or (min_rows is not None and len(view) < min_rows):
             view = _vector.vector_view(self.columns[name])
             self._vectors[name] = view
         return view

@@ -1,0 +1,48 @@
+"""Serving layer: sessions, plan cache, admission — the long-lived shell.
+
+The paper's evaluation runs one query at a time; a serving deployment runs
+*many*, concurrently, against data that keeps growing.  This package is the
+thin stateful tier that turns the single-shot framework into that:
+
+* :class:`~repro.serving.database.Database` — catalog + config + shared
+  :class:`~repro.exec.governor.MemoryGovernor` + shared
+  :class:`~repro.serving.plan_cache.PlanCache`; ``connect()`` opens
+  sessions.
+* :class:`~repro.serving.database.Session` — submits SQL / SQL-PGQ text;
+  ``execute`` is synchronous, ``submit`` returns a cancellable
+  :class:`~repro.serving.database.PendingQuery`; ``close()`` tears down
+  everything in flight.
+* :mod:`~repro.serving.plan_cache` — parameterized plan caching: repeated
+  query shapes skip lexer/parser/binder/optimizer entirely, rebinding
+  literals into a cached optimized plan.
+
+Single-shot semantics are unchanged: a Database with a default config and
+an unbounded governor executes exactly what ``RelGoFramework.run`` would —
+the serving tier adds reuse and admission, never different answers.
+"""
+
+from repro.serving.database import Database, PendingQuery, Session
+from repro.serving.plan_cache import (
+    CacheStats,
+    Fingerprint,
+    PlanCache,
+    PlanTemplate,
+    bind_plan,
+    cached_optimize,
+    fingerprint,
+    plan_param_slots,
+)
+
+__all__ = [
+    "Database",
+    "Session",
+    "PendingQuery",
+    "PlanCache",
+    "PlanTemplate",
+    "CacheStats",
+    "Fingerprint",
+    "fingerprint",
+    "bind_plan",
+    "cached_optimize",
+    "plan_param_slots",
+]

@@ -1,0 +1,357 @@
+"""The serving layer: Database / Session / PendingQuery.
+
+Everything below this module already exists — the SQL/PGQ frontend, the
+converged optimizer, the streaming executor with its governor, handles,
+deadlines and spill.  This module is the *stateful shell* a long-lived
+process needs around them:
+
+* :class:`Database` — owns one catalog, one :class:`RelGoConfig`, one
+  :class:`~repro.exec.governor.MemoryGovernor` (admission control shared by
+  every session) and one :class:`~repro.serving.plan_cache.PlanCache`
+  (optimized plans shared by every session).
+* :class:`Session` — a connection.  ``execute(sql)`` runs SQL / SQL-PGQ
+  text synchronously; ``submit(sql)`` returns a :class:`PendingQuery`
+  running on its own thread.  Every query gets a
+  :class:`~repro.exec.context.QueryHandle`, so anything in flight is
+  cancellable, and ``close()`` cancels + joins everything the session
+  started — no leaked threads, leases or spill directories.
+* :class:`PendingQuery` — a cancellable future over one submitted query.
+
+Consistency model (MVCC-lite, PR 9): the executor pins every table the
+plan touches to one epoch at query start, so queries see an immutable
+snapshot while writers append freely.  The serving layer adds nothing on
+top — it just guarantees each ``execute`` call goes through
+``execute_plan`` and therefore through snapshot pinning.
+
+Plan-cache flow per ``execute``::
+
+    fingerprint(sql)                       (regex scan, no parsing)
+      ├─ hit  -> template.bind(values)     (rebind ParamLiterals; no
+      │                                     lexer/parser/binder/optimizer)
+      └─ miss -> parse(parameterize=True) -> bind -> optimize
+                 -> safety valve -> cache.store -> execute
+
+DDL (``CREATE PROPERTY GRAPH``) bypasses the cache and bumps the
+catalog version, which invalidates every cached plan optimized under the
+old schema.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any
+
+from repro.core.framework import OptimizedQuery, RelGoConfig, RelGoFramework
+from repro.core.sqlpgq.binder import execute_ddl
+from repro.errors import SessionClosed
+from repro.exec.context import QueryHandle, QueryResult, execute_plan, resolve_timeout
+from repro.exec.governor import MemoryGovernor, resolve_governor
+from repro.relational.catalog import Catalog
+from repro.serving.plan_cache import DEFAULT_CAPACITY, PlanCache, cached_optimize
+
+
+class Database:
+    """One catalog + config + governor + plan cache; sessions connect here.
+
+    The Database owns no query state — that lives in sessions — so it is
+    safe to share across threads.  ``close()`` closes every open session.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        config: RelGoConfig | None = None,
+        governor: MemoryGovernor | None = None,
+        cache_capacity: int = DEFAULT_CAPACITY,
+    ):
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.config = config if config is not None else RelGoConfig()
+        # None -> the process-global governor (unbounded by default), same
+        # resolution rule as execute_plan, but pinned once so every session
+        # of this Database shares one admission domain.
+        self.governor = resolve_governor(governor)
+        self.plan_cache = PlanCache(cache_capacity).bind_catalog(self.catalog)
+        self._lock = threading.Lock()
+        self._sessions: dict[int, "Session"] = {}
+        self._session_ids = itertools.count(1)
+        self._framework: RelGoFramework | None = None
+        self._framework_version = -1
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def connect(self) -> "Session":
+        with self._lock:
+            if self._closed:
+                raise SessionClosed("database is closed")
+            session = Session(self, next(self._session_ids))
+            self._sessions[session.session_id] = session
+        return session
+
+    def close(self) -> None:
+        """Close every open session (cancelling their in-flight queries)."""
+        with self._lock:
+            self._closed = True
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _forget(self, session: "Session") -> None:
+        with self._lock:
+            self._sessions.pop(session.session_id, None)
+
+    @property
+    def open_sessions(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # ------------------------------------------------------------------ #
+    # optimization plumbing (shared by all sessions)
+    # ------------------------------------------------------------------ #
+
+    def prepare(self) -> None:
+        """Offline warm-up: graph index, statistics, GLogue.
+
+        Bumps the catalog version (DDL-equivalent), then re-anchors the
+        cached framework to the *post*-prepare version so the warmed GLogue
+        survives until the next real schema/statistics change.
+        """
+        framework = self.framework()
+        framework.prepare()
+        with self._lock:
+            self._framework_version = self.catalog.version
+
+    def framework(self) -> RelGoFramework:
+        """The optimizer bound to the current catalog version.
+
+        Rebuilt whenever the version moved (new graph, new statistics), so
+        cached estimator state can never leak across schema changes —
+        mirroring how the plan cache invalidates its entries.
+        """
+        with self._lock:
+            version = self.catalog.version
+            if self._framework is None or self._framework_version != version:
+                self._framework = RelGoFramework(self.catalog, config=self.config)
+                self._framework_version = version
+            return self._framework
+
+    def _prepare_plan(self, sql: str) -> "tuple[Any, OptimizedQuery | None, bool]":
+        """Resolve SQL text to an executable physical plan.
+
+        Returns ``(plan, optimized_or_None, cache_hit)``; ``plan`` is None
+        for DDL statements (already applied as a side effect).
+        """
+        optimized, hit = cached_optimize(
+            self.plan_cache,
+            sql,
+            self.catalog,
+            lambda query: self.framework().optimize(query),
+            on_ddl=lambda statement: execute_ddl(statement, self.catalog),
+        )
+        if optimized is None:
+            return None, None, False
+        return optimized.physical, optimized, hit
+
+
+class Session:
+    """One connection: synchronous ``execute`` and asynchronous ``submit``.
+
+    A session is *not* a thread-confined object — ``submit`` runs queries
+    on worker threads against the same session — but its bookkeeping is
+    lock-protected, and ``close()`` is a barrier: it cancels every
+    in-flight handle, joins every worker, and only then returns.
+    """
+
+    def __init__(self, database: Database, session_id: int):
+        self.database = database
+        self.session_id = session_id
+        self._lock = threading.Lock()
+        self._handles: set[QueryHandle] = set()
+        self._pending: list[PendingQuery] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # query execution
+    # ------------------------------------------------------------------ #
+
+    def execute(self, sql: str, timeout: float | None = None) -> QueryResult:
+        """Parse/bind/optimize (or cache-hit) and run ``sql`` to completion.
+
+        ``timeout`` overrides the config deadline for this query only.
+        DDL returns an empty result with a ``status`` column.
+        """
+        handle = self._register_handle(timeout)
+        try:
+            plan, _, _ = self.database._prepare_plan(sql)
+            if plan is None:
+                return QueryResult(
+                    columns=["status"], rows=[("ok",)],
+                    execution_time=0.0, rows_produced=1,
+                )
+            return self._run(plan, handle)
+        finally:
+            self._unregister_handle(handle)
+
+    def submit(self, sql: str, timeout: float | None = None) -> "PendingQuery":
+        """Start ``sql`` on a worker thread; returns a cancellable future."""
+        handle = self._register_handle(timeout)
+        pending = PendingQuery(self, sql, handle)
+        with self._lock:
+            self._pending.append(pending)
+        pending._start()
+        return pending
+
+    def _run(self, plan, handle: QueryHandle) -> QueryResult:
+        config = self.database.config
+        return execute_plan(
+            plan,
+            memory_budget_rows=config.memory_budget_rows,
+            batch_size=config.batch_size,
+            columnar=config.columnar,
+            parallelism=config.parallelism,
+            handle=handle,
+            governor=self.database.governor,
+            spill=config.spill,
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Cancel everything in flight, join workers, detach from the db.
+
+        Idempotent; after it returns no thread, memory lease or spill
+        directory started by this session remains live.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles)
+            pending = list(self._pending)
+        for handle in handles:
+            handle.cancel("session closed")
+        for p in pending:
+            p._join()
+        with self._lock:
+            self._pending.clear()
+            self._handles.clear()
+        self.database._forget(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # handle bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _register_handle(self, timeout: float | None) -> QueryHandle:
+        deadline = resolve_timeout(
+            timeout if timeout is not None else self.database.config.query_timeout
+        )
+        handle = QueryHandle(deadline)
+        with self._lock:
+            if self._closed:
+                raise SessionClosed(f"session {self.session_id} is closed")
+            self._handles.add(handle)
+        return handle
+
+    def _unregister_handle(self, handle: QueryHandle) -> None:
+        with self._lock:
+            self._handles.discard(handle)
+
+    def _forget_pending(self, pending: "PendingQuery") -> None:
+        with self._lock:
+            try:
+                self._pending.remove(pending)
+            except ValueError:
+                pass
+
+
+class PendingQuery:
+    """A cancellable future over one submitted query.
+
+    ``result()`` blocks until the query finishes and returns its
+    :class:`QueryResult` (re-raising the query's error, e.g.
+    :class:`~repro.errors.QueryCancelled` after :meth:`cancel`).  The
+    worker thread is always joined by ``result`` / ``wait`` / session
+    close — a PendingQuery cannot leak its thread.
+    """
+
+    def __init__(self, session: Session, sql: str, handle: QueryHandle):
+        self.session = session
+        self.sql = sql
+        self.handle = handle
+        self._result: QueryResult | None = None
+        self._error: BaseException | None = None
+        self._done = threading.Event()
+        self._thread = threading.Thread(
+            target=self._work, name=f"repro-query-s{session.session_id}", daemon=True
+        )
+
+    def _start(self) -> None:
+        self._thread.start()
+
+    def _work(self) -> None:
+        try:
+            plan, _, _ = self.session.database._prepare_plan(self.sql)
+            if plan is None:
+                self._result = QueryResult(
+                    columns=["status"], rows=[("ok",)],
+                    execution_time=0.0, rows_produced=1,
+                )
+            else:
+                self._result = self.session._run(plan, self.handle)
+        except BaseException as exc:  # noqa: BLE001 - rethrown in result()
+            self._error = exc
+        finally:
+            self.session._unregister_handle(self.handle)
+            self._done.set()
+
+    # -- consumer API --------------------------------------------------- #
+
+    def cancel(self, reason: str = "query cancelled") -> None:
+        """Request cooperative cancellation (idempotent, any thread)."""
+        self.handle.cancel(reason)
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block up to ``timeout`` for completion; True when finished."""
+        finished = self._done.wait(timeout)
+        if finished:
+            self._join()
+        return finished
+
+    def result(self, timeout: float | None = None) -> QueryResult:
+        """The query's result (blocks; re-raises the query's error)."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"query still running after {timeout}s: {self.sql!r}")
+        self._join()
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def _join(self) -> None:
+        if self._thread.is_alive():
+            self._thread.join()
+        self.session._forget_pending(self)

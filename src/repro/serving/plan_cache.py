@@ -1,0 +1,443 @@
+"""Parameterized plan cache: fingerprints, templates, rebinding.
+
+Repeated query *shapes* dominate a serving workload, and for short queries
+the frontend (lexer → parser → binder → optimizer) costs more than
+execution.  The cache removes that cost for repeats:
+
+1. **Fingerprint** — a regex scan normalizes the query text: string and
+   number literals become ``?``, comments drop, whitespace collapses.  The
+   literal values are collected *in text order*, which is exactly the slot
+   numbering the parameterizing parser assigns (each NUMBER / STRING token
+   in token order), so slot ``i`` of any query matching the fingerprint
+   rebinds to that query's i-th literal.
+2. **Template** — on a miss, the query is parsed with
+   ``Parser(parameterize=True)``: expression-position literals become
+   :class:`~repro.relational.expr.ParamLiteral` nodes carrying their slot,
+   while structurally-consumed literals (LIMIT count, LIKE / STARTS WITH
+   patterns, IN-list members, implicit-alias projections) are **baked** —
+   their values are part of the plan shape, so the cache keys template
+   *variants* by the baked values.  The optimized physical plan is stored
+   with the set of slots its ParamLiterals carry.
+3. **Rebind** — on a hit, the plan tree is re-walked: operators whose
+   expressions hold ParamLiterals are shallow-cloned with the literals
+   substituted (:func:`~repro.relational.expr.substitute_params`); subtrees
+   without parameters are *shared* with the template, which is safe because
+   plan nodes are execution-immutable (the PR 5 scheduler already executes
+   one tree concurrently).
+
+**Safety valve** — ``and_()`` dedups conjuncts by string, constant folding
+may merge literals, and other transforms can drop a ParamLiteral from the
+final plan (e.g. ``x = 5 AND x = 5`` collapses to one conjunct, losing a
+slot).  After optimizing, the cache compares the slots actually present in
+the physical plan against the slots the parser handed out; on any mismatch
+the query still executes, but the template is **not cached** — correctness
+never depends on a transform being parameter-preserving.
+
+Invalidation: each entry is stamped with the catalog's schema/statistics
+``version``; a stale stamp is a miss (the entry is dropped and re-optimized
+under the new catalog).  Capacity is LRU-bounded.
+"""
+
+from __future__ import annotations
+
+import copy
+import re
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.exec.operator import Operator
+from repro.graph.physical import StarLeg
+from repro.relational.expr import Expr, param_slots, substitute_params
+from repro.relational.logical import AggregateSpec
+
+# ---------------------------------------------------------------------- #
+# fingerprinting
+# ---------------------------------------------------------------------- #
+
+#: One alternation pass over the query text.  Order matters: strings and
+#: comments must win over the identifier / number rules so quoted text is
+#: never tokenized.  Mirrors the lexer: ``''`` escapes inside strings,
+#: ``--`` comments to end of line, numbers are ``\d+(\.\d+)?`` (the lexer's
+#: trailing-dot rule: ``1.x`` lexes as NUMBER 1, ``.``, IDENT).
+_SCAN = re.compile(
+    r"""
+      '(?:[^']|'')*'            # string literal (with '' escapes)
+    | --[^\n]*                  # line comment
+    | [^\W\d]\w*                # identifier / keyword
+    | \d+(?:\.\d+)?             # number literal
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """Normalized query text + its literals, in text (= slot) order."""
+
+    normalized: str
+    values: tuple[Any, ...]
+    type_names: tuple[str, ...]
+
+    @property
+    def key(self) -> tuple[str, tuple[str, ...]]:
+        """Cache key: normalized text + literal *types* (an int vs float in
+        the same slot binds typed kernels differently, so they get separate
+        templates)."""
+        return (self.normalized, self.type_names)
+
+
+def fingerprint(sql: str) -> Fingerprint:
+    """Scan ``sql`` into a :class:`Fingerprint` without parsing it."""
+    values: list[Any] = []
+
+    def norm(match: re.Match) -> str:
+        text = match.group(0)
+        head = text[0]
+        if head == "'":
+            values.append(text[1:-1].replace("''", "'"))
+            return "?"
+        if text.startswith("--"):
+            return " "
+        if head.isdigit():
+            values.append(float(text) if "." in text else int(text))
+            return "?"
+        return text
+    normalized = " ".join(_SCAN.sub(norm, sql).split())
+    vals = tuple(values)
+    return Fingerprint(normalized, vals, tuple(type(v).__name__ for v in vals))
+
+
+# ---------------------------------------------------------------------- #
+# template rebinding
+# ---------------------------------------------------------------------- #
+
+#: Attribute names that can carry expressions with ParamLiterals.  The
+#: rebind walk only descends into these (plus operator children), so it
+#: never touches bulk data attributes (CSR arrays, pointer columns).
+_EXPR_ATTRS = (
+    "predicate",
+    "edge_predicate",
+    "src_predicate",
+    "dst_predicate",
+    "vertex_predicate",
+    "condition",
+    "residual",
+    "exprs",
+    "keys",
+    "group_by",
+    "aggregates",
+    "legs",
+)
+
+_CHILD_ATTRS = ("child", "left", "right", "graph_op", "plans")
+
+
+def _rebind_item(item: Any, values) -> Any:
+    """Rebind one element of an expression-bearing attribute; returns the
+    input object when nothing underneath holds a parameter."""
+    if isinstance(item, Expr):
+        return substitute_params(item, values)
+    if isinstance(item, tuple):
+        parts = tuple(_rebind_item(p, values) for p in item)
+        if all(a is b for a, b in zip(parts, item)):
+            return item
+        return parts
+    if isinstance(item, list):
+        parts = [_rebind_item(p, values) for p in item]
+        if all(a is b for a, b in zip(parts, item)):
+            return item
+        return parts
+    if isinstance(item, AggregateSpec):
+        if item.arg is None:
+            return item
+        arg = substitute_params(item.arg, values)
+        return item if arg is item.arg else AggregateSpec(item.func, arg, item.alias)
+    if isinstance(item, StarLeg):
+        if item.edge_predicate is None:
+            return item
+        pred = substitute_params(item.edge_predicate, values)
+        return item if pred is item.edge_predicate else replace(
+            item, edge_predicate=pred
+        )
+    return item
+
+
+def _collect_item_slots(item: Any, out: set[int]) -> None:
+    if isinstance(item, Expr):
+        out.update(param_slots(item))
+    elif isinstance(item, (tuple, list)):
+        for part in item:
+            _collect_item_slots(part, out)
+    elif isinstance(item, AggregateSpec):
+        if item.arg is not None:
+            out.update(param_slots(item.arg))
+    elif isinstance(item, StarLeg):
+        if item.edge_predicate is not None:
+            out.update(param_slots(item.edge_predicate))
+
+
+def plan_param_slots(plan: Operator) -> set[int]:
+    """Every ParamLiteral slot reachable in ``plan`` (the safety valve's
+    "what survived optimization" side)."""
+    out: set[int] = set()
+    seen: set[int] = set()
+
+    def visit(op) -> None:
+        if id(op) in seen:
+            return
+        seen.add(id(op))
+        for attr in _EXPR_ATTRS:
+            item = getattr(op, attr, None)
+            if item is not None:
+                _collect_item_slots(item, out)
+        for attr in _CHILD_ATTRS:
+            node = getattr(op, attr, None)
+            if isinstance(node, Operator):
+                visit(node)
+            elif isinstance(node, list):
+                for sub in node:
+                    if isinstance(sub, Operator):
+                        visit(sub)
+
+    visit(plan)
+    return out
+
+
+def bind_plan(plan: Operator, values) -> Operator:
+    """The template plan with every ParamLiteral bound to ``values[slot]``.
+
+    Operators on a path to a substituted expression are shallow-cloned
+    (with their memoized ``_label_text`` dropped — labels print literal
+    values); untouched subtrees are shared with the template.  Sharing is
+    safe: execution never mutates plan nodes (per-query state lives in the
+    ExecutionContext and operator-local generator frames).
+    """
+
+    def visit(op: Operator) -> Operator:
+        clone = None
+
+        def mutate(attr: str, value: Any) -> None:
+            nonlocal clone
+            if clone is None:
+                clone = copy.copy(op)
+                clone.__dict__.pop("_label_text", None)
+            setattr(clone, attr, value)
+
+        for attr in _EXPR_ATTRS:
+            item = getattr(op, attr, None)
+            if item is not None:
+                bound = _rebind_item(item, values)
+                if bound is not item:
+                    mutate(attr, bound)
+        for attr in _CHILD_ATTRS:
+            node = getattr(op, attr, None)
+            if isinstance(node, Operator):
+                rebound = visit(node)
+                if rebound is not node:
+                    mutate(attr, rebound)
+            elif isinstance(node, list) and node and isinstance(node[0], Operator):
+                rebound_list = [visit(sub) for sub in node]
+                if any(a is not b for a, b in zip(rebound_list, node)):
+                    mutate(attr, rebound_list)
+        return clone if clone is not None else op
+
+    return visit(plan)
+
+
+# ---------------------------------------------------------------------- #
+# the cache
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class PlanTemplate:
+    """One cached optimized plan, parameterized over its expr slots."""
+
+    optimized: Any  # OptimizedQuery — the template's physical plan holds ParamLiterals
+    expr_slots: frozenset[int]
+    baked_slots: frozenset[int]
+    catalog_version: int
+
+    def bind(self, values) -> Operator:
+        if not self.expr_slots:
+            return self.optimized.physical
+        return bind_plan(self.optimized.physical, values)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    uncacheable: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "uncacheable": self.uncacheable,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+#: Default LRU capacity (distinct (fingerprint, baked-values) variants).
+DEFAULT_CAPACITY = 256
+
+
+class PlanCache:
+    """LRU of :class:`PlanTemplate` keyed by fingerprint + baked values.
+
+    Thread-safe: sessions of one Database share a single cache under a
+    lock (lookups are dict operations; optimization happens outside the
+    lock, so a slow optimize never blocks other sessions' hits).  A racy
+    double-optimize of the same shape is benign — last store wins.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = max(1, capacity)
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, dict[tuple, PlanTemplate]] = {}
+        self._order: list[tuple] = []  # LRU order of (key, baked) pairs
+
+    def lookup(
+        self, fp: Fingerprint, baked_probe: "dict[frozenset[int], tuple] | None" = None
+    ) -> PlanTemplate | None:
+        """The live template for ``fp``, or None (a miss).
+
+        A fingerprint's variants differ in which slots their parser run
+        baked — but every variant of one normalized text bakes the *same*
+        slot set (baking is decided by grammar position, not value), so the
+        first variant's ``baked_slots`` selects this query's baked values.
+        """
+        with self._lock:
+            bucket = self._entries.get(fp.key)
+            if bucket:
+                baked_key = next(iter(bucket.values())).baked_slots
+                variant = tuple(fp.values[s] for s in sorted(baked_key))
+                entry = bucket.get(variant)
+                if entry is not None:
+                    if entry.catalog_version != self._catalog_version():
+                        self.stats.invalidations += 1
+                        self._evict(fp.key, variant)
+                    else:
+                        self.stats.hits += 1
+                        self._touch((fp.key, variant))
+                        return entry
+            self.stats.misses += 1
+            return None
+
+    def store(self, fp: Fingerprint, template: PlanTemplate) -> None:
+        variant = tuple(fp.values[s] for s in sorted(template.baked_slots))
+        with self._lock:
+            bucket = self._entries.setdefault(fp.key, {})
+            if variant not in bucket:
+                self._order.append((fp.key, variant))
+            bucket[variant] = template
+            self._touch((fp.key, variant))
+            while len(self._order) > self.capacity:
+                old_key, old_variant = self._order[0]
+                self._evict(old_key, old_variant)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._order.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._order)
+
+    # -- internals (caller holds the lock) ------------------------------ #
+
+    _catalog_version_fn = None
+
+    def bind_catalog(self, catalog) -> "PlanCache":
+        """Attach the catalog whose ``version`` gates entry liveness."""
+        self._catalog_version_fn = lambda: catalog.version
+        return self
+
+    def _catalog_version(self) -> int:
+        fn = self._catalog_version_fn
+        return fn() if fn is not None else 0
+
+    def _touch(self, pair: tuple) -> None:
+        try:
+            self._order.remove(pair)
+        except ValueError:
+            pass
+        self._order.append(pair)
+
+    def _evict(self, key: tuple, variant: tuple) -> None:
+        bucket = self._entries.get(key)
+        if bucket is not None:
+            bucket.pop(variant, None)
+            if not bucket:
+                self._entries.pop(key, None)
+        try:
+            self._order.remove((key, variant))
+        except ValueError:
+            pass
+
+
+# ---------------------------------------------------------------------- #
+# the one cache-or-optimize flow (shared by Database and System wrappers)
+# ---------------------------------------------------------------------- #
+
+
+def cached_optimize(cache, sql, catalog, optimize, on_ddl=None):
+    """Resolve SQL/PGQ text to an ``OptimizedQuery`` through ``cache``.
+
+    On a hit the returned query carries the rebound physical plan (a
+    copy-on-write clone of the template's); on a miss the text is parsed
+    in parameterized mode, bound against ``catalog``, run through
+    ``optimize`` and stored when the safety valve passes.  DDL statements
+    are dispatched to ``on_ddl`` and return ``(None, False)`` (without it,
+    DDL raises through ``bind_query``).  Returns ``(optimized, hit)``.
+    """
+    from repro.core.sqlpgq.ast import AstCreateGraph
+    from repro.core.sqlpgq.binder import bind_query
+    from repro.core.sqlpgq.parser import Parser
+
+    fp = fingerprint(sql)
+    entry = cache.lookup(fp)
+    if entry is not None:
+        bound = entry.bind(fp.values)
+        return replace(entry.optimized, physical=bound), True
+
+    parser = Parser(sql, parameterize=True)
+    statement = parser.parse_statement()
+    if on_ddl is not None and isinstance(statement, AstCreateGraph):
+        on_ddl(statement)
+        return None, False
+    query = bind_query(statement, catalog)
+    optimized = optimize(query)
+    # Safety valve: cache only when every ParamLiteral the parser handed
+    # out is still present in the physical plan (and none appeared out of
+    # thin air).  ``and_()``'s string-dedup, constant folding, or a rule
+    # rewrite can eliminate a parameter (e.g. ``x = 5 AND x = 5``
+    # collapses to one conjunct) — such a plan is correct for THIS query
+    # but not rebindable, so it executes uncached.
+    if plan_param_slots(optimized.physical) != parser.expr_slots:
+        cache.stats.uncacheable += 1
+    else:
+        cache.store(
+            fp,
+            PlanTemplate(
+                optimized=optimized,
+                expr_slots=frozenset(parser.expr_slots),
+                baked_slots=frozenset(parser.baked_slots),
+                catalog_version=catalog.version,
+            ),
+        )
+    return optimized, False

@@ -1,0 +1,639 @@
+"""Serving layer: plan cache, sessions, and concurrency under live writers.
+
+Three layers of guarantees are pinned here:
+
+1. **Plan cache correctness** — fingerprints, rebinding (including the
+   ``x = 5 AND x = 5`` dedup trap), baked-slot variants (LIMIT / LIKE /
+   IN / implicit aliases), catalog-version invalidation, LRU bounds.
+2. **Session lifecycle** — execute/submit/cancel/close; a closed session
+   leaks nothing: no threads, no governor leases, no spill files.
+3. **Snapshot consistency under concurrency** — N sessions × M queries
+   against tables a writer thread is appending to: every result reflects
+   one published epoch (chunk-aligned counts, monotonic per session), and
+   graph queries over a pinned CSR index are bit-stable.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from conftest import build_fig2_catalog
+from repro.errors import AdmissionError, QueryCancelled, SessionClosed
+from repro.exec.governor import MemoryGovernor
+from repro.relational.catalog import Catalog
+from repro.relational.column import (
+    DictColumn,
+    DictDemotion,
+    is_dict,
+    set_storage_backend,
+)
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.serving import Database, fingerprint
+from repro.serving.plan_cache import PlanCache
+from repro.systems.base import make_system
+
+
+def _people_db(rows=None) -> Database:
+    catalog = Catalog()
+    catalog.create_table(
+        TableSchema(
+            "People",
+            [
+                Column("id", DataType.INT),
+                Column("name", DataType.STRING),
+                Column("age", DataType.INT),
+            ],
+            primary_key="id",
+        ),
+        rows=rows
+        if rows is not None
+        else [
+            (1, "Ann", 34),
+            (2, "Bob", 28),
+            (3, "Cid", 41),
+            (4, "Dee", 28),
+        ],
+    )
+    return Database(catalog=catalog)
+
+
+def _fig2_db():
+    catalog, mapping = build_fig2_catalog()
+    db = Database(catalog=catalog)
+    db.prepare()
+    return db
+
+
+# ---------------------------------------------------------------------- #
+# fingerprinting
+# ---------------------------------------------------------------------- #
+
+
+class TestFingerprint:
+    def test_literals_become_slots_in_text_order(self):
+        fp = fingerprint("SELECT a FROM t WHERE x = 5 AND y = 'it''s' AND z = 1.5")
+        assert fp.normalized.count("?") == 3
+        assert fp.values == (5, "it's", 1.5)
+        assert fp.type_names == ("int", "str", "float")
+
+    def test_whitespace_and_comments_do_not_split_shapes(self):
+        a = fingerprint("SELECT a FROM t WHERE x = 5")
+        b = fingerprint("SELECT  a\n FROM t -- a comment\n WHERE x = 7")
+        assert a.normalized == b.normalized
+        assert a.key == b.key
+
+    def test_literal_types_split_shapes(self):
+        a = fingerprint("SELECT a FROM t WHERE x = 5")
+        b = fingerprint("SELECT a FROM t WHERE x = 5.0")
+        assert a.normalized == b.normalized
+        assert a.key != b.key
+
+    def test_keywords_and_identifiers_are_not_slots(self):
+        fp = fingerprint("SELECT a FROM t WHERE flag = TRUE AND b IS NOT NULL")
+        assert fp.values == ()
+
+    def test_string_contents_never_tokenize(self):
+        fp = fingerprint("SELECT a FROM t WHERE name = '5 -- SELECT 9'")
+        assert fp.values == ("5 -- SELECT 9",)
+        assert fp.normalized.count("?") == 1
+
+
+# ---------------------------------------------------------------------- #
+# plan cache: hits, rebinding, variants, invalidation
+# ---------------------------------------------------------------------- #
+
+
+class TestPlanCache:
+    def test_hit_rebinds_literals(self):
+        db = _people_db()
+        with db.connect() as ses:
+            r1 = ses.execute("SELECT name FROM People WHERE age = 28 ORDER BY name")
+            r2 = ses.execute("SELECT name FROM People WHERE age = 41 ORDER BY name")
+        assert r1.rows == [("Bob",), ("Dee",)]
+        assert r2.rows == [("Cid",)]
+        assert db.plan_cache.stats.hits == 1
+        assert db.plan_cache.stats.misses == 1
+
+    def test_hot_path_skips_the_frontend(self, monkeypatch):
+        db = _people_db()
+        ses = db.connect()
+        ses.execute("SELECT name FROM People WHERE age = 28")
+        import repro.core.sqlpgq.binder as binder_mod
+        import repro.core.sqlpgq.parser as parser_mod
+
+        def boom(*a, **k):  # pragma: no cover - would mean a cache miss
+            raise AssertionError("frontend invoked on a cache hit")
+
+        # Patch at the source modules: cached_optimize imports these at
+        # call time, so a hit must never touch either.
+        monkeypatch.setattr(parser_mod, "Parser", boom)
+        monkeypatch.setattr(binder_mod, "bind_query", boom)
+        r = ses.execute("SELECT name FROM People WHERE age = 34")
+        assert r.rows == [("Ann",)]
+        ses.close()
+
+    def test_duplicate_conjunct_dedup_is_uncacheable_not_wrong(self):
+        # and_() dedups conjuncts by string: `age = 28 AND age = 28`
+        # collapses to one conjunct, losing a parameter slot.  The safety
+        # valve must refuse to cache that plan; a later query with two
+        # DIFFERENT values must not be answered from it.
+        db = _people_db()
+        with db.connect() as ses:
+            r1 = ses.execute("SELECT name FROM People WHERE age = 28 AND age = 28")
+            assert sorted(r1.rows) == [("Bob",), ("Dee",)]
+            assert db.plan_cache.stats.uncacheable == 1
+            assert len(db.plan_cache) == 0
+            r2 = ses.execute("SELECT name FROM People WHERE age = 28 AND age = 41")
+            assert r2.rows == []
+
+    def test_baked_limit_gets_its_own_variant(self):
+        db = _people_db()
+        with db.connect() as ses:
+            r2 = ses.execute("SELECT name FROM People ORDER BY name LIMIT 2")
+            r3 = ses.execute("SELECT name FROM People ORDER BY name LIMIT 3")
+            assert len(r2.rows) == 2 and len(r3.rows) == 3
+            assert db.plan_cache.stats.misses == 2  # distinct variants
+            again = ses.execute("SELECT name FROM People ORDER BY name LIMIT 2")
+            assert len(again.rows) == 2
+            assert db.plan_cache.stats.hits == 1
+
+    def test_baked_like_pattern_variants(self):
+        db = _people_db()
+        with db.connect() as ses:
+            ra = ses.execute("SELECT name FROM People WHERE name LIKE 'B%'")
+            rb = ses.execute("SELECT name FROM People WHERE name LIKE 'D%'")
+            assert ra.rows == [("Bob",)]
+            assert rb.rows == [("Dee",)]
+            rb2 = ses.execute("SELECT name FROM People WHERE name LIKE 'D%'")
+            assert rb2.rows == [("Dee",)]
+            assert db.plan_cache.stats.hits == 1
+
+    def test_baked_in_list_variants(self):
+        db = _people_db()
+        with db.connect() as ses:
+            ra = ses.execute("SELECT name FROM People WHERE age IN (28, 34)")
+            rb = ses.execute("SELECT name FROM People WHERE age IN (41, 99)")
+            assert sorted(ra.rows) == [("Ann",), ("Bob",), ("Dee",)]
+            assert rb.rows == [("Cid",)]
+
+    def test_implicit_alias_parity_on_hits(self):
+        # `age + 1` has no explicit alias; its printed form embeds the
+        # literal, so the slot is baked — same value hits, new value gets
+        # its own variant, and column names always match an uncached parse.
+        db = _people_db()
+        with db.connect() as ses:
+            r1 = ses.execute("SELECT age + 1 FROM People WHERE id = 1")
+            r2 = ses.execute("SELECT age + 1 FROM People WHERE id = 2")
+            assert r1.columns == r2.columns == ["(age + 1)"]
+            assert r1.rows == [(35,)] and r2.rows == [(29,)]
+            assert db.plan_cache.stats.hits == 1
+            r3 = ses.execute("SELECT age + 2 FROM People WHERE id = 1")
+            assert r3.columns == ["(age + 2)"]
+            assert r3.rows == [(36,)]
+
+    def test_ddl_and_analyze_invalidate(self):
+        db = _people_db()
+        ses = db.connect()
+        ses.execute("SELECT name FROM People WHERE age = 28")
+        db.catalog.analyze()  # statistics epoch moved
+        ses.execute("SELECT name FROM People WHERE age = 28")
+        assert db.plan_cache.stats.invalidations == 1
+        assert db.plan_cache.stats.hits == 0
+        ses.close()
+
+    def test_graph_query_rebind(self):
+        db = _fig2_db()
+        with db.connect() as ses:
+            q = (
+                "SELECT g.p1_name FROM GRAPH_TABLE (G "
+                "MATCH (p1:Person)-[k:Knows]->(p2:Person) "
+                "WHERE p2.name = 'Bob' "
+                "COLUMNS (p1.name AS p1_name)) g"
+            )
+            r1 = ses.execute(q)
+            r2 = ses.execute(q.replace("'Bob'", "'Tom'"))
+            assert sorted(r1.rows) == [("David",), ("Tom",)]
+            assert sorted(r2.rows) == [("Bob",)]
+            assert db.plan_cache.stats.hits == 1
+
+    def test_lru_eviction_is_bounded(self):
+        db = _people_db()
+        db.plan_cache.capacity = 4
+        with db.connect() as ses:
+            for i in range(1, 11):
+                # LIMIT is a baked slot: every distinct count is its own
+                # cache variant, so ten queries make ten entries.
+                ses.execute(f"SELECT name FROM People ORDER BY name LIMIT {i}")
+        assert len(db.plan_cache) <= 4
+        assert db.plan_cache.stats.evictions >= 6
+
+    def test_cache_survives_data_appends(self):
+        # Appends do NOT bump the catalog version: snapshots give cached
+        # plans a consistent view, and the rebound plan sees new rows.
+        db = _people_db()
+        with db.connect() as ses:
+            r1 = ses.execute("SELECT name FROM People WHERE age = 28")
+            db.catalog.table("People").append((5, "Eve", 28))
+            r2 = ses.execute("SELECT name FROM People WHERE age = 28")
+        assert sorted(r1.rows) == [("Bob",), ("Dee",)]
+        assert sorted(r2.rows) == [("Bob",), ("Dee",), ("Eve",)]
+        assert db.plan_cache.stats.hits == 1
+
+    def test_unbound_cache_objects_are_version_zero(self):
+        cache = PlanCache(capacity=2)
+        assert cache._catalog_version() == 0
+
+
+# ---------------------------------------------------------------------- #
+# sessions: lifecycle, cancellation, admission, leaks
+# ---------------------------------------------------------------------- #
+
+
+class TestSessionLifecycle:
+    def test_ddl_via_session(self):
+        catalog, _ = build_fig2_catalog()
+        # Strip the pre-registered graph: register through the session.
+        fresh = Catalog()
+        for name in catalog.table_names():
+            fresh.add_table(catalog.table(name))
+        db = Database(catalog=fresh)
+        ddl = (
+            "CREATE PROPERTY GRAPH G2 "
+            "VERTEX TABLES (Person KEY (person_id), Message KEY (message_id)) "
+            "EDGE TABLES (Likes SOURCE KEY (pid) REFERENCES Person (person_id) "
+            "DESTINATION KEY (mid) REFERENCES Message (message_id))"
+        )
+        with db.connect() as ses:
+            r = ses.execute(ddl)
+            assert r.rows == [("ok",)]
+            assert fresh.has_graph("G2")
+            out = ses.execute(
+                "SELECT COUNT(*) AS n FROM GRAPH_TABLE (G2 "
+                "MATCH (p:Person)-[l:Likes]->(m:Message) "
+                "COLUMNS (p.name AS name)) g"
+            )
+            assert out.rows == [(4,)]
+
+    def test_closed_session_rejects_queries(self):
+        db = _people_db()
+        ses = db.connect()
+        ses.close()
+        with pytest.raises(SessionClosed):
+            ses.execute("SELECT name FROM People")
+        db.close()
+        with pytest.raises(SessionClosed):
+            db.connect()
+
+    def test_submit_result(self):
+        db = _people_db()
+        with db.connect() as ses:
+            pending = ses.submit("SELECT COUNT(*) AS n FROM People")
+            assert pending.result(timeout=30).rows == [(4,)]
+            assert pending.done()
+
+    def test_submit_cancel(self):
+        rows = [(i, f"n{i}", i % 50) for i in range(4000)]
+        db = _people_db(rows=rows)
+        with db.connect() as ses:
+            # Self-joins make enough batches for a boundary check to land.
+            pending = ses.submit(
+                "SELECT COUNT(*) AS n FROM People p1, People p2, People p3 "
+                "WHERE p1.age = p2.age AND p2.age = p3.age"
+            )
+            pending.cancel("test cancel")
+            with pytest.raises(QueryCancelled):
+                pending.result(timeout=60)
+
+    def test_close_cancels_in_flight_queries(self):
+        rows = [(i, f"n{i}", i % 50) for i in range(4000)]
+        db = _people_db(rows=rows)
+        ses = db.connect()
+        pending = ses.submit(
+            "SELECT COUNT(*) AS n FROM People p1, People p2, People p3 "
+            "WHERE p1.age = p2.age AND p2.age = p3.age"
+        )
+        ses.close()  # cancels + joins
+        assert pending.done()
+        with pytest.raises((QueryCancelled, Exception)):
+            pending.result(timeout=1)
+
+    def test_no_leaked_threads_or_leases(self):
+        governor = MemoryGovernor(total_rows=100_000, admission_timeout=5.0)
+        db = _people_db()
+        db.governor = governor
+        baseline = threading.active_count()
+        with db.connect() as ses:
+            futures = [
+                ses.submit("SELECT name FROM People WHERE age >= 0 ORDER BY name")
+                for _ in range(8)
+            ]
+            for f in futures:
+                assert len(f.result(timeout=60).rows) == 4
+        assert governor.active_leases == 0
+        assert governor.leased_rows == 0
+        assert threading.active_count() <= baseline
+
+    def test_admission_error_surfaces(self):
+        db = _people_db()
+        db.governor = MemoryGovernor(total_rows=10, admission_timeout=0.0)
+        db.config.memory_budget_rows = 100  # can never fit
+        with db.connect() as ses:
+            with pytest.raises(AdmissionError):
+                ses.execute("SELECT name FROM People")
+
+    def test_no_spill_files_leak(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SPILL_THRESHOLD", "64")
+        rows = [(i, f"name{i % 97:03d}", i % 13) for i in range(3000)]
+        db = _people_db(rows=rows)
+        with db.connect() as ses:
+            r = ses.execute("SELECT id, name FROM People ORDER BY name, id")
+            assert len(r.rows) == 3000
+            expected = sorted(((i, n) for i, n, _ in rows), key=lambda t: (t[1], t[0]))
+            assert r.rows == expected
+        leftovers = [p for p in tmp_path.rglob("*") if p.is_file()]
+        assert leftovers == []
+
+
+# ---------------------------------------------------------------------- #
+# concurrency: snapshot consistency under live writers
+# ---------------------------------------------------------------------- #
+
+CHUNK = 50
+
+
+class TestConcurrentSessions:
+    def test_sessions_see_chunk_aligned_monotonic_counts(self):
+        rows = [(i, f"n{i}", i) for i in range(CHUNK)]
+        db = _people_db(rows=rows)
+        table = db.catalog.table("People")
+        stop = threading.Event()
+
+        def writer():
+            next_id = CHUNK
+            while not stop.is_set():
+                table.extend(
+                    [(next_id + j, f"n{next_id + j}", next_id + j) for j in range(CHUNK)]
+                )
+                next_id += CHUNK
+                if next_id > 40 * CHUNK:
+                    break
+
+        failures: list[str] = []
+
+        def reader(n_queries: int):
+            with db.connect() as ses:
+                last = 0
+                for _ in range(n_queries):
+                    count = ses.execute(
+                        "SELECT COUNT(*) AS n FROM People WHERE id >= 0"
+                    ).rows[0][0]
+                    if count % CHUNK != 0:
+                        failures.append(f"torn count {count}")
+                    if count < last:
+                        failures.append(f"count went backwards {last} -> {count}")
+                    last = count
+
+        w = threading.Thread(target=writer)
+        readers = [threading.Thread(target=reader, args=(25,)) for _ in range(4)]
+        w.start()
+        for r in readers:
+            r.start()
+        for r in readers:
+            r.join()
+        stop.set()
+        w.join()
+        assert failures == []
+
+    def test_graph_results_stable_under_vertex_edge_appends(self):
+        db = _fig2_db()
+        person = db.catalog.table("Person")
+        knows = db.catalog.table("Knows")
+        q = (
+            "SELECT COUNT(*) AS n FROM GRAPH_TABLE (G "
+            "MATCH (p1:Person)-[k:Knows]->(p2:Person) "
+            "COLUMNS (p1.name AS name)) g"
+        )
+        with db.connect() as ses:
+            baseline = ses.execute(q).rows[0][0]
+            stop = threading.Event()
+
+            def writer():
+                next_pid = 1000
+                next_kid = 1000
+                while not stop.is_set():
+                    # Vertex first, then the edge referencing it — the
+                    # global epoch order readers may observe.
+                    person.append((next_pid, f"p{next_pid}", 101))
+                    knows.append((next_kid, 1, next_pid, "2024-01-01"))
+                    next_pid += 1
+                    next_kid += 1
+                    if next_pid > 1200:
+                        break
+
+            w = threading.Thread(target=writer)
+            w.start()
+            try:
+                # The CSR index is pinned at its build version: results are
+                # bit-stable no matter how many appends land mid-stream.
+                for _ in range(20):
+                    assert ses.execute(q).rows[0][0] == baseline
+            finally:
+                stop.set()
+                w.join()
+
+    def test_many_sessions_shared_cache(self):
+        db = _people_db()
+        errors: list[str] = []
+
+        def client(worker_id: int):
+            with db.connect() as ses:
+                for i in range(10):
+                    age = (28, 34, 41)[i % 3]
+                    got = sorted(
+                        ses.execute(
+                            f"SELECT name FROM People WHERE age = {age}"
+                        ).rows
+                    )
+                    want = {
+                        28: [("Bob",), ("Dee",)],
+                        34: [("Ann",)],
+                        41: [("Cid",)],
+                    }[age]
+                    if got != want:
+                        errors.append(f"worker {worker_id}: {age} -> {got}")
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        stats = db.plan_cache.stats
+        assert stats.hits + stats.misses == 60
+        assert stats.hits >= 50  # one shape, one miss per racy optimize at worst
+
+
+# ---------------------------------------------------------------------- #
+# satellites: dictionary demotion + dictionary-aware ORDER BY
+# ---------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def dict_backend():
+    """Force the dict backend (the suite may run under REPRO_STORAGE=...)."""
+    set_storage_backend("dict")
+    yield
+    set_storage_backend(None)
+
+
+class TestDictDemotion:
+    def test_unique_heavy_bulk_load_demotes_to_list(self, dict_backend, monkeypatch):
+        monkeypatch.setenv("REPRO_DICT_DEMOTE_MIN_ROWS", "100")
+        catalog = Catalog()
+        table = catalog.create_table(
+            TableSchema(
+                "U",
+                [Column("id", DataType.INT), Column("payload", DataType.STRING)],
+                primary_key="id",
+            ),
+            rows=[(i, f"unique-payload-{i}") for i in range(500)],
+        )
+        assert not is_dict(table.columns["payload"])
+        assert list(table.column("payload"))[:2] == [
+            "unique-payload-0",
+            "unique-payload-1",
+        ]
+
+    def test_repetitive_bulk_load_stays_dictionary(self, dict_backend, monkeypatch):
+        monkeypatch.setenv("REPRO_DICT_DEMOTE_MIN_ROWS", "100")
+        catalog = Catalog()
+        table = catalog.create_table(
+            TableSchema(
+                "R",
+                [Column("id", DataType.INT), Column("city", DataType.STRING)],
+                primary_key="id",
+            ),
+            rows=[(i, f"city{i % 10}") for i in range(500)],
+        )
+        assert is_dict(table.columns["city"])
+
+    def test_demotion_is_loss_free(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DICT_DEMOTE_MIN_ROWS", "10")
+        monkeypatch.setenv("REPRO_DICT_DEMOTE_RATIO", "0.5")
+        col = DictColumn()
+        col.extend(["a", "b", "a", "b"])  # low cardinality prefix
+        values = [f"v{i}" for i in range(100)]
+        with pytest.raises(DictDemotion):
+            col.extend(values)
+
+    def test_single_row_appends_never_demote(self):
+        col = DictColumn()
+        for i in range(50):
+            col.append(f"unique{i}")
+        assert len(col) == 50
+
+
+class TestDictOrderBy:
+    def _db(self, n=2000, cities=7):
+        rows = [(i, f"city{(i * 31) % cities}", i % 5) for i in range(n)]
+        catalog = Catalog()
+        catalog.create_table(
+            TableSchema(
+                "T",
+                [
+                    Column("id", DataType.INT),
+                    Column("city", DataType.STRING),
+                    Column("b", DataType.INT),
+                ],
+                primary_key="id",
+            ),
+            rows=rows,
+        )
+        return Database(catalog=catalog), rows
+
+    def test_parity_with_python_sort(self):
+        db, rows = self._db()
+        with db.connect() as ses:
+            r = ses.execute("SELECT id, city FROM T WHERE b >= 2 ORDER BY city, id")
+        expected = sorted(
+            ((i, c) for i, c, b in rows if b >= 2), key=lambda t: (t[1], t[0])
+        )
+        assert r.rows == expected
+
+    def test_desc_and_mixed_keys(self):
+        db, rows = self._db(n=500)
+        with db.connect() as ses:
+            r = ses.execute("SELECT id, city FROM T ORDER BY city DESC, id")
+        expected = sorted(((i, c) for i, c, _ in rows), key=lambda t: t[0])
+        expected.sort(key=lambda t: t[1], reverse=True)
+        assert r.rows == expected
+
+    def test_order_by_expression_key_still_works(self):
+        db, rows = self._db(n=300)
+        with db.connect() as ses:
+            r = ses.execute("SELECT id FROM T ORDER BY id * -1 LIMIT 5")
+        assert [t[0] for t in r.rows] == [299, 298, 297, 296, 295]
+
+    def test_spill_path_falls_back_to_value_domain(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SPILL_THRESHOLD", "128")
+        db, rows = self._db(n=2000)
+        with db.connect() as ses:
+            r = ses.execute("SELECT id, city FROM T ORDER BY city, id")
+        expected = sorted(((i, c) for i, c, _ in rows), key=lambda t: (t[1], t[0]))
+        assert r.rows == expected
+        assert [p for p in tmp_path.rglob("*") if p.is_file()] == []
+
+
+class TestServingKnob:
+    """REPRO_SERVING=1: System text queries run through a plan cache."""
+
+    Q = (
+        "SELECT g.p1_name FROM GRAPH_TABLE (G "
+        "MATCH (p1:Person)-[k:Knows]->(p2:Person) "
+        "WHERE p2.name = 'Bob' "
+        "COLUMNS (p1.name AS p1_name)) g"
+    )
+
+    def test_system_text_runs_hit_the_cache(self, fig2, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVING", "1")
+        catalog, _, _ = fig2
+        system = make_system("relgo", catalog)
+        assert system.plan_cache is not None
+        r1 = system.run(self.Q, query_name="q")
+        r2 = system.run(self.Q.replace("'Bob'", "'Tom'"), query_name="q")
+        assert r1.ok() and r2.ok()
+        assert system.plan_cache.stats.hits == 1
+        assert system.plan_cache.stats.misses == 1
+
+    def test_armed_results_match_unarmed(self, fig2, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVING", raising=False)
+        catalog, _, _ = fig2
+        baseline = make_system("relgo", catalog)
+        assert baseline.plan_cache is None
+        want = baseline.optimize(self.Q)
+        monkeypatch.setenv("REPRO_SERVING", "1")
+        armed = make_system("relgo", catalog)
+        # Second optimize of the shape is a rebind of the cached template;
+        # the engine must produce the same rows either way.
+        armed.optimize(self.Q)
+        got = armed.optimize(self.Q)
+        assert armed.plan_cache.stats.hits == 1
+        from repro.exec.context import execute_plan
+
+        assert (
+            execute_plan(got.physical).sorted_rows()
+            == execute_plan(want.physical).sorted_rows()
+        )
+
+    def test_bind_errors_still_classified(self, fig2, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVING", "1")
+        catalog, _, _ = fig2
+        system = make_system("relgo", catalog)
+        result = system.run("SELECT nope FROM Nowhere", query_name="bad")
+        assert result.status == "error"
+        assert result.detail.startswith("bind:")
