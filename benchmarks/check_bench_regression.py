@@ -73,6 +73,14 @@ def _tracked_times(doc: dict, include_multithread: bool) -> dict[str, float]:
         times["serving/hot"] = serving["hot_ms"]
         times["serving/p50"] = serving["p50_ms"]
         times["serving/p99"] = serving["p99_ms"]
+        # Added with the wire front-end; .get() so older baselines
+        # (serving sections without these keys) still compare cleanly.
+        if "prepared_ms" in serving:
+            times["serving/prepared"] = serving["prepared_ms"]
+        wire = serving.get("wire")
+        if wire:
+            times["serving/wire_p50"] = wire["p50_ms"]
+            times["serving/wire_p99"] = wire["p99_ms"]
     return times
 
 

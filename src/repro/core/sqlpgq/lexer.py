@@ -24,7 +24,7 @@ SYMBOLS = [
 
 @dataclass(frozen=True)
 class Token:
-    kind: str  # "KEYWORD" | "IDENT" | "NUMBER" | "STRING" | "SYMBOL" | "EOF"
+    kind: str  # "KEYWORD" | "IDENT" | "NUMBER" | "STRING" | "PARAM" | "SYMBOL" | "EOF"
     value: str
     line: int
     column: int
@@ -86,6 +86,13 @@ def tokenize(text: str) -> list[Token]:
                 j += 1
             tokens.append(Token("NUMBER", text[i:j], line, column))
             i = j
+            continue
+        if ch == "?":
+            # DB-API-style parameter placeholder; only meaningful to the
+            # parameterizing parser (plain parses reject it with a clear
+            # error instead of an "unexpected character").
+            tokens.append(Token("PARAM", "?", line, column))
+            i += 1
             continue
         if ch.isalpha() or ch == "_":
             j = i

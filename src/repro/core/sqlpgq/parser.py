@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from repro.errors import ParseError
+from typing import Any
+
+from repro.errors import ParameterError, ParseError
 from repro.relational.expr import (
     Arith,
     BoolOp,
@@ -52,7 +54,7 @@ class Parser:
     / ``NULL`` are keywords, not scanner literals: never slots.
     """
 
-    def __init__(self, text: str, parameterize: bool = False):
+    def __init__(self, text: str, parameterize: bool = False, params=None):
         self.tokens = tokenize(text)
         self.pos = 0
         self.parameterize = parameterize
@@ -61,10 +63,36 @@ class Parser:
         #: Slots carried by ParamLiteral nodes in the parsed statement.
         self.expr_slots: set[int] = set()
         self._slot_at: dict[int, int] = {}
+        #: token index -> bound value, for ``?`` placeholder tokens.
+        self._param_at: dict[int, Any] = {}
+        placeholders = [
+            i for i, token in enumerate(self.tokens) if token.kind == "PARAM"
+        ]
+        if placeholders:
+            first = self.tokens[placeholders[0]]
+            if not parameterize:
+                raise ParseError(
+                    "'?' placeholders require parameter binding "
+                    "(execute with params=...)",
+                    first.line,
+                    first.column,
+                )
+            given = () if params is None else tuple(params)
+            if len(given) != len(placeholders):
+                raise ParameterError(
+                    f"statement has {len(placeholders)} '?' placeholder(s) "
+                    f"but {len(given)} parameter(s) were bound"
+                )
+            for i, value in zip(placeholders, given):
+                self._param_at[i] = value
         if parameterize:
+            # NUMBER / STRING literals and ``?`` placeholders share one
+            # slot numbering, in text order — the order the fingerprint
+            # scanner collects values, so slot i always rebinds to the
+            # i-th merged value of a matching query text.
             slot = 0
             for i, token in enumerate(self.tokens):
-                if token.kind in ("NUMBER", "STRING"):
+                if token.kind in ("NUMBER", "STRING", "PARAM"):
                     self._slot_at[i] = slot
                     slot += 1
 
@@ -72,9 +100,30 @@ class Parser:
         """Slot of the literal token just consumed (parameterize mode)."""
         return self._slot_at[self.pos - 1]
 
+    def _consumed_param(self) -> Any:
+        """Bound value of the ``?`` placeholder token just consumed."""
+        return self._param_at[self.pos - 1]
+
     def _bake_consumed(self) -> None:
         if self.parameterize:
             self.baked_slots.add(self._consumed_slot())
+
+    def _structural_string(self, expected: str) -> str:
+        """Consume a STRING (or string-valued ``?``) in structural position
+        — LIKE / STARTS WITH patterns — baking its slot."""
+        token = self.advance()
+        if token.kind == "STRING":
+            self._bake_consumed()
+            return token.value
+        if token.kind == "PARAM":
+            value = self._consumed_param()
+            if not isinstance(value, str):
+                raise ParameterError(
+                    f"{expected}; the bound placeholder holds {value!r}"
+                )
+            self._bake_consumed()
+            return value
+        raise self.error(expected)
 
     # ------------------------------------------------------------------ #
     # token plumbing
@@ -287,10 +336,19 @@ class Parser:
         limit = None
         if self.accept_keyword("LIMIT"):
             token = self.advance()
-            if token.kind != "NUMBER":
+            if token.kind == "PARAM":
+                value = self._consumed_param()
+                if not isinstance(value, int):
+                    raise ParameterError(
+                        f"LIMIT placeholder must bind an int, got {value!r}"
+                    )
+                self._bake_consumed()
+                limit = value
+            elif token.kind == "NUMBER":
+                self._bake_consumed()
+                limit = int(token.value)
+            else:
                 raise self.error("expected LIMIT count")
-            self._bake_consumed()
-            limit = int(token.value)
         return AstSelect(
             items, distinct, graph_table, tables, join_conditions,
             where, group_by, order_by, limit,
@@ -454,19 +512,13 @@ class Parser:
             return Comparison(op, left, right)
         if token.is_keyword("LIKE"):
             self.advance()
-            pattern = self.advance()
-            if pattern.kind != "STRING":
-                raise self.error("LIKE expects a string pattern")
-            self._bake_consumed()
-            return Like(left, pattern.value)
+            pattern = self._structural_string("LIKE expects a string pattern")
+            return Like(left, pattern)
         if token.is_keyword("STARTS"):
             self.advance()
             self.expect_keyword("WITH")
-            prefix = self.advance()
-            if prefix.kind != "STRING":
-                raise self.error("STARTS WITH expects a string")
-            self._bake_consumed()
-            return Like(left, prefix.value + "%")
+            prefix = self._structural_string("STARTS WITH expects a string")
+            return Like(left, prefix + "%")
         if token.is_keyword("IN"):
             self.advance()
             self.expect_symbol("(")
@@ -518,6 +570,13 @@ class Parser:
         if token.kind == "STRING":
             self.advance()
             return self._literal(token.value)
+        if token.kind == "PARAM":
+            # A bound placeholder behaves exactly like the literal of its
+            # value: same ParamLiteral node, same slot numbering, so a
+            # params-bound text and a literal-spliced text of one shape
+            # share a single cached plan template.
+            self.advance()
+            return self._literal(self._consumed_param())
         if token.is_keyword("TRUE"):
             self.advance()
             return Literal(True)
@@ -552,6 +611,12 @@ class Parser:
         if token.kind == "STRING":
             self._bake_consumed()
             return token.value
+        if token.kind == "PARAM":
+            # Structural position: the bound value is baked into the plan
+            # shape exactly like an inline literal would be, so each
+            # distinct value keys its own cached variant.
+            self._bake_consumed()
+            return self._consumed_param()
         if token.is_keyword("TRUE"):
             return True
         if token.is_keyword("FALSE"):

@@ -38,6 +38,17 @@ class BindError(ReproError):
     """A parsed query references names that do not resolve against the catalog."""
 
 
+class ParameterError(BindError):
+    """Query parameters do not match the statement's ``?`` placeholders.
+
+    Raised when the parameter count differs from the placeholder count,
+    when a placeholder is used without passing ``params``, or when a
+    parameter value has a type the engine cannot bind (only ``int``,
+    ``float`` and ``str`` are bindable — the literal types the SQL text
+    itself can express).
+    """
+
+
 class PlanError(ReproError):
     """A logical or physical plan is malformed (internal invariant violated)."""
 
@@ -147,3 +158,114 @@ class SessionClosed(ReproError):
 
 class UnsupportedFeatureError(ReproError):
     """The query uses a feature the reproduction deliberately leaves out."""
+
+
+# ---------------------------------------------------------------------- #
+# wire error codes
+# ---------------------------------------------------------------------- #
+#
+# The serving layer's socket protocol (``repro.serving.wire``) ships errors
+# as JSON frames; every ReproError subclass maps to a *stable* string code
+# here so a client can re-raise the same typed exception the server caught.
+# Codes are part of the wire contract: never renumber or reuse one.  The
+# structured errors additionally round-trip their constructor payload
+# (``QueryTimeout`` keeps elapsed/deadline, ``OutOfMemoryError`` keeps
+# rows/budget/label, ``AdmissionError`` keeps requested/total/leased), so a
+# remote failure is as attributable as a local one.
+
+#: exception class -> stable wire code (most-derived classes first so the
+#: MRO walk in :func:`error_code` lands on the tightest match).
+WIRE_CODES: dict[type, str] = {
+    QueryTimeout: "QUERY_TIMEOUT",
+    QueryCancelled: "QUERY_CANCELLED",
+    OutOfMemoryError: "OUT_OF_MEMORY",
+    AdmissionError: "ADMISSION_DENIED",
+    InjectedFault: "INJECTED_FAULT",
+    ExecutionError: "EXECUTION_ERROR",
+    ParameterError: "PARAMETER_MISMATCH",
+    ParseError: "PARSE_ERROR",
+    BindError: "BIND_ERROR",
+    CatalogError: "CATALOG_ERROR",
+    SchemaError: "SCHEMA_ERROR",
+    PlanError: "PLAN_ERROR",
+    OptimizationTimeout: "OPTIMIZATION_TIMEOUT",
+    SessionClosed: "SESSION_CLOSED",
+    UnsupportedFeatureError: "UNSUPPORTED_FEATURE",
+    ReproError: "REPRO_ERROR",
+}
+
+#: Code assigned to non-ReproError exceptions that escape a server-side
+#: query (a bug, not a library failure); clients surface it as ReproError.
+INTERNAL_ERROR_CODE = "INTERNAL_ERROR"
+
+#: Code for violations of the framing protocol itself (malformed JSON,
+#: oversized frame, unknown frame type) — there is no exception class on
+#: the server side to map, the connection is simply refused service.
+PROTOCOL_ERROR_CODE = "PROTOCOL_ERROR"
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable wire code for ``exc`` (tightest class in its MRO)."""
+    for cls in type(exc).__mro__:
+        code = WIRE_CODES.get(cls)
+        if code is not None:
+            return code
+    return INTERNAL_ERROR_CODE
+
+
+#: code -> (class, attrs serialized into the payload).  Only errors whose
+#: constructors take structured arguments need an entry; everything else
+#: reconstructs from the message string alone.
+_WIRE_PAYLOADS: dict[str, tuple[type, tuple[str, ...]]] = {
+    "QUERY_TIMEOUT": (QueryTimeout, ("elapsed", "deadline")),
+    "QUERY_CANCELLED": (QueryCancelled, ("reason",)),
+    "OUT_OF_MEMORY": (OutOfMemoryError, ("rows", "budget", "label")),
+    "ADMISSION_DENIED": (AdmissionError, ("requested", "total", "leased")),
+    "OPTIMIZATION_TIMEOUT": (OptimizationTimeout, ("elapsed", "budget")),
+}
+
+_WIRE_CLASSES: dict[str, type] = {code: cls for cls, code in WIRE_CODES.items()}
+
+
+def error_to_wire(exc: BaseException) -> dict:
+    """Serialize ``exc`` to a wire error payload (JSON-safe dict)."""
+    code = error_code(exc)
+    payload: dict = {"code": code, "message": str(exc)}
+    spec = _WIRE_PAYLOADS.get(code)
+    if spec is not None and isinstance(exc, spec[0]):
+        payload["data"] = {attr: getattr(exc, attr) for attr in spec[1]}
+    return payload
+
+
+def error_from_wire(payload: dict) -> ReproError:
+    """Reconstruct the typed exception a wire error payload describes.
+
+    Structured codes rebuild through their real constructors; plain codes
+    rebuild as their class with the original message; unknown codes fall
+    back to :class:`ReproError`.  Every returned exception carries the
+    code on ``.wire_code`` so callers can switch without isinstance.
+    """
+    code = payload.get("code", INTERNAL_ERROR_CODE)
+    message = payload.get("message", "")
+    spec = _WIRE_PAYLOADS.get(code)
+    exc: ReproError
+    if spec is not None:
+        cls, attrs = spec
+        data = payload.get("data") or {}
+        try:
+            exc = cls(*(data[attr] for attr in attrs))
+        except Exception:
+            exc = cls.__new__(cls)
+            ReproError.__init__(exc, message)
+    else:
+        cls = _WIRE_CLASSES.get(code, ReproError)
+        if cls is ParseError:
+            # ParseError.__init__ appends the location to the message; the
+            # wire message already carries it, so rebuild around __init__.
+            exc = ParseError.__new__(ParseError)
+            ReproError.__init__(exc, message)
+            exc.line = exc.column = None
+        else:
+            exc = cls(message)
+    exc.wire_code = code  # type: ignore[attr-defined]
+    return exc

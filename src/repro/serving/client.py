@@ -1,0 +1,408 @@
+"""Blocking wire client: a drop-in ``Session`` over a socket.
+
+:class:`Client` speaks the :mod:`repro.serving.wire` protocol and exposes
+the same surface as :class:`~repro.serving.database.Session` — ``execute``
+/ ``submit`` / ``prepare`` / ``close`` — so the serving test suite passes
+unchanged with a real network boundary in the middle (``REPRO_WIRE=1``
+makes ``Database.connect()`` hand these out).
+
+One background reader thread (``repro-wire-client-…``) demultiplexes
+replies by ``seq``, so any number of caller threads can share one
+connection: ``submit`` returns a :class:`WirePendingQuery` whose
+``result``/``cancel``/``done`` each issue their own correlated requests.
+Results stream in bounded ``fetch`` chunks with a server-side long-poll;
+a chunk is only consumed when it arrives, so a client-side ``result``
+timeout never loses data — the next call resumes where the stream left
+off.
+
+Typed errors round-trip: an ``error`` frame rebuilds the original
+:class:`~repro.errors.ReproError` subclass (with its structured payload)
+via :func:`repro.errors.error_from_wire`, and the query text is attached
+as an exception note, exactly like the in-process path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from typing import Any, Sequence
+
+from repro.errors import (
+    PROTOCOL_ERROR_CODE,
+    QueryCancelled,
+    SessionClosed,
+    error_from_wire,
+)
+from repro.exec.context import QueryResult
+from repro.serving.wire import (
+    DEFAULT_FETCH_ROWS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["Client", "WirePendingQuery", "WirePreparedStatement"]
+
+#: Long-poll bound per fetch/poll round trip; short enough that close and
+#: cancel stay responsive, long enough to avoid request churn.
+DEFAULT_WAIT_S = 5.0
+
+_client_ids = itertools.count(1)
+
+
+class _Slot:
+    """One outstanding request awaiting its seq-matched reply."""
+
+    __slots__ = ("event", "frame")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.frame: dict | None = None
+
+
+def _raise_wire_error(payload: dict, context: str | None = None):
+    if payload.get("code") == PROTOCOL_ERROR_CODE:
+        raise ProtocolError(payload.get("message", "protocol error"))
+    exc = error_from_wire(payload)
+    if context:
+        exc.add_note(context)
+    raise exc
+
+
+class Client:
+    """A session over a socket (see module docstring).
+
+    ``address`` is the ``(host, port)`` a :class:`~repro.serving.wire.Server`
+    reports; the constructor connects and completes the ``hello``
+    handshake (raising :class:`~repro.serving.wire.ProtocolError` on a
+    version mismatch).
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        connect_timeout: float | None = 10.0,
+        fetch_rows: int = DEFAULT_FETCH_ROWS,
+    ):
+        self.address = address
+        self.fetch_rows = fetch_rows
+        self._sock = socket.create_connection(address, timeout=connect_timeout)
+        self._sock.settimeout(None)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._send_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self._slots: dict[int, _Slot] = {}
+        self._seq = itertools.count(1)
+        self._closed = False
+        self._broken: BaseException | None = None
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"repro-wire-client-{next(_client_ids)}",
+            daemon=True,
+        )
+        self._reader.start()
+        hello = self.call("hello", protocol=PROTOCOL_VERSION)
+        self.session_id = hello.get("session_id")
+
+    # ------------------------------------------------------------------ #
+    # request/reply plumbing
+    # ------------------------------------------------------------------ #
+
+    def _read_loop(self) -> None:
+        failure: BaseException = ConnectionError("connection closed by server")
+        try:
+            while True:
+                frame = recv_frame(self._sock)
+                if frame is None:
+                    # Orderly EOF: the server (or our own close) ended the
+                    # session, which is a lifecycle event, not a transport
+                    # fault — later calls raise SessionClosed.
+                    failure = SessionClosed("connection closed by server")
+                    break
+                slot = None
+                with self._lock:
+                    slot = self._slots.pop(frame.get("seq"), None)
+                if slot is not None:
+                    slot.frame = frame
+                    slot.event.set()
+                # Unmatched seq: a reply for an abandoned request; drop it.
+        except (ProtocolError, OSError) as exc:
+            failure = exc
+        finally:
+            with self._lock:
+                self._broken = failure
+                slots = list(self._slots.values())
+                self._slots.clear()
+            for slot in slots:
+                slot.event.set()
+
+    def call(self, kind: str, **fields: Any) -> dict:
+        """Send one request frame; block for its reply; raise wire errors."""
+        with self._lock:
+            if self._closed:
+                raise SessionClosed("client is closed")
+            if isinstance(self._broken, SessionClosed):
+                raise SessionClosed(str(self._broken))
+            if self._broken is not None:
+                raise ConnectionError(str(self._broken))
+            seq = next(self._seq)
+            slot = _Slot()
+            self._slots[seq] = slot
+        try:
+            with self._send_lock:
+                send_frame(self._sock, {"seq": seq, "type": kind, **fields})
+        except OSError as exc:
+            with self._lock:
+                self._slots.pop(seq, None)
+            raise ConnectionError(f"send failed: {exc}") from exc
+        slot.event.wait()
+        if slot.frame is None:
+            if isinstance(self._broken, SessionClosed):
+                raise SessionClosed(str(self._broken))
+            raise ConnectionError(str(self._broken or "connection lost"))
+        if slot.frame.get("type") == "error":
+            _raise_wire_error(slot.frame.get("error") or {}, fields.get("sql"))
+        return slot.frame
+
+    # ------------------------------------------------------------------ #
+    # the Session surface
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self,
+        sql: str,
+        timeout: float | None = None,
+        params: Sequence[Any] | None = None,
+    ) -> QueryResult:
+        """Run ``sql`` to completion over the wire (streaming chunks)."""
+        return self.submit(sql, timeout=timeout, params=params).result()
+
+    def submit(
+        self,
+        sql: str,
+        timeout: float | None = None,
+        params: Sequence[Any] | None = None,
+    ) -> "WirePendingQuery":
+        """Queue ``sql`` on the server's worker pool; returns a future."""
+        accepted = self.call(
+            "execute",
+            sql=sql,
+            params=list(params) if params is not None else None,
+            timeout=timeout,
+        )
+        return WirePendingQuery(self, accepted["query_id"], sql)
+
+    def prepare(self, sql: str) -> "WirePreparedStatement":
+        """Server-side prepared statement; params bind per execute."""
+        prepared = self.call("prepare", sql=sql)
+        return WirePreparedStatement(self, prepared["stmt_id"], sql)
+
+    # ------------------------------------------------------------------ #
+    # result streaming (shared by execute / WirePendingQuery.result)
+    # ------------------------------------------------------------------ #
+
+    def _collect(
+        self, query_id: int, sql: str, timeout: float | None
+    ) -> QueryResult:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        columns: list[str] = []
+        rows: list[tuple] = []
+        while True:
+            wait_s = DEFAULT_WAIT_S
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"query still running after {timeout}s: {sql!r}"
+                    )
+                wait_s = min(wait_s, remaining)
+            frame = self.call(
+                "fetch",
+                query_id=query_id,
+                wait_s=wait_s,
+                max_rows=self.fetch_rows,
+                sql=sql,  # server ignores it; error notes pick it up
+            )
+            kind = frame.get("type")
+            if kind == "pending":
+                continue
+            if kind != "rows":
+                raise ProtocolError(f"unexpected fetch reply: {kind!r}")
+            columns = frame["columns"]
+            rows.extend(tuple(row) for row in frame["rows"])
+            if frame.get("done"):
+                stats = frame.get("stats") or {}
+                return QueryResult(
+                    columns=columns,
+                    rows=rows,
+                    execution_time=stats.get("execution_time", 0.0),
+                    rows_produced=stats.get("rows_produced", len(rows)),
+                    peak_buffered_rows=stats.get("peak_buffered_rows", 0),
+                )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Close the session (server side cancels anything in flight)."""
+        with self._lock:
+            if self._closed:
+                return
+        try:
+            self.call("close")
+        except (ConnectionError, SessionClosed, ProtocolError):
+            pass  # server may already be gone; the socket close below suffices
+        with self._lock:
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._reader.join()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class WirePendingQuery:
+    """Client-side future over a server query (mirror of
+    :class:`~repro.serving.database.PendingQuery`)."""
+
+    def __init__(self, client: Client, query_id: int, sql: str):
+        self.client = client
+        self.query_id = query_id
+        self.sql = sql
+        self._result: QueryResult | None = None
+        self._error: BaseException | None = None
+        self._finished = False
+
+    def cancel(self, reason: str = "query cancelled") -> None:
+        """Ask the server to cancel (idempotent; may race completion)."""
+        try:
+            self.client.call("cancel", query_id=self.query_id, reason=reason)
+        except (ConnectionError, SessionClosed):
+            pass  # a dead connection cancels server-side via disconnect
+
+    def done(self) -> bool:
+        if self._finished:
+            return True
+        if self.client.closed:
+            return True  # session close cancelled + drained server-side
+        frame = self.client.call("poll", query_id=self.query_id)
+        return bool(frame.get("done"))
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block (long-polling) up to ``timeout``; True when finished."""
+        if self._finished:
+            return True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            wait_s = DEFAULT_WAIT_S
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                wait_s = min(wait_s, remaining)
+            frame = self.client.call(
+                "poll", query_id=self.query_id, wait_s=wait_s
+            )
+            if frame.get("done"):
+                return True
+            if deadline is None:
+                continue
+
+    def result(self, timeout: float | None = None) -> QueryResult:
+        """Stream the result (blocks; re-raises the query's typed error).
+
+        A client-side timeout is loss-free: chunks fetched so far were
+        consumed, the rest stay buffered server-side for the next call.
+        """
+        if self._finished:
+            if self._error is not None:
+                raise self._error
+            assert self._result is not None
+            return self._result
+        if self.client.closed:
+            # Mirrors the in-process future: closing the session cancelled
+            # anything in flight, so an unfetched result is a cancellation.
+            raise QueryCancelled("session closed before the result was fetched")
+        try:
+            result = self.client._collect(self.query_id, self.sql, timeout)
+        except TimeoutError:
+            raise  # loss-free: retryable, so the future is not finished
+        except Exception as exc:
+            if isinstance(exc, (ConnectionError, ProtocolError)):
+                raise  # transport fault, not the query's outcome
+            self._error = exc
+            self._finished = True
+            raise
+        self._result = result
+        self._finished = True
+        return result
+
+
+class WirePreparedStatement:
+    """Client handle for a server-side prepared statement."""
+
+    def __init__(self, client: Client, stmt_id: int, sql: str):
+        self.client = client
+        self.stmt_id = stmt_id
+        self.sql = sql
+        self._closed = False
+
+    def execute(
+        self,
+        params: Sequence[Any] | None = None,
+        timeout: float | None = None,
+    ) -> QueryResult:
+        return self.submit(params, timeout=timeout).result()
+
+    def submit(
+        self,
+        params: Sequence[Any] | None = None,
+        timeout: float | None = None,
+    ) -> WirePendingQuery:
+        if self._closed:
+            raise SessionClosed(f"prepared statement is closed: {self.sql!r}")
+        accepted = self.client.call(
+            "execute",
+            stmt_id=self.stmt_id,
+            params=list(params) if params is not None else None,
+            timeout=timeout,
+            sql=self.sql,  # for error notes only
+        )
+        return WirePendingQuery(self.client, accepted["query_id"], self.sql)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.client.call("close_stmt", stmt_id=self.stmt_id)
+        except (ConnectionError, SessionClosed):
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "WirePreparedStatement":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

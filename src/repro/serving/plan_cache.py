@@ -46,6 +46,7 @@ import threading
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+from repro.errors import ParameterError
 from repro.exec.operator import Operator
 from repro.graph.physical import StarLeg
 from repro.relational.expr import Expr, param_slots, substitute_params
@@ -66,9 +67,29 @@ _SCAN = re.compile(
     | --[^\n]*                  # line comment
     | [^\W\d]\w*                # identifier / keyword
     | \d+(?:\.\d+)?             # number literal
+    | \?                        # DB-API parameter placeholder
     """,
     re.VERBOSE,
 )
+
+
+class _Placeholder:
+    """Sentinel occupying a ``?`` placeholder's slot until params merge."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "?"
+
+
+PLACEHOLDER = _Placeholder()
+
+#: The only bindable parameter types — exactly the value types SQL text
+#: literals can express, so a params-bound query and its literal-spliced
+#: twin always share one fingerprint key.  bool is excluded explicitly:
+#: it is an int subclass but the text form (TRUE/FALSE) is a keyword, not
+#: a scanner literal, and would split the keyspace.
+_BINDABLE = (int, float, str)
 
 
 @dataclass(frozen=True)
@@ -87,8 +108,14 @@ class Fingerprint:
         return (self.normalized, self.type_names)
 
 
-def fingerprint(sql: str) -> Fingerprint:
-    """Scan ``sql`` into a :class:`Fingerprint` without parsing it."""
+def scan_text(sql: str) -> tuple[str, tuple[Any, ...]]:
+    """Normalize ``sql`` and collect its slot values, without parsing.
+
+    String/number literals carry their value; ``?`` placeholders carry the
+    :data:`PLACEHOLDER` sentinel (merged against params later).  Both
+    normalize to ``?`` in the text, which is why a prepared statement and
+    a literal-spliced query of the same shape share one normalized form.
+    """
     values: list[Any] = []
 
     def norm(match: re.Match) -> str:
@@ -102,9 +129,51 @@ def fingerprint(sql: str) -> Fingerprint:
         if head.isdigit():
             values.append(float(text) if "." in text else int(text))
             return "?"
+        if head == "?":
+            values.append(PLACEHOLDER)
+            return "?"
         return text
     normalized = " ".join(_SCAN.sub(norm, sql).split())
-    vals = tuple(values)
+    return normalized, tuple(values)
+
+
+def merge_params(values: tuple[Any, ...], params) -> tuple[Any, ...]:
+    """Fill every :data:`PLACEHOLDER` slot in ``values`` from ``params``.
+
+    Raises :class:`~repro.errors.ParameterError` on count mismatch or a
+    value outside the bindable literal types (int/float/str).
+    """
+    slots = [i for i, v in enumerate(values) if v is PLACEHOLDER]
+    given = () if params is None else tuple(params)
+    if len(given) != len(slots):
+        raise ParameterError(
+            f"statement has {len(slots)} '?' placeholder(s) but "
+            f"{len(given)} parameter(s) were bound"
+        )
+    for value in given:
+        if not isinstance(value, _BINDABLE) or isinstance(value, bool):
+            raise ParameterError(
+                f"cannot bind parameter {value!r}: only int, float and str "
+                "values are bindable"
+            )
+    if not slots:
+        return values
+    merged = list(values)
+    for i, value in zip(slots, given):
+        merged[i] = value
+    return tuple(merged)
+
+
+def fingerprint(sql: str, params=None) -> Fingerprint:
+    """Scan ``sql`` into a :class:`Fingerprint` without parsing it.
+
+    ``params`` binds ``?`` placeholders positionally (DB-API style); the
+    merged values land in the same slot numbering inline literals use, so
+    ``age = ?`` with ``params=[28]`` and ``age = 28`` produce identical
+    fingerprints — and therefore share one cached plan template.
+    """
+    normalized, raw = scan_text(sql)
+    vals = merge_params(raw, params)
     return Fingerprint(normalized, vals, tuple(type(v).__name__ for v in vals))
 
 
@@ -395,31 +464,24 @@ class PlanCache:
 # ---------------------------------------------------------------------- #
 
 
-def cached_optimize(cache, sql, catalog, optimize, on_ddl=None):
-    """Resolve SQL/PGQ text to an ``OptimizedQuery`` through ``cache``.
+def compile_template(cache, fp, sql, catalog, optimize, params=None, on_ddl=None):
+    """The cache-miss path: parse, bind, optimize, store if rebindable.
 
-    On a hit the returned query carries the rebound physical plan (a
-    copy-on-write clone of the template's); on a miss the text is parsed
-    in parameterized mode, bound against ``catalog``, run through
-    ``optimize`` and stored when the safety valve passes.  DDL statements
-    are dispatched to ``on_ddl`` and return ``(None, False)`` (without it,
-    DDL raises through ``bind_query``).  Returns ``(optimized, hit)``.
+    Shared by :func:`cached_optimize` and the prepared-statement handle
+    (which skips the fingerprint scan but still compiles here on its first
+    execute and after an epoch invalidation).  Returns ``(optimized,
+    template_or_None)``; DDL (dispatched to ``on_ddl``) returns
+    ``(None, None)``.
     """
     from repro.core.sqlpgq.ast import AstCreateGraph
     from repro.core.sqlpgq.binder import bind_query
     from repro.core.sqlpgq.parser import Parser
 
-    fp = fingerprint(sql)
-    entry = cache.lookup(fp)
-    if entry is not None:
-        bound = entry.bind(fp.values)
-        return replace(entry.optimized, physical=bound), True
-
-    parser = Parser(sql, parameterize=True)
+    parser = Parser(sql, parameterize=True, params=params)
     statement = parser.parse_statement()
     if on_ddl is not None and isinstance(statement, AstCreateGraph):
         on_ddl(statement)
-        return None, False
+        return None, None
     query = bind_query(statement, catalog)
     optimized = optimize(query)
     # Safety valve: cache only when every ParamLiteral the parser handed
@@ -430,14 +492,38 @@ def cached_optimize(cache, sql, catalog, optimize, on_ddl=None):
     # but not rebindable, so it executes uncached.
     if plan_param_slots(optimized.physical) != parser.expr_slots:
         cache.stats.uncacheable += 1
-    else:
-        cache.store(
-            fp,
-            PlanTemplate(
-                optimized=optimized,
-                expr_slots=frozenset(parser.expr_slots),
-                baked_slots=frozenset(parser.baked_slots),
-                catalog_version=catalog.version,
-            ),
-        )
+        return optimized, None
+    template = PlanTemplate(
+        optimized=optimized,
+        expr_slots=frozenset(parser.expr_slots),
+        baked_slots=frozenset(parser.baked_slots),
+        catalog_version=catalog.version,
+    )
+    cache.store(fp, template)
+    return optimized, template
+
+
+def cached_optimize(cache, sql, catalog, optimize, on_ddl=None, params=None):
+    """Resolve SQL/PGQ text to an ``OptimizedQuery`` through ``cache``.
+
+    On a hit the returned query carries the rebound physical plan (a
+    copy-on-write clone of the template's); on a miss the text is parsed
+    in parameterized mode, bound against ``catalog``, run through
+    ``optimize`` and stored when the safety valve passes.  DDL statements
+    are dispatched to ``on_ddl`` and return ``(None, False)`` (without it,
+    DDL raises through ``bind_query``).  ``params`` binds ``?``
+    placeholders positionally — merged before fingerprinting, so the
+    params path and the literal path share cache entries.  Returns
+    ``(optimized, hit)``.
+    """
+    fp = fingerprint(sql, params)
+    entry = cache.lookup(fp)
+    if entry is not None:
+        bound = entry.bind(fp.values)
+        return replace(entry.optimized, physical=bound), True
+    optimized, _ = compile_template(
+        cache, fp, sql, catalog, optimize, params=params, on_ddl=on_ddl
+    )
+    if optimized is None:
+        return None, False
     return optimized, False

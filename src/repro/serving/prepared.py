@@ -1,0 +1,218 @@
+"""Explicit prepared statements: bind params straight into a plan template.
+
+``Session.execute(sql)`` already amortizes the frontend through the plan
+cache, but every call still pays the *fingerprint scan* (a regex pass over
+the text) plus the shared-cache lookup.  A :class:`PreparedStatement`
+hoists that per-call work to ``prepare`` time:
+
+* **prepare** — one :func:`~repro.serving.plan_cache.scan_text` pass
+  captures the normalized text and the inline-literal/placeholder slot
+  layout.  Nothing is parsed or optimized yet (the first ``execute``
+  compiles, because compilation needs bound parameter values — a ``?`` in
+  a structural position like ``LIMIT ?`` is baked into the plan shape).
+* **execute(params)** — merges ``params`` into the captured slots and
+  binds directly into the statement-local template:
+  ``template.bind(values)`` rebinds ParamLiterals copy-on-write.  No
+  fingerprint scan, no literal re-splice, no shared-cache probe on the
+  hot path.
+* **invalidation** — every template is stamped with the catalog version
+  (the same epoch the shared plan cache uses).  DDL bumps the version;
+  the next ``execute`` sees the stale stamp and transparently
+  re-prepares against the new schema.
+
+Templates are keyed per (parameter type signature, baked values): an
+``int`` vs ``float`` in the same slot binds different typed kernels, and
+a baked slot's value is part of the plan shape.  Misses fall back to the
+shared :class:`~repro.serving.plan_cache.PlanCache` (so a statement
+prepared after identical ad-hoc traffic starts hot) and then to a full
+compile.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.core.sqlpgq.binder import execute_ddl
+from repro.errors import SessionClosed
+from repro.exec.context import QueryResult
+from repro.serving.plan_cache import (
+    Fingerprint,
+    PlanTemplate,
+    compile_template,
+    merge_params,
+    scan_text,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (database imports us)
+    from repro.serving.database import PendingQuery, Session
+
+__all__ = ["PreparedStatement"]
+
+#: Statement-local template variants kept per handle.  Baked placeholders
+#: (``LIMIT ?``) key one variant per distinct value; the shared cache is
+#: LRU-bounded, so the local mirror is bounded too (FIFO, oldest out).
+_MAX_LOCAL_VARIANTS = 32
+
+
+class PreparedStatement:
+    """A reusable handle for one SQL/PGQ statement (from ``Session.prepare``).
+
+    Thread-safe: concurrent ``execute`` calls on one handle are allowed
+    (each gets its own :class:`~repro.exec.context.QueryHandle`, snapshot
+    pin and lease; the template dict is lock-protected and templates are
+    execution-immutable).  ``close()`` releases the handle; the session
+    closes any statements still open when it closes.
+    """
+
+    def __init__(self, session: "Session", sql: str):
+        self.session = session
+        self.sql = sql
+        normalized, raw = scan_text(sql)
+        self._normalized = normalized
+        self._raw_values = raw
+        self._lock = threading.Lock()
+        # (type_names, baked_values) -> PlanTemplate; baked slot set is a
+        # property of the normalized text, learned from the first compile.
+        self._templates: dict[tuple, PlanTemplate] = {}
+        self._baked_slots: frozenset[int] | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self,
+        params: Sequence[Any] | None = None,
+        timeout: float | None = None,
+    ) -> QueryResult:
+        """Bind ``params`` and run the statement to completion.
+
+        Raises :class:`~repro.errors.ParameterError` when ``params`` does
+        not match the statement's ``?`` placeholders (count or type).
+        """
+        self._check_open()
+        handle = self.session._register_handle(timeout)
+        try:
+            plan = self._resolve_plan(params)
+            if plan is None:  # DDL: applied as a side effect of resolving
+                return QueryResult(
+                    columns=["status"], rows=[("ok",)],
+                    execution_time=0.0, rows_produced=1,
+                )
+            return self.session._run(plan, handle)
+        finally:
+            self.session._unregister_handle(handle)
+
+    def submit(
+        self,
+        params: Sequence[Any] | None = None,
+        timeout: float | None = None,
+    ) -> "PendingQuery":
+        """Queue an execution on the shared worker pool (async twin of
+        :meth:`execute`); plan resolution happens on the worker through
+        the statement's template fast path."""
+        self._check_open()
+        return self.session._submit_prepared(self, params, timeout)
+
+    # ------------------------------------------------------------------ #
+    # plan resolution (the no-scan hot path)
+    # ------------------------------------------------------------------ #
+
+    def _resolve_plan(self, params: Sequence[Any] | None):
+        """Executable physical plan for ``params`` (None for DDL).
+
+        Fast path: merge params → statement-local template → ``bind``.
+        Fallbacks: shared plan cache (mirrored locally on hit), then a
+        full parse/bind/optimize via ``compile_template``.
+        """
+        database = self.session.database
+        merged = merge_params(self._raw_values, params)
+        type_names = tuple(type(v).__name__ for v in merged)
+        version = database.catalog.version
+
+        with self._lock:
+            if self._baked_slots is not None:
+                key = (
+                    type_names,
+                    tuple(merged[s] for s in sorted(self._baked_slots)),
+                )
+                entry = self._templates.get(key)
+                if entry is not None:
+                    if entry.catalog_version == version:
+                        return entry.bind(merged)
+                    # DDL epoch moved: drop every stale template and
+                    # transparently re-prepare below.
+                    self._templates.clear()
+                    self._baked_slots = None
+
+        # Shared-cache probe: identical ad-hoc traffic (or another
+        # session's prepare) may have compiled this shape already.
+        fp = Fingerprint(self._normalized, merged, type_names)
+        entry = database.plan_cache.lookup(fp)
+        if entry is not None:
+            self._remember(entry, type_names, merged)
+            return entry.bind(merged)
+
+        optimized, template = compile_template(
+            database.plan_cache,
+            fp,
+            self.sql,
+            database.catalog,
+            lambda query: database.framework().optimize(query),
+            params=params,
+            on_ddl=lambda statement: execute_ddl(statement, database.catalog),
+        )
+        if optimized is None:
+            return None  # DDL
+        if template is not None:
+            self._remember(template, type_names, merged)
+        # Uncacheable (safety valve) plans execute directly, uncached.
+        return optimized.physical
+
+    def _remember(
+        self, template: PlanTemplate, type_names: tuple, merged: tuple
+    ) -> None:
+        with self._lock:
+            self._baked_slots = template.baked_slots
+            key = (
+                type_names,
+                tuple(merged[s] for s in sorted(template.baked_slots)),
+            )
+            self._templates[key] = template
+            while len(self._templates) > _MAX_LOCAL_VARIANTS:
+                self._templates.pop(next(iter(self._templates)))
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release the handle (idempotent); further ``execute`` raises."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._templates.clear()
+        self.session._forget_statement(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosed(f"prepared statement is closed: {self.sql!r}")
+        if self.session.closed:
+            raise SessionClosed(f"session {self.session.session_id} is closed")
+
+    def __enter__(self) -> "PreparedStatement":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"{len(self._templates)} template(s)"
+        return f"PreparedStatement({self.sql!r}, {state})"

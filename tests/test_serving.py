@@ -20,7 +20,13 @@ import threading
 import pytest
 
 from conftest import build_fig2_catalog
-from repro.errors import AdmissionError, QueryCancelled, SessionClosed
+from repro.errors import (
+    AdmissionError,
+    ParameterError,
+    ParseError,
+    QueryCancelled,
+    SessionClosed,
+)
 from repro.exec.governor import MemoryGovernor
 from repro.relational.catalog import Catalog
 from repro.relational.column import (
@@ -36,7 +42,25 @@ from repro.serving.plan_cache import PlanCache
 from repro.systems.base import make_system
 
 
-def _people_db(rows=None) -> Database:
+# Databases opened by the helpers below; an autouse fixture closes them
+# after each test so shared-pool worker threads (repro-pool-*) and wire
+# threads never leak into other suites' thread-leak assertions.
+_OPEN_DBS: list[Database] = []
+
+
+def _track(db: Database) -> Database:
+    _OPEN_DBS.append(db)
+    return db
+
+
+@pytest.fixture(autouse=True)
+def _close_tracked_dbs():
+    yield
+    while _OPEN_DBS:
+        _OPEN_DBS.pop().close()
+
+
+def _people_db(rows=None, **kwargs) -> Database:
     catalog = Catalog()
     catalog.create_table(
         TableSchema(
@@ -57,13 +81,13 @@ def _people_db(rows=None) -> Database:
             (4, "Dee", 28),
         ],
     )
-    return Database(catalog=catalog)
+    return _track(Database(catalog=catalog, **kwargs))
 
 
 def _fig2_db():
     catalog, mapping = build_fig2_catalog()
-    db = Database(catalog=catalog)
-    db.prepare()
+    db = _track(Database(catalog=catalog))
+    db.warmup()
     return db
 
 
@@ -259,7 +283,7 @@ class TestSessionLifecycle:
         fresh = Catalog()
         for name in catalog.table_names():
             fresh.add_table(catalog.table(name))
-        db = Database(catalog=fresh)
+        db = _track(Database(catalog=fresh))
         ddl = (
             "CREATE PROPERTY GRAPH G2 "
             "VERTEX TABLES (Person KEY (person_id), Message KEY (message_id)) "
@@ -321,10 +345,11 @@ class TestSessionLifecycle:
             pending.result(timeout=1)
 
     def test_no_leaked_threads_or_leases(self):
+        from tests.test_lifecycle import assert_no_repro_threads
+
         governor = MemoryGovernor(total_rows=100_000, admission_timeout=5.0)
         db = _people_db()
         db.governor = governor
-        baseline = threading.active_count()
         with db.connect() as ses:
             futures = [
                 ses.submit("SELECT name FROM People WHERE age >= 0 ORDER BY name")
@@ -334,7 +359,11 @@ class TestSessionLifecycle:
                 assert len(f.result(timeout=60).rows) == 4
         assert governor.active_leases == 0
         assert governor.leased_rows == 0
-        assert threading.active_count() <= baseline
+        # The shared pool's workers live exactly as long as the Database:
+        # close() joins them (and any wire threads), leaving zero repro-*
+        # threads behind.
+        db.close()
+        assert_no_repro_threads()
 
     def test_admission_error_surfaces(self):
         db = _people_db()
@@ -553,7 +582,7 @@ class TestDictOrderBy:
             ),
             rows=rows,
         )
-        return Database(catalog=catalog), rows
+        return _track(Database(catalog=catalog)), rows
 
     def test_parity_with_python_sort(self):
         db, rows = self._db()
@@ -637,3 +666,272 @@ class TestServingKnob:
         result = system.run("SELECT nope FROM Nowhere", query_name="bad")
         assert result.status == "error"
         assert result.detail.startswith("bind:")
+
+
+# ---------------------------------------------------------------------- #
+# DB-API parameters: `?` placeholders on execute/submit
+# ---------------------------------------------------------------------- #
+
+
+class TestQueryParams:
+    def test_execute_with_params(self):
+        db = _people_db()
+        with db.connect() as ses:
+            r = ses.execute("SELECT name FROM People WHERE age = ?", params=[28])
+        assert sorted(r.rows) == [("Bob",), ("Dee",)]
+
+    def test_params_share_cache_with_literal_form(self):
+        # `age = ?` with params=[28] and `age = 28` normalize identically:
+        # one fingerprint, one template, shared hits.
+        db = _people_db()
+        with db.connect() as ses:
+            ses.execute("SELECT name FROM People WHERE age = ?", params=[28])
+            r = ses.execute("SELECT name FROM People WHERE age = 41")
+        assert r.rows == [("Cid",)]
+        assert db.plan_cache.stats.misses == 1
+        assert db.plan_cache.stats.hits == 1
+
+    def test_submit_with_params(self):
+        db = _people_db()
+        with db.connect() as ses:
+            pending = ses.submit(
+                "SELECT name FROM People WHERE age = ?", params=[41]
+            )
+            assert pending.result(timeout=30).rows == [("Cid",)]
+
+    def test_param_count_mismatch_is_typed(self):
+        db = _people_db()
+        with db.connect() as ses:
+            with pytest.raises(ParameterError):
+                ses.execute(
+                    "SELECT name FROM People WHERE age = ?", params=[28, 41]
+                )
+            with pytest.raises(ParameterError):
+                ses.execute("SELECT name FROM People WHERE age = ?")
+
+    def test_unbindable_param_type_is_typed(self):
+        db = _people_db()
+        with db.connect() as ses:
+            with pytest.raises(ParameterError):
+                ses.execute(
+                    "SELECT name FROM People WHERE age = ?", params=[True]
+                )
+
+    def test_placeholder_without_params_machinery_is_a_parse_error(self):
+        # A plain (non-parameterizing) parse must reject `?` with a clear
+        # message, not an "unexpected character".
+        from repro.core.sqlpgq.parser import Parser
+
+        with pytest.raises(ParseError, match="placeholder"):
+            Parser("SELECT a FROM t WHERE x = ?").parse_statement()
+
+    def test_placeholder_in_baked_position(self):
+        # LIMIT consumes its literal structurally, so a `?` there is baked
+        # into the plan shape: each distinct value is its own cache variant.
+        db = _people_db()
+        with db.connect() as ses:
+            r2 = ses.execute(
+                "SELECT name FROM People ORDER BY name LIMIT ?", params=[2]
+            )
+            r3 = ses.execute(
+                "SELECT name FROM People ORDER BY name LIMIT ?", params=[3]
+            )
+            again = ses.execute(
+                "SELECT name FROM People ORDER BY name LIMIT ?", params=[2]
+            )
+        assert len(r2.rows) == 2 and len(r3.rows) == 3 and len(again.rows) == 2
+        assert db.plan_cache.stats.misses == 2
+        assert db.plan_cache.stats.hits == 1
+
+    def test_mixed_placeholders_and_literals(self):
+        db = _people_db()
+        with db.connect() as ses:
+            r = ses.execute(
+                "SELECT name FROM People WHERE age = ? AND id >= 1 "
+                "ORDER BY name LIMIT ?",
+                params=[28, 1],
+            )
+        assert r.rows == [("Bob",)]
+
+
+# ---------------------------------------------------------------------- #
+# prepared statements
+# ---------------------------------------------------------------------- #
+
+
+class TestPreparedStatements:
+    def test_prepare_execute_rebind(self):
+        db = _people_db()
+        with db.connect() as ses:
+            stmt = ses.prepare("SELECT name FROM People WHERE age = ?")
+            assert sorted(stmt.execute([28]).rows) == [("Bob",), ("Dee",)]
+            assert stmt.execute([41]).rows == [("Cid",)]
+            stmt.close()
+
+    def test_hot_path_skips_scan_and_frontend(self, monkeypatch):
+        # After the first execute compiles the template, later executes
+        # bind straight into it: no parser, no binder, and no shared-cache
+        # probe (which is where the fingerprint scan would happen).
+        db = _people_db()
+        ses = db.connect()
+        stmt = ses.prepare("SELECT name FROM People WHERE age = ?")
+        stmt.execute([28])
+        import repro.core.sqlpgq.binder as binder_mod
+        import repro.core.sqlpgq.parser as parser_mod
+
+        def boom(*a, **k):  # pragma: no cover - would mean a re-prepare
+            raise AssertionError("frontend invoked on prepared hot path")
+
+        monkeypatch.setattr(parser_mod, "Parser", boom)
+        monkeypatch.setattr(binder_mod, "bind_query", boom)
+        monkeypatch.setattr(db.plan_cache, "lookup", boom)
+        assert stmt.execute([34]).rows == [("Ann",)]
+        ses.close()
+
+    def test_epoch_invalidation_reprepares_transparently(self):
+        db = _people_db()
+        with db.connect() as ses:
+            stmt = ses.prepare("SELECT name FROM People WHERE age = ?")
+            assert sorted(stmt.execute([28]).rows) == [("Bob",), ("Dee",)]
+            db.catalog.analyze()  # DDL-equivalent: schema/stats epoch bump
+            # Same handle, new epoch: the stale template is dropped and the
+            # statement recompiles against the new catalog — same answer.
+            assert sorted(stmt.execute([28]).rows) == [("Bob",), ("Dee",)]
+            assert stmt.execute([41]).rows == [("Cid",)]
+
+    def test_param_mismatch_is_typed(self):
+        db = _people_db()
+        with db.connect() as ses:
+            stmt = ses.prepare("SELECT name FROM People WHERE age = ?")
+            with pytest.raises(ParameterError):
+                stmt.execute([1, 2])
+            with pytest.raises(ParameterError):
+                stmt.execute()
+
+    def test_concurrent_execute_on_one_handle(self):
+        db = _people_db()
+        want = {28: [("Bob",), ("Dee",)], 34: [("Ann",)], 41: [("Cid",)]}
+        errors: list[str] = []
+        with db.connect() as ses:
+            stmt = ses.prepare("SELECT name FROM People WHERE age = ?")
+
+            def worker(worker_id: int):
+                for i in range(10):
+                    age = (28, 34, 41)[(worker_id + i) % 3]
+                    got = sorted(stmt.execute([age]).rows)
+                    if got != want[age]:
+                        errors.append(f"worker {worker_id}: {age} -> {got}")
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert errors == []
+
+    def test_closed_statement_rejects_execute(self):
+        db = _people_db()
+        with db.connect() as ses:
+            stmt = ses.prepare("SELECT name FROM People WHERE age = ?")
+            stmt.close()
+            with pytest.raises(SessionClosed):
+                stmt.execute([28])
+
+    def test_session_close_closes_statements(self):
+        db = _people_db()
+        ses = db.connect()
+        stmt = ses.prepare("SELECT name FROM People WHERE age = ?")
+        ses.close()
+        with pytest.raises(SessionClosed):
+            stmt.execute([28])
+
+    def test_baked_placeholder_variants(self):
+        db = _people_db()
+        with db.connect() as ses:
+            stmt = ses.prepare("SELECT name FROM People ORDER BY name LIMIT ?")
+            assert len(stmt.execute([2]).rows) == 2
+            assert len(stmt.execute([3]).rows) == 3
+            assert len(stmt.execute([2]).rows) == 2
+
+    def test_database_prepare_deprecation_shim(self):
+        db = _fig2_db()  # warmup() already called; the shim must still work
+        with pytest.warns(DeprecationWarning, match="warmup"):
+            db.prepare()
+
+
+# ---------------------------------------------------------------------- #
+# the shared worker pool
+# ---------------------------------------------------------------------- #
+
+
+class TestWorkerPool:
+    def test_pool_bounds_concurrency(self):
+        # 8 sessions x 4 in-flight queries each on a pool of 4: every
+        # query completes, and no more than 4 worker threads ever start.
+        db = _people_db(workers=4)
+        sessions = [db.connect() for _ in range(8)]
+        try:
+            futures = [
+                ses.submit("SELECT name FROM People WHERE age = ?", params=[28])
+                for ses in sessions
+                for _ in range(4)
+            ]
+            for f in futures:
+                assert sorted(f.result(timeout=60).rows) == [("Bob",), ("Dee",)]
+        finally:
+            for ses in sessions:
+                ses.close()
+        assert db.pool.worker_count <= 4
+
+    def test_cancel_while_queued_completes_immediately(self):
+        # One worker, one slow query hogging it: queued queries cancelled
+        # behind it complete as QueryCancelled without waiting for a worker.
+        rows = [(i, f"n{i}", i % 50) for i in range(4000)]
+        db = _people_db(rows=rows, workers=1)
+        with db.connect() as ses:
+            slow = ses.submit(
+                "SELECT COUNT(*) AS n FROM People p1, People p2, People p3 "
+                "WHERE p1.age = p2.age AND p2.age = p3.age"
+            )
+            queued = [ses.submit("SELECT name FROM People") for _ in range(4)]
+            for q in queued:
+                q.cancel("jumped the queue")
+            for q in queued:
+                with pytest.raises(QueryCancelled):
+                    q.result(timeout=10)
+            slow.cancel("done probing")
+            with pytest.raises(QueryCancelled):
+                slow.result(timeout=60)
+
+    def test_submit_after_database_close_raises(self):
+        db = _people_db()
+        ses = db.connect()
+        db.close()
+        with pytest.raises(SessionClosed):
+            ses.submit("SELECT name FROM People")
+
+    def test_error_notes_carry_query_context(self):
+        db = _people_db()
+        with db.connect() as ses:
+            pending = ses.submit("SELECT name FROM People WHERE age = ?")
+            with pytest.raises(ParameterError) as info:
+                pending.result(timeout=30)
+        notes = getattr(info.value, "__notes__", [])
+        assert any("SELECT name FROM People" in n for n in notes)
+
+    def test_worker_size_resolution(self, monkeypatch):
+        from repro.serving.pool import DEFAULT_WORKERS, WorkerPool, resolve_workers
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == DEFAULT_WORKERS
+        assert resolve_workers(2) == 2
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(None) == 7
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        monkeypatch.setenv("REPRO_WORKERS", "zero")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+        pool = WorkerPool(2)
+        assert pool.size == 2 and pool.worker_count == 0  # lazy spawn
+        pool.close()
